@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each ``test_figXX_*.py`` regenerates one table/figure of the paper: it runs
+the experiment, prints the table (ours vs the paper's published values), and
+asserts the paper's *shape* findings — orderings and failure patterns — as
+hard test conditions.  pytest-benchmark timings cover the optimizer calls
+themselves (which is exactly what the paper's Fig 13 measures).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+
+def parse_cell(cell: str) -> float:
+    """Parse an 'ours [paper]' table cell into our seconds (inf = Fail)."""
+    ours = cell.split(" [")[0].strip()
+    ours = ours.split(" (")[0].strip()  # drop opt-time suffix
+    if ours.rstrip("*") == "Fail":
+        return math.inf
+    parts = [int(p) for p in ours.rstrip("*").split(":")]
+    while len(parts) < 3:
+        parts.insert(0, 0)
+    return float(parts[0] * 3600 + parts[1] * 60 + parts[2])
+
+
+@pytest.fixture(scope="session")
+def print_table():
+    """Print a rendered experiment table beneath the benchmark output."""
+    def _print(table):
+        print()
+        print(table.render())
+        return table
+    return _print

@@ -1,0 +1,70 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* Transformation-cost integration — the paper's key idea: remove
+  transformation costs from the search objective and measure how much worse
+  the chosen plans get under the true cost model.
+* Shared-subgraph (equivalence-class) optimization — compare the frontier
+  algorithm's joint costing against independent per-sink optimization that
+  double-pays shared subgraphs.
+* Beam pruning — quality/time trade-off of the ``max_states`` knob against
+  the exact frontier search.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import simsql_cluster
+from repro.core import OptimizerContext, optimize
+from repro.experiments.figures import (
+    ablation_sharing,
+    ablation_transform_costs,
+)
+from repro.workloads.ffnn import FFNNConfig, ffnn_backprop_to_w2
+
+
+def test_transform_cost_integration(benchmark, print_table):
+    table = benchmark.pedantic(ablation_transform_costs,
+                               rounds=1, iterations=1)
+    print_table(table)
+    slowdowns = []
+    for row in table.rows:
+        cell = row[3]
+        if cell == "Fail":
+            slowdowns.append(math.inf)
+        else:
+            slowdowns.append(float(cell.rstrip("x")))
+    # Ignoring transformation costs never helps...
+    assert all(s >= 1.0 for s in slowdowns)
+    # ...and hurts measurably on at least one workload.
+    assert max(s for s in slowdowns if math.isfinite(s)) > 1.02 or \
+        any(math.isinf(s) for s in slowdowns)
+
+
+def test_sharing_ablation(benchmark, print_table):
+    table = benchmark.pedantic(ablation_sharing, rounds=1, iterations=1)
+    print_table(table)
+    for row in table.rows:
+        overhead = float(row[3].rstrip("x"))
+        # Duplicating shared subgraphs always costs at least as much; the
+        # DAG families share their most expensive products, so the joint
+        # optimization saves a large factor.
+        assert overhead >= 1.0
+    assert max(float(r[3].rstrip("x")) for r in table.rows) > 1.3
+
+
+@pytest.mark.parametrize("beam", [100, 1000, None])
+def test_beam_quality(benchmark, beam):
+    """The beam trades planning time for (almost never worse) plan cost."""
+    graph = ffnn_backprop_to_w2(
+        FFNNConfig(batch=2000, features=5000, hidden=4000))
+    ctx = OptimizerContext(cluster=simsql_cluster(10))
+
+    plan = benchmark.pedantic(
+        lambda: optimize(graph, OptimizerContext(cluster=simsql_cluster(10)),
+                         max_states=beam),
+        rounds=1, iterations=1)
+    exact = optimize(graph, ctx)
+    assert plan.total_seconds >= exact.total_seconds - 1e-9
+    # On this workload even a narrow beam stays within 10% of optimal.
+    assert plan.total_seconds <= 1.10 * exact.total_seconds

@@ -1,0 +1,51 @@
+"""Benches for the implemented future-work extensions (DESIGN.md §5).
+
+Each regenerates one extension experiment and asserts its headline:
+sketch-refined planning produces cheaper plans on structured-sparse chains;
+mid-execution re-optimization beats running a misestimated plan to
+completion; the GPU catalog beats CPU-only planning when GPUs exist.
+"""
+
+import pytest
+
+from repro.experiments.extensions import (
+    ext_adaptive_reopt,
+    ext_gpu_catalog,
+    ext_sketch_refinement,
+)
+
+
+def _seconds(cell: str) -> float:
+    return float(cell.rstrip("s"))
+
+
+def test_sketch_refinement(benchmark, print_table):
+    table = benchmark.pedantic(ext_sketch_refinement, rounds=1, iterations=1)
+    print_table(table)
+    scalar = _seconds(table.rows[0][2])
+    refined = _seconds(table.rows[1][2])
+    # The MNC-refined plan is cheaper under the true sparsity...
+    assert refined < scalar
+    # ...and the mid-chain estimates differ dramatically (scalar says the
+    # product of structured-sparse matrices is dense; the sketch does not).
+    assert float(table.rows[0][1]) > 2 * float(table.rows[1][1])
+
+
+def test_adaptive_reoptimization(benchmark, print_table):
+    table = benchmark.pedantic(ext_adaptive_reopt, rounds=1, iterations=1)
+    print_table(table)
+    static = float(table.rows[0][1])
+    adaptive = float(table.rows[1][1])
+    replans = int(table.rows[1][2])
+    assert replans >= 1
+    assert adaptive < static
+
+
+def test_gpu_catalog(benchmark, print_table):
+    table = benchmark.pedantic(ext_gpu_catalog, rounds=1, iterations=1)
+    print_table(table)
+    cpu = float(table.rows[0][1])
+    gpu = float(table.rows[1][1])
+    assert gpu < cpu
+    assert "mm_gpu" in table.rows[1][2]
+    assert "mm_gpu" not in table.rows[0][2]

@@ -1,0 +1,41 @@
+"""Fig 5 / Experiment 1: FFNN forward + full backprop + forward, hidden 80K.
+
+Regenerates the three-way plan comparison on the 57-vertex compute graph
+and benchmarks the frontier optimizer on it (the paper's reported
+optimization time for this graph is 1:03).
+"""
+
+import pytest
+
+from conftest import parse_cell
+from repro.cluster import simsql_cluster
+from repro.core import OptimizerContext, optimize
+from repro.experiments.figures import FFNN_BEAM, fig05
+from repro.workloads.ffnn import FFNNConfig, ffnn_full_step
+
+
+@pytest.fixture(scope="module")
+def table():
+    return fig05()
+
+
+def test_fig05_regenerate(benchmark, table, print_table):
+    print_table(table)
+    graph = ffnn_full_step(FFNNConfig(hidden=80_000))
+    assert len(graph) == 57  # the paper's graph size
+
+    def optimize_once():
+        return optimize(graph, OptimizerContext(cluster=simsql_cluster(10)),
+                        max_states=FFNN_BEAM)
+
+    benchmark.pedantic(optimize_once, rounds=1, iterations=1)
+
+    auto = parse_cell(table.cell("Auto-gen", "time"))
+    hand = parse_cell(table.cell("Hand-written", "time"))
+    tile = parse_cell(table.cell("All-tile", "time"))
+    # Paper: the auto-generated plan clearly beats both baselines
+    # (0:59 vs 1:25 and 1:54).  Our model ranks hand and all-tile within
+    # noise of each other at this size, so only the headline is asserted.
+    assert auto < hand
+    assert auto < tile
+    assert min(hand, tile) > 1.1 * auto

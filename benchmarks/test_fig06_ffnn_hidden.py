@@ -1,0 +1,45 @@
+"""Fig 6 / Experiment 2: FFNN backprop-to-W2 across hidden layer sizes."""
+
+import math
+
+import pytest
+
+from conftest import parse_cell
+from repro.cluster import simsql_cluster
+from repro.core import OptimizerContext, optimize
+from repro.experiments.figures import FFNN_BEAM, fig06
+from repro.workloads.ffnn import FFNNConfig, ffnn_backprop_to_w2
+
+
+@pytest.fixture(scope="module")
+def table():
+    return fig06()
+
+
+def test_fig06_regenerate(benchmark, table, print_table):
+    print_table(table)
+    graph = ffnn_backprop_to_w2(FFNNConfig(hidden=40_000))
+
+    def optimize_once():
+        return optimize(graph, OptimizerContext(cluster=simsql_cluster(10)),
+                        max_states=FFNN_BEAM)
+
+    benchmark.pedantic(optimize_once, rounds=2, iterations=1)
+
+    for hidden in ("10K", "40K", "80K", "160K"):
+        auto = parse_cell(table.cell(hidden, "Auto-gen"))
+        hand = parse_cell(table.cell(hidden, "Hand-written"))
+        tile = parse_cell(table.cell(hidden, "All-tile"))
+        # Auto-generated plans win at every size (paper's core claim).
+        assert auto < hand
+        assert auto < tile
+
+    # The paper's failure pattern: all-tile collapses at hidden 160K.
+    assert math.isinf(parse_cell(table.cell("160K", "All-tile")))
+    assert math.isfinite(parse_cell(table.cell("160K", "Hand-written")))
+    assert math.isfinite(parse_cell(table.cell("160K", "Auto-gen")))
+
+    # Runtime grows with the hidden size for every plan.
+    autos = [parse_cell(table.cell(h, "Auto-gen"))
+             for h in ("10K", "40K", "80K", "160K")]
+    assert autos == sorted(autos)

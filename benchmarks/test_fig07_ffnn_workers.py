@@ -1,0 +1,46 @@
+"""Fig 7 / Experiment 3: FFNN hidden 160K across cluster sizes."""
+
+import math
+
+import pytest
+
+from conftest import parse_cell
+from repro.cluster import simsql_cluster
+from repro.core import OptimizerContext, optimize
+from repro.experiments.figures import FFNN_BEAM, fig07
+from repro.workloads.ffnn import FFNNConfig, ffnn_backprop_to_w2
+
+
+@pytest.fixture(scope="module")
+def table():
+    return fig07()
+
+
+def test_fig07_regenerate(benchmark, table, print_table):
+    print_table(table)
+    graph = ffnn_backprop_to_w2(FFNNConfig(hidden=160_000))
+
+    def optimize_once():
+        return optimize(graph, OptimizerContext(cluster=simsql_cluster(5)),
+                        max_states=FFNN_BEAM)
+
+    benchmark.pedantic(optimize_once, rounds=2, iterations=1)
+
+    # Paper's failure pattern, cell for cell: on 5 workers only the
+    # auto-generated plan survives; all-tile needs 20+ workers.
+    assert math.isfinite(parse_cell(table.cell("5", "Auto-gen")))
+    assert math.isinf(parse_cell(table.cell("5", "Hand-written")))
+    assert math.isinf(parse_cell(table.cell("5", "All-tile")))
+    assert math.isfinite(parse_cell(table.cell("10", "Hand-written")))
+    assert math.isinf(parse_cell(table.cell("10", "All-tile")))
+    assert math.isfinite(parse_cell(table.cell("20", "All-tile")))
+
+    # Auto-generated runtimes improve with more workers.
+    autos = [parse_cell(table.cell(w, "Auto-gen"))
+             for w in ("5", "10", "20", "25")]
+    assert autos == sorted(autos, reverse=True)
+
+    # Auto beats the baselines wherever they run at all.
+    for workers in ("10", "20", "25"):
+        assert parse_cell(table.cell(workers, "Auto-gen")) < \
+            parse_cell(table.cell(workers, "Hand-written"))

@@ -1,0 +1,37 @@
+"""Fig 10 (with Fig 4 sizes): the six-matrix multiplication chain."""
+
+import pytest
+
+from conftest import parse_cell
+from repro.cluster import simsql_cluster
+from repro.core import OptimizerContext, optimize
+from repro.experiments.figures import FFNN_BEAM, fig10
+from repro.workloads.chains import mm_chain_graph
+
+
+@pytest.fixture(scope="module")
+def table():
+    return fig10()
+
+
+def test_fig10_regenerate(benchmark, table, print_table):
+    print_table(table)
+    graph = mm_chain_graph(3)
+
+    def optimize_once():
+        return optimize(graph, OptimizerContext(cluster=simsql_cluster(10)),
+                        max_states=FFNN_BEAM)
+
+    benchmark.pedantic(optimize_once, rounds=3, iterations=1)
+
+    for size_set in ("Size Set 1", "Size Set 2", "Size Set 3"):
+        auto = parse_cell(table.cell(size_set, "Auto-gen"))
+        hand = parse_cell(table.cell(size_set, "Hand-written"))
+        tile = parse_cell(table.cell(size_set, "All-tile"))
+        # The auto-generated plan wins every size combination (paper Fig 10).
+        assert auto < hand
+        assert auto < tile
+
+    # Set 2 (the outer-product-heavy shapes) is the hardest for everyone.
+    assert parse_cell(table.cell("Size Set 2", "Auto-gen")) > \
+        parse_cell(table.cell("Size Set 1", "Auto-gen"))

@@ -1,0 +1,53 @@
+"""Fig 11: systems comparison on AmazonCat-shaped data, 1K batch (dense)."""
+
+import math
+
+import pytest
+
+from conftest import parse_cell
+from repro.cluster import pliny_cluster
+from repro.core import OptimizerContext, optimize
+from repro.core.formats import DENSE_FORMATS, col_strips, tiles
+from repro.experiments.figures import FFNN_BEAM, fig11
+from repro.workloads.ffnn import amazoncat_config, ffnn_backprop_to_w2
+
+
+@pytest.fixture(scope="module")
+def table():
+    return fig11()
+
+
+def test_fig11_regenerate(benchmark, table, print_table):
+    print_table(table)
+    cfg = amazoncat_config(1000, 5000, sparse_input=False,
+                           x_format=col_strips(1000), w1_format=tiles(1000))
+    graph = ffnn_backprop_to_w2(cfg)
+
+    def optimize_once():
+        return optimize(graph,
+                        OptimizerContext(cluster=pliny_cluster(5),
+                                         formats=DENSE_FORMATS),
+                        max_states=FFNN_BEAM)
+
+    benchmark.pedantic(optimize_once, rounds=2, iterations=1)
+
+    # PyTorch fails at hidden 7000 on every cluster size (model broadcast).
+    for workers in (2, 5, 10):
+        assert math.isinf(parse_cell(
+            table.cell(f"{workers}w x 7000", "PyTorch")))
+
+    # The optimized PC plans beat PyTorch at 5 and 10 workers (PyTorch's
+    # data-parallel broadcast does not scale; paper Sec. 8.3 discussion).
+    for workers in (5, 10):
+        for hidden in (4000, 5000):
+            row = f"{workers}w x {hidden}"
+            assert parse_cell(table.cell(row, "PC No Sparsity")) < \
+                parse_cell(table.cell(row, "PyTorch"))
+
+    # PyTorch gets slower with more workers for this huge model.
+    assert parse_cell(table.cell("10w x 4000", "PyTorch")) > \
+        parse_cell(table.cell("2w x 4000", "PyTorch"))
+
+    # PC scales down with more workers at fixed hidden size.
+    assert parse_cell(table.cell("10w x 5000", "PC No Sparsity")) < \
+        parse_cell(table.cell("2w x 5000", "PC No Sparsity"))

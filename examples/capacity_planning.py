@@ -1,0 +1,70 @@
+"""Capacity planning with the optimizer as a what-if engine.
+
+Because the cost model is parametric in the cluster, the optimizer answers
+operational questions directly: How does the FFNN training step scale with
+cluster size (re-optimizing the *plan* at each size — the paper's Fig 7
+point that the best plan depends on the hardware)? What is the smallest
+cluster meeting a latency target? Which format families actually matter
+for this workload? And where does the chosen plan's time go?
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import OptimizerContext, optimize
+from repro.cluster import simsql_cluster
+from repro.core.explain import explain
+from repro.engine.executor import format_hms
+from repro.engine.trace import schedule
+from repro.tools import (
+    format_family_contributions,
+    recommend_workers,
+    render_sweep,
+    sweep_workers,
+)
+from repro.workloads.ffnn import FFNNConfig, ffnn_backprop_to_w2
+
+graph = ffnn_backprop_to_w2(FFNNConfig(hidden=40_000))
+
+# ----------------------------------------------------------------------
+# 1. Scaling sweep: re-optimize for each cluster size.
+# ----------------------------------------------------------------------
+print("FFNN training step (hidden 40K): predicted time by cluster size\n")
+points = sweep_workers(graph, simsql_cluster, (2, 5, 10, 20, 40),
+                       max_states=1000)
+print(render_sweep(points))
+
+# ----------------------------------------------------------------------
+# 2. Smallest cluster meeting a target.
+# ----------------------------------------------------------------------
+target = 600.0  # ten simulated minutes
+best = recommend_workers(graph, simsql_cluster, target,
+                         candidates=(2, 5, 10, 20, 40), max_states=1000)
+if best is None:
+    print(f"\nno candidate cluster meets {format_hms(target)}")
+else:
+    print(f"\nsmallest cluster under {format_hms(target)}: "
+          f"{best.workers} workers ({format_hms(best.seconds)})")
+
+# ----------------------------------------------------------------------
+# 3. Which format families earn their place in the catalog?
+# ----------------------------------------------------------------------
+base, contributions = format_family_contributions(
+    graph, simsql_cluster(10), max_states=1000)
+print(f"\nformat-family contributions (full catalog: {format_hms(base)}):")
+for c in contributions[:5]:
+    cell = ("infeasible" if c.slowdown == float("inf")
+            else f"x{c.slowdown:.2f}")
+    print(f"  without {c.family.value:13s} -> {cell}")
+
+# ----------------------------------------------------------------------
+# 4. Where the chosen plan's time goes, and its pipeline overlap.
+# ----------------------------------------------------------------------
+ctx = OptimizerContext(cluster=simsql_cluster(10))
+plan = optimize(graph, ctx, max_states=1000)
+print()
+print(explain(plan, ctx, top=3).split("dominant stages:")[0].rstrip())
+timeline = schedule(plan, ctx)
+print(f"\npipeline overlap: critical path "
+      f"{format_hms(timeline.critical_path_seconds)} vs sequential "
+      f"{format_hms(timeline.sequential_seconds)} "
+      f"(x{timeline.parallelism:.2f})")

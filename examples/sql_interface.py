@@ -1,0 +1,71 @@
+"""The paper's declarative SQL interface (Sections 1-2), end to end.
+
+Reproduces the narrative of the paper's introduction: declare the matrices
+of the motivating example as MATRIX-typed tables, load them in the paper's
+formats, express the multiplication chain as views with *no* physical
+decisions — and let the optimizer derive the physical plan that the paper
+shows beating the naive tile-everything implementation by ~20x.
+
+Run:  python examples/sql_interface.py
+"""
+
+import numpy as np
+
+from repro import OptimizerContext
+from repro.cluster import simsql_cluster
+from repro.engine.executor import format_hms
+from repro.sql import SqlSession
+
+session = SqlSession()
+session.execute("""
+    -- Section 2.1: matA (100 x 10^4), matB (10^4 x 100), matC (100 x 10^6)
+    CREATE TABLE matA (mat MATRIX[100][10000]);
+    CREATE TABLE matB (mat MATRIX[10000][100]);
+    CREATE TABLE matC (mat MATRIX[100][1000000]);
+
+    -- The paper's load formats: ten row strips, ten column strips,
+    -- one hundred column strips.
+    LOAD matA FORMAT 'row_strips(10)';
+    LOAD matB FORMAT 'col_strips(10)';
+    LOAD matC FORMAT 'col_strips(10000)';
+
+    -- The computation, with no physical design anywhere (Section 2.2).
+    CREATE VIEW matAB (mat) AS
+    SELECT matrix_multiply(x.mat, m.mat)
+    FROM matA AS x, matB AS m;
+
+    CREATE VIEW matABC (mat) AS
+    SELECT matrix_multiply(x.mat, m.mat)
+    FROM matAB AS x, matC AS m;
+""")
+
+ctx = OptimizerContext(cluster=simsql_cluster(5))
+plan = session.optimize("matABC", ctx=ctx)
+
+print("optimizer-selected physical plan for matABC:")
+print(plan.describe())
+print(f"\npredicted time: {format_hms(plan.total_seconds)} "
+      "(the paper's naive tile implementation of the same SQL: 19:11; "
+      "its expert broadcast implementation: 0:56)")
+
+# Execute a scaled-down instance for real and verify.
+small = SqlSession()
+small.execute("""
+    CREATE TABLE matA (mat MATRIX[100][1000]);
+    CREATE TABLE matB (mat MATRIX[1000][100]);
+    CREATE TABLE matC (mat MATRIX[100][5000]);
+    LOAD matA FORMAT 'row_strips(10)';
+    LOAD matB FORMAT 'col_strips(10)';
+    LOAD matC FORMAT 'col_strips(500)';
+    CREATE VIEW matAB (mat) AS
+    SELECT matrix_multiply(x.mat, m.mat) FROM matA AS x, matB AS m;
+    CREATE VIEW matABC (mat) AS
+    SELECT matrix_multiply(x.mat, m.mat) FROM matAB AS x, matC AS m;
+""")
+rng = np.random.default_rng(0)
+a = rng.standard_normal((100, 1000))
+b = rng.standard_normal((1000, 100))
+c = rng.standard_normal((100, 5000))
+result = small.run("matABC", inputs={"matA": a, "matB": b, "matC": c})
+err = np.abs(result.outputs["matABC"] - a @ b @ c).max()
+print(f"\nscaled-down execution check: max |engine - numpy| = {err:.2e}")

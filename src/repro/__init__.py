@@ -1,0 +1,63 @@
+"""repro — automatic optimization of physical matrix implementations.
+
+A reproduction of Luo, Jankov, Yuan & Jermaine, "Automatic Optimization of
+Matrix Implementations for Distributed Machine Learning and Linear Algebra"
+(SIGMOD 2021).
+
+Quickstart::
+
+    from repro import input_matrix, relu, build, optimize, OptimizerContext
+
+    X = input_matrix("X", 10_000, 60_000)
+    W = input_matrix("W", 60_000, 4000)
+    plan = optimize(build(relu(X @ W)), OptimizerContext())
+    print(plan.describe())
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module mapping.
+"""
+
+from .cluster import (
+    DEFAULT_CLUSTER,
+    ClusterConfig,
+    pliny_cluster,
+    simsql_cluster,
+    systemds_cluster,
+)
+from .core import (
+    ComputeGraph,
+    MatrixType,
+    OptimizerContext,
+    Plan,
+    matrix,
+    optimize,
+    vector,
+)
+from .engine import execute_plan, simulate
+from .lang import (
+    Expr,
+    add_bias,
+    build,
+    col_sums,
+    exp,
+    input_matrix,
+    inverse,
+    relu,
+    relu_grad,
+    row_sums,
+    sigmoid,
+    softmax,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CLUSTER", "ClusterConfig", "pliny_cluster", "simsql_cluster",
+    "systemds_cluster",
+    "ComputeGraph", "MatrixType", "OptimizerContext", "Plan", "matrix",
+    "optimize", "vector",
+    "execute_plan", "simulate",
+    "Expr", "add_bias", "build", "col_sums", "exp", "input_matrix",
+    "inverse", "relu", "relu_grad", "row_sums", "sigmoid", "softmax",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Baseline planners and system models the paper compares against."""
+
+from .alltile import AllTilePlanner, plan_all_tile
+from .common import RulePlanner
+from .handwritten import HandWrittenPlanner, expert_format, plan_hand_written
+from .pytorch_sim import PyTorchResult, simulate_pytorch
+from .systemds_sim import SystemDSPlanner, plan_systemds, systemds_format
+from .users import (
+    EXPERTISE_LEVELS,
+    UserPlanner,
+    UserPlanResult,
+    plan_user_with_retry,
+)
+
+__all__ = [
+    "AllTilePlanner", "plan_all_tile",
+    "RulePlanner",
+    "HandWrittenPlanner", "expert_format", "plan_hand_written",
+    "PyTorchResult", "simulate_pytorch",
+    "SystemDSPlanner", "plan_systemds", "systemds_format",
+    "EXPERTISE_LEVELS", "UserPlanner", "UserPlanResult",
+    "plan_user_with_retry",
+]

@@ -1,0 +1,46 @@
+"""The "all-tile" baseline: tile everything with 1000 x 1000 chunks.
+
+The paper's third plan-quality baseline ("simply tile everything with
+1K x 1K matrices", Section 8.2).  Matrices that cannot be tiled (vectors,
+tiny matrices) fall back to single tuples; joins default to the generic
+shuffle implementations.
+"""
+
+from __future__ import annotations
+
+from ..core.formats import PhysicalFormat, single, tiles
+from ..core.registry import OptimizerContext
+from ..core.types import MatrixType
+from .common import RulePlanner, matches
+
+TILE = tiles(1000)
+SINGLE = single()
+
+
+def _desired(mtype: MatrixType) -> PhysicalFormat:
+    return TILE if TILE.admits(mtype) else SINGLE
+
+
+class AllTilePlanner(RulePlanner):
+    """Chunk every matrix into 1000 x 1000 tiles and use tile operators."""
+
+    name = "all_tile"
+
+    def preference(self, vertex, in_types, impl_name, in_fmts, out_fmt,
+                   ctx: OptimizerContext) -> float:
+        score = 0.0
+        for t, f in zip(in_types, in_fmts):
+            score += matches(f, _desired(t))
+        score += matches(out_fmt, _desired(vertex.mtype))
+        # Among equally tile-conformant patterns prefer the plain shuffle
+        # implementations (this baseline does not reason about join choice).
+        if impl_name in ("mm_tile_shuffle", "ew_blocked_add",
+                         "ew_blocked_sub", "ew_blocked_elem_mul",
+                         "ew_blocked_elem_div"):
+            score += 0.25
+        return score
+
+
+def plan_all_tile(graph, ctx: OptimizerContext):
+    """Convenience wrapper: annotate ``graph`` with the all-tile rules."""
+    return AllTilePlanner().plan(graph, ctx)

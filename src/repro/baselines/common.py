@@ -1,0 +1,100 @@
+"""Shared machinery for baseline (non-optimizing) planners.
+
+Baseline planners mimic how humans and heuristic systems pick physical
+designs: they walk the compute graph topologically and choose formats and
+implementations by *rules*, without the global cost-based search of the
+optimizer.  The resulting annotations are evaluated (and possibly found to
+run out of memory) by exactly the same machinery as optimized plans.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..core.annotation import Annotation, Plan, make_plan
+from ..core.formats import PhysicalFormat
+from ..core.graph import ComputeGraph, Vertex
+from ..core.registry import OptimizerContext
+from ..core.tree_dp import OptimizationError
+from ..core.types import MatrixType
+
+GiB = 1024**3
+
+
+class RulePlanner(ABC):
+    """A planner that picks each vertex's implementation by local rules.
+
+    Subclasses implement :meth:`preference`, scoring each accepted
+    (implementation, input-format, output-format) pattern; the planner picks
+    the best-scoring pattern that is reachable by single transformations
+    from the producers' already-chosen formats.  Scores are rule-based —
+    costs are *not* consulted, which is the point of these baselines.
+    """
+
+    #: Reported in plan listings and experiment tables.
+    name: str = "baseline"
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def preference(self, vertex: Vertex,
+                   in_types: tuple[MatrixType, ...],
+                   impl_name: str,
+                   in_fmts: tuple[PhysicalFormat, ...],
+                   out_fmt: PhysicalFormat,
+                   ctx: OptimizerContext) -> float:
+        """Score a candidate pattern; higher is preferred, -inf forbids."""
+
+    # ------------------------------------------------------------------
+    def plan(self, graph: ComputeGraph, ctx: OptimizerContext) -> Plan:
+        """Annotate ``graph`` by this planner's rules."""
+        annotation = Annotation()
+        formats: dict[int, PhysicalFormat] = {
+            v.vid: v.format for v in graph.sources}
+
+        for v in graph.inner_vertices:
+            in_types = tuple(graph.vertex(p).mtype for p in v.inputs)
+            edges = graph.in_edges(v.vid)
+            best = None
+            best_score = float("-inf")
+            # typed_patterns: rule planners pick by type compatibility only
+            # and may choose plans that later die at runtime, as humans do.
+            for impl, in_fmts, out_fmt, _cost in \
+                    ctx.typed_patterns(v.op, in_types):
+                transforms = []
+                reachable = True
+                for edge, need in zip(edges, in_fmts):
+                    producer = graph.vertex(edge.src)
+                    choice = ctx.transform_choice(
+                        producer.mtype, formats[edge.src], need)
+                    if choice is None:
+                        reachable = False
+                        break
+                    transforms.append((edge, choice[0], need))
+                if not reachable:
+                    continue
+                score = self.preference(v, in_types, impl.name, in_fmts,
+                                        out_fmt, ctx)
+                if score > best_score:
+                    best_score = score
+                    best = (impl, transforms, out_fmt)
+            if best is None or best_score == float("-inf"):
+                raise OptimizationError(
+                    f"{self.name}: no rule-admissible pattern at vertex "
+                    f"{v.name!r}")
+            impl, transforms, out_fmt = best
+            annotation.impls[v.vid] = impl
+            for edge, transform, need in transforms:
+                annotation.transforms[edge] = (transform, need)
+            formats[v.vid] = out_fmt
+
+        return make_plan(graph, annotation, ctx, self.name,
+                         allow_infeasible=True)
+
+
+def matches(fmt: PhysicalFormat, desired: PhysicalFormat) -> float:
+    """1.0 when formats match exactly, 0.5 for same layout family, else 0."""
+    if fmt == desired:
+        return 1.0
+    if fmt.layout is desired.layout:
+        return 0.5
+    return 0.0

@@ -1,0 +1,76 @@
+"""The hand-written expert baseline.
+
+Stands in for the SimSQL FFNN code "derived from the code used for a
+published paper [23]" (Jankov et al., VLDB 2019) and for the first author's
+hand-tuned plans in the inverse/chain experiments.  The rules encode what a
+distributed-ML-savvy programmer does:
+
+* small matrices live in a single tuple; tall/wide matrices in strips;
+  big square matrices in tiles — 1000 x 1000 normally, 2000 x 2000 when a
+  multiply touches a very large matrix (bigger tiles keep the number of
+  aggregated partial products manageable);
+* a multiply with a genuinely small side uses a broadcast join; everything
+  else uses the blocked shuffle multiply of the published code.
+
+Crucially — and this is the gap the paper exploits — the rules are *local*:
+they never weigh the cost of the format transformations they induce between
+consecutive operations, they never consider the pipelined strip-cross plans
+the optimizer discovers, and they do not adapt to the cluster size (which is
+why the plan collapses on small clusters, as in the paper's Fig 7).
+"""
+
+from __future__ import annotations
+
+from ..core.formats import PhysicalFormat, col_strips, row_strips, single, tiles
+from ..core.registry import OptimizerContext
+from ..core.types import MatrixType
+from .common import GiB, RulePlanner, matches
+
+SMALL_BYTES = 0.25 * GiB
+#: Above this size the expert switches a multiply to 2000 x 2000 tiles.
+HUGE_BYTES = 32 * GiB
+
+
+def expert_format(mtype: MatrixType) -> PhysicalFormat:
+    """The format an expert picks for a matrix in isolation."""
+    if mtype.dense_bytes <= SMALL_BYTES:
+        return single()
+    if mtype.rows >= 4 * mtype.cols:
+        return row_strips(1000)
+    if mtype.cols >= 4 * mtype.rows:
+        return col_strips(1000)
+    return tiles(1000)
+
+
+class HandWrittenPlanner(RulePlanner):
+    """Expert local rules, no transformation-cost awareness."""
+
+    name = "hand_written"
+
+    def preference(self, vertex, in_types, impl_name, in_fmts, out_fmt,
+                   ctx: OptimizerContext) -> float:
+        score = 0.0
+        for t, f in zip(in_types, in_fmts):
+            score += matches(f, expert_format(t))
+        score += matches(out_fmt, expert_format(vertex.mtype))
+
+        if vertex.op.name == "matmul":
+            small = min(t.dense_bytes for t in in_types)
+            big = max(max(t.dense_bytes for t in in_types),
+                      vertex.mtype.dense_bytes)
+            if impl_name in ("mm_bcast_left", "mm_bcast_right",
+                             "mm_csr_bcast_dense", "mm_local_single",
+                             "mm_sparse_local") and small <= SMALL_BYTES:
+                score += 2.0
+            elif impl_name in ("mm_tile_shuffle", "mm_tile_bcast"):
+                score += 0.5
+                if big >= HUGE_BYTES:
+                    # The expert's huge-multiply rule: larger tiles.
+                    score += sum(1.0 for f in in_fmts
+                                 if f.block_rows == 2000)
+        return score
+
+
+def plan_hand_written(graph, ctx: OptimizerContext):
+    """Convenience wrapper: annotate ``graph`` with the expert rules."""
+    return HandWrittenPlanner().plan(graph, ctx)

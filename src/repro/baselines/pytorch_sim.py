@@ -1,0 +1,91 @@
+"""PyTorch data-parallel execution model (paper Section 8.3).
+
+The paper compares against a "standard, data parallel implementation" of
+the FFNN: the input matrix is sharded by rows so each machine gets one
+shard, and the entire model is broadcast to every machine each step (the
+driver is the distribution bottleneck), with gradients gathered back.
+
+The model reproduces PyTorch's two observed behaviours:
+
+* broadcasting a huge model dominates, so adding workers does not help
+  (and can hurt) — Fig 11's times growing from 2 to 5 workers;
+* the dense input-times-W1 multiply OOMs for large hidden layers or large
+  batches — the "Fail" entries of Figs 11-12.  (PyTorch densifies the
+  one-hot/sparse input for this multiply.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cluster import ClusterConfig
+from ..workloads.ffnn import FFNNConfig
+
+#: Parameter copies resident per worker: weights + gradients (+ buffers).
+MODEL_RESIDENCY_FACTOR = 1.9
+#: Fraction of a worker's RAM usable for tensors (framework overhead).
+USABLE_RAM_FRACTION = 0.95
+#: Effective dense FLOPs per worker (fused MKL kernels).
+PYTORCH_WORKER_FLOPS = 7.5e11
+#: Fixed per-step framework overhead (dispatch, Python, synchronization).
+FRAMEWORK_OVERHEAD_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class PyTorchResult:
+    """Outcome of the modelled data-parallel run."""
+
+    ok: bool
+    seconds: float
+    failure: str | None = None
+
+    @property
+    def display(self) -> str:
+        if not self.ok:
+            return "Fail"
+        from ..engine.executor import format_hms
+        return format_hms(self.seconds)
+
+
+def model_bytes(cfg: FFNNConfig) -> float:
+    """Bytes of all parameters (dense doubles, as in the paper's setup)."""
+    params = (cfg.features * cfg.hidden + cfg.hidden * cfg.hidden
+              + cfg.hidden * cfg.labels
+              + 2 * cfg.hidden + cfg.labels)
+    return 8.0 * params
+
+
+def step_flops(cfg: FFNNConfig) -> float:
+    """Forward + backward FLOPs of one step (the usual 3x forward rule)."""
+    forward = 2.0 * cfg.batch * (cfg.features * cfg.hidden
+                                 + cfg.hidden * cfg.hidden
+                                 + cfg.hidden * cfg.labels)
+    return 3.0 * forward
+
+
+def simulate_pytorch(cfg: FFNNConfig, cluster: ClusterConfig) -> PyTorchResult:
+    """Model one training step of the data-parallel implementation."""
+    workers = cluster.num_workers
+    m_bytes = model_bytes(cfg)
+    shard_rows = math.ceil(cfg.batch / workers)
+    # PyTorch runs the first multiply dense regardless of input sparsity.
+    x_shard_bytes = 8.0 * shard_rows * cfg.features
+    act_bytes = 8.0 * shard_rows * (2 * cfg.hidden + cfg.labels) * 2.0
+
+    resident = (MODEL_RESIDENCY_FACTOR * m_bytes + x_shard_bytes + act_bytes)
+    budget = USABLE_RAM_FRACTION * cluster.ram_bytes
+    if resident > budget:
+        return PyTorchResult(
+            False, math.inf,
+            f"worker resident set {resident / 1024**3:.1f} GiB exceeds "
+            f"{budget / 1024**3:.1f} GiB")
+
+    # Tree-structured model broadcast + gradient reduction: the volume per
+    # link is ~2x the model and the tree depth grows with the worker count,
+    # which is why the paper observes PyTorch getting *slower* from 2 to 10
+    # workers for this very large model.
+    depth_factor = 1.0 + 0.5 * math.log2(max(2, workers))
+    comm = (2.0 * m_bytes / cluster.network_bytes_per_sec) * depth_factor
+    compute = step_flops(cfg) / workers / PYTORCH_WORKER_FLOPS
+    return PyTorchResult(True, comm + compute + FRAMEWORK_OVERHEAD_SECONDS)

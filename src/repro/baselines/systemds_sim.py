@@ -1,0 +1,77 @@
+"""SystemDS-like per-operator optimizer (paper Sections 8.3, 9).
+
+SystemDS (formerly SystemML) pioneered automatic format/operator selection,
+but — as the paper's related-work section stresses — it decides *per
+operator* (or per small fused group): fixed 1000 x 1000 dense blocks or a
+single driver-local matrix, CSR for sparse data, local vs. distributed by
+memory estimates.  It does not globally optimize layouts and does not cost
+the transformations between them.
+
+This baseline reproduces that design point on our catalog: a rule planner
+restricted to SystemDS's formats with its local/distributed/mapmm decision
+rules, planned greedily per vertex.
+"""
+
+from __future__ import annotations
+
+from ..core.formats import PhysicalFormat, csr_strips, single, tiles
+from ..core.registry import OptimizerContext
+from ..core.types import MatrixType
+from .common import GiB, RulePlanner, matches
+
+#: SystemDS control-program (driver) memory budget for local operations.
+DRIVER_BUDGET = 12 * GiB
+#: Sparsity below which SystemDS keeps data in sparse (CSR-ish) blocks.
+SPARSE_THRESHOLD = 0.4
+#: Broadcast-side limit for map-side multiplies (mapmm).
+MAPMM_LIMIT = 2 * GiB
+
+
+def systemds_format(mtype: MatrixType) -> PhysicalFormat:
+    """The format SystemDS would hold a matrix in."""
+    if mtype.sparsity < SPARSE_THRESHOLD:
+        fmt = csr_strips(1000)
+        if fmt.admits(mtype):
+            return fmt
+    if mtype.dense_bytes <= DRIVER_BUDGET / 3:
+        return single()
+    return tiles(1000)
+
+
+class SystemDSPlanner(RulePlanner):
+    """Per-operator SystemDS-style decisions on our catalog."""
+
+    name = "systemds"
+
+    def preference(self, vertex, in_types, impl_name, in_fmts, out_fmt,
+                   ctx: OptimizerContext) -> float:
+        score = 0.0
+        for t, f in zip(in_types, in_fmts):
+            score += matches(f, systemds_format(t))
+        score += matches(out_fmt, systemds_format(vertex.mtype))
+
+        total_bytes = sum(t.dense_bytes for t in in_types) \
+            + vertex.mtype.dense_bytes
+        if vertex.op.name == "matmul":
+            small = min(t.dense_bytes for t in in_types)
+            if total_bytes <= DRIVER_BUDGET and impl_name in (
+                    "mm_local_single", "mm_sparse_local"):
+                # CP (control program) local multiply.
+                score += 2.0
+            elif small <= MAPMM_LIMIT and impl_name in (
+                    "mm_bcast_left", "mm_bcast_right", "mm_csr_bcast_dense",
+                    "mm_tile_bcast"):
+                # Spark mapmm: broadcast the small side.
+                score += 1.5
+            elif impl_name == "mm_tile_shuffle":
+                # Spark RMM: replicated/shuffle block multiply.
+                score += 0.5
+        elif total_bytes <= DRIVER_BUDGET and in_fmts and \
+                all(f.is_single for f in in_fmts):
+            score += 1.0
+        return score
+
+
+def plan_systemds(graph, ctx: OptimizerContext):
+    """Convenience wrapper: annotate ``graph`` with SystemDS-style rules."""
+    return SystemDSPlanner().plan(graph, ctx)

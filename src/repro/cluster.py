@@ -1,0 +1,131 @@
+"""Cluster hardware model.
+
+The paper runs on Amazon EC2 ``r5d.2xlarge`` / ``r5dn.2xlarge`` machines
+(8 cores, 64–68 GB RAM, 10–25 Gbit networking).  This reproduction replaces
+the physical cluster with a parametric model of it: the optimizer's cost
+functions and the engine's simulated clock are both driven by a
+:class:`ClusterConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the (simulated) cluster.
+
+    The defaults model the paper's EC2 setup: 8-core workers with 64 GB of
+    RAM and ~10 Gbit/s of usable per-node network bandwidth.  Effective FLOP
+    rates are far below peak for a relational engine pushing tuples through
+    joins; 2 GFLOP/s-per-core is calibrated to land SimSQL-like runtimes.
+    """
+
+    num_workers: int = 10
+    cores_per_worker: int = 8
+    ram_bytes: float = 64 * 1024**3
+    flops_per_core: float = 2.0e9
+    network_bytes_per_sec: float = 1.0e9
+    memory_bytes_per_sec: float = 8.0e9
+    per_tuple_seconds: float = 2.0e-4
+    stage_latency_seconds: float = 0.5
+    disk_bytes: float = 300 * 1e9
+    # Optional accelerators (paper Sec. 4.2: implementations "running on
+    # CPU, or accelerators such as GPUs and FPGAs would typically be
+    # different", and a GPU implementation's type function returns ⊥ when
+    # the operation does not fit in GPU RAM).
+    gpus_per_worker: int = 0
+    gpu_ram_bytes: float = 16 * 1024**3
+    gpu_flops_per_sec: float = 5.0e12
+    pcie_bytes_per_sec: float = 1.2e10
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError("need at least one worker")
+        if self.cores_per_worker <= 0:
+            raise ValueError("need at least one core per worker")
+
+    @property
+    def total_cores(self) -> int:
+        """Total number of cores in the cluster."""
+        return self.num_workers * self.cores_per_worker
+
+    @property
+    def total_flops_per_sec(self) -> float:
+        """Aggregate effective floating-point throughput."""
+        return self.total_cores * self.flops_per_core
+
+    @property
+    def aggregate_network_bytes_per_sec(self) -> float:
+        """Aggregate cross-worker bandwidth (all links active)."""
+        return self.num_workers * self.network_bytes_per_sec
+
+    def with_workers(self, num_workers: int) -> "ClusterConfig":
+        """The same hardware with a different worker count."""
+        return replace(self, num_workers=num_workers)
+
+
+#: The paper's primary experimental setup: ten r5d.2xlarge workers.
+DEFAULT_CLUSTER = ClusterConfig()
+
+
+def simsql_cluster(num_workers: int = 10) -> ClusterConfig:
+    """The SimSQL profile (paper Sec. 8.2): r5d.2xlarge workers.
+
+    SimSQL is Hadoop-based, so per-stage and per-tuple overheads are high
+    relative to raw hardware capability.
+    """
+    return ClusterConfig(
+        num_workers=num_workers,
+        cores_per_worker=8,
+        ram_bytes=68 * 1024**3,
+        flops_per_core=6.0e9,
+        network_bytes_per_sec=1.0e9,
+        # Hadoop-era SimSQL spills intermediates through local disk.
+        memory_bytes_per_sec=2.5e8,
+        per_tuple_seconds=4.0e-4,
+        stage_latency_seconds=10.0,
+        disk_bytes=300 * 1e9,
+    )
+
+
+def pliny_cluster(num_workers: int = 10) -> ClusterConfig:
+    """The PlinyCompute profile (paper Sec. 8.3): r5dn.2xlarge workers.
+
+    PlinyCompute is a high-performance C++ engine on 25 Gbit networking:
+    far lower per-tuple and per-stage overheads than SimSQL.
+    """
+    return ClusterConfig(
+        num_workers=num_workers,
+        cores_per_worker=8,
+        ram_bytes=64 * 1024**3,
+        # Effective dense-kernel throughput of the C++ engine's workers.
+        flops_per_core=3.0e10,
+        network_bytes_per_sec=3.0e9,
+        memory_bytes_per_sec=5.0e8,
+        per_tuple_seconds=2.0e-5,
+        stage_latency_seconds=0.5,
+        disk_bytes=300 * 1e9,
+    )
+
+
+def systemds_cluster(num_workers: int = 10) -> ClusterConfig:
+    """A SystemDS-on-Spark profile (paper Sec. 8.3 comparisons).
+
+    Spark jobs carry per-stage scheduling latency that amortizes somewhat
+    with more executors; JVM block operations run well below native dense
+    throughput.
+    """
+    return ClusterConfig(
+        num_workers=num_workers,
+        cores_per_worker=8,
+        ram_bytes=64 * 1024**3,
+        # SystemDS links Intel MKL for local BLAS (paper Sec. 8.3).
+        flops_per_core=2.0e10,
+        network_bytes_per_sec=2.5e9,
+        memory_bytes_per_sec=2.0e9,
+        per_tuple_seconds=1.0e-4,
+        stage_latency_seconds=1.4 + 2.6 / num_workers,
+        disk_bytes=300 * 1e9,
+    )

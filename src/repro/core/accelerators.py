@@ -1,0 +1,135 @@
+"""GPU-accelerated operator implementations (paper Section 4.2).
+
+The paper notes that "the physical implementations running on CPU, or
+accelerators such as GPUs and FPGAs would typically be different", and that
+a GPU implementation's type-specification function "would return ⊥ if there
+was no enough GPU RAM to perform the operation".  This module implements
+that design point: an *optional* catalog extension of GPU implementations
+whose typing functions consult the cluster's accelerator description.
+
+The default 38-entry catalog is unchanged (the paper's prototype and all
+experiments are CPU-only); opt in with::
+
+    ctx = OptimizerContext(
+        cluster=ClusterConfig(gpus_per_worker=1),
+        implementations=DEFAULT_IMPLEMENTATIONS + gpu_implementations())
+"""
+
+from __future__ import annotations
+
+from ..cluster import ClusterConfig
+from ..cost.features import CostFeatures
+from .atoms import MATMUL
+from .formats import Layout, PhysicalFormat, tiles
+from .implementations import (
+    JoinStrategy,
+    OpImplementation,
+    _serialized,
+    _share,
+    _working_set,
+)
+
+
+def _gpu_available(cluster: ClusterConfig) -> bool:
+    return cluster.gpus_per_worker > 0
+
+
+class MMGpuSingle(OpImplementation):
+    """single x single multiply on one worker's GPU.
+
+    The paper's hardware-aware ⊥: rejected when the cluster has no GPUs or
+    when operands + result exceed GPU RAM.  Compute is fast; the PCIe
+    transfer of the operands is the real cost.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(MATMUL, "mm_gpu_single", JoinStrategy.LOCAL)
+
+    def output_format(self, in_types, in_formats, cluster):
+        lf, rf = in_formats
+        if not _gpu_available(cluster):
+            return None
+        if lf.layout is not Layout.SINGLE or rf.layout is not Layout.SINGLE:
+            return None
+        if not self._admitted(in_types, in_formats):
+            return None
+        ot = self._out_type(in_types)
+        resident = (in_types[0].dense_bytes + in_types[1].dense_bytes
+                    + ot.dense_bytes)
+        if resident > cluster.gpu_ram_bytes:
+            return None  # the paper's "no enough GPU RAM" ⊥
+        out = PhysicalFormat(Layout.SINGLE)
+        return out if out.admits(ot) else None
+
+    def features(self, in_types, in_formats, cluster):
+        lt, rt = in_types
+        ot = self._out_type(in_types)
+        flops = 2.0 * lt.rows * lt.cols * rt.cols
+        # Normalize GPU work into the model's CPU-FLOP scale.
+        speedup = cluster.gpu_flops_per_sec / \
+            (cluster.cores_per_worker * cluster.flops_per_core)
+        flops = _serialized(flops / max(speedup, 1.0), cluster, 1.0)
+        transfer = (lt.dense_bytes + rt.dense_bytes + ot.dense_bytes)
+        pcie_as_mem = transfer * (cluster.memory_bytes_per_sec
+                                  / cluster.pcie_bytes_per_sec)
+        return CostFeatures(
+            flops=flops,
+            network_bytes=min(lt.dense_bytes, rt.dense_bytes),
+            intermediate_bytes=pcie_as_mem, tuples=3.0,
+            output_bytes=ot.dense_bytes,
+            max_worker_bytes=transfer)
+
+
+class MMGpuTileBroadcast(OpImplementation):
+    """tile x tile multiply with the small side resident in every worker's
+    GPU; the big side's tiles stream over PCIe."""
+
+    def __init__(self) -> None:
+        super().__init__(MATMUL, "mm_gpu_tile_bcast", JoinStrategy.BROADCAST)
+
+    def _small_bytes(self, in_types, in_formats) -> float:
+        return min(in_formats[0].stored_bytes(in_types[0]),
+                   in_formats[1].stored_bytes(in_types[1]))
+
+    def output_format(self, in_types, in_formats, cluster):
+        lf, rf = in_formats
+        if not _gpu_available(cluster):
+            return None
+        if lf.layout is not Layout.TILE or rf.layout is not Layout.TILE:
+            return None
+        if not self._admitted(in_types, in_formats):
+            return None
+        if lf.block_cols != rf.block_rows:
+            return None
+        small = self._small_bytes(in_types, in_formats)
+        if small > 0.5 * cluster.gpu_ram_bytes:
+            return None
+        out = tiles(lf.block_rows, rf.block_cols)
+        return out if out.admits(self._out_type(in_types)) else None
+
+    def features(self, in_types, in_formats, cluster):
+        lt, rt = in_types
+        lf, rf = in_formats
+        ot = self._out_type(in_types)
+        small = self._small_bytes(in_types, in_formats)
+        big = max(lf.stored_bytes(lt), rf.stored_bytes(rt))
+        speedup = cluster.gpu_flops_per_sec / \
+            (cluster.cores_per_worker * cluster.flops_per_core)
+        flops = 2.0 * lt.rows * lt.cols * rt.cols / max(speedup, 1.0)
+        transfer = big + ot.dense_bytes
+        pcie_as_mem = transfer * (cluster.memory_bytes_per_sec
+                                  / cluster.pcie_bytes_per_sec)
+        net = small * cluster.num_workers + ot.dense_bytes
+        return CostFeatures(
+            flops=flops, network_bytes=net,
+            intermediate_bytes=pcie_as_mem + small + big,
+            tuples=lf.tuple_count(lt) + rf.tuple_count(rt)
+            + ot.entries / (lf.block_rows * rf.block_cols),
+            output_bytes=ot.dense_bytes,
+            max_worker_bytes=small + _working_set(in_types, in_formats),
+            spill_bytes=_share(big + ot.dense_bytes, cluster))
+
+
+def gpu_implementations() -> tuple[OpImplementation, ...]:
+    """The optional GPU catalog extension."""
+    return (MMGpuSingle(), MMGpuTileBroadcast())

@@ -1,0 +1,186 @@
+"""Annotated compute graphs (paper Sections 4.2–4.3).
+
+An annotation labels every inner vertex with an atomic computation
+implementation and every edge with a physical matrix transformation; this
+implicitly assigns each vertex an output physical format ``v.p``.  The cost
+of an annotated graph is the sum of all vertex (implementation) costs and
+all edge (transformation) costs.
+
+:func:`evaluate` is the single source of truth for both *type-correctness*
+and *cost*: every optimizer's result is re-checked through it, and tests
+compare optimizer outputs via it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cost.features import CostFeatures, ZERO_FEATURES
+from .formats import PhysicalFormat
+from .graph import ComputeGraph, Edge, GraphError, VertexId
+from .implementations import OpImplementation
+from .registry import OptimizerContext
+from .transforms import FormatTransform
+
+
+@dataclass
+class Annotation:
+    """Choices for one compute graph: the paper's annotated graph ``G'``."""
+
+    #: Implementation for each inner vertex (``v.i``).
+    impls: dict[VertexId, OpImplementation] = field(default_factory=dict)
+    #: Transformation and its destination format for each edge (``e.t``).
+    transforms: dict[Edge, tuple[FormatTransform, PhysicalFormat]] = (
+        field(default_factory=dict))
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Cost breakdown of an annotated graph."""
+
+    total_seconds: float
+    vertex_seconds: dict[VertexId, float]
+    edge_seconds: dict[Edge, float]
+    vertex_formats: dict[VertexId, PhysicalFormat]
+    features: CostFeatures
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(self.vertex_seconds.values())
+
+    @property
+    def transform_seconds(self) -> float:
+        return sum(self.edge_seconds.values())
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An optimized (or baseline-planned) computation, ready to execute."""
+
+    graph: ComputeGraph
+    annotation: Annotation
+    cost: PlanCost
+    optimizer: str
+    optimize_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Predicted (simulated) running time of the plan."""
+        return self.cost.total_seconds
+
+    def format_of(self, vid: VertexId) -> PhysicalFormat:
+        return self.cost.vertex_formats[vid]
+
+    def describe(self) -> str:
+        """Human-readable per-vertex plan listing."""
+        lines = [f"plan by {self.optimizer}: "
+                 f"{self.cost.total_seconds:.2f} simulated seconds"]
+        for v in self.graph.vertices:
+            fmt = self.cost.vertex_formats[v.vid]
+            if v.is_source:
+                lines.append(f"  [{v.vid}] {v.name}: input @ {fmt}")
+                continue
+            impl = self.annotation.impls[v.vid]
+            secs = self.cost.vertex_seconds[v.vid]
+            parts = []
+            for e in self.graph.in_edges(v.vid):
+                transform, dst = self.annotation.transforms[e]
+                if transform.name != "identity":
+                    parts.append(f"{transform.name}->{dst}")
+            note = f" [{', '.join(parts)}]" if parts else ""
+            lines.append(f"  [{v.vid}] {v.name}: {impl.name} -> {fmt}"
+                         f" ({secs:.2f}s){note}")
+        return "\n".join(lines)
+
+
+class AnnotationError(GraphError):
+    """Raised when an annotation is not type-correct for its graph."""
+
+
+def evaluate(graph: ComputeGraph, annotation: Annotation,
+             ctx: OptimizerContext, allow_infeasible: bool = False) -> PlanCost:
+    """Verify type-correctness of ``annotation`` and compute ``Cost(G')``.
+
+    Implements the checks of paper Section 4.2 and the cost definition of
+    Section 4.3: each vertex's implementation must implement its atomic
+    computation and accept the (transformed) input formats; each edge's
+    transformation must apply to the producer's stored format.
+
+    With ``allow_infeasible=True``, stages that exceed worker memory are
+    costed at infinity instead of raising — used for baseline plans that a
+    human would submit and the engine would crash on (the paper's "Fail").
+    """
+    formats: dict[VertexId, PhysicalFormat] = {}
+    vertex_seconds: dict[VertexId, float] = {}
+    edge_seconds: dict[Edge, float] = {}
+    features = ZERO_FEATURES
+
+    for vid in graph.topological_order():
+        v = graph.vertex(vid)
+        if v.is_source:
+            formats[vid] = v.format
+            vertex_seconds[vid] = 0.0
+            continue
+
+        impl = annotation.impls.get(vid)
+        if impl is None:
+            raise AnnotationError(f"vertex {v.name!r} has no implementation")
+        if impl.op != v.op:
+            raise AnnotationError(
+                f"vertex {v.name!r} is a {v.op.name} but is annotated with "
+                f"an implementation of {impl.op.name}")
+
+        transformed: list[PhysicalFormat] = []
+        in_types = []
+        for edge in graph.in_edges(vid):
+            producer = graph.vertex(edge.src)
+            chosen = annotation.transforms.get(edge)
+            if chosen is None:
+                raise AnnotationError(
+                    f"edge {producer.name!r}->{v.name!r} has no transformation")
+            transform, dst = chosen
+            src_fmt = formats[edge.src]
+            if not transform.can_convert(producer.mtype, src_fmt, dst):
+                raise AnnotationError(
+                    f"edge {producer.name!r}->{v.name!r}: {transform.name} "
+                    f"cannot convert {src_fmt} to {dst}")
+            t_feats = transform.features(producer.mtype, src_fmt, dst,
+                                         ctx.cluster)
+            t_cost = ctx.cost_model.seconds(t_feats)
+            if t_cost == float("inf") and not allow_infeasible:
+                raise AnnotationError(
+                    f"edge {producer.name!r}->{v.name!r}: transformation "
+                    f"{transform.name} does not fit in worker memory")
+            edge_seconds[edge] = t_cost
+            features = features + t_feats
+            transformed.append(dst)
+            in_types.append(producer.mtype)
+
+        out_fmt = impl.output_format(tuple(in_types), tuple(transformed),
+                                     ctx.cluster)
+        if out_fmt is None:
+            raise AnnotationError(
+                f"vertex {v.name!r}: {impl.name} rejects input formats "
+                f"{[str(f) for f in transformed]} (v.p would be ⊥)")
+        i_feats = impl.features(tuple(in_types), tuple(transformed),
+                                ctx.cluster)
+        i_cost = ctx.cost_model.seconds(i_feats)
+        if i_cost == float("inf") and not allow_infeasible:
+            raise AnnotationError(
+                f"vertex {v.name!r}: {impl.name} does not fit in worker "
+                "memory for these formats")
+        formats[vid] = out_fmt
+        vertex_seconds[vid] = i_cost
+        features = features + i_feats
+
+    total = sum(vertex_seconds.values()) + sum(edge_seconds.values())
+    return PlanCost(total, vertex_seconds, edge_seconds, formats, features)
+
+
+def make_plan(graph: ComputeGraph, annotation: Annotation,
+              ctx: OptimizerContext, optimizer: str,
+              optimize_seconds: float = 0.0,
+              allow_infeasible: bool = False) -> Plan:
+    """Evaluate an annotation and wrap it into a :class:`Plan`."""
+    cost = evaluate(graph, annotation, ctx, allow_infeasible=allow_infeasible)
+    return Plan(graph, annotation, cost, optimizer, optimize_seconds)

@@ -1,0 +1,154 @@
+"""Atomic computations (the set :math:`\\mathcal{A}` of the paper).
+
+An atomic computation is an abstract operation such as "matrix multiply",
+with an input arity ``n`` and a type-specification function
+``f : M^n -> M ∪ {⊥}`` (paper Section 3).  Here ``None`` plays the role of
+:math:`\\bot`: the operation cannot accept the given input types.
+
+The default catalog :data:`DEFAULT_ATOMS` contains 16 operations, matching
+the paper's prototype inventory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .types import (
+    MatrixType,
+    intersect_sparsity,
+    matmul_sparsity,
+    union_sparsity,
+)
+
+TypeFn = Callable[..., MatrixType | None]
+
+
+@dataclass(frozen=True)
+class AtomicOp:
+    """An abstract matrix operation: name, arity and type function."""
+
+    name: str
+    arity: int
+    _type_fn: TypeFn
+
+    def out_type(self, *in_types: MatrixType) -> MatrixType | None:
+        """The paper's ``a.f``: output type, or None (⊥) if inapplicable."""
+        if len(in_types) != self.arity:
+            return None
+        if any(t.ndim > 2 for t in in_types):
+            return None
+        return self._type_fn(*in_types)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+# ----------------------------------------------------------------------
+# Type functions
+# ----------------------------------------------------------------------
+def _matmul_type(lhs: MatrixType, rhs: MatrixType) -> MatrixType | None:
+    if lhs.cols != rhs.rows:
+        return None
+    return MatrixType((lhs.rows, rhs.cols), matmul_sparsity(lhs, rhs))
+
+
+def _same_shape(lhs: MatrixType, rhs: MatrixType) -> bool:
+    return (lhs.rows, lhs.cols) == (rhs.rows, rhs.cols)
+
+
+def _add_type(lhs: MatrixType, rhs: MatrixType) -> MatrixType | None:
+    if not _same_shape(lhs, rhs):
+        return None
+    return MatrixType((lhs.rows, lhs.cols),
+                      union_sparsity(lhs.sparsity, rhs.sparsity))
+
+
+def _hadamard_type(lhs: MatrixType, rhs: MatrixType) -> MatrixType | None:
+    if not _same_shape(lhs, rhs):
+        return None
+    return MatrixType((lhs.rows, lhs.cols),
+                      intersect_sparsity(lhs.sparsity, rhs.sparsity))
+
+
+def _div_type(lhs: MatrixType, rhs: MatrixType) -> MatrixType | None:
+    if not _same_shape(lhs, rhs):
+        return None
+    return MatrixType((lhs.rows, lhs.cols), lhs.sparsity)
+
+
+def _keep_shape_sparsity(x: MatrixType) -> MatrixType:
+    return MatrixType((x.rows, x.cols), x.sparsity)
+
+
+def _densify(x: MatrixType) -> MatrixType:
+    return MatrixType((x.rows, x.cols), 1.0)
+
+
+def _transpose_type(x: MatrixType) -> MatrixType:
+    return MatrixType((x.cols, x.rows), x.sparsity)
+
+
+def _row_sums_type(x: MatrixType) -> MatrixType:
+    return MatrixType((x.rows, 1), min(1.0, x.sparsity * x.cols))
+
+
+def _col_sums_type(x: MatrixType) -> MatrixType:
+    return MatrixType((1, x.cols), min(1.0, x.sparsity * x.rows))
+
+
+def _inverse_type(x: MatrixType) -> MatrixType | None:
+    if x.rows != x.cols:
+        return None
+    return MatrixType((x.rows, x.cols), 1.0)
+
+
+def _add_bias_type(x: MatrixType, bias: MatrixType) -> MatrixType | None:
+    # Broadcast add of a 1 x cols row vector to every row of x.
+    if bias.rows != 1 or bias.cols != x.cols:
+        return None
+    return MatrixType((x.rows, x.cols),
+                      union_sparsity(x.sparsity, bias.sparsity))
+
+
+# ----------------------------------------------------------------------
+# The catalog
+# ----------------------------------------------------------------------
+MATMUL = AtomicOp("matmul", 2, _matmul_type)
+ADD = AtomicOp("add", 2, _add_type)
+SUB = AtomicOp("sub", 2, _add_type)
+ELEM_MUL = AtomicOp("elem_mul", 2, _hadamard_type)
+ELEM_DIV = AtomicOp("elem_div", 2, _div_type)
+SCALAR_MUL = AtomicOp("scalar_mul", 1, _keep_shape_sparsity)
+TRANSPOSE = AtomicOp("transpose", 1, _transpose_type)
+RELU = AtomicOp("relu", 1, _keep_shape_sparsity)
+RELU_GRAD = AtomicOp("relu_grad", 1, _keep_shape_sparsity)
+SIGMOID = AtomicOp("sigmoid", 1, _densify)
+SOFTMAX = AtomicOp("softmax", 1, _densify)
+EXP = AtomicOp("exp", 1, _densify)
+ROW_SUMS = AtomicOp("row_sums", 1, _row_sums_type)
+COL_SUMS = AtomicOp("col_sums", 1, _col_sums_type)
+INVERSE = AtomicOp("inverse", 1, _inverse_type)
+ADD_BIAS = AtomicOp("add_bias", 2, _add_bias_type)
+
+#: The 16-operation default catalog ("16 different atomic computations",
+#: paper Section 8.1).
+DEFAULT_ATOMS: tuple[AtomicOp, ...] = (
+    MATMUL, ADD, SUB, ELEM_MUL, ELEM_DIV, SCALAR_MUL, TRANSPOSE,
+    RELU, RELU_GRAD, SIGMOID, SOFTMAX, EXP, ROW_SUMS, COL_SUMS,
+    INVERSE, ADD_BIAS,
+)
+
+#: Element-wise unary maps share implementation machinery.
+UNARY_MAPS: tuple[AtomicOp, ...] = (SCALAR_MUL, RELU, RELU_GRAD, SIGMOID, EXP)
+
+#: Element-wise binary ops share implementation machinery.
+BINARY_ELEMENTWISE: tuple[AtomicOp, ...] = (ADD, SUB, ELEM_MUL, ELEM_DIV)
+
+
+def atom_by_name(name: str) -> AtomicOp:
+    """Look up a catalog operation by name."""
+    for op in DEFAULT_ATOMS:
+        if op.name == name:
+            return op
+    raise KeyError(f"unknown atomic computation: {name!r}")

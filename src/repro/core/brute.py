@@ -1,0 +1,103 @@
+"""Brute-force optimization (paper Section 4.3, Algorithm 2).
+
+Recursively enumerates, for every inner vertex, every implementation and
+every accepted input-format pattern, with branch-and-bound pruning against
+the best complete annotation found so far (the paper's ``lo``).  Exponential
+in |V|; used as the optimality oracle in tests and as the baseline in the
+Fig 13 optimizer-runtime experiment, where it is expected to time out on all
+but the smallest graphs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .annotation import Annotation, Plan, make_plan
+from .formats import PhysicalFormat
+from .graph import ComputeGraph, VertexId
+from .registry import OptimizerContext
+from .tree_dp import OptimizationError
+
+
+class BruteForceTimeout(TimeoutError):
+    """Raised when brute-force search exceeds its time budget."""
+
+
+def optimize_brute(graph: ComputeGraph, ctx: OptimizerContext,
+                   timeout_seconds: float | None = None) -> Plan:
+    """Exhaustively find the optimal annotation of ``graph``.
+
+    Raises :class:`BruteForceTimeout` when ``timeout_seconds`` elapses, and
+    :class:`OptimizationError` when no type-correct annotation exists.
+    """
+    started = time.perf_counter()
+    deadline = None if timeout_seconds is None else started + timeout_seconds
+
+    order = [v.vid for v in graph.inner_vertices]
+    formats: dict[VertexId, PhysicalFormat] = {
+        v.vid: v.format for v in graph.sources}
+
+    # Pre-compute the (impl, pattern) menu for every inner vertex.
+    menus = {}
+    for vid in order:
+        v = graph.vertex(vid)
+        in_types = tuple(graph.vertex(p).mtype for p in v.inputs)
+        menus[vid] = ctx.accepted_patterns(v.op, in_types)
+        if not menus[vid]:
+            raise OptimizationError(
+                f"no implementation accepts any formats at vertex {v.name!r}")
+
+    best_cost = float("inf")
+    best: Annotation | None = None
+    state = Annotation()
+
+    def recurse(depth: int, cost_so_far: float) -> None:
+        nonlocal best_cost, best
+        if deadline is not None and time.perf_counter() > deadline:
+            raise BruteForceTimeout(
+                f"brute force exceeded {timeout_seconds:.0f}s "
+                f"on a {len(graph)}-vertex graph")
+        if cost_so_far >= best_cost:
+            return
+        if depth == len(order):
+            best_cost = cost_so_far
+            best = Annotation(dict(state.impls), dict(state.transforms))
+            return
+
+        vid = order[depth]
+        v = graph.vertex(vid)
+        edges = graph.in_edges(vid)
+        for impl, in_fmts, out_fmt, impl_cost in menus[vid]:
+            cost = cost_so_far + impl_cost
+            if cost >= best_cost:
+                continue
+            transforms = []
+            feasible = True
+            for edge, need in zip(edges, in_fmts):
+                producer = graph.vertex(edge.src)
+                t_cost = ctx.search_transform_cost(
+                    producer.mtype, formats[edge.src], need)
+                if t_cost is None:
+                    feasible = False
+                    break
+                cost += t_cost
+                choice = ctx.transform_choice(
+                    producer.mtype, formats[edge.src], need)
+                transforms.append((edge, choice[0], need))
+            if not feasible or cost >= best_cost:
+                continue
+
+            state.impls[vid] = impl
+            for edge, transform, need in transforms:
+                state.transforms[edge] = (transform, need)
+            formats[vid] = out_fmt
+            recurse(depth + 1, cost)
+            del formats[vid]
+
+        state.impls.pop(vid, None)
+
+    recurse(0, 0.0)
+    if best is None:
+        raise OptimizationError("no type-correct annotation exists")
+    elapsed = time.perf_counter() - started
+    return make_plan(graph, best, ctx, "brute", elapsed)

@@ -1,0 +1,99 @@
+"""EXPLAIN for annotated plans: per-stage cost breakdowns.
+
+Renders an optimized plan the way a database EXPLAIN would — one row per
+execution stage (every operator implementation and every non-identity
+transformation) with the cost model's feature estimates, plus totals and
+the dominant stages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .annotation import Plan
+from .registry import OptimizerContext
+
+
+@dataclass(frozen=True)
+class StageExplain:
+    """One EXPLAIN row."""
+
+    kind: str             # "op" or "transform"
+    vertex: str
+    detail: str           # implementation / transformation name
+    output_format: str
+    seconds: float
+    flops: float
+    network_bytes: float
+    intermediate_bytes: float
+    tuples: float
+
+
+def explain_stages(plan: Plan, ctx: OptimizerContext) -> list[StageExplain]:
+    """Per-stage breakdown of a plan, in execution order."""
+    graph = plan.graph
+    rows: list[StageExplain] = []
+    for vid in graph.topological_order():
+        v = graph.vertex(vid)
+        if v.is_source:
+            continue
+        for edge in graph.in_edges(vid):
+            transform, dst = plan.annotation.transforms[edge]
+            if transform.name == "identity":
+                continue
+            producer = graph.vertex(edge.src)
+            src_fmt = plan.cost.vertex_formats[edge.src]
+            feats = transform.features(producer.mtype, src_fmt, dst,
+                                       ctx.cluster)
+            rows.append(StageExplain(
+                "transform", f"{producer.name}->{v.name}", transform.name,
+                str(dst), plan.cost.edge_seconds[edge], feats.flops,
+                feats.network_bytes, feats.intermediate_bytes, feats.tuples))
+        impl = plan.annotation.impls[vid]
+        in_types = tuple(graph.vertex(p).mtype for p in v.inputs)
+        in_formats = tuple(plan.annotation.transforms[e][1]
+                           for e in graph.in_edges(vid))
+        feats = impl.features(in_types, in_formats, ctx.cluster)
+        rows.append(StageExplain(
+            "op", v.name, impl.name,
+            str(plan.cost.vertex_formats[vid]),
+            plan.cost.vertex_seconds[vid], feats.flops,
+            feats.network_bytes, feats.intermediate_bytes, feats.tuples))
+    return rows
+
+
+def explain(plan: Plan, ctx: OptimizerContext, top: int = 5) -> str:
+    """Render an EXPLAIN report for a plan."""
+    rows = explain_stages(plan, ctx)
+    header = (f"{'stage':34s} {'impl/transform':24s} {'out format':18s} "
+              f"{'seconds':>9s} {'GFLOP':>8s} {'net MB':>9s} {'tuples':>9s}")
+    lines = [f"EXPLAIN plan ({plan.optimizer}, "
+             f"{_fmt_secs(plan.total_seconds)} predicted)", header,
+             "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.vertex:34.34s} {r.detail:24.24s} {r.output_format:18.18s} "
+            f"{_fmt_secs(r.seconds):>9s} {r.flops / 1e9:8.1f} "
+            f"{r.network_bytes / 1e6:9.1f} {r.tuples:9.0f}")
+    lines.append("-" * len(header))
+    transform_secs = plan.cost.transform_seconds
+    lines.append(
+        f"total {_fmt_secs(plan.total_seconds)}  "
+        f"(operators {_fmt_secs(plan.cost.compute_seconds)}, "
+        f"transformations {_fmt_secs(transform_secs)})")
+    dominant = sorted(rows, key=lambda r: r.seconds, reverse=True)[:top]
+    lines.append("dominant stages:")
+    for r in dominant:
+        share = (r.seconds / plan.total_seconds
+                 if plan.total_seconds > 0 else 0.0)
+        lines.append(f"  {share:6.1%}  {r.vertex} [{r.detail}]")
+    return "\n".join(lines)
+
+
+def _fmt_secs(seconds: float) -> str:
+    if math.isinf(seconds):
+        return "Fail"
+    if seconds >= 100:
+        return f"{seconds:.0f}s"
+    return f"{seconds:.2f}s"

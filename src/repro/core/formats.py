@@ -1,0 +1,323 @@
+"""Physical matrix implementations (the set :math:`\\mathcal{P}` of the paper).
+
+A physical matrix implementation is a storage specification such as "single
+tuple", "tile-based with 1000 by 1000 tiles", or "row strips of height 50"
+(paper Section 3).  Each format knows
+
+* whether it *admits* a given :class:`~repro.core.types.MatrixType`
+  (the paper's ``p.f : M -> {true, false}``) — e.g. a 40 GB matrix cannot be
+  stored as a single tuple;
+* how many tuples (blocks) it decomposes the matrix into, and how large each
+  tuple payload is — the quantities the cost model is built on.
+
+The default catalog :data:`DEFAULT_FORMATS` contains 19 formats, matching the
+paper's prototype inventory.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from .types import ENTRY_BYTES, SPARSE_ENTRY_BYTES, MatrixType
+
+#: Upper bound on the payload of one tuple.  SimSQL/PlinyCompute tuples live
+#: in worker RAM during joins; the paper notes a single tuple cannot hold a
+#: 40 GB matrix.  4 GB per tuple is a generous but finite bound.
+MAX_TUPLE_BYTES = 4 * 1024**3
+
+#: Sparse formats are pointless (and are never produced by the engine) for
+#: data that is essentially fully dense.
+SPARSE_ADMIT_THRESHOLD = 0.6
+
+
+class Layout(enum.Enum):
+    """Families of physical layouts supported by the engine."""
+
+    SINGLE = "single"            # whole matrix in one tuple, dense
+    ROW_STRIP = "row_strip"      # horizontal strips of fixed height, dense
+    COL_STRIP = "col_strip"      # vertical strips of fixed width, dense
+    TILE = "tile"                # square tiles, dense
+    COO = "coo"                  # relational (row, col, value) triples
+    CSR_STRIP = "csr_strip"      # horizontal strips, CSR-encoded
+    CSC_STRIP = "csc_strip"      # vertical strips, CSC-encoded
+    SPARSE_TILE = "sparse_tile"  # square tiles, CSR-encoded per tile
+    SPARSE_SINGLE = "sparse_single"  # whole matrix in one tuple, CSR
+
+
+#: Layouts that store only non-zero entries.
+SPARSE_LAYOUTS = frozenset(
+    {Layout.COO, Layout.CSR_STRIP, Layout.CSC_STRIP, Layout.SPARSE_TILE,
+     Layout.SPARSE_SINGLE}
+)
+
+
+@dataclass(frozen=True)
+class PhysicalFormat:
+    """One concrete physical matrix implementation.
+
+    ``block_rows`` / ``block_cols`` give the block extents where meaningful:
+    strips use one of them, tiles use both, single/COO use neither.
+    """
+
+    layout: Layout
+    block_rows: int | None = None
+    block_cols: int | None = None
+
+    def __post_init__(self) -> None:
+        needs_rows = self.layout in (
+            Layout.ROW_STRIP, Layout.CSR_STRIP, Layout.TILE, Layout.SPARSE_TILE
+        )
+        needs_cols = self.layout in (
+            Layout.COL_STRIP, Layout.CSC_STRIP, Layout.TILE, Layout.SPARSE_TILE
+        )
+        if needs_rows and (self.block_rows is None or self.block_rows <= 0):
+            raise ValueError(f"{self.layout} needs positive block_rows")
+        if needs_cols and (self.block_cols is None or self.block_cols <= 0):
+            raise ValueError(f"{self.layout} needs positive block_cols")
+        if not needs_rows and self.block_rows is not None:
+            raise ValueError(f"{self.layout} takes no block_rows")
+        if not needs_cols and self.block_cols is not None:
+            raise ValueError(f"{self.layout} takes no block_cols")
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_sparse(self) -> bool:
+        """True when the format stores only non-zero entries."""
+        return self.layout in SPARSE_LAYOUTS
+
+    @property
+    def is_single(self) -> bool:
+        """True when the whole matrix lives in one tuple."""
+        return self.layout in (Layout.SINGLE, Layout.SPARSE_SINGLE)
+
+    @property
+    def is_row_partitioned(self) -> bool:
+        """True for horizontal-strip layouts."""
+        return self.layout in (Layout.ROW_STRIP, Layout.CSR_STRIP)
+
+    @property
+    def is_col_partitioned(self) -> bool:
+        """True for vertical-strip layouts."""
+        return self.layout in (Layout.COL_STRIP, Layout.CSC_STRIP)
+
+    @property
+    def is_tiled(self) -> bool:
+        """True for square-tile layouts."""
+        return self.layout in (Layout.TILE, Layout.SPARSE_TILE)
+
+    @property
+    def dense_family(self) -> Layout:
+        """The dense layout with the same partitioning scheme."""
+        return {
+            Layout.SINGLE: Layout.SINGLE,
+            Layout.ROW_STRIP: Layout.ROW_STRIP,
+            Layout.COL_STRIP: Layout.COL_STRIP,
+            Layout.TILE: Layout.TILE,
+            Layout.COO: Layout.TILE,
+            Layout.CSR_STRIP: Layout.ROW_STRIP,
+            Layout.CSC_STRIP: Layout.COL_STRIP,
+            Layout.SPARSE_TILE: Layout.TILE,
+            Layout.SPARSE_SINGLE: Layout.SINGLE,
+        }[self.layout]
+
+    # ------------------------------------------------------------------
+    # Block grid
+    # ------------------------------------------------------------------
+    def grid(self, mtype: MatrixType) -> tuple[int, int]:
+        """Number of blocks along (rows, cols) for ``mtype``.
+
+        The last strip/tile in each direction may be ragged (smaller than the
+        nominal block size); the engine handles ragged blocks natively.
+        """
+        rows, cols = mtype.rows, mtype.cols
+        if self.is_single:
+            return (1, 1)
+        if self.layout is Layout.COO:
+            # Modelled as one logical partition per ~1M non-zeros, at least 1.
+            parts = max(1, math.ceil(mtype.nnz / 1_000_000))
+            return (parts, 1)
+        br = self.block_rows if self.block_rows else rows
+        bc = self.block_cols if self.block_cols else cols
+        if self.is_row_partitioned:
+            return (math.ceil(rows / br), 1)
+        if self.is_col_partitioned:
+            return (1, math.ceil(cols / bc))
+        return (math.ceil(rows / br), math.ceil(cols / bc))
+
+    def tuple_count(self, mtype: MatrixType) -> int:
+        """Number of tuples the matrix decomposes into under this format."""
+        gr, gc = self.grid(mtype)
+        return gr * gc
+
+    def block_shape(self, mtype: MatrixType, row: int, col: int) -> tuple[int, int]:
+        """Shape of the block at grid position ``(row, col)``."""
+        gr, gc = self.grid(mtype)
+        if not (0 <= row < gr and 0 <= col < gc):
+            raise IndexError(f"block ({row}, {col}) outside grid ({gr}, {gc})")
+        rows, cols = mtype.rows, mtype.cols
+        if self.layout is Layout.COO:
+            return (rows, cols)
+        br = self.block_rows if (self.is_row_partitioned or self.is_tiled) else rows
+        bc = self.block_cols if (self.is_col_partitioned or self.is_tiled) else cols
+        br = br or rows
+        bc = bc or cols
+        r0, c0 = row * br, col * bc
+        return (min(br, rows - r0), min(bc, cols - c0))
+
+    # ------------------------------------------------------------------
+    # Storage sizes
+    # ------------------------------------------------------------------
+    def stored_bytes(self, mtype: MatrixType) -> float:
+        """Total payload bytes used to store ``mtype`` in this format."""
+        if self.is_sparse:
+            return max(mtype.nnz * SPARSE_ENTRY_BYTES, SPARSE_ENTRY_BYTES)
+        return mtype.entries * ENTRY_BYTES
+
+    def max_tuple_bytes(self, mtype: MatrixType) -> float:
+        """Payload bytes of the largest single tuple."""
+        if self.layout is Layout.COO:
+            return self.stored_bytes(mtype) / self.tuple_count(mtype)
+        shape = self.block_shape(mtype, 0, 0)
+        entries = shape[0] * shape[1]
+        if self.is_sparse:
+            return max(entries * mtype.sparsity * SPARSE_ENTRY_BYTES,
+                       SPARSE_ENTRY_BYTES)
+        return entries * ENTRY_BYTES
+
+    # ------------------------------------------------------------------
+    # Admission: the paper's p.f(m)
+    # ------------------------------------------------------------------
+    def admits(self, mtype: MatrixType) -> bool:
+        """Whether this format can implement the given matrix type."""
+        if mtype.ndim > 2:
+            return False
+        if self.is_sparse and mtype.sparsity > SPARSE_ADMIT_THRESHOLD:
+            return False
+        if self.is_row_partitioned and self.block_rows and \
+                self.block_rows > mtype.rows:
+            return False
+        if self.is_col_partitioned and self.block_cols and \
+                self.block_cols > mtype.cols:
+            return False
+        if self.is_tiled and (self.block_rows > mtype.rows
+                              or self.block_cols > mtype.cols):
+            return False
+        if self.max_tuple_bytes(mtype) > MAX_TUPLE_BYTES:
+            return False
+        # Guard against absurd tuple counts (per-tuple overhead dominates).
+        if self.tuple_count(mtype) > 4_000_000:
+            return False
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_single or self.layout is Layout.COO:
+            return self.layout.value
+        if self.is_row_partitioned:
+            return f"{self.layout.value}[{self.block_rows}]"
+        if self.is_col_partitioned:
+            return f"{self.layout.value}[{self.block_cols}]"
+        return f"{self.layout.value}[{self.block_rows}x{self.block_cols}]"
+
+
+# ----------------------------------------------------------------------
+# Concrete constructors
+# ----------------------------------------------------------------------
+def single() -> PhysicalFormat:
+    """Whole dense matrix in one tuple."""
+    return PhysicalFormat(Layout.SINGLE)
+
+
+def row_strips(height: int) -> PhysicalFormat:
+    """Dense horizontal strips of the given height."""
+    return PhysicalFormat(Layout.ROW_STRIP, block_rows=height)
+
+
+def col_strips(width: int) -> PhysicalFormat:
+    """Dense vertical strips of the given width."""
+    return PhysicalFormat(Layout.COL_STRIP, block_cols=width)
+
+
+def tiles(size: int, cols: int | None = None) -> PhysicalFormat:
+    """Dense square (or ``size x cols``) tiles."""
+    return PhysicalFormat(Layout.TILE, block_rows=size,
+                          block_cols=cols if cols is not None else size)
+
+
+def coo() -> PhysicalFormat:
+    """Relational (rowIndex, colIndex, value) triples."""
+    return PhysicalFormat(Layout.COO)
+
+
+def csr_strips(height: int) -> PhysicalFormat:
+    """CSR-encoded horizontal strips."""
+    return PhysicalFormat(Layout.CSR_STRIP, block_rows=height)
+
+
+def csc_strips(width: int) -> PhysicalFormat:
+    """CSC-encoded vertical strips."""
+    return PhysicalFormat(Layout.CSC_STRIP, block_cols=width)
+
+
+def sparse_tiles(size: int) -> PhysicalFormat:
+    """CSR-encoded square tiles."""
+    return PhysicalFormat(Layout.SPARSE_TILE, block_rows=size, block_cols=size)
+
+
+def sparse_single() -> PhysicalFormat:
+    """Whole matrix in one CSR-encoded tuple."""
+    return PhysicalFormat(Layout.SPARSE_SINGLE)
+
+
+#: The 19-format default catalog, matching the paper's prototype inventory
+#: ("a total of 19 physical matrix implementations", Section 8.1).
+DEFAULT_FORMATS: tuple[PhysicalFormat, ...] = (
+    single(),                       # 1
+    row_strips(100),                # 2
+    row_strips(1_000),              # 3
+    row_strips(5_000),              # 4
+    row_strips(10_000),             # 5
+    col_strips(100),                # 6
+    col_strips(1_000),              # 7
+    col_strips(5_000),              # 8
+    col_strips(10_000),             # 9
+    tiles(100),                     # 10
+    tiles(1_000),                   # 11
+    tiles(2_000),                   # 12
+    tiles(5_000),                   # 13
+    tiles(10_000),                  # 14
+    coo(),                          # 15
+    csr_strips(1_000),              # 16
+    csc_strips(1_000),              # 17
+    sparse_tiles(1_000),            # 18
+    sparse_single(),                # 19
+)
+
+#: Paper Fig 13 "Single/Strip/Block formats" subset (16 formats).
+SINGLE_STRIP_BLOCK_FORMATS: tuple[PhysicalFormat, ...] = tuple(
+    f for f in DEFAULT_FORMATS
+    if f.layout in (Layout.SINGLE, Layout.ROW_STRIP, Layout.COL_STRIP,
+                    Layout.TILE)
+) + (csr_strips(1_000), csc_strips(1_000))
+
+#: Paper Fig 13 "Single/Block formats" subset (10 formats).
+SINGLE_BLOCK_FORMATS: tuple[PhysicalFormat, ...] = tuple(
+    f for f in DEFAULT_FORMATS
+    if f.layout in (Layout.SINGLE, Layout.TILE)
+) + (sparse_tiles(1_000), sparse_single(), coo(), csr_strips(1_000))
+
+#: Dense-only subset, used for the "no sparsity" constrained runs of Fig 12.
+DENSE_FORMATS: tuple[PhysicalFormat, ...] = tuple(
+    f for f in DEFAULT_FORMATS if not f.is_sparse
+)
+
+
+def admissible_formats(
+    mtype: MatrixType,
+    catalog: tuple[PhysicalFormat, ...] = DEFAULT_FORMATS,
+) -> tuple[PhysicalFormat, ...]:
+    """All formats from ``catalog`` that admit ``mtype``."""
+    return tuple(f for f in catalog if f.admits(mtype))

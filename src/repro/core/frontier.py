@@ -1,0 +1,315 @@
+"""General-DAG optimization: the frontier algorithm (paper Section 6).
+
+When two vertices share an ancestor, their optimal costs cannot be computed
+independently — the shared sub-computation must be costed once.  The frontier
+algorithm therefore maintains the optimal cost *jointly* for equivalence
+classes of frontier vertices that share ancestors: ``F(V, p)`` is the minimum
+cost to compute every vertex of class ``V`` such that their stored formats
+are exactly ``p`` (paper Equation 2).
+
+The algorithm sweeps a frontier through the DAG, moving one vertex at a time
+from the unoptimized to the optimized side:
+
+1. the classes containing the new vertex's arguments are merged (their cost
+   tables cross-multiplied — classes are vertex-disjoint, so costs add);
+2. every (implementation, accepted input pattern) of the vertex is applied
+   against every joint state, charging one transformation per input edge;
+3. vertices whose consumers are now all optimized *retire* from the frontier
+   and are projected out of the table (minimizing over their formats).
+
+For tree-shaped graphs every class is a singleton and the algorithm
+degenerates to Algorithm 3; on general DAGs its complexity is
+``O(n |P|^c |I| |V|)`` where ``c`` bounds the class size.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+
+from .annotation import Annotation, Plan, make_plan
+from .formats import PhysicalFormat
+from .graph import ComputeGraph, Edge, VertexId
+from .implementations import OpImplementation
+from .registry import OptimizerContext
+from .transforms import FormatTransform
+from .tree_dp import OptimizationError
+
+State = tuple[PhysicalFormat, ...]
+
+
+@dataclass(frozen=True)
+class _Back:
+    """How one class-table entry was produced (for plan reconstruction)."""
+
+    vertex: VertexId
+    impl: OpImplementation
+    #: One entry per input edge: (edge, transformation, post-transform fmt).
+    edge_choices: tuple[tuple[Edge, FormatTransform, PhysicalFormat], ...]
+    #: Stored format chosen for the vertex itself.
+    vertex_format: PhysicalFormat
+    #: Predecessor table entries, one per merged class: (class id, state).
+    prev: tuple[tuple[int, State], ...]
+    #: Formats of vertices projected out of the frontier at this step.
+    retired: tuple[tuple[VertexId, PhysicalFormat], ...]
+
+
+@dataclass
+class _Class:
+    """One equivalence class along the frontier, with its joint cost table."""
+
+    cid: int
+    members: tuple[VertexId, ...]
+    table: dict[State, tuple[float, _Back | None]]
+
+
+class FrontierStats:
+    """Search-effort counters, reported for the Fig 13 style experiments."""
+
+    def __init__(self) -> None:
+        self.max_class_size = 0
+        self.max_table_size = 0
+        self.states_examined = 0
+
+    def observe(self, members: int, table: int) -> None:
+        self.max_class_size = max(self.max_class_size, members)
+        self.max_table_size = max(self.max_table_size, table)
+
+
+def optimize_dag(graph: ComputeGraph, ctx: OptimizerContext,
+                 stats: FrontierStats | None = None,
+                 max_states: int | None = None) -> Plan:
+    """Compute the optimal annotation of an arbitrary compute DAG.
+
+    ``max_states`` optionally beam-prunes each equivalence-class cost table
+    to its cheapest entries.  With the default ``None`` the search is exact;
+    a finite beam trades a (usually tiny) optimality gap for much lower
+    planning time on graphs whose sharing produces large equivalence classes
+    (e.g. the 57-vertex FFNN training step).
+    """
+    started = time.perf_counter()
+    graph.validate()
+    stats = stats if stats is not None else FrontierStats()
+
+    # Remaining unvisited consumers per vertex, counted per edge.
+    consumers_left: dict[VertexId, int] = {
+        vid: graph.out_degree(vid) for vid in graph.vertex_ids}
+    visited: set[VertexId] = set()
+
+    history: dict[int, _Class] = {}
+    active: dict[int, _Class] = {}
+    member_class: dict[VertexId, int] = {}
+    next_cid = itertools.count()
+
+    def new_class(members: tuple[VertexId, ...],
+                  table: dict[State, tuple[float, _Back | None]]) -> _Class:
+        cls = _Class(next(next_cid), members, table)
+        history[cls.cid] = cls
+        active[cls.cid] = cls
+        for m in members:
+            member_class[m] = cls.cid
+        stats.observe(len(members), len(table))
+        return cls
+
+    #: Fully retired classes: (cost, backpointer root) per component.
+    completed: list[tuple[float, tuple[int, State]]] = []
+
+    # ------------------------------------------------------------------
+    # Initial frontier: every source is optimized with known format.
+    # ------------------------------------------------------------------
+    for source in graph.sources:
+        visited.add(source.vid)
+        cls = new_class((source.vid,), {(source.format,): (0.0, None)})
+        if consumers_left[source.vid] == 0:
+            # Degenerate: a source nobody consumes contributes zero cost.
+            completed.append((0.0, (cls.cid, (source.format,))))
+            del active[cls.cid]
+
+    unvisited = [v.vid for v in graph.inner_vertices]
+    candidate_counts = _candidate_output_counts(graph, ctx)
+
+    while unvisited:
+        vid = _choose_next(graph, ctx, unvisited, visited, active,
+                           member_class, candidate_counts)
+        unvisited.remove(vid)
+        v = graph.vertex(vid)
+        edges = graph.in_edges(vid)
+        in_types = tuple(graph.vertex(p).mtype for p in v.inputs)
+        patterns = ctx.accepted_patterns(v.op, in_types)
+        if not patterns:
+            raise OptimizationError(
+                f"no implementation accepts any formats at vertex {v.name!r}")
+
+        involved_cids = sorted({member_class[p] for p in v.inputs})
+        involved = [active.pop(cid) for cid in involved_cids]
+        joint_members: tuple[VertexId, ...] = tuple(
+            m for cls in involved for m in cls.members)
+
+        # Mark visited before retirement analysis.
+        visited.add(vid)
+        for edge in edges:
+            consumers_left[edge.src] -= 1
+        survivors = tuple(m for m in joint_members if consumers_left[m] > 0)
+        v_survives = consumers_left[vid] > 0
+        new_members = survivors + ((vid,) if v_survives else ())
+
+        # Group the input edges by the class containing their producer, and
+        # note each class member's position within its own class state.
+        local_slot: dict[VertexId, int] = {}
+        edges_of_class: dict[int, list] = {cls.cid: [] for cls in involved}
+        class_of_member: dict[VertexId, int] = {}
+        for cls in involved:
+            for i, m in enumerate(cls.members):
+                local_slot[m] = i
+                class_of_member[m] = cls.cid
+        for pos, edge in enumerate(edges):
+            edges_of_class[class_of_member[edge.src]].append((edge, pos))
+
+        new_table: dict[State, tuple[float, _Back | None]] = {}
+        for impl, in_fmts, out_fmt, impl_cost in patterns:
+            # For this pattern, project every involved class onto its
+            # surviving members: fold the class cost plus the transformation
+            # costs of the edges it feeds into v, minimizing over the
+            # formats of members that retire at this step.  This keeps the
+            # cross product below over survivor sub-states only.
+            projections = []
+            feasible = True
+            for cls in involved:
+                survivor_idx = [i for i, m in enumerate(cls.members)
+                                if consumers_left[m] > 0]
+                best_sub: dict[State, tuple[float, State, tuple]] = {}
+                for state, (cost, _b) in cls.table.items():
+                    stats.states_examined += 1
+                    adjusted = cost
+                    choices = []
+                    ok = True
+                    for edge, pos in edges_of_class[cls.cid]:
+                        need = in_fmts[pos]
+                        ptype = graph.vertex(edge.src).mtype
+                        stored = state[local_slot[edge.src]]
+                        t_cost = ctx.search_transform_cost(ptype, stored,
+                                                           need)
+                        if t_cost is None:
+                            ok = False
+                            break
+                        adjusted += t_cost
+                        choices.append((edge, ctx.transform_choice(
+                            ptype, stored, need)[0], need))
+                    if not ok:
+                        continue
+                    sub = tuple(state[i] for i in survivor_idx)
+                    prev_best = best_sub.get(sub)
+                    if prev_best is None or adjusted < prev_best[0]:
+                        best_sub[sub] = (adjusted, state, tuple(choices))
+                if not best_sub:
+                    feasible = False
+                    break
+                projections.append((cls, best_sub))
+            if not feasible:
+                continue
+
+            for combo in itertools.product(
+                    *(proj.items() for _cls, proj in projections)):
+                cost = impl_cost
+                key_parts: list[PhysicalFormat] = []
+                prev = []
+                edge_choices = []
+                retired = []
+                for (cls, _proj), (sub, (adj, full_state, choices)) in zip(
+                        projections, combo):
+                    cost += adj
+                    key_parts.extend(sub)
+                    prev.append((cls.cid, full_state))
+                    edge_choices.extend(choices)
+                    for i, m in enumerate(cls.members):
+                        if consumers_left[m] == 0:
+                            retired.append((m, full_state[i]))
+                key: State = tuple(key_parts)
+                if v_survives:
+                    key = key + (out_fmt,)
+                else:
+                    retired.append((vid, out_fmt))
+                existing = new_table.get(key)
+                if existing is not None and existing[0] <= cost:
+                    continue
+                new_table[key] = (cost, _Back(
+                    vid, impl, tuple(edge_choices), out_fmt,
+                    tuple(prev), tuple(retired)))
+
+        if not new_table:
+            raise OptimizationError(
+                f"no feasible annotation for vertex {v.name!r} "
+                f"({v.op.name} over {[str(t) for t in in_types]})")
+
+        if max_states is not None and len(new_table) > max_states:
+            kept = sorted(new_table.items(), key=lambda kv: kv[1][0])
+            new_table = dict(kept[:max_states])
+
+        cls = new_class(new_members, new_table)
+        if not new_members:
+            cost, _back = cls.table[()]
+            completed.append((cost, (cls.cid, ())))
+            del active[cls.cid]
+
+    if active:  # pragma: no cover - defensive; all vertices should retire
+        raise OptimizationError(
+            f"frontier did not fully retire: {sorted(active)}")
+
+    annotation = _reconstruct(history, completed)
+    elapsed = time.perf_counter() - started
+    return make_plan(graph, annotation, ctx, "frontier", elapsed)
+
+
+# ----------------------------------------------------------------------
+# Vertex ordering
+# ----------------------------------------------------------------------
+def _candidate_output_counts(graph: ComputeGraph,
+                             ctx: OptimizerContext) -> dict[VertexId, int]:
+    counts: dict[VertexId, int] = {}
+    for v in graph.inner_vertices:
+        in_types = tuple(graph.vertex(p).mtype for p in v.inputs)
+        counts[v.vid] = max(1, len(ctx.output_candidates(v.op, in_types)))
+    return counts
+
+
+def _choose_next(graph, ctx, unvisited, visited, active, member_class,
+                 candidate_counts) -> VertexId:
+    """Pick the ready vertex whose move keeps the joint table smallest."""
+    best_vid = None
+    best_score = None
+    for vid in unvisited:
+        v = graph.vertex(vid)
+        if any(p not in visited for p in v.inputs):
+            continue
+        size = 1
+        for cid in {member_class[p] for p in v.inputs}:
+            size *= max(1, len(active[cid].table))
+        survives = graph.out_degree(vid) > 0
+        score = size * (candidate_counts[vid] if survives else 1)
+        if best_score is None or score < best_score:
+            best_vid, best_score = vid, score
+    if best_vid is None:  # pragma: no cover - graph.validate prevents this
+        raise OptimizationError("no ready vertex; graph is cyclic?")
+    return best_vid
+
+
+# ----------------------------------------------------------------------
+# Reconstruction
+# ----------------------------------------------------------------------
+def _reconstruct(
+    history: dict[int, _Class],
+    completed: list[tuple[float, tuple[int, State]]],
+) -> Annotation:
+    annotation = Annotation()
+    stack = [ref for (_cost, ref) in completed]
+    while stack:
+        cid, state = stack.pop()
+        _cost, back = history[cid].table[state]
+        if back is None:
+            continue  # source class
+        annotation.impls[back.vertex] = back.impl
+        for edge, transform, dst in back.edge_choices:
+            annotation.transforms[edge] = (transform, dst)
+        stack.extend(back.prev)
+    return annotation

@@ -1,0 +1,240 @@
+"""Compute graphs (paper Section 4.1).
+
+A compute graph is a DAG whose source vertices are input matrices (labeled
+with a matrix type *and* a physical implementation) and whose inner vertices
+are atomic computations.  Edges carry data; the inputs of a vertex are
+*ordered* because not all atomic computations are commutative.
+
+Matrix types of inner vertices are inferred from the sources through the
+atomic computations' type functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .atoms import AtomicOp
+from .formats import PhysicalFormat
+from .types import MatrixType
+
+VertexId = int
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """One vertex of a compute graph.
+
+    Source vertices have ``op is None`` and carry their given physical
+    ``format``; inner vertices carry the atomic computation and the ordered
+    ids of their argument vertices.
+    """
+
+    vid: VertexId
+    name: str
+    mtype: MatrixType
+    op: AtomicOp | None = None
+    inputs: tuple[VertexId, ...] = ()
+    format: PhysicalFormat | None = None
+    #: Optional scalar parameter (e.g. the constant of ``scalar_mul``).
+    param: float | None = None
+
+    @property
+    def is_source(self) -> bool:
+        return self.op is None
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge, identified by its consumer and argument slot.
+
+    Using the argument position disambiguates multi-edges such as
+    ``T1 x T1`` where the same producer feeds two slots.
+    """
+
+    src: VertexId
+    dst: VertexId
+    arg_pos: int
+
+
+class GraphError(ValueError):
+    """Raised when a compute graph is malformed or not type-correct."""
+
+
+class ComputeGraph:
+    """A typed LA/ML computation DAG under construction or analysis."""
+
+    def __init__(self) -> None:
+        self._vertices: dict[VertexId, Vertex] = {}
+        self._consumers: dict[VertexId, list[Edge]] = {}
+        self._next_id: VertexId = 0
+        self._outputs: list[VertexId] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_source(self, name: str, mtype: MatrixType,
+                   fmt: PhysicalFormat) -> VertexId:
+        """Add an input matrix with its given physical implementation."""
+        if not fmt.admits(mtype):
+            raise GraphError(
+                f"source {name!r}: format {fmt} does not admit type {mtype}")
+        vid = self._allocate()
+        self._vertices[vid] = Vertex(vid, name, mtype, None, (), fmt)
+        self._consumers[vid] = []
+        return vid
+
+    def add_op(self, name: str, op: AtomicOp,
+               inputs: tuple[VertexId, ...] | list[VertexId],
+               param: float | None = None) -> VertexId:
+        """Add an atomic computation over previously added vertices."""
+        inputs = tuple(inputs)
+        if len(inputs) != op.arity:
+            raise GraphError(
+                f"{name!r}: {op.name} takes {op.arity} inputs, got {len(inputs)}")
+        in_types = []
+        for src in inputs:
+            if src not in self._vertices:
+                raise GraphError(f"{name!r}: unknown input vertex {src}")
+            in_types.append(self._vertices[src].mtype)
+        out_type = op.out_type(*in_types)
+        if out_type is None:
+            raise GraphError(
+                f"{name!r}: {op.name} rejects input types "
+                f"{[str(t) for t in in_types]}")
+        vid = self._allocate()
+        self._vertices[vid] = Vertex(vid, name, out_type, op, inputs, None,
+                                     param)
+        self._consumers[vid] = []
+        for pos, src in enumerate(inputs):
+            self._consumers[src].append(Edge(src, vid, pos))
+        return vid
+
+    def _allocate(self) -> VertexId:
+        vid = self._next_id
+        self._next_id += 1
+        return vid
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def vertex(self, vid: VertexId) -> Vertex:
+        return self._vertices[vid]
+
+    @property
+    def vertices(self) -> tuple[Vertex, ...]:
+        return tuple(self._vertices.values())
+
+    @property
+    def vertex_ids(self) -> tuple[VertexId, ...]:
+        return tuple(self._vertices)
+
+    @property
+    def sources(self) -> tuple[Vertex, ...]:
+        return tuple(v for v in self._vertices.values() if v.is_source)
+
+    @property
+    def inner_vertices(self) -> tuple[Vertex, ...]:
+        return tuple(v for v in self._vertices.values() if not v.is_source)
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        return tuple(e for edges in self._consumers.values() for e in edges)
+
+    def in_edges(self, vid: VertexId) -> tuple[Edge, ...]:
+        """Input edges of ``vid`` in argument order."""
+        v = self._vertices[vid]
+        return tuple(Edge(src, vid, pos) for pos, src in enumerate(v.inputs))
+
+    def out_edges(self, vid: VertexId) -> tuple[Edge, ...]:
+        return tuple(self._consumers[vid])
+
+    def out_degree(self, vid: VertexId) -> int:
+        return len(self._consumers[vid])
+
+    def sinks(self) -> tuple[Vertex, ...]:
+        """Vertices with no consumers."""
+        return tuple(v for v in self._vertices.values()
+                     if not self._consumers[v.vid])
+
+    def mark_output(self, vid: VertexId) -> None:
+        """Declare a vertex as a computation output.
+
+        Needed when an output also feeds other vertices (e.g. the Schur
+        complement inverse is both the Dbar output block and an input to
+        Bbar/Cbar in the block-inverse workload).
+        """
+        if vid not in self._vertices:
+            raise GraphError(f"unknown vertex {vid}")
+        if vid not in self._outputs:
+            self._outputs.append(vid)
+
+    @property
+    def outputs(self) -> tuple[Vertex, ...]:
+        """Declared outputs; falls back to the structural sinks."""
+        if self._outputs:
+            return tuple(self._vertices[v] for v in self._outputs)
+        return self.sinks()
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def topological_order(self) -> tuple[VertexId, ...]:
+        """Vertices in dependency order (sources first).
+
+        Construction order is already topological because ``add_op`` only
+        accepts existing vertices, but we verify and return it explicitly.
+        """
+        return tuple(self._vertices)
+
+    def is_tree_shaped(self) -> bool:
+        """True when every vertex has at most one out-edge (paper Sec. 5)."""
+        return all(len(edges) <= 1 for edges in self._consumers.values())
+
+    def ancestors(self) -> dict[VertexId, int]:
+        """Ancestor sets as bitmasks, each vertex included in its own set.
+
+        Used by the frontier algorithm's equivalence classes: two frontier
+        vertices belong to the same class iff their ancestor sets intersect.
+        """
+        masks: dict[VertexId, int] = {}
+        for vid in self.topological_order():
+            mask = 1 << vid
+            for src in self._vertices[vid].inputs:
+                mask |= masks[src]
+            masks[vid] = mask
+        return masks
+
+    def subgraph_counts(self) -> dict[VertexId, int]:
+        """Number of vertices in each :math:`G_v` (reachable-to-v subgraph)."""
+        masks = self.ancestors()
+        return {vid: mask.bit_count() for vid, mask in masks.items()}
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`GraphError`."""
+        if not self._vertices:
+            raise GraphError("empty compute graph")
+        seen: set[VertexId] = set()
+        for vid, v in self._vertices.items():
+            for src in v.inputs:
+                if src not in seen:
+                    raise GraphError(
+                        f"vertex {v.name!r} consumes {src} before definition "
+                        "(cycle or forward reference)")
+            seen.add(vid)
+        if not any(v.is_source for v in self._vertices.values()):
+            raise GraphError("graph has no source vertices")
+
+    def describe(self) -> str:
+        """Human-readable listing, one vertex per line."""
+        lines = []
+        for v in self._vertices.values():
+            if v.is_source:
+                lines.append(f"  [{v.vid}] {v.name}: input {v.mtype} @ {v.format}")
+            else:
+                args = ", ".join(str(i) for i in v.inputs)
+                lines.append(
+                    f"  [{v.vid}] {v.name}: {v.op.name}({args}) -> {v.mtype}")
+        return "\n".join(lines)

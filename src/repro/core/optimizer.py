@@ -1,0 +1,63 @@
+"""Optimizer facade.
+
+Chooses the right algorithm for a compute graph: the linear-time tree DP
+(paper Algorithm 3) when the graph is tree shaped, the frontier algorithm
+(paper Algorithm 4) for general DAGs, or brute force (paper Algorithm 2) on
+request.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .annotation import Plan
+from .brute import optimize_brute
+from .frontier import FrontierStats, optimize_dag
+from .graph import ComputeGraph
+from .registry import OptimizerContext
+from .tree_dp import optimize_tree
+
+ALGORITHMS = ("auto", "tree", "frontier", "brute")
+
+
+def _context_for(graph: ComputeGraph, ctx: OptimizerContext
+                 ) -> OptimizerContext:
+    """Extend the context's format catalog with the graph's load formats.
+
+    Input matrices may arrive in formats outside the search catalog (e.g.
+    width-10 strips in the Section 2.1 example).  Adding them lets the
+    search use implementations on the loaded formats directly instead of
+    forcing a transformation first.
+    """
+    extra = [s.format for s in graph.sources if s.format not in ctx.formats]
+    if not extra:
+        return ctx
+    seen = dict.fromkeys(tuple(ctx.formats) + tuple(extra))
+    return dataclasses.replace(ctx, formats=tuple(seen))
+
+
+def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
+             algorithm: str = "auto",
+             timeout_seconds: float | None = None,
+             stats: FrontierStats | None = None,
+             max_states: int | None = None) -> Plan:
+    """Produce the cost-optimal, type-correct annotated plan for ``graph``.
+
+    ``algorithm`` is one of ``auto`` (tree DP when tree shaped, else the
+    frontier algorithm), ``tree``, ``frontier`` or ``brute``.
+    ``timeout_seconds`` only applies to brute force; ``max_states``
+    beam-prunes the frontier algorithm's class tables (None = exact).
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; "
+                         f"expected one of {ALGORITHMS}")
+    if ctx is None:
+        ctx = OptimizerContext()
+    ctx = _context_for(graph, ctx)
+    if algorithm == "auto":
+        algorithm = "tree" if graph.is_tree_shaped() else "frontier"
+    if algorithm == "tree":
+        return optimize_tree(graph, ctx)
+    if algorithm == "frontier":
+        return optimize_dag(graph, ctx, stats=stats, max_states=max_states)
+    return optimize_brute(graph, ctx, timeout_seconds=timeout_seconds)

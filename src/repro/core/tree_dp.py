@@ -1,0 +1,156 @@
+"""Tree-shaped graph optimization (paper Section 5, Algorithm 3).
+
+A Felsenstein-style dynamic program: for every vertex ``v`` and candidate
+output format ``ρ``, ``F(v, ρ)`` is the optimal cost of computing the
+subgraph rooted at ``v`` subject to the stored format of ``v`` being ``ρ``
+(paper Equation 1).  Because each vertex has a single consumer, the
+subproblems are independent and the program runs in time linear in |V|.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .annotation import Annotation, Plan, make_plan
+from .formats import PhysicalFormat
+from .graph import ComputeGraph, VertexId
+from .implementations import OpImplementation
+from .registry import OptimizerContext
+from .transforms import FormatTransform
+
+
+class OptimizationError(RuntimeError):
+    """Raised when no type-correct annotation exists for a graph."""
+
+
+@dataclass(frozen=True)
+class _Back:
+    """Backpointer for reconstructing the optimal annotation."""
+
+    impl: OpImplementation
+    #: For each input j: (chosen stored format of the producer, transform,
+    #: post-transform format fed to the implementation).
+    inputs: tuple[tuple[PhysicalFormat, FormatTransform, PhysicalFormat], ...]
+
+
+def _reach_table(
+    graph: ComputeGraph,
+    ctx: OptimizerContext,
+    producer: VertexId,
+    producer_costs: dict[PhysicalFormat, float],
+    needed: set[PhysicalFormat],
+) -> dict[PhysicalFormat, tuple[float, PhysicalFormat, FormatTransform]]:
+    """For each needed post-transform format, the cheapest way to obtain it
+    from the producer: min over stored formats of F + transform cost."""
+    mtype = graph.vertex(producer).mtype
+    reach: dict[PhysicalFormat, tuple[float, PhysicalFormat, FormatTransform]] = {}
+    for dst in needed:
+        best: tuple[float, PhysicalFormat, FormatTransform] | None = None
+        for pin, sub_cost in producer_costs.items():
+            t_cost = ctx.search_transform_cost(mtype, pin, dst)
+            if t_cost is None:
+                continue
+            total = sub_cost + t_cost
+            if best is None or total < best[0]:
+                choice = ctx.transform_choice(mtype, pin, dst)
+                best = (total, pin, choice[0])
+        if best is not None:
+            reach[dst] = best
+    return reach
+
+
+def optimize_tree(graph: ComputeGraph, ctx: OptimizerContext) -> Plan:
+    """Compute the optimal annotation of a tree-shaped compute graph.
+
+    Raises :class:`OptimizationError` if the graph is not tree shaped or no
+    type-correct annotation exists.
+    """
+    if not graph.is_tree_shaped():
+        raise OptimizationError(
+            "graph is not tree shaped; use optimize_dag / the frontier "
+            "algorithm instead")
+    started = time.perf_counter()
+
+    # F[vid][fmt] -> optimal cost; back[(vid, fmt)] -> reconstruction record.
+    table: dict[VertexId, dict[PhysicalFormat, float]] = {}
+    back: dict[tuple[VertexId, PhysicalFormat], _Back] = {}
+
+    for vid in graph.topological_order():
+        v = graph.vertex(vid)
+        if v.is_source:
+            table[vid] = {v.format: 0.0}
+            continue
+
+        in_types = tuple(graph.vertex(p).mtype for p in v.inputs)
+        patterns = ctx.accepted_patterns(v.op, in_types)
+        if not patterns:
+            raise OptimizationError(
+                f"no implementation of {v.op.name} accepts any format "
+                f"combination at vertex {v.name!r}")
+
+        # Formats each argument slot may need, for the reach precomputation.
+        needed: list[set[PhysicalFormat]] = [set() for _ in v.inputs]
+        for _, in_fmts, _, _ in patterns:
+            for j, fmt in enumerate(in_fmts):
+                needed[j].add(fmt)
+        reach = [
+            _reach_table(graph, ctx, producer, table[producer], needed[j])
+            for j, producer in enumerate(v.inputs)
+        ]
+
+        costs: dict[PhysicalFormat, float] = {}
+        for impl, in_fmts, out_fmt, impl_cost in patterns:
+            total = impl_cost
+            chosen = []
+            feasible = True
+            for j, fmt in enumerate(in_fmts):
+                got = reach[j].get(fmt)
+                if got is None:
+                    feasible = False
+                    break
+                sub_cost, pin, transform = got
+                total += sub_cost
+                chosen.append((pin, transform, fmt))
+            if not feasible:
+                continue
+            if out_fmt not in costs or total < costs[out_fmt]:
+                costs[out_fmt] = total
+                back[(vid, out_fmt)] = _Back(impl, tuple(chosen))
+        if not costs:
+            raise OptimizationError(
+                f"no feasible annotation for vertex {v.name!r} "
+                f"({v.op.name} over {[str(t) for t in in_types]})")
+        table[vid] = costs
+
+    annotation = _reconstruct(graph, table, back)
+    elapsed = time.perf_counter() - started
+    return make_plan(graph, annotation, ctx, "tree_dp", elapsed)
+
+
+def _reconstruct(
+    graph: ComputeGraph,
+    table: dict[VertexId, dict[PhysicalFormat, float]],
+    back: dict[tuple[VertexId, PhysicalFormat], _Back],
+) -> Annotation:
+    """Walk backpointers from each sink's best format to the sources."""
+    annotation = Annotation()
+    stack: list[tuple[VertexId, PhysicalFormat]] = []
+    for sink in graph.sinks():
+        if sink.is_source:
+            continue
+        best_fmt = min(table[sink.vid], key=table[sink.vid].__getitem__)
+        stack.append((sink.vid, best_fmt))
+
+    while stack:
+        vid, fmt = stack.pop()
+        v = graph.vertex(vid)
+        if v.is_source:
+            continue
+        record = back[(vid, fmt)]
+        annotation.impls[vid] = record.impl
+        for edge, (pin, transform, dst) in zip(graph.in_edges(vid),
+                                               record.inputs):
+            annotation.transforms[edge] = (transform, dst)
+            stack.append((edge.src, pin))
+    return annotation

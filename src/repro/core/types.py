@@ -1,0 +1,149 @@
+"""Matrix types.
+
+The paper (Section 3) defines a *matrix type* as a pair ``(d, b)`` where ``d``
+is the dimensionality and ``b`` gives the extent along each dimension.  For
+the cost model (Section 7) we additionally carry the *sparsity* of the data —
+defined, as in the paper, as the fraction of entries that are non-zero
+(``1.0`` means fully dense).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Bytes per matrix entry.  The paper stores double-precision floats.
+ENTRY_BYTES = 8
+
+#: Approximate bytes per non-zero in a COO/CSR-style sparse encoding
+#: (value + index overhead).
+SPARSE_ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class MatrixType:
+    """A logical matrix/tensor type: shape plus estimated sparsity.
+
+    ``dims`` is the extent along each dimension: ``(n,)`` for a vector,
+    ``(rows, cols)`` for a matrix.  Higher-order tensors are representable but
+    the default operator catalog works on vectors and matrices, mirroring the
+    paper's prototype.
+
+    ``sparsity`` is the estimated fraction of non-zero entries in
+    ``[0.0, 1.0]``; it only affects costing, never typing.
+    """
+
+    dims: tuple[int, ...]
+    sparsity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("a matrix type needs at least one dimension")
+        if any(d <= 0 for d in self.dims):
+            raise ValueError(f"all extents must be positive, got {self.dims}")
+        if not 0.0 <= self.sparsity <= 1.0:
+            raise ValueError(f"sparsity must be in [0, 1], got {self.sparsity}")
+
+    # ------------------------------------------------------------------
+    # Shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        """Dimensionality ``d`` of the type (1 = vector, 2 = matrix)."""
+        return len(self.dims)
+
+    @property
+    def rows(self) -> int:
+        """Row count.  A vector is treated as a single-row matrix."""
+        return self.dims[0] if self.ndim >= 2 else 1
+
+    @property
+    def cols(self) -> int:
+        """Column count.  For a vector this is its length."""
+        return self.dims[-1]
+
+    @property
+    def entries(self) -> int:
+        """Total number of entries."""
+        return math.prod(self.dims)
+
+    @property
+    def nnz(self) -> float:
+        """Estimated number of non-zero entries."""
+        return self.entries * self.sparsity
+
+    # ------------------------------------------------------------------
+    # Byte sizes
+    # ------------------------------------------------------------------
+    @property
+    def dense_bytes(self) -> int:
+        """Bytes needed to store the matrix densely."""
+        return self.entries * ENTRY_BYTES
+
+    @property
+    def sparse_bytes(self) -> float:
+        """Approximate bytes needed to store only the non-zeros."""
+        return self.nnz * SPARSE_ENTRY_BYTES
+
+    @property
+    def is_dense(self) -> bool:
+        """True when a dense encoding is at least as compact as sparse."""
+        return self.dense_bytes <= self.sparse_bytes
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+    def with_sparsity(self, sparsity: float) -> "MatrixType":
+        """Return the same shape with a different sparsity estimate."""
+        return MatrixType(self.dims, sparsity)
+
+    def transposed(self) -> "MatrixType":
+        """Type of the transpose (2-D only)."""
+        if self.ndim != 2:
+            raise ValueError("transpose is only defined for 2-D types")
+        return MatrixType((self.dims[1], self.dims[0]), self.sparsity)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        shape = "x".join(str(d) for d in self.dims)
+        if self.sparsity < 1.0:
+            return f"{shape}(sp={self.sparsity:.4g})"
+        return shape
+
+
+def matrix(rows: int, cols: int, sparsity: float = 1.0) -> MatrixType:
+    """Convenience constructor for a 2-D matrix type."""
+    return MatrixType((rows, cols), sparsity)
+
+
+def vector(length: int, sparsity: float = 1.0) -> MatrixType:
+    """Convenience constructor for a (row-)vector type."""
+    return MatrixType((1, length), sparsity)
+
+
+def matmul_sparsity(lhs: MatrixType, rhs: MatrixType) -> float:
+    """Estimated output sparsity of ``lhs @ rhs``.
+
+    Uses the standard independence assumption: an output cell is zero only if
+    every one of the ``k`` product terms along the inner dimension is zero,
+    giving nnz fraction ``1 - (1 - s_l * s_r)**k``.  This is the simple
+    estimator the paper's prototype uses; the MNC-style structured estimator
+    (paper Section 7, future work) lives in :mod:`repro.cost.sparsity`.
+    """
+    k = lhs.cols
+    p = lhs.sparsity * rhs.sparsity
+    if p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return 1.0
+    # log1p-based evaluation stays accurate for tiny p and huge k.
+    return -math.expm1(k * math.log1p(-p))
+
+
+def union_sparsity(a: float, b: float) -> float:
+    """Estimated sparsity of an entry-wise union (e.g. add/sub)."""
+    return min(1.0, a + b - a * b)
+
+
+def intersect_sparsity(a: float, b: float) -> float:
+    """Estimated sparsity of an entry-wise intersection (e.g. Hadamard)."""
+    return a * b

@@ -1,0 +1,76 @@
+"""Graphviz DOT rendering of compute graphs and annotated plans.
+
+Produces the kind of figure the paper draws (Fig 2): the logical compute
+graph, or the annotated graph with the chosen implementation inside each
+vertex and the chosen transformation on each edge.
+"""
+
+from __future__ import annotations
+
+from .annotation import Plan
+from .graph import ComputeGraph
+
+
+def _esc(text: str) -> str:
+    return text.replace('"', r'\"')
+
+
+def graph_to_dot(graph: ComputeGraph, title: str = "compute graph") -> str:
+    """DOT source for a logical compute graph."""
+    lines = [
+        "digraph G {",
+        f'  label="{_esc(title)}"; labelloc=t; rankdir=BT;',
+        '  node [shape=box, fontname="Helvetica", fontsize=10];',
+    ]
+    for v in graph.vertices:
+        if v.is_source:
+            label = f"{v.name}\\n{v.mtype} @ {v.format}"
+            lines.append(
+                f'  v{v.vid} [label="{_esc(label)}", style=filled, '
+                'fillcolor="#e8f0fe"];')
+        else:
+            label = f"{v.name}\\n{v.op.name} -> {v.mtype}"
+            lines.append(f'  v{v.vid} [label="{_esc(label)}"];')
+    for e in graph.edges:
+        lines.append(f"  v{e.src} -> v{e.dst};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_to_dot(plan: Plan, title: str = "annotated plan") -> str:
+    """DOT source for an annotated plan (paper Fig 2, right side).
+
+    Vertices show the chosen implementation and output format; edges show
+    non-identity transformations.
+    """
+    graph = plan.graph
+    lines = [
+        "digraph G {",
+        f'  label="{_esc(title)}"; labelloc=t; rankdir=BT;',
+        '  node [shape=box, fontname="Helvetica", fontsize=10];',
+    ]
+    for v in graph.vertices:
+        fmt = plan.cost.vertex_formats[v.vid]
+        if v.is_source:
+            label = f"{v.name}\\ninput @ {fmt}"
+            lines.append(
+                f'  v{v.vid} [label="{_esc(label)}", style=filled, '
+                'fillcolor="#e8f0fe"];')
+        else:
+            impl = plan.annotation.impls[v.vid]
+            secs = plan.cost.vertex_seconds[v.vid]
+            label = f"{v.name}\\n{impl.name} -> {fmt}\\n{secs:.2f}s"
+            lines.append(f'  v{v.vid} [label="{_esc(label)}", '
+                         'style=filled, fillcolor="#e6f4ea"];')
+    for e in graph.edges:
+        chosen = plan.annotation.transforms.get(e)
+        if chosen is not None and chosen[0].name != "identity":
+            transform, dst = chosen
+            secs = plan.cost.edge_seconds.get(e, 0.0)
+            label = f"{transform.name}\\n-> {dst} ({secs:.2f}s)"
+            lines.append(f'  v{e.src} -> v{e.dst} [label="{_esc(label)}", '
+                         'color="#c5221f", fontsize=9];')
+        else:
+            lines.append(f"  v{e.src} -> v{e.dst};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Cost model: analytic features, regression weights, calibration, sparsity."""
+
+from .calibration import CalibrationSample, calibrate, fit_weights
+from .features import CostFeatures, ZERO_FEATURES
+from .model import DEFAULT_WEIGHTS, INFEASIBLE, CostModel, CostWeights
+from .sparsity import (
+    DEFAULT_REOPT_THRESHOLD,
+    MncSketch,
+    observed_sparsity,
+    relative_error,
+    should_reoptimize,
+)
+
+__all__ = [
+    "CalibrationSample", "calibrate", "fit_weights",
+    "CostFeatures", "ZERO_FEATURES",
+    "DEFAULT_WEIGHTS", "INFEASIBLE", "CostModel", "CostWeights",
+    "DEFAULT_REOPT_THRESHOLD", "MncSketch", "observed_sparsity",
+    "relative_error", "should_reoptimize",
+]

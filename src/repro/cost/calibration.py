@@ -1,0 +1,113 @@
+"""Cost-model calibration (paper Section 7).
+
+"At installation time, our implementation runs a set of benchmark
+computations for which it collects the running time, and then it uses the
+analytically-computed features along with those running times as input into
+a regression."
+
+Here the ground truth is the relational engine's *measured* ledger (actual
+bytes shuffled/broadcast, tuples produced) on a suite of small benchmark
+plans; the regression fits the dimensionless :class:`CostWeights` that make
+the analytic features predict those measurements.  On a physical cluster the
+same pipeline would fit against wall-clock times instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster import ClusterConfig
+from .features import CostFeatures
+from .model import CostModel, CostWeights, DEFAULT_WEIGHTS
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One benchmark observation: analytic features and measured seconds."""
+
+    features: CostFeatures
+    measured_seconds: float
+
+
+def fit_weights(samples: list[CalibrationSample],
+                cluster: ClusterConfig,
+                ridge: float = 1e-9) -> CostWeights:
+    """Non-negative least squares fit of the per-feature weights.
+
+    Features are first normalized by cluster capacity (as in
+    :meth:`CostModel.normalized`), so the fitted weights are efficiency
+    factors.  A tiny ridge term keeps the system well posed when a feature
+    never varies in the sample set; weights are clipped at a small positive
+    floor so no cost component can be fitted away entirely.
+    """
+    if not samples:
+        raise ValueError("need at least one calibration sample")
+    reference = CostModel(cluster, DEFAULT_WEIGHTS)
+    design = np.array([reference.normalized(s.features) for s in samples])
+    target = np.array([s.measured_seconds for s in samples])
+    n_features = design.shape[1]
+    lhs = design.T @ design + ridge * np.eye(n_features)
+    rhs = design.T @ target
+    solution = np.linalg.solve(lhs, rhs)
+    solution = np.clip(solution, 0.05, None)
+    return CostWeights(*solution)
+
+
+def default_benchmark_samples(cluster: ClusterConfig,
+                              seed: int = 0) -> list[CalibrationSample]:
+    """Run the installation-time benchmark suite on the relational engine.
+
+    Executes a handful of small plans (matmuls in several formats,
+    element-wise ops, transforms) on real data and pairs each plan's
+    *analytic* features with its *measured* ledger seconds.
+    """
+    # Imported here: the engine depends on core, which depends on this
+    # package, so a module-level import would be circular.
+    from ..core import OptimizerContext, matrix, optimize
+    from ..core import col_strips, row_strips, single, tiles
+    from ..core.atoms import ADD, MATMUL, RELU
+    from ..core.graph import ComputeGraph
+    from ..engine.executor import Executor
+    from ..workloads.datagen import dense_normal
+
+    ctx = OptimizerContext(cluster=cluster)
+    samples: list[CalibrationSample] = []
+    shapes = [
+        (400, 600, 300, row_strips(100), col_strips(100)),
+        (500, 500, 500, tiles(100), tiles(100)),
+        (200, 800, 400, single(), col_strips(200)),
+    ]
+    for i, (m, k, n, f_a, f_b) in enumerate(shapes):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(m, k), f_a)
+        b = g.add_source("B", matrix(k, n), f_b)
+        ab = g.add_op("AB", MATMUL, (a, b))
+        g.add_op("R", RELU, (ab,))
+        plan = optimize(g, ctx)
+        executor = Executor(plan, ctx)
+        result = executor.run({
+            "A": dense_normal(m, k, seed=seed + i),
+            "B": dense_normal(k, n, seed=seed + i + 100),
+        })
+        samples.append(CalibrationSample(plan.cost.features,
+                                         result.ledger.total_seconds))
+
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(600, 600), tiles(200))
+    b = g.add_source("B", matrix(600, 600), tiles(200))
+    g.add_op("S", ADD, (a, b))
+    plan = optimize(g, ctx)
+    result = Executor(plan, ctx).run({
+        "A": dense_normal(600, 600, seed=seed + 7),
+        "B": dense_normal(600, 600, seed=seed + 8),
+    })
+    samples.append(CalibrationSample(plan.cost.features,
+                                     result.ledger.total_seconds))
+    return samples
+
+
+def calibrate(cluster: ClusterConfig, seed: int = 0) -> CostWeights:
+    """End-to-end installation-time calibration."""
+    return fit_weights(default_benchmark_samples(cluster, seed=seed), cluster)

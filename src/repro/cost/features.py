@@ -1,0 +1,71 @@
+"""Analytic cost features.
+
+Paper Section 7: for dense inputs one can derive simple analytic formulas for
+(1) floating point operations, (2) worst-case network traffic, (3) bytes of
+intermediate data pushed through the computation, and (4) the number of
+tuples pushed through (each tuple has a fixed overhead).  Sparsity scales the
+relevant terms.  These features are combined into seconds by the regression
+model in :mod:`repro.cost.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostFeatures:
+    """Feature vector describing one operator implementation / transformation.
+
+    The last two fields are not regression features; they drive feasibility:
+
+    ``max_worker_bytes``
+        Peak bytes that must be *RAM-resident* on a single worker (broadcast
+        payloads, single-tuple matrices, aggregation buffers, per-tuple
+        working sets).  Exceeding worker RAM fails the stage.
+
+    ``spill_bytes``
+        Per-worker bytes of streamed/shuffled data the engine can spill to
+        local disk (relation shares, shuffle buffers, join intermediates).
+        Exceeding worker disk fails the stage — the paper's "too much
+        intermediate data" crashes.
+    """
+
+    flops: float = 0.0
+    network_bytes: float = 0.0
+    intermediate_bytes: float = 0.0
+    tuples: float = 0.0
+    output_bytes: float = 0.0
+    max_worker_bytes: float = 0.0
+    spill_bytes: float = 0.0
+
+    def __add__(self, other: "CostFeatures") -> "CostFeatures":
+        return CostFeatures(
+            flops=self.flops + other.flops,
+            network_bytes=self.network_bytes + other.network_bytes,
+            intermediate_bytes=self.intermediate_bytes + other.intermediate_bytes,
+            tuples=self.tuples + other.tuples,
+            output_bytes=self.output_bytes + other.output_bytes,
+            max_worker_bytes=max(self.max_worker_bytes, other.max_worker_bytes),
+            spill_bytes=max(self.spill_bytes, other.spill_bytes),
+        )
+
+    def scaled(self, factor: float) -> "CostFeatures":
+        """All additive features scaled by ``factor``."""
+        return CostFeatures(
+            flops=self.flops * factor,
+            network_bytes=self.network_bytes * factor,
+            intermediate_bytes=self.intermediate_bytes * factor,
+            tuples=self.tuples * factor,
+            output_bytes=self.output_bytes * factor,
+            max_worker_bytes=self.max_worker_bytes,
+            spill_bytes=self.spill_bytes,
+        )
+
+    def as_vector(self) -> tuple[float, float, float, float]:
+        """The four regression features, in canonical order."""
+        return (self.flops, self.network_bytes, self.intermediate_bytes,
+                self.tuples)
+
+
+ZERO_FEATURES = CostFeatures()

@@ -1,0 +1,87 @@
+"""The cost model: analytic features + regression weights -> seconds.
+
+Paper Section 7: "At installation time, our implementation runs a set of
+benchmark computations for which it collects the running time, and then it
+uses the aforementioned analytically-computed features along with those
+running times as input into a regression".  :mod:`repro.cost.calibration`
+performs that fitting; this module holds the resulting model.
+
+Each feature is first normalized by the relevant cluster capacity (FLOPs by
+aggregate compute throughput, network bytes by aggregate bandwidth, ...), so
+the learned weights are dimensionless efficiency factors near 1.0 and the
+model extrapolates across cluster sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cluster import ClusterConfig
+from .features import CostFeatures
+
+#: Cost of an infeasible choice (the paper's ∞).
+INFEASIBLE = math.inf
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Dimensionless regression weights, one per feature, plus latency."""
+
+    flops: float = 1.0
+    network: float = 1.0
+    intermediate: float = 1.0
+    tuples: float = 1.0
+    latency: float = 1.0
+
+    def as_vector(self) -> tuple[float, float, float, float, float]:
+        return (self.flops, self.network, self.intermediate, self.tuples,
+                self.latency)
+
+
+#: Weights shipped with the library, produced by
+#: :func:`repro.cost.calibration.calibrate` on the reference simulator.
+DEFAULT_WEIGHTS = CostWeights()
+
+
+class CostModel:
+    """Converts :class:`CostFeatures` into (simulated) seconds."""
+
+    def __init__(self, cluster: ClusterConfig,
+                 weights: CostWeights = DEFAULT_WEIGHTS) -> None:
+        self.cluster = cluster
+        self.weights = weights
+
+    # ------------------------------------------------------------------
+    def normalized(self, features: CostFeatures) -> tuple[float, ...]:
+        """Per-feature raw times before weighting (the regression inputs)."""
+        c = self.cluster
+        compute_time = features.flops / c.total_flops_per_sec
+        network_time = features.network_bytes / c.aggregate_network_bytes_per_sec
+        memory_time = (features.intermediate_bytes
+                       / (c.num_workers * c.memory_bytes_per_sec))
+        tuple_time = (features.tuples * c.per_tuple_seconds
+                      / c.num_workers)
+        latency = c.stage_latency_seconds if self._is_nonempty(features) else 0.0
+        return (compute_time, network_time, memory_time, tuple_time, latency)
+
+    @staticmethod
+    def _is_nonempty(features: CostFeatures) -> bool:
+        return (features.flops > 0 or features.network_bytes > 0
+                or features.intermediate_bytes > 0 or features.tuples > 0)
+
+    def seconds(self, features: CostFeatures) -> float:
+        """Predicted running time of a stage with the given features.
+
+        Returns :data:`INFEASIBLE` when the stage's RAM-resident working set
+        exceeds worker RAM, or its spillable data exceeds worker disk — the
+        cost-model analogues of the paper's "Fail" entries (crashes from
+        "too much intermediate data").
+        """
+        if features.max_worker_bytes > self.cluster.ram_bytes:
+            return INFEASIBLE
+        if features.spill_bytes > self.cluster.disk_bytes:
+            return INFEASIBLE
+        parts = self.normalized(features)
+        w = self.weights.as_vector()
+        return sum(p * wi for p, wi in zip(parts, w))

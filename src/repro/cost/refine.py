@@ -1,0 +1,133 @@
+"""Sketch-driven sparsity refinement of compute graphs.
+
+The paper's Section 7 proposal: "use our proposed optimization algorithms
+along with a framework such as that proposed by Sommer et al. to estimate
+the sparsity of all intermediate results and use those estimates in the
+cost model."  This module does that: given MNC sketches of the input
+matrices (exact, from the loaded data), it propagates them through the
+graph's operations and rebuilds the graph with the refined per-vertex
+sparsity — which the optimizer's cost model then consumes directly.
+
+On structured sparse inputs the refined estimates are far closer to the
+truth than the scalar independence-assumption propagation, which changes
+format choices (e.g. keeping a chain in CSR rather than densifying early).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.graph import ComputeGraph, VertexId
+from .sparsity import MncSketch
+
+
+class SketchPropagationError(ValueError):
+    """Raised when a sketch cannot be propagated through an operation."""
+
+
+def propagate_sketches(
+    graph: ComputeGraph,
+    source_sketches: dict[str, MncSketch],
+) -> dict[VertexId, MncSketch]:
+    """Sketches for every vertex, from exact sketches of the sources.
+
+    Sources missing from ``source_sketches`` use the uniform sketch implied
+    by their declared scalar sparsity.
+    """
+    sketches: dict[VertexId, MncSketch] = {}
+    for vid in graph.topological_order():
+        v = graph.vertex(vid)
+        if v.is_source:
+            sketch = source_sketches.get(v.name)
+            if sketch is None:
+                sketch = MncSketch.from_type(v.mtype)
+            elif (sketch.rows, sketch.cols) != (v.mtype.rows, v.mtype.cols):
+                raise SketchPropagationError(
+                    f"sketch for {v.name!r} has shape "
+                    f"{(sketch.rows, sketch.cols)}, expected "
+                    f"{(v.mtype.rows, v.mtype.cols)}")
+            sketches[vid] = sketch
+            continue
+        args = [sketches[p] for p in v.inputs]
+        sketches[vid] = _apply(v.op.name, args)
+    return sketches
+
+
+def _apply(op_name: str, args: list[MncSketch]) -> MncSketch:
+    if op_name == "matmul":
+        return args[0].matmul(args[1])
+    if op_name in ("add", "sub"):
+        return args[0].elementwise_union(args[1])
+    if op_name == "elem_mul":
+        return args[0].elementwise_intersect(args[1])
+    if op_name == "elem_div":
+        return args[0]
+    if op_name in ("scalar_mul", "relu", "relu_grad"):
+        return args[0]
+    if op_name in ("sigmoid", "softmax", "exp", "inverse"):
+        return args[0].densify()
+    if op_name == "transpose":
+        return args[0].transpose()
+    if op_name == "row_sums":
+        (a,) = args
+        h_row = (a.h_row > 0).astype(np.float64)
+        return MncSketch(a.rows, 1, h_row,
+                         np.array([float(h_row.sum())]))
+    if op_name == "col_sums":
+        (a,) = args
+        h_col = (a.h_col > 0).astype(np.float64)
+        return MncSketch(1, a.cols, np.array([float(h_col.sum())]), h_col)
+    if op_name == "add_bias":
+        x, bias = args
+        # Non-zero bias columns fill their whole output column.
+        filled_cols = bias.h_col > 0
+        h_col = np.where(filled_cols, float(x.rows), x.h_col)
+        extra = float(filled_cols.sum())
+        h_row = np.minimum(x.h_row + extra, x.cols)
+        return MncSketch(x.rows, x.cols, h_row, h_col)
+    raise SketchPropagationError(f"no sketch rule for operation {op_name!r}")
+
+
+def refine_graph(
+    graph: ComputeGraph,
+    source_sketches: dict[str, MncSketch],
+) -> ComputeGraph:
+    """Rebuild ``graph`` with sketch-refined sparsity on every vertex.
+
+    The structure, names, formats and parameters are preserved; only the
+    sparsity component of each matrix type changes.  Optimizing the refined
+    graph makes the cost model see realistic non-zero counts for every
+    intermediate.
+    """
+    sketches = propagate_sketches(graph, source_sketches)
+    refined = ComputeGraph()
+    mapping: dict[VertexId, VertexId] = {}
+    for vid in graph.topological_order():
+        v = graph.vertex(vid)
+        sparsity = min(1.0, max(0.0, sketches[vid].sparsity))
+        if v.is_source:
+            mapping[vid] = refined.add_source(
+                v.name, v.mtype.with_sparsity(sparsity), v.format)
+        else:
+            new_vid = refined.add_op(
+                v.name, v.op, tuple(mapping[p] for p in v.inputs),
+                param=v.param)
+            # add_op infers sparsity from the scalar rules; override the
+            # vertex with the sketch-refined value.
+            inferred = refined.vertex(new_vid)
+            refined._vertices[new_vid] = inferred.__class__(
+                inferred.vid, inferred.name,
+                inferred.mtype.with_sparsity(sparsity), inferred.op,
+                inferred.inputs, inferred.format, inferred.param)
+            mapping[vid] = new_vid
+    for out in graph.outputs:
+        refined.mark_output(mapping[out.vid])
+    return refined
+
+
+def sketches_from_inputs(inputs: dict[str, "np.ndarray"]
+                         ) -> dict[str, MncSketch]:
+    """Exact sketches from loaded input matrices (paper: "the sparsity for
+    all inputs can easily be estimated as data are loaded")."""
+    return {name: MncSketch.from_matrix(data)
+            for name, data in inputs.items()}

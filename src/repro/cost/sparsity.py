@@ -1,0 +1,194 @@
+"""Sparsity estimation (paper Section 7).
+
+Two estimators are provided:
+
+* the *scalar* estimator the paper's prototype uses — a single nnz-fraction
+  per matrix with independence-assumption propagation rules (these live in
+  :mod:`repro.core.types` and are re-exported here), and
+* an MNC-style *structured* estimator (Sommer et al., SIGMOD 2019), which
+  the paper proposes as future work for chains of sparse operations: it
+  keeps per-row and per-column non-zero counts and propagates them through
+  matrix multiplication and element-wise operations far more accurately than
+  a scalar.
+
+Also provided is the paper's mid-execution re-optimization trigger: when the
+*observed* sparsity of an intermediate diverges from the estimate by more
+than a threshold relative error (Sommer's definition: ``max(est/true,
+true/est)``, 1.0 = perfect), execution should halt and the remaining plan be
+re-optimized (see :func:`repro.engine.reopt.execute_adaptive`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.types import (
+    MatrixType,
+    intersect_sparsity,
+    matmul_sparsity,
+    union_sparsity,
+)
+
+__all__ = [
+    "MncSketch",
+    "matmul_sparsity",
+    "union_sparsity",
+    "intersect_sparsity",
+    "relative_error",
+    "should_reoptimize",
+    "observed_sparsity",
+]
+
+#: Re-optimization threshold suggested in the paper's discussion ("say, 1.2").
+DEFAULT_REOPT_THRESHOLD = 1.2
+
+
+def relative_error(estimated: float, actual: float) -> float:
+    """Sommer's relative error: ``max(est/true, true/est)``; 1.0 is perfect.
+
+    Degenerate zero cases: both zero is perfect, one zero is infinitely
+    wrong.
+    """
+    if estimated <= 0.0 and actual <= 0.0:
+        return 1.0
+    if estimated <= 0.0 or actual <= 0.0:
+        return float("inf")
+    return max(estimated / actual, actual / estimated)
+
+
+def should_reoptimize(estimated: float, actual: float,
+                      threshold: float = DEFAULT_REOPT_THRESHOLD) -> bool:
+    """Whether the observed sparsity error warrants re-optimizing the plan."""
+    return relative_error(estimated, actual) > threshold
+
+
+def observed_sparsity(matrix) -> float:
+    """Actual nnz fraction of a dense or scipy-sparse matrix."""
+    if sp.issparse(matrix):
+        total = matrix.shape[0] * matrix.shape[1]
+        return matrix.nnz / total if total else 0.0
+    arr = np.asarray(matrix)
+    return float(np.count_nonzero(arr)) / arr.size if arr.size else 0.0
+
+
+@dataclass(frozen=True)
+class MncSketch:
+    """Matrix non-zero count sketch: per-row and per-column nnz vectors.
+
+    The full MNC framework also tracks extended features (empty rows,
+    single-non-zero rows); this implementation keeps the core h_row/h_col
+    histograms, which already dominate the accuracy gap to scalar estimates.
+    """
+
+    rows: int
+    cols: int
+    h_row: np.ndarray  # nnz per row, shape (rows,)
+    h_col: np.ndarray  # nnz per column, shape (cols,)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(cls, matrix) -> "MncSketch":
+        """Exact sketch of a dense or scipy-sparse matrix."""
+        if sp.issparse(matrix):
+            csr = matrix.tocsr()
+            h_row = np.diff(csr.indptr).astype(np.float64)
+            h_col = np.asarray(
+                (csr != 0).sum(axis=0)).ravel().astype(np.float64)
+            return cls(matrix.shape[0], matrix.shape[1], h_row, h_col)
+        arr = np.asarray(matrix)
+        mask = arr != 0
+        return cls(arr.shape[0], arr.shape[1],
+                   mask.sum(axis=1).astype(np.float64),
+                   mask.sum(axis=0).astype(np.float64))
+
+    @classmethod
+    def from_type(cls, mtype: MatrixType) -> "MncSketch":
+        """Uniform sketch from a scalar sparsity estimate."""
+        r, c = mtype.rows, mtype.cols
+        return cls(r, c,
+                   np.full(r, mtype.sparsity * c),
+                   np.full(c, mtype.sparsity * r))
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> float:
+        return float(self.h_row.sum())
+
+    @property
+    def sparsity(self) -> float:
+        total = self.rows * self.cols
+        return self.nnz / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def matmul(self, other: "MncSketch") -> "MncSketch":
+        """Sketch of ``self @ other``.
+
+        MNC's key idea: the expected density of output cell (i, j) follows
+        from how the i-th row's non-zeros meet the j-th column's through the
+        inner dimension.  Under per-k independence the probability that term
+        k contributes is ``(h_row_A[i]-weighted share) * ...``; we use the
+        standard estimator where the chance a given inner index k is active
+        for row i is ``a_ik ~ h_colA[k]/rows_A`` conditioned to match
+        ``h_rowA[i]``, giving per-row output counts::
+
+            nnz_row_C[i] = cols_B * (1 - prod_k (1 - p_ik * q_kj))
+
+        approximated in aggregate via the inner-dimension activity profile.
+        """
+        if self.cols != other.rows:
+            raise ValueError(
+                f"inner dimensions disagree: {self.cols} vs {other.rows}")
+        k = self.cols
+        # Activity of each inner index: fraction of A-rows (B-cols) hitting it.
+        a_act = np.clip(self.h_col / max(self.rows, 1), 0.0, 1.0)
+        b_act = np.clip(other.h_row / max(other.cols, 1), 0.0, 1.0)
+        # Probability an (i, j) output cell is non-zero, modulated per row i
+        # by how much denser/sparser row i is than the average row.
+        base_log = np.log1p(-np.clip(a_act * b_act, 0.0, 1.0 - 1e-12)).sum()
+        mean_row = self.h_row.mean() if self.rows else 0.0
+        mean_col = other.h_col.mean() if other.cols else 0.0
+        row_scale = self.h_row / mean_row if mean_row > 0 else \
+            np.zeros_like(self.h_row)
+        col_scale = other.h_col / mean_col if mean_col > 0 else \
+            np.zeros_like(other.h_col)
+        p_row = 1.0 - np.exp(np.clip(base_log * row_scale, -700.0, 0.0))
+        p_col = 1.0 - np.exp(np.clip(base_log * col_scale, -700.0, 0.0))
+        h_row = p_row * other.cols
+        h_col = p_col * self.rows
+        # Rows/columns with zero non-zeros produce empty outputs exactly.
+        h_row = np.where(self.h_row == 0, 0.0, h_row)
+        h_col = np.where(other.h_col == 0, 0.0, h_col)
+        return MncSketch(self.rows, other.cols, h_row, h_col)
+
+    def elementwise_union(self, other: "MncSketch") -> "MncSketch":
+        """Sketch of an add/sub-style union (no cancellation modelled)."""
+        self._check_same_shape(other)
+        h_row = np.minimum(self.h_row + other.h_row, self.cols)
+        h_col = np.minimum(self.h_col + other.h_col, self.rows)
+        return MncSketch(self.rows, self.cols, h_row, h_col)
+
+    def elementwise_intersect(self, other: "MncSketch") -> "MncSketch":
+        """Sketch of a Hadamard-style intersection."""
+        self._check_same_shape(other)
+        h_row = self.h_row * other.h_row / max(self.cols, 1)
+        h_col = self.h_col * other.h_col / max(self.rows, 1)
+        return MncSketch(self.rows, self.cols, h_row, h_col)
+
+    def transpose(self) -> "MncSketch":
+        return MncSketch(self.cols, self.rows, self.h_col.copy(),
+                         self.h_row.copy())
+
+    def densify(self) -> "MncSketch":
+        """Sketch of a fully dense same-shape result (e.g. softmax)."""
+        return MncSketch(self.rows, self.cols,
+                         np.full(self.rows, float(self.cols)),
+                         np.full(self.cols, float(self.rows)))
+
+    def _check_same_shape(self, other: "MncSketch") -> None:
+        if (self.rows, self.cols) != (other.rows, other.cols):
+            raise ValueError(
+                f"shape mismatch: {(self.rows, self.cols)} vs "
+                f"{(other.rows, other.cols)}")

@@ -1,0 +1,27 @@
+"""Distributed relational engine simulator (the SimSQL/PlinyCompute stand-in)."""
+
+from ..cluster import DEFAULT_CLUSTER, ClusterConfig
+from .executor import (
+    ExecutionResult,
+    Executor,
+    SimulationResult,
+    execute_plan,
+    format_hms,
+    simulate,
+)
+from .ledger import EngineFailure, StageRecord, TrafficLedger
+from .relation import Relation, RelationalEngine, payload_bytes
+from .reopt import AdaptiveResult, execute_adaptive
+from .storage import StoredMatrix, assemble, convert, split
+from .trace import ScheduledStage, Timeline, schedule
+
+__all__ = [
+    "DEFAULT_CLUSTER", "ClusterConfig",
+    "ExecutionResult", "Executor", "SimulationResult", "execute_plan",
+    "format_hms", "simulate",
+    "EngineFailure", "StageRecord", "TrafficLedger",
+    "Relation", "RelationalEngine", "payload_bytes",
+    "AdaptiveResult", "execute_adaptive",
+    "StoredMatrix", "assemble", "convert", "split",
+    "ScheduledStage", "Timeline", "schedule",
+]

@@ -1,0 +1,340 @@
+"""Plan execution: pure simulation and real (laptop-scale) execution.
+
+Two entry points:
+
+* :func:`simulate` — walks an annotated plan stage by stage, charging each
+  stage's *analytic* cost features to a :class:`TrafficLedger`.  No data is
+  materialized, so paper-scale matrices (e.g. 60K x 160K weight layers) are
+  fine.  Worker-memory overflows surface as failed simulations — the paper's
+  "Fail" table entries.
+
+* :class:`Executor` / :func:`execute_plan` — runs the plan on real numpy
+  data through the relational engine (:mod:`repro.engine.relation`), with
+  actual shuffles/broadcasts whose measured traffic is charged to the
+  ledger.  Integration tests verify results against dense numpy references.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.annotation import Plan
+from ..core.formats import Layout, PhysicalFormat
+from ..core.graph import VertexId
+from ..core.implementations import JoinStrategy
+from ..core.registry import OptimizerContext
+from . import kernels
+from .ledger import EngineFailure, TrafficLedger
+from .relation import Relation, RelationalEngine
+from .storage import StoredMatrix, _block_bounds, assemble, convert, split
+
+
+# ======================================================================
+# Simulation
+# ======================================================================
+@dataclass
+class SimulationResult:
+    """Outcome of simulating a plan on the modelled cluster."""
+
+    ok: bool
+    seconds: float
+    ledger: TrafficLedger
+    failure: str | None = None
+
+    @property
+    def display(self) -> str:
+        """Table cell: H:MM:SS like the paper, or Fail."""
+        if not self.ok:
+            return "Fail"
+        return format_hms(self.seconds)
+
+
+def format_hms(seconds: float) -> str:
+    """Format seconds the way the paper's tables do (H:MM:SS / M:SS)."""
+    seconds = int(round(seconds))
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    if h:
+        return f"{h}:{m:02d}:{s:02d}"
+    return f"{m}:{s:02d}"
+
+
+def simulate(plan: Plan, ctx: OptimizerContext) -> SimulationResult:
+    """Charge every stage of ``plan`` to a fresh ledger; detect failures."""
+    ledger = TrafficLedger(ctx.cluster, ctx.weights)
+    graph = plan.graph
+    try:
+        for vid in graph.topological_order():
+            v = graph.vertex(vid)
+            if v.is_source:
+                continue
+            transformed = []
+            for edge in graph.in_edges(vid):
+                producer = graph.vertex(edge.src)
+                transform, dst = plan.annotation.transforms[edge]
+                src_fmt = plan.cost.vertex_formats[edge.src]
+                feats = transform.features(producer.mtype, src_fmt, dst,
+                                           ctx.cluster)
+                ledger.charge(f"{producer.name}->{v.name}:{transform.name}",
+                              feats)
+                transformed.append(dst)
+            impl = plan.annotation.impls[vid]
+            in_types = tuple(graph.vertex(p).mtype for p in v.inputs)
+            feats = impl.features(in_types, tuple(transformed), ctx.cluster)
+            ledger.charge(f"{v.name}:{impl.name}", feats)
+    except EngineFailure as failure:
+        return SimulationResult(False, math.inf, ledger, str(failure))
+    return SimulationResult(True, ledger.total_seconds, ledger)
+
+
+# ======================================================================
+# Real execution
+# ======================================================================
+@dataclass
+class ExecutionResult:
+    """Outcome of executing a plan on real data."""
+
+    outputs: dict[str, np.ndarray]
+    vertex_values: dict[VertexId, np.ndarray]
+    ledger: TrafficLedger
+
+    def output(self) -> np.ndarray:
+        """The single output, when the graph has exactly one sink."""
+        if len(self.outputs) != 1:
+            raise ValueError(f"plan has {len(self.outputs)} outputs; "
+                             "use .outputs[name]")
+        return next(iter(self.outputs.values()))
+
+
+_JOIN_STRATEGY = {
+    JoinStrategy.SHUFFLE: "shuffle",
+    JoinStrategy.BROADCAST: "broadcast",
+    JoinStrategy.CROSS: "broadcast",
+    JoinStrategy.COPART: "copart",
+    JoinStrategy.LOCAL: "copart",
+    JoinStrategy.MAP: "copart",
+}
+
+
+class Executor:
+    """Executes one annotated plan on real numpy inputs."""
+
+    def __init__(self, plan: Plan, ctx: OptimizerContext) -> None:
+        self.plan = plan
+        self.ctx = ctx
+        self.cluster = ctx.cluster
+        self.ledger = TrafficLedger(ctx.cluster, ctx.weights)
+        self.engine = RelationalEngine(ctx.cluster, self.ledger)
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: dict[str, np.ndarray]) -> ExecutionResult:
+        """Execute the plan; ``inputs`` maps source names to matrices."""
+        graph = self.plan.graph
+        stored: dict[VertexId, StoredMatrix] = {}
+        for vid in graph.topological_order():
+            v = graph.vertex(vid)
+            if v.is_source:
+                if v.name not in inputs:
+                    raise KeyError(f"no input provided for source {v.name!r}")
+                stored[vid] = split(inputs[v.name], v.mtype, v.format,
+                                    self.cluster)
+                continue
+            stored[vid] = self.compute_vertex(v, stored)
+
+        vertex_values = {vid: assemble(s) for vid, s in stored.items()}
+        outputs = {graph.vertex(v.vid).name: vertex_values[v.vid]
+                   for v in graph.outputs}
+        return ExecutionResult(outputs, vertex_values, self.ledger)
+
+    # ------------------------------------------------------------------
+    def compute_vertex(self, v, stored: dict[VertexId, StoredMatrix]
+                       ) -> StoredMatrix:
+        """Execute one inner vertex given its producers' stored matrices:
+        apply the annotated edge transformations, then the implementation."""
+        graph = self.plan.graph
+        args = []
+        for edge in graph.in_edges(v.vid):
+            producer = graph.vertex(edge.src)
+            transform, dst = self.plan.annotation.transforms[edge]
+            src = stored[edge.src]
+            if src.fmt != dst:
+                feats = transform.features(producer.mtype, src.fmt, dst,
+                                           self.cluster)
+                self.ledger.charge(
+                    f"{producer.name}->{v.name}:{transform.name}", feats)
+                args.append(convert(src, dst, self.cluster))
+            else:
+                args.append(src)
+        return self._execute_vertex(v, args)
+
+    def _execute_vertex(self, v, args: list[StoredMatrix]) -> StoredMatrix:
+        impl = self.plan.annotation.impls[v.vid]
+        out_fmt = self.plan.cost.vertex_formats[v.vid]
+        name = impl.name
+        if name.startswith("mm_"):
+            return self._matmul(v, impl, args, out_fmt)
+        if name.startswith("ew_"):
+            return self._elementwise(v, impl, args, out_fmt)
+        if name.startswith("map_"):
+            return self._unary_map(v, impl, args[0], out_fmt)
+        if name.startswith("t_"):
+            return self._transpose(v, args[0], out_fmt)
+        if name == "softmax_row_local":
+            return self._rowwise_map(v, args[0], out_fmt,
+                                     kernels.softmax_rows)
+        if name in ("softmax_blocked", "inv_single") or \
+                name.startswith(("row_sums", "col_sums")):
+            return self._direct(v, impl, args, out_fmt)
+        if name.startswith("add_bias"):
+            return self._add_bias(v, impl, args, out_fmt)
+        raise NotImplementedError(f"no execution routine for {name}")
+
+    # -- matmul ---------------------------------------------------------
+    def _matmul(self, v, impl, args, out_fmt) -> StoredMatrix:
+        lhs, rhs = args
+        if lhs.fmt.layout is Layout.COO:
+            # Shuffle triples into sparse blocks aligned with the rhs grid.
+            inner = rhs.fmt.block_rows or rhs.mtype.rows
+            blocked = PhysicalFormat(Layout.SPARSE_TILE, block_rows=inner,
+                                     block_cols=inner)
+            lhs = convert(lhs, blocked, self.cluster)
+
+        strategy = _JOIN_STRATEGY[impl.join]
+        partials = self.engine.join(
+            lhs.relation, rhs.relation,
+            left_key=lambda k: k[1], right_key=lambda k: k[0],
+            combine=lambda lk, lp, rk, rp: (
+                (lk[0], rk[1], lk[1]), kernels.matmul(lp, rp)),
+            strategy=strategy,
+            flops_fn=kernels.matmul_flops,
+            stage=f"{v.name}:{impl.name}")
+        summed = self.engine.group_agg(
+            partials, group_fn=lambda k: (k[0], k[1]),
+            agg_fn=lambda a, b: a + b, stage=f"{v.name}:agg")
+        return self._as_stored(v, summed, out_fmt)
+
+    # -- element-wise binary ---------------------------------------------
+    def _elementwise(self, v, impl, args, out_fmt) -> StoredMatrix:
+        lhs, rhs = args
+        kernel = kernels.BINARY_KERNELS[v.op.name]
+        joined = self.engine.join(
+            lhs.relation, rhs.relation,
+            left_key=lambda k: k, right_key=lambda k: k,
+            combine=lambda lk, lp, rk, rp: (lk, kernel(lp, rp)),
+            strategy="copart",
+            flops_fn=lambda a, b: float(np.prod(a.shape)),
+            stage=f"{v.name}:{impl.name}")
+        return self._as_stored(v, joined, out_fmt)
+
+    # -- unary maps -------------------------------------------------------
+    def _unary_map(self, v, impl, arg: StoredMatrix, out_fmt) -> StoredMatrix:
+        if v.op.name == "scalar_mul":
+            scalar = v.param if v.param is not None else 1.0
+            fn = lambda key, p: (key, kernels.scalar_mul(p, scalar))
+        else:
+            kernel = kernels.UNARY_KERNELS[v.op.name]
+            fn = lambda key, p: (key, kernel(p))
+        rel = self.engine.map_rows(arg.relation, fn,
+                                   flops=float(arg.mtype.entries),
+                                   stage=f"{v.name}:{impl.name}")
+        return self._as_stored(v, rel, out_fmt)
+
+    def _rowwise_map(self, v, arg: StoredMatrix, out_fmt, kernel) -> StoredMatrix:
+        rel = self.engine.map_rows(
+            arg.relation, lambda key, p: (key, kernel(p)),
+            flops=4.0 * arg.mtype.entries, stage=f"{v.name}:softmax")
+        return self._as_stored(v, rel, out_fmt)
+
+    # -- transpose --------------------------------------------------------
+    def _transpose(self, v, arg: StoredMatrix, out_fmt) -> StoredMatrix:
+        rel = self.engine.map_rows(
+            arg.relation,
+            lambda key, p: ((key[1], key[0]), kernels.transpose(p)),
+            flops=float(arg.mtype.entries), stage=f"{v.name}:transpose")
+        rel = self.engine.repartition(rel, lambda k: k,
+                                      stage=f"{v.name}:t-shuffle")
+        return self._as_stored(v, rel, out_fmt)
+
+    # -- direct ops (softmax over column blocks, reductions, inverse) -----
+    def _direct(self, v, impl, args, out_fmt) -> StoredMatrix:
+        # Computed via gather + numpy; cost charged from analytic features,
+        # as documented in DESIGN.md.
+        in_types = tuple(a.mtype for a in args)
+        in_formats = tuple(a.fmt for a in args)
+        feats = impl.features(in_types, in_formats, self.cluster)
+        self.ledger.charge(f"{v.name}:{impl.name}", feats)
+        dense = assemble(args[0])
+        if v.op.name == "softmax":
+            result = kernels.softmax_rows(dense)
+        elif v.op.name == "row_sums":
+            result = kernels.row_sums(dense)
+        elif v.op.name == "col_sums":
+            result = kernels.col_sums(dense)
+        elif v.op.name == "inverse":
+            result = kernels.inverse(dense)
+        else:  # pragma: no cover - routing error
+            raise NotImplementedError(v.op.name)
+        return split(result, v.mtype, out_fmt, self.cluster)
+
+    # -- bias add ----------------------------------------------------------
+    def _add_bias(self, v, impl, args, out_fmt) -> StoredMatrix:
+        x, bias = args
+        bounds = _block_bounds(
+            x.mtype.cols,
+            x.fmt.block_cols if (x.fmt.is_col_partitioned or x.fmt.is_tiled)
+            else None)
+        bias_row = assemble(bias).reshape(1, -1)
+        if impl.join is JoinStrategy.BROADCAST:
+            self.engine.broadcast(bias.relation, stage=f"{v.name}:bcast-bias")
+        rel = self.engine.map_rows(
+            x.relation,
+            lambda key, p: (key, kernels.add_bias(
+                p, bias_row[:, bounds[key[1]][0]:bounds[key[1]][1]])),
+            flops=float(x.mtype.entries), stage=f"{v.name}:{impl.name}")
+        return self._as_stored(v, rel, out_fmt)
+
+    # ------------------------------------------------------------------
+    def _as_stored(self, v, relation: Relation, out_fmt) -> StoredMatrix:
+        """Wrap relational output blocks as a stored matrix in ``out_fmt``.
+
+        Output keys are expected to match the format's grid; payloads are
+        re-encoded (dense/sparse) when the format demands it.
+        """
+        expected = out_fmt.grid(v.mtype)
+        keys = set(relation.rows.keys())
+        want = {(i, j) for i in range(expected[0]) for j in range(expected[1])}
+        if keys != want:
+            # Block mismatch: reassemble through storage (charged already).
+            tmp = StoredMatrix(v.mtype, _guess_fmt(v.mtype, keys), relation)
+            return split(assemble(tmp), v.mtype, out_fmt, self.cluster)
+        rows = {}
+        for key, payload in relation.rows.items():
+            if out_fmt.is_sparse and not sp.issparse(payload):
+                rows[key] = sp.csr_matrix(payload)
+            elif not out_fmt.is_sparse and sp.issparse(payload):
+                rows[key] = payload.toarray()
+            else:
+                rows[key] = payload
+        return StoredMatrix(v.mtype, out_fmt,
+                            Relation(self.cluster, rows, relation.home))
+
+
+def _guess_fmt(mtype, keys) -> PhysicalFormat:
+    """Infer a block layout from result keys (fallback path)."""
+    max_i = max(k[0] for k in keys) + 1
+    max_j = max(k[1] for k in keys) + 1
+    br = math.ceil(mtype.rows / max_i)
+    bc = math.ceil(mtype.cols / max_j)
+    if max_i == 1 and max_j == 1:
+        return PhysicalFormat(Layout.SINGLE)
+    return PhysicalFormat(Layout.TILE, block_rows=br, block_cols=bc)
+
+
+def execute_plan(plan: Plan, inputs: dict[str, np.ndarray],
+                 ctx: OptimizerContext) -> ExecutionResult:
+    """Convenience wrapper: build an :class:`Executor` and run it."""
+    return Executor(plan, ctx).run(inputs)

@@ -1,0 +1,89 @@
+"""Traffic/compute ledger: the simulated clock of the engine.
+
+Every relational operation (and every plan stage during pure simulation)
+records its cost features here; the ledger converts them to seconds through
+the same regression cost model the optimizer uses, and enforces per-worker
+memory limits — the analogue of the paper's clusters crashing with "too much
+intermediate data".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cost.features import CostFeatures
+from ..cost.model import CostModel, CostWeights, DEFAULT_WEIGHTS
+from ..cluster import ClusterConfig
+
+
+class EngineFailure(RuntimeError):
+    """The (simulated) engine crashed — the paper's "Fail" entries."""
+
+    def __init__(self, stage: str, reason: str) -> None:
+        super().__init__(f"stage {stage!r} failed: {reason}")
+        self.stage = stage
+        self.reason = reason
+
+
+@dataclass
+class StageRecord:
+    """One executed/simulated stage with its features and charged seconds."""
+
+    name: str
+    features: CostFeatures
+    seconds: float
+
+
+@dataclass
+class TrafficLedger:
+    """Accumulates per-stage charges into a simulated wall clock."""
+
+    cluster: ClusterConfig
+    weights: CostWeights = DEFAULT_WEIGHTS
+    stages: list[StageRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._model = CostModel(self.cluster, self.weights)
+
+    # ------------------------------------------------------------------
+    def charge(self, name: str, features: CostFeatures) -> float:
+        """Record a stage; returns its seconds.  Raises on memory overflow."""
+        if features.max_worker_bytes > self.cluster.ram_bytes:
+            raise EngineFailure(
+                name,
+                f"needs {features.max_worker_bytes / 1024**3:.1f} GiB of RAM "
+                f"on one worker, only {self.cluster.ram_bytes / 1024**3:.1f} "
+                "GiB available")
+        if features.spill_bytes > self.cluster.disk_bytes:
+            raise EngineFailure(
+                name,
+                f"needs {features.spill_bytes / 1e9:.0f} GB of spill space "
+                f"per worker, only {self.cluster.disk_bytes / 1e9:.0f} GB of "
+                "local disk available (too much intermediate data)")
+        seconds = self._model.seconds(features)
+        self.stages.append(StageRecord(name, features, seconds))
+        return seconds
+
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        """Simulated wall-clock total."""
+        return sum(s.seconds for s in self.stages)
+
+    @property
+    def total_features(self) -> CostFeatures:
+        total = CostFeatures()
+        for s in self.stages:
+            total = total + s.features
+        return total
+
+    def breakdown(self) -> str:
+        """Per-stage report for debugging and examples."""
+        lines = [f"{'stage':40s} {'seconds':>10s} {'net MB':>10s} {'tuples':>10s}"]
+        for s in self.stages:
+            lines.append(
+                f"{s.name:40s} {s.seconds:10.3f} "
+                f"{s.features.network_bytes / 1e6:10.1f} "
+                f"{s.features.tuples:10.0f}")
+        lines.append(f"{'TOTAL':40s} {self.total_seconds:10.3f}")
+        return "\n".join(lines)

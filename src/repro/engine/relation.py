@@ -1,0 +1,293 @@
+"""Partitioned relations and relational operators.
+
+This is the distributed-relational-engine substrate the optimizer's plans
+run on — the stand-in for SimSQL / PlinyCompute.  A :class:`Relation` is a
+set of keyed tuples hash-partitioned across workers; the operators below
+(map, repartition, broadcast, joins with several strategies, group-by
+aggregation) move real payloads between (simulated) workers and charge the
+observed traffic to a :class:`~repro.engine.ledger.TrafficLedger`.
+
+Payload bytes are measured from the actual numpy/scipy payloads, so the
+integration tests can check the engine's *measured* traffic against the
+optimizer's *analytic* predictions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..cost.features import CostFeatures
+from ..cluster import ClusterConfig
+from .ledger import TrafficLedger
+
+Key = Hashable
+
+
+def payload_bytes(payload: Any) -> float:
+    """Approximate wire size of a tuple payload."""
+    if sp.issparse(payload):
+        return float(payload.data.nbytes
+                     + getattr(payload, "indices", np.empty(0)).nbytes
+                     + getattr(payload, "indptr", np.empty(0)).nbytes)
+    if isinstance(payload, np.ndarray):
+        return float(payload.nbytes)
+    return 64.0
+
+
+def _worker_of(key: Key, num_workers: int) -> int:
+    return hash(key) % num_workers
+
+
+def _max_payload(rel: "Relation") -> float:
+    """Largest single tuple payload in a relation (RAM working-set unit)."""
+    if not rel.rows:
+        return 0.0
+    return max(payload_bytes(p) for p in rel.rows.values())
+
+
+class Relation:
+    """A keyed, hash-partitioned collection of tuples."""
+
+    def __init__(self, cluster: ClusterConfig,
+                 rows: dict[Key, Any],
+                 home: dict[Key, int] | None = None) -> None:
+        self.cluster = cluster
+        self.rows = rows
+        self.home = home if home is not None else {
+            k: _worker_of(k, cluster.num_workers) for k in rows}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, cluster: ClusterConfig,
+             rows: dict[Key, Any]) -> "Relation":
+        """Create a relation from already-loaded data (no charge)."""
+        return cls(cluster, dict(rows))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(payload_bytes(p) for p in self.rows.values())
+
+    def worker_bytes(self) -> dict[int, float]:
+        """Resident payload bytes per worker."""
+        per: dict[int, float] = {}
+        for key, payload in self.rows.items():
+            w = self.home[key]
+            per[w] = per.get(w, 0.0) + payload_bytes(payload)
+        return per
+
+    def max_worker_bytes(self) -> float:
+        per = self.worker_bytes()
+        return max(per.values()) if per else 0.0
+
+
+class RelationalEngine:
+    """Executes relational operators against a ledger."""
+
+    def __init__(self, cluster: ClusterConfig, ledger: TrafficLedger) -> None:
+        self.cluster = cluster
+        self.ledger = ledger
+
+    # ------------------------------------------------------------------
+    def map_rows(self, rel: Relation, fn: Callable[[Key, Any], tuple[Key, Any]],
+                 flops: float = 0.0, stage: str = "map") -> Relation:
+        """Per-tuple map; no data movement."""
+        out_rows: dict[Key, Any] = {}
+        out_home: dict[Key, int] = {}
+        for key, payload in rel.rows.items():
+            new_key, new_payload = fn(key, payload)
+            out_rows[new_key] = new_payload
+            out_home[new_key] = rel.home[key]
+        out = Relation(rel.cluster, out_rows, out_home)
+        self.ledger.charge(stage, CostFeatures(
+            flops=flops, tuples=float(len(rel)),
+            output_bytes=out.total_bytes,
+            max_worker_bytes=2.0 * _max_payload(rel),
+            spill_bytes=rel.max_worker_bytes() + out.max_worker_bytes()))
+        return out
+
+    # ------------------------------------------------------------------
+    def repartition(self, rel: Relation, part_fn: Callable[[Key], Key],
+                    stage: str = "repartition") -> Relation:
+        """Hash-repartition by ``part_fn(key)``; charges moved bytes only."""
+        moved_bytes = 0.0
+        moved_tuples = 0
+        new_home: dict[Key, int] = {}
+        for key, payload in rel.rows.items():
+            target = _worker_of(part_fn(key), self.cluster.num_workers)
+            if target != rel.home[key]:
+                moved_bytes += payload_bytes(payload)
+                moved_tuples += 1
+            new_home[key] = target
+        out = Relation(rel.cluster, dict(rel.rows), new_home)
+        self.ledger.charge(stage, CostFeatures(
+            network_bytes=moved_bytes, tuples=float(moved_tuples),
+            intermediate_bytes=moved_bytes,
+            max_worker_bytes=2.0 * _max_payload(rel),
+            spill_bytes=rel.max_worker_bytes() + out.max_worker_bytes()))
+        return out
+
+    # ------------------------------------------------------------------
+    def broadcast(self, rel: Relation, stage: str = "broadcast") -> dict[Key, Any]:
+        """Replicate every tuple to every worker; returns the full view."""
+        total = rel.total_bytes
+        self.ledger.charge(stage, CostFeatures(
+            network_bytes=total * self.cluster.num_workers,
+            tuples=float(len(rel) * self.cluster.num_workers),
+            max_worker_bytes=total + _max_payload(rel),
+            spill_bytes=rel.max_worker_bytes()))
+        return dict(rel.rows)
+
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        left: Relation,
+        right: Relation,
+        left_key: Callable[[Key], Key],
+        right_key: Callable[[Key], Key],
+        combine: Callable[[Key, Any, Key, Any], tuple[Key, Any] | None],
+        strategy: str = "shuffle",
+        flops_fn: Callable[[Any, Any], float] | None = None,
+        stage: str = "join",
+    ) -> Relation:
+        """Equi-join on ``left_key(k) == right_key(k)``.
+
+        ``strategy`` is ``shuffle`` (repartition both sides on the join key),
+        ``broadcast`` (replicate the smaller side) or ``copart`` (sides are
+        expected to be co-partitioned already; any residual movement is still
+        measured and charged).  ``combine`` maps a matched pair to an output
+        tuple or ``None`` to drop it.
+        """
+        if strategy in ("shuffle", "copart"):
+            left = self.repartition(left, left_key, stage=f"{stage}:part-l")
+            right = self.repartition(right, right_key, stage=f"{stage}:part-r")
+            right_index = self._index(right.rows, right_key)
+            pairs = self._match(left.rows, left_key, right_index)
+            home = {k: left.home[k] for k in left.rows}
+        elif strategy == "broadcast":
+            if left.total_bytes <= right.total_bytes:
+                small_rows = self.broadcast(left, stage=f"{stage}:bcast-l")
+                right_index = self._index(small_rows, left_key)
+                pairs = [(lk, lp, rk, rp)
+                         for rk, rp in right.rows.items()
+                         for lk, lp in right_index.get(right_key(rk), [])]
+                home = {k: right.home[k] for k in right.rows}
+            else:
+                small_rows = self.broadcast(right, stage=f"{stage}:bcast-r")
+                right_index = self._index(small_rows, right_key)
+                pairs = [(lk, lp, rk, rp)
+                         for lk, lp in left.rows.items()
+                         for rk, rp in right_index.get(left_key(lk), [])]
+                home = {k: left.home[k] for k in left.rows}
+        else:
+            raise ValueError(f"unknown join strategy {strategy!r}")
+
+        if strategy != "broadcast":
+            pairs = [(lk, lp, rk, rp)
+                     for lk, lp, matches in pairs
+                     for rk, rp in matches]
+
+        out_rows: dict[Key, Any] = {}
+        out_home: dict[Key, int] = {}
+        flops = 0.0
+        big_home = home
+        for lk, lp, rk, rp in pairs:
+            result = combine(lk, lp, rk, rp)
+            if result is None:
+                continue
+            out_key, out_payload = result
+            if flops_fn is not None:
+                flops += flops_fn(lp, rp)
+            out_rows[out_key] = out_payload
+            anchor = lk if lk in big_home else rk
+            out_home[out_key] = big_home.get(anchor, 0)
+        out = Relation(left.cluster, out_rows, out_home)
+        self.ledger.charge(stage, CostFeatures(
+            flops=flops, tuples=float(len(out_rows)),
+            output_bytes=out.total_bytes,
+            max_worker_bytes=4.0 * _max_payload(out),
+            spill_bytes=out.max_worker_bytes()))
+        return out
+
+    @staticmethod
+    def _index(rows: dict[Key, Any],
+               key_fn: Callable[[Key], Key]) -> dict[Key, list]:
+        index: dict[Key, list] = {}
+        for k, p in rows.items():
+            index.setdefault(key_fn(k), []).append((k, p))
+        return index
+
+    @staticmethod
+    def _match(rows: dict[Key, Any], key_fn: Callable[[Key], Key],
+               index: dict[Key, list]) -> list:
+        return [(k, p, index.get(key_fn(k), [])) for k, p in rows.items()]
+
+    # ------------------------------------------------------------------
+    def cross(
+        self,
+        left: Relation,
+        right: Relation,
+        combine: Callable[[Key, Any, Key, Any], tuple[Key, Any]],
+        flops_fn: Callable[[Any, Any], float] | None = None,
+        stage: str = "cross",
+    ) -> Relation:
+        """Cross join: the smaller side is replicated everywhere."""
+        if left.total_bytes <= right.total_bytes:
+            self.broadcast(left, stage=f"{stage}:bcast")
+        else:
+            self.broadcast(right, stage=f"{stage}:bcast")
+        out_rows: dict[Key, Any] = {}
+        out_home: dict[Key, int] = {}
+        flops = 0.0
+        anchor_home = (right.home if left.total_bytes <= right.total_bytes
+                       else left.home)
+        for lk, lp in left.rows.items():
+            for rk, rp in right.rows.items():
+                out_key, out_payload = combine(lk, lp, rk, rp)
+                if flops_fn is not None:
+                    flops += flops_fn(lp, rp)
+                out_rows[out_key] = out_payload
+                anchor = rk if rk in anchor_home else lk
+                out_home[out_key] = anchor_home.get(anchor, 0)
+        out = Relation(left.cluster, out_rows, out_home)
+        self.ledger.charge(stage, CostFeatures(
+            flops=flops, tuples=float(len(out_rows)),
+            output_bytes=out.total_bytes,
+            max_worker_bytes=4.0 * _max_payload(out),
+            spill_bytes=out.max_worker_bytes()))
+        return out
+
+    # ------------------------------------------------------------------
+    def group_agg(
+        self,
+        rel: Relation,
+        group_fn: Callable[[Key], Key],
+        agg_fn: Callable[[Any, Any], Any],
+        stage: str = "agg",
+    ) -> Relation:
+        """SUM-style aggregation: shuffle by group key, then reduce."""
+        shuffled = self.repartition(rel, group_fn, stage=f"{stage}:part")
+        out_rows: dict[Key, Any] = {}
+        out_home: dict[Key, int] = {}
+        flops = 0.0
+        for key, payload in shuffled.rows.items():
+            group = group_fn(key)
+            if group in out_rows:
+                out_rows[group] = agg_fn(out_rows[group], payload)
+                flops += payload_bytes(payload) / 8.0
+            else:
+                out_rows[group] = payload
+                out_home[group] = shuffled.home[key]
+        out = Relation(rel.cluster, out_rows, out_home)
+        self.ledger.charge(stage, CostFeatures(
+            flops=flops, tuples=float(len(rel)),
+            output_bytes=out.total_bytes,
+            max_worker_bytes=2.0 * _max_payload(rel) + 2.0 * _max_payload(out),
+            spill_bytes=shuffled.max_worker_bytes()
+            + out.max_worker_bytes()))
+        return out

@@ -1,0 +1,146 @@
+"""Mid-execution re-optimization on sparsity estimation errors.
+
+Paper Section 7 (future work): "During execution of the plan, it is easy to
+compute the sparsity of each intermediate result.  If the relative error in
+estimated sparsity exceeds some value (say, 1.2), then execution can be
+halted, and the remaining plan re-optimized."
+
+:func:`execute_adaptive` implements exactly that loop: it optimizes and
+executes a compute graph vertex by vertex; whenever an intermediate's
+*observed* sparsity diverges from the estimate beyond the threshold, the
+remaining computation is rebuilt (already-computed vertices become sources
+with their observed sparsity and current physical format) and re-optimized
+before execution continues — the LA/ML analogue of mid-query
+re-optimization in relational databases [Kabra & DeWitt; Babu et al.].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.graph import ComputeGraph, VertexId
+from ..core.optimizer import optimize
+from ..core.registry import OptimizerContext
+from ..cost.sparsity import (
+    DEFAULT_REOPT_THRESHOLD,
+    observed_sparsity,
+    should_reoptimize,
+)
+from .executor import Executor
+from .storage import StoredMatrix, assemble
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of an adaptive execution."""
+
+    outputs: dict[str, np.ndarray]
+    reoptimizations: int
+    simulated_seconds: float
+    #: (vertex name, estimated sparsity, observed sparsity) per trigger.
+    triggers: list[tuple[str, float, float]]
+
+
+def _rebuild_remaining(
+    graph: ComputeGraph,
+    computed: dict[VertexId, StoredMatrix],
+    sparsity_of: dict[VertexId, float],
+) -> tuple[ComputeGraph, dict[VertexId, VertexId], dict[str, VertexId]]:
+    """Build the residual graph: computed vertices become sources carrying
+    their observed sparsity and current physical format."""
+    residual = ComputeGraph()
+    mapping: dict[VertexId, VertexId] = {}
+    out_names: dict[str, VertexId] = {}
+    for vid in graph.topological_order():
+        v = graph.vertex(vid)
+        if vid in computed:
+            stored = computed[vid]
+            mtype = v.mtype.with_sparsity(sparsity_of[vid])
+            mapping[vid] = residual.add_source(v.name, mtype, stored.fmt)
+        else:
+            new_inputs = tuple(mapping[p] for p in v.inputs)
+            mapping[vid] = residual.add_op(v.name, v.op, new_inputs,
+                                           param=v.param)
+    for out in graph.outputs:
+        residual.mark_output(mapping[out.vid])
+        out_names[out.name] = mapping[out.vid]
+    return residual, mapping, out_names
+
+
+def execute_adaptive(
+    graph: ComputeGraph,
+    inputs: dict[str, np.ndarray],
+    ctx: OptimizerContext,
+    threshold: float = DEFAULT_REOPT_THRESHOLD,
+    max_reoptimizations: int = 5,
+    max_states: int | None = None,
+) -> AdaptiveResult:
+    """Optimize + execute with the paper's sparsity re-optimization loop."""
+    total_seconds = 0.0
+    reopts = 0
+    triggers: list[tuple[str, float, float]] = []
+
+    current = graph
+    plan = optimize(current, ctx, max_states=max_states)
+    executor = Executor(plan, ctx)
+    stored: dict[VertexId, StoredMatrix] = {}
+    sparsity_of: dict[VertexId, float] = {}
+    values: dict[str, np.ndarray] = dict(inputs)
+
+    progressing = True
+    while progressing:
+        progressing = False
+        restart = False
+        for vid in current.topological_order():
+            if vid in stored:
+                continue
+            v = current.vertex(vid)
+            if v.is_source:
+                if v.name not in values:
+                    raise KeyError(f"no input for source {v.name!r}")
+                from .storage import split
+                stored[vid] = split(values[v.name], v.mtype, v.format,
+                                    ctx.cluster)
+                sparsity_of[vid] = observed_sparsity(values[v.name])
+                continue
+
+            stored[vid] = executor.compute_vertex(v, stored)
+            actual = observed_sparsity(assemble(stored[vid]))
+            sparsity_of[vid] = actual
+            estimated = v.mtype.sparsity
+            remaining = sum(1 for w in current.vertex_ids
+                            if w not in stored
+                            and not current.vertex(w).is_source)
+            if (remaining > 0 and reopts < max_reoptimizations
+                    and should_reoptimize(estimated, actual, threshold)):
+                triggers.append((v.name, estimated, actual))
+                reopts += 1
+                total_seconds += executor.ledger.total_seconds
+                residual, mapping, _ = _rebuild_remaining(
+                    current, {w: s for w, s in stored.items()},
+                    sparsity_of)
+                # Re-key the already-computed matrices into the new graph.
+                stored = {mapping[w]: s for w, s in stored.items()}
+                sparsity_of = {mapping[w]: s
+                               for w, s in sparsity_of.items()}
+                values = {residual.vertex(w).name: assemble(s)
+                          for w, s in stored.items()}
+                current = residual
+                plan = optimize(current, ctx, max_states=max_states)
+                executor = Executor(plan, ctx)
+                # Stored formats may disagree with the new plan's source
+                # formats only if optimize changed them — sources keep their
+                # given formats, so the stored matrices remain valid.
+                restart = True
+                break
+            progressing = True
+        if restart:
+            progressing = True
+            continue
+        break
+
+    total_seconds += executor.ledger.total_seconds
+    outputs = {v.name: assemble(stored[v.vid]) for v in current.outputs}
+    return AdaptiveResult(outputs, reopts, total_seconds, triggers)

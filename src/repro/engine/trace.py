@@ -1,0 +1,132 @@
+"""Pipeline-aware execution timelines for annotated plans.
+
+The optimizer's objective, like the paper's, is the *sum* of stage costs
+(``Cost(G')``).  A real engine overlaps independent stages, so the wall
+clock is closer to the critical path of the stage DAG.  This module builds
+an ASAP (as-soon-as-possible) schedule of a plan's stages, reports the
+critical path, and renders a text Gantt chart — useful for understanding
+where a plan's time goes and how much pipeline parallelism it exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.annotation import Plan
+from ..core.graph import VertexId
+from ..core.registry import OptimizerContext
+
+
+@dataclass(frozen=True)
+class ScheduledStage:
+    """One stage placed on the timeline."""
+
+    name: str
+    kind: str                 # "op" or "transform"
+    vertex: VertexId          # consumer vertex
+    start: float
+    end: float
+    on_critical_path: bool
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """An ASAP schedule of a plan's stages."""
+
+    stages: list[ScheduledStage]
+    sequential_seconds: float
+    critical_path_seconds: float
+
+    @property
+    def parallelism(self) -> float:
+        """How much pipeline overlap the plan exposes (>= 1.0)."""
+        if self.critical_path_seconds <= 0:
+            return 1.0
+        return self.sequential_seconds / self.critical_path_seconds
+
+    def critical_path(self) -> list[ScheduledStage]:
+        return [s for s in self.stages if s.on_critical_path]
+
+    def gantt(self, width: int = 60) -> str:
+        """Text Gantt chart, one row per stage."""
+        if not self.stages:
+            return "(empty plan)"
+        total = max(self.critical_path_seconds, 1e-12)
+        lines = [f"timeline: {self.critical_path_seconds:.2f}s critical "
+                 f"path, {self.sequential_seconds:.2f}s sequential "
+                 f"(x{self.parallelism:.2f} overlap)"]
+        for s in sorted(self.stages, key=lambda s: (s.start, s.end)):
+            begin = int(round(width * s.start / total))
+            length = max(1, int(round(width * s.duration / total)))
+            bar = " " * begin + ("#" if s.on_critical_path else "-") * length
+            marker = "*" if s.on_critical_path else " "
+            lines.append(f"{s.name:36.36s}{marker}|{bar:<{width + 2}s}| "
+                         f"{s.duration:8.2f}s")
+        return "\n".join(lines)
+
+
+def schedule(plan: Plan, ctx: OptimizerContext) -> Timeline:
+    """ASAP-schedule the plan's stages and find the critical path.
+
+    A vertex's transformation stages depend on their producer's operator
+    stage; an operator stage depends on all of its transformation stages.
+    Stage durations come from the plan's evaluated costs.
+    """
+    graph = plan.graph
+    ready_at: dict[VertexId, float] = {}
+    stages: list[tuple[str, str, VertexId, float, float]] = []
+    # Backpointers for critical-path recovery: stage index -> parent index.
+    parents: dict[int, int | None] = {}
+    op_stage_index: dict[VertexId, int] = {}
+
+    for vid in graph.topological_order():
+        v = graph.vertex(vid)
+        if v.is_source:
+            ready_at[vid] = 0.0
+            continue
+        op_start = 0.0
+        op_parent: int | None = None
+        for edge in graph.in_edges(vid):
+            producer = graph.vertex(edge.src)
+            transform, _dst = plan.annotation.transforms[edge]
+            duration = plan.cost.edge_seconds[edge]
+            start = ready_at[edge.src]
+            end = start + duration
+            if duration > 0:
+                idx = len(stages)
+                stages.append((f"{producer.name}->{v.name}:{transform.name}",
+                               "transform", vid, start, end))
+                parents[idx] = op_stage_index.get(edge.src)
+                candidate_parent = idx
+            else:
+                candidate_parent = op_stage_index.get(edge.src)
+            if end >= op_start:
+                op_start = end
+                op_parent = candidate_parent
+        impl = plan.annotation.impls[vid]
+        duration = plan.cost.vertex_seconds[vid]
+        idx = len(stages)
+        stages.append((f"{v.name}:{impl.name}", "op", vid, op_start,
+                       op_start + duration))
+        parents[idx] = op_parent
+        op_stage_index[vid] = idx
+        ready_at[vid] = op_start + duration
+
+    critical_end = max((s[4] for s in stages), default=0.0)
+    # Walk back from the stage that finishes last.
+    on_path: set[int] = set()
+    if stages:
+        idx = max(range(len(stages)), key=lambda i: stages[i][4])
+        while idx is not None:
+            on_path.add(idx)
+            idx = parents.get(idx)
+
+    scheduled = [
+        ScheduledStage(name, kind, vid, start, end, i in on_path)
+        for i, (name, kind, vid, start, end) in enumerate(stages)]
+    sequential = sum(s.duration for s in scheduled)
+    return Timeline(scheduled, sequential, critical_end)

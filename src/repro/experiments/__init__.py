@@ -1,0 +1,6 @@
+"""Experiment harness: reproduces every table and figure of the paper."""
+
+from .figures import EXPERIMENTS
+from .harness import ExperimentTable, display_time, fresh_context
+
+__all__ = ["EXPERIMENTS", "ExperimentTable", "display_time", "fresh_context"]

@@ -1,0 +1,51 @@
+"""CLI: ``python -m repro.experiments [--fig fig06] [--all] [--out FILE]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .figures import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Rerun the paper's experiments on the simulated substrate.")
+    parser.add_argument("--fig", action="append", default=[],
+                        help="experiment id (repeatable); see --list")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    parser.add_argument("--out", default=None,
+                        help="also append rendered tables to this file")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.all else args.fig
+    if not names:
+        parser.error("give --fig <id> (repeatable), --all, or --list")
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; see --list")
+
+    chunks = []
+    for name in names:
+        table = EXPERIMENTS[name]()
+        rendered = table.render()
+        print(rendered)
+        print()
+        chunks.append(rendered)
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as fh:
+            fh.write("\n\n".join(chunks) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

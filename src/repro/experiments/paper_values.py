@@ -1,0 +1,128 @@
+"""The paper's published numbers, for side-by-side reporting.
+
+Each constant mirrors one table/figure of the paper (times as printed,
+H:MM:SS / M:SS / MM:SS strings; "Fail" marks crashed runs).  These are used
+by the experiment tables and EXPERIMENTS.md to show paper-vs-measured; the
+reproduction is judged on *shape* (orderings, failure patterns, rough
+factors), not absolute seconds — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+#: Fig 1 (Section 2.1 motivating example), per-phase times.
+FIG01 = {
+    "impl1": {"mult1": "0:15", "transform": "2:07", "mult2": "16:27",
+              "total": "19:11"},
+    "impl2": {"mult1": "0:16", "transform": "0:08", "mult2": "0:14",
+              "total": "0:56"},
+}
+
+#: Fig 5: FFNN fwd + backprop + fwd, hidden 80K, 10 workers.
+FIG05 = {"auto": "0:59:02", "auto_opt": "1:03", "hand": "1:25:34",
+         "tile": "1:54:18"}
+
+#: Fig 6: FFNN fwd + backprop-to-W2 by hidden size, 10 workers.
+FIG06 = {
+    10_000: {"auto": "0:06:15", "hand": "0:10:06", "tile": "0:09:01"},
+    40_000: {"auto": "0:12:18", "hand": "0:17:58", "tile": "0:18:43"},
+    80_000: {"auto": "0:23:46", "hand": "0:42:47", "tile": "0:50:23"},
+    160_000: {"auto": "0:55:16", "hand": "2:15:01", "tile": "Fail"},
+}
+
+#: Fig 7: FFNN hidden 160K by cluster size.
+FIG07 = {
+    5: {"auto": "1:19:32", "hand": "Fail", "tile": "Fail"},
+    10: {"auto": "0:55:16", "hand": "2:15:01", "tile": "Fail"},
+    20: {"auto": "0:44:19", "hand": "1:19:27", "tile": "1:45:50"},
+    25: {"auto": "0:38:19", "hand": "1:18:59", "tile": "1:31:15"},
+}
+
+#: Fig 8: FFNN hidden 80K, auto vs three recruited users
+#: (* = first attempt crashed, plan redesigned).
+FIG08 = {"auto": "23:46", "user_low": "55:23*", "user_medium": "36:02*",
+         "user_high": "23:58"}
+
+#: Fig 9: two-level block-wise matrix inverse, 10 workers.
+FIG09 = {"auto": "21:31", "auto_opt": ":21", "hand": "28:19",
+         "tile": "34:50"}
+
+#: Fig 10: matrix multiplication chain by input size set (Fig 4).
+FIG10 = {
+    1: {"auto": "0:08:45", "hand": "0:20:22", "tile": "0:21:38"},
+    2: {"auto": "1:05:36", "hand": "2:26:32", "tile": "1:56:15"},
+    3: {"auto": "0:34:52", "hand": "1:46:20", "tile": "2:02:54"},
+}
+
+#: Fig 11: FFNN on AmazonCat-14K-shaped data, 1K batch, dense only.
+#: Keyed (workers, hidden) -> system -> time.
+FIG11 = {
+    (2, 4000): {"pc": "0:23", "pytorch": "0:26", "systemds": "1:10"},
+    (2, 5000): {"pc": "0:28", "pytorch": "0:31", "systemds": "1:24"},
+    (2, 7000): {"pc": "0:53", "pytorch": "Fail", "systemds": "1:36"},
+    (5, 4000): {"pc": "0:18", "pytorch": "0:39", "systemds": "0:56"},
+    (5, 5000): {"pc": "0:20", "pytorch": "0:46", "systemds": "1:01"},
+    (5, 7000): {"pc": "0:30", "pytorch": "Fail", "systemds": "0:39"},
+    (10, 4000): {"pc": "0:20", "pytorch": "0:40", "systemds": "0:44"},
+    (10, 5000): {"pc": "0:22", "pytorch": "0:50", "systemds": "0:52"},
+    (10, 7000): {"pc": "0:25", "pytorch": "Fail", "systemds": "0:34"},
+}
+
+#: Fig 12: same, 10K batch, with/without sparsity exploitation.
+FIG12 = {
+    (2, 4000): {"pc_no_sparsity": "1:34", "pc_sparse_input": "0:50",
+                "pc_dense_input": "0:54", "pytorch": "2:05",
+                "systemds": "1:57"},
+    (2, 5000): {"pc_no_sparsity": "2:47", "pc_sparse_input": "0:58",
+                "pc_dense_input": "1:02", "pytorch": "Fail",
+                "systemds": "2:51"},
+    (2, 7000): {"pc_no_sparsity": "4:24", "pc_sparse_input": "1:16",
+                "pc_dense_input": "1:19", "pytorch": "Fail",
+                "systemds": "7:54"},
+    (5, 4000): {"pc_no_sparsity": "1:15", "pc_sparse_input": "0:23",
+                "pc_dense_input": "0:27", "pytorch": "1:16",
+                "systemds": "1:15"},
+    (5, 5000): {"pc_no_sparsity": "1:20", "pc_sparse_input": "0:26",
+                "pc_dense_input": "0:32", "pytorch": "1:30",
+                "systemds": "1:30"},
+    (5, 7000): {"pc_no_sparsity": "1:55", "pc_sparse_input": "0:35",
+                "pc_dense_input": "0:38", "pytorch": "Fail",
+                "systemds": "2:49"},
+    (10, 4000): {"pc_no_sparsity": "0:53", "pc_sparse_input": "0:20",
+                 "pc_dense_input": "0:24", "pytorch": "1:06",
+                 "systemds": "1:01"},
+    (10, 5000): {"pc_no_sparsity": "1:02", "pc_sparse_input": "0:20",
+                 "pc_dense_input": "0:24", "pytorch": "1:17",
+                 "systemds": "1:15"},
+    (10, 7000): {"pc_no_sparsity": "1:16", "pc_sparse_input": "0:23",
+                 "pc_dense_input": "0:28", "pytorch": "Fail",
+                 "systemds": "1:21"},
+}
+
+#: Fig 13: optimization times (MM:SS), DP/frontier vs brute force.
+#: Keyed format-subset -> family -> scale -> (dp, brute).
+FIG13 = {
+    "all": {
+        "dag2": {1: ("00:01", "26:54"), 2: ("00:08", "Fail"),
+                 3: ("00:16", "Fail"), 4: ("00:23", "Fail")},
+        "dag1": {1: ("00:01", "27:13"), 2: ("00:01", "Fail"),
+                 3: ("00:02", "Fail"), 4: ("00:03", "Fail")},
+        "tree": {1: ("00:00", "25:31"), 2: ("00:01", "Fail"),
+                 3: ("00:01", "Fail"), 4: ("00:02", "Fail")},
+    },
+    "single_strip_block": {
+        "dag2": {1: ("00:00", "24:04"), 2: ("00:06", "Fail"),
+                 3: ("00:11", "Fail"), 4: ("00:15", "Fail")},
+        "dag1": {1: ("00:00", "23:57"), 2: ("00:02", "Fail"),
+                 3: ("00:02", "Fail"), 4: ("00:03", "Fail")},
+        "tree": {1: ("00:00", "19:14"), 2: ("00:00", "Fail"),
+                 3: ("00:01", "Fail"), 4: ("00:01", "Fail")},
+    },
+    "single_block": {
+        "dag2": {1: ("00:00", "00:28"), 2: ("00:00", "Fail"),
+                 3: ("00:00", "Fail"), 4: ("00:02", "Fail")},
+        "dag1": {1: ("00:00", "00:26"), 2: ("00:00", "Fail"),
+                 3: ("00:00", "Fail"), 4: ("00:00", "Fail")},
+        "tree": {1: ("00:00", "00:20"), 2: ("00:00", "Fail"),
+                 3: ("00:00", "Fail"), 4: ("00:00", "Fail")},
+    },
+}

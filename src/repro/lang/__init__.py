@@ -1,0 +1,23 @@
+"""High-level logical expression API (physical-design-free computations)."""
+
+from .expr import (
+    Expr,
+    add_bias,
+    build,
+    col_sums,
+    default_load_format,
+    exp,
+    input_matrix,
+    inverse,
+    relu,
+    relu_grad,
+    row_sums,
+    sigmoid,
+    softmax,
+)
+
+__all__ = [
+    "Expr", "add_bias", "build", "col_sums", "default_load_format", "exp",
+    "input_matrix", "inverse", "relu", "relu_grad", "row_sums", "sigmoid",
+    "softmax",
+]

@@ -1,0 +1,227 @@
+"""High-level expression API.
+
+Lets users write LA/ML computations the way the paper's Section 2.2 argues
+they should be written — against *logical* matrices, with no physical design
+decisions.  Expressions form a DAG with natural sharing (reusing a Python
+expression object reuses the sub-computation), which is exactly the sharing
+the frontier algorithm optimizes for.
+
+Example::
+
+    from repro.lang import input_matrix, relu, softmax, build
+
+    X = input_matrix("X", 1000, 60_000)
+    W = input_matrix("W", 60_000, 4000)
+    H = relu(X @ W)
+    graph = build(H)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ..core.atoms import (
+    ADD,
+    ADD_BIAS,
+    COL_SUMS,
+    ELEM_DIV,
+    ELEM_MUL,
+    EXP,
+    INVERSE,
+    MATMUL,
+    RELU,
+    RELU_GRAD,
+    ROW_SUMS,
+    SCALAR_MUL,
+    SIGMOID,
+    SOFTMAX,
+    SUB,
+    TRANSPOSE,
+    AtomicOp,
+)
+from ..core.formats import MAX_TUPLE_BYTES, PhysicalFormat, single, tiles
+from ..core.graph import ComputeGraph
+from ..core.types import MatrixType
+
+_ids = itertools.count()
+
+
+class Expr:
+    """One node of a logical expression DAG."""
+
+    def __init__(self, op: AtomicOp | None, args: tuple["Expr", ...],
+                 name: str | None = None,
+                 mtype: MatrixType | None = None,
+                 fmt: PhysicalFormat | None = None,
+                 param: float | None = None) -> None:
+        self.op = op
+        self.args = args
+        self.fmt = fmt
+        self.param = param
+        self.uid = next(_ids)
+        if op is None:
+            if name is None or mtype is None:
+                raise ValueError("input expressions need a name and a type")
+            self.mtype = mtype
+        else:
+            inferred = op.out_type(*(a.mtype for a in args))
+            if inferred is None:
+                raise ValueError(
+                    f"{op.name} rejects shapes "
+                    f"{[str(a.mtype) for a in args]}")
+            self.mtype = inferred
+        self.name = name if name is not None else f"{op.name}_{self.uid}"
+
+    # ------------------------------------------------------------------
+    @property
+    def is_input(self) -> bool:
+        return self.op is None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.mtype.rows, self.mtype.cols)
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: "Expr") -> "Expr":
+        return Expr(MATMUL, (self, _as_expr(other)))
+
+    def __add__(self, other: "Expr") -> "Expr":
+        return Expr(ADD, (self, _as_expr(other)))
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return Expr(SUB, (self, _as_expr(other)))
+
+    def __mul__(self, other):
+        if isinstance(other, (int, float)):
+            return Expr(SCALAR_MUL, (self,), param=float(other))
+        return Expr(ELEM_MUL, (self, _as_expr(other)))
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def __truediv__(self, other: "Expr") -> "Expr":
+        return Expr(ELEM_DIV, (self, _as_expr(other)))
+
+    def __neg__(self) -> "Expr":
+        return Expr(SCALAR_MUL, (self,), param=-1.0)
+
+    @property
+    def T(self) -> "Expr":
+        """Transpose."""
+        return Expr(TRANSPOSE, (self,))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<expr {self.name}: {self.mtype}>"
+
+
+def _as_expr(x) -> Expr:
+    if not isinstance(x, Expr):
+        raise TypeError(f"expected an Expr, got {type(x).__name__}")
+    return x
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def default_load_format(mtype: MatrixType) -> PhysicalFormat:
+    """A sensible physical format for loading an input matrix.
+
+    Small matrices load as a single tuple; anything bigger as 1000 x 1000
+    tiles — the neutral choice a user would make without optimization.
+    """
+    if mtype.dense_bytes <= min(MAX_TUPLE_BYTES, 256 * 1024**2):
+        return single()
+    size = min(1000, mtype.rows if mtype.rows > 1 else mtype.cols)
+    fmt = tiles(min(1000, max(1, mtype.rows)), min(1000, max(1, mtype.cols)))
+    return fmt if fmt.admits(mtype) else single()
+
+
+def input_matrix(name: str, rows: int, cols: int, sparsity: float = 1.0,
+                 fmt: PhysicalFormat | None = None) -> Expr:
+    """Declare an input matrix (optionally with a given load format)."""
+    mtype = MatrixType((rows, cols), sparsity)
+    if fmt is None:
+        fmt = default_load_format(mtype)
+    if not fmt.admits(mtype):
+        raise ValueError(f"format {fmt} does not admit {mtype}")
+    return Expr(None, (), name=name, mtype=mtype, fmt=fmt)
+
+
+# Unary function wrappers ------------------------------------------------
+def relu(x: Expr) -> Expr:
+    """Element-wise rectifier."""
+    return Expr(RELU, (_as_expr(x),))
+
+
+def relu_grad(x: Expr) -> Expr:
+    """Element-wise rectifier derivative (1 where positive)."""
+    return Expr(RELU_GRAD, (_as_expr(x),))
+
+
+def sigmoid(x: Expr) -> Expr:
+    """Element-wise logistic function."""
+    return Expr(SIGMOID, (_as_expr(x),))
+
+
+def softmax(x: Expr) -> Expr:
+    """Row-wise softmax."""
+    return Expr(SOFTMAX, (_as_expr(x),))
+
+
+def exp(x: Expr) -> Expr:
+    """Element-wise exponential."""
+    return Expr(EXP, (_as_expr(x),))
+
+
+def inverse(x: Expr) -> Expr:
+    """Matrix inverse (square matrices)."""
+    return Expr(INVERSE, (_as_expr(x),))
+
+
+def row_sums(x: Expr) -> Expr:
+    """Column vector of row sums."""
+    return Expr(ROW_SUMS, (_as_expr(x),))
+
+
+def col_sums(x: Expr) -> Expr:
+    """Row vector of column sums."""
+    return Expr(COL_SUMS, (_as_expr(x),))
+
+
+def add_bias(x: Expr, bias: Expr) -> Expr:
+    """Broadcast-add a 1 x n bias row vector to every row of ``x``."""
+    return Expr(ADD_BIAS, (_as_expr(x), _as_expr(bias)))
+
+
+# ----------------------------------------------------------------------
+# Building a compute graph
+# ----------------------------------------------------------------------
+def build(outputs: Expr | Iterable[Expr]) -> ComputeGraph:
+    """Convert an expression DAG into a :class:`ComputeGraph`.
+
+    Shared sub-expressions (the same :class:`Expr` object reachable through
+    several parents) become single vertices with several consumers.
+    """
+    if isinstance(outputs, Expr):
+        outputs = [outputs]
+    graph = ComputeGraph()
+    memo: dict[int, int] = {}
+
+    def visit(e: Expr) -> int:
+        if e.uid in memo:
+            return memo[e.uid]
+        if e.is_input:
+            vid = graph.add_source(e.name, e.mtype, e.fmt)
+        else:
+            arg_vids = tuple(visit(a) for a in e.args)
+            vid = graph.add_op(e.name, e.op, arg_vids, param=e.param)
+        memo[e.uid] = vid
+        return vid
+
+    for out in outputs:
+        graph.mark_output(visit(_as_expr(out)))
+    graph.validate()
+    return graph

@@ -1,0 +1,20 @@
+"""Matrix-SQL frontend: the paper's declarative interface (Sections 1-2)."""
+
+from .lexer import SqlSyntaxError, Token, TokenKind, tokenize
+from .parser import (
+    ColumnRef,
+    CreateTable,
+    CreateView,
+    FuncCall,
+    Load,
+    NumberLiteral,
+    parse,
+)
+from .session import SqlError, SqlSession, parse_format
+
+__all__ = [
+    "SqlSyntaxError", "Token", "TokenKind", "tokenize",
+    "ColumnRef", "CreateTable", "CreateView", "FuncCall", "Load",
+    "NumberLiteral", "parse",
+    "SqlError", "SqlSession", "parse_format",
+]

@@ -1,0 +1,65 @@
+"""CLI: optimize a matrix-SQL script from the command line.
+
+Usage::
+
+    python -m repro.sql script.sql                  # plan + summary
+    python -m repro.sql script.sql --explain        # EXPLAIN report
+    python -m repro.sql script.sql --dot plan.dot   # Graphviz output
+    python -m repro.sql script.sql --workers 20     # cluster size
+    python -m repro.sql script.sql --view myView    # specific view(s)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..cluster import simsql_cluster
+from ..core.explain import explain
+from ..core.registry import OptimizerContext
+from ..core.viz import plan_to_dot
+from .session import SqlSession
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sql",
+        description="Optimize the physical plan of a matrix-SQL script.")
+    parser.add_argument("script", help="path to the .sql file")
+    parser.add_argument("--view", action="append", default=[],
+                        help="view(s) to optimize (default: all)")
+    parser.add_argument("--workers", type=int, default=10,
+                        help="cluster size (default 10)")
+    parser.add_argument("--beam", type=int, default=2000,
+                        help="frontier beam width (0 = exact)")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the per-stage EXPLAIN report")
+    parser.add_argument("--dot", default=None,
+                        help="write the annotated plan as Graphviz DOT")
+    args = parser.parse_args(argv)
+
+    with open(args.script, encoding="utf-8") as fh:
+        source = fh.read()
+
+    session = SqlSession()
+    session.execute(source)
+    ctx = OptimizerContext(cluster=simsql_cluster(args.workers))
+    beam = args.beam if args.beam > 0 else None
+    plan = session.optimize(*args.view, ctx=ctx, max_states=beam)
+
+    print(plan.describe())
+    print(f"\npredicted time: {plan.total_seconds:.2f} simulated seconds "
+          f"on {args.workers} workers "
+          f"(optimized in {plan.optimize_seconds:.2f} s)")
+    if args.explain:
+        print()
+        print(explain(plan, ctx))
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as fh:
+            fh.write(plan_to_dot(plan))
+        print(f"\nwrote {args.dot}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

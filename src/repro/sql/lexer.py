@@ -1,0 +1,99 @@
+"""Tokenizer for the matrix-SQL dialect.
+
+The paper's prototype sits on SimSQL, a SQL database with a MATRIX type;
+users write ``CREATE TABLE``/``CREATE VIEW`` statements over matrix-valued
+attributes (Sections 1-2).  This lexer feeds the recursive-descent parser
+in :mod:`repro.sql.parser`.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "CREATE", "TABLE", "VIEW", "AS", "SELECT", "FROM", "MATRIX",
+    "LOAD", "FORMAT", "SPARSITY", "WITH",
+})
+
+SYMBOLS = ("(", ")", "[", "]", ",", ";", ".", "*", "=")
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+    | (?P<number>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+    | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    | (?P<string>'(?:[^'\\]|\\.)*')
+    | (?P<symbol>[()\[\],;.*=])
+    """,
+    re.VERBOSE,
+)
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on malformed matrix-SQL input."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word.upper()
+
+    def is_symbol(self, sym: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.text == sym
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a matrix-SQL script; raises :class:`SqlSyntaxError`."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {source[pos]!r}", line,
+                pos - line_start + 1)
+        column = pos - line_start + 1
+        text = match.group(0)
+        if match.lastgroup == "ws":
+            line += text.count("\n")
+            if "\n" in text:
+                line_start = pos + text.rindex("\n") + 1
+        elif match.lastgroup == "number":
+            tokens.append(Token(TokenKind.NUMBER, text, line, column))
+        elif match.lastgroup == "ident":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, line, column))
+            else:
+                tokens.append(Token(TokenKind.IDENT, text, line, column))
+        elif match.lastgroup == "string":
+            tokens.append(Token(TokenKind.STRING, text[1:-1], line, column))
+        elif match.lastgroup == "symbol":
+            tokens.append(Token(TokenKind.SYMBOL, text, line, column))
+        pos = match.end()
+    tokens.append(Token(TokenKind.EOF, "", line, pos - line_start + 1))
+    return tokens

@@ -1,0 +1,220 @@
+"""Parser for the matrix-SQL dialect.
+
+Supports the statement forms the paper's examples use (Sections 1-2),
+plus a LOAD statement for declaring physical load formats:
+
+.. code-block:: sql
+
+    CREATE TABLE matA (mat MATRIX[100][10000]);
+    LOAD matA FORMAT 'row_strips(10)' SPARSITY 1.0;
+
+    CREATE VIEW matAB (mat) AS
+    SELECT matrix_multiply(x.mat, m.mat)
+    FROM matA AS x, matB AS m;
+
+Expressions are matrix-function applications over the FROM-list aliases;
+nested calls are allowed (``relu(matrix_multiply(x.mat, w.mat))``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .lexer import SqlSyntaxError, Token, TokenKind, tokenize
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    rows: int
+    cols: int
+
+
+@dataclass(frozen=True)
+class Load:
+    table: str
+    format_spec: str | None
+    sparsity: float | None
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    alias: str
+    column: str
+
+
+@dataclass(frozen=True)
+class NumberLiteral:
+    value: float
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class CreateView:
+    name: str
+    select: FuncCall | ColumnRef
+    from_tables: tuple[tuple[str, str], ...]  # (table, alias)
+
+
+Statement = CreateTable | Load | CreateView
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing --------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def error(self, message: str) -> SqlSyntaxError:
+        t = self.current
+        found = t.text or "<eof>"
+        return SqlSyntaxError(f"{message}, found {found!r}", t.line, t.column)
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self.error(f"expected {word}")
+        return self.advance()
+
+    def expect_symbol(self, sym: str) -> Token:
+        if not self.current.is_symbol(sym):
+            raise self.error(f"expected {sym!r}")
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.current.kind is not TokenKind.IDENT:
+            raise self.error("expected an identifier")
+        return self.advance().text
+
+    def expect_number(self) -> float:
+        if self.current.kind is not TokenKind.NUMBER:
+            raise self.error("expected a number")
+        return float(self.advance().text)
+
+    # -- grammar -----------------------------------------------------------
+    def parse_script(self) -> list[Statement]:
+        statements: list[Statement] = []
+        while not self.current.kind is TokenKind.EOF:
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> Statement:
+        if self.current.is_keyword("CREATE"):
+            self.advance()
+            if self.current.is_keyword("TABLE"):
+                return self.parse_create_table()
+            if self.current.is_keyword("VIEW"):
+                return self.parse_create_view()
+            raise self.error("expected TABLE or VIEW after CREATE")
+        if self.current.is_keyword("LOAD"):
+            return self.parse_load()
+        raise self.error("expected CREATE or LOAD")
+
+    def parse_create_table(self) -> CreateTable:
+        self.expect_keyword("TABLE")
+        name = self.expect_ident()
+        self.expect_symbol("(")
+        self.expect_ident()          # attribute name, e.g. "mat"
+        self.expect_keyword("MATRIX")
+        self.expect_symbol("[")
+        rows = int(self.expect_number())
+        self.expect_symbol("]")
+        self.expect_symbol("[")
+        cols = int(self.expect_number())
+        self.expect_symbol("]")
+        self.expect_symbol(")")
+        self.expect_symbol(";")
+        return CreateTable(name, rows, cols)
+
+    def parse_load(self) -> Load:
+        self.expect_keyword("LOAD")
+        table = self.expect_ident()
+        format_spec = None
+        sparsity = None
+        while not self.current.is_symbol(";"):
+            if self.current.is_keyword("FORMAT"):
+                self.advance()
+                if self.current.kind is not TokenKind.STRING:
+                    raise self.error("expected a quoted format spec")
+                format_spec = self.advance().text
+            elif self.current.is_keyword("SPARSITY"):
+                self.advance()
+                sparsity = self.expect_number()
+            else:
+                raise self.error("expected FORMAT, SPARSITY or ';'")
+        self.expect_symbol(";")
+        return Load(table, format_spec, sparsity)
+
+    def parse_create_view(self) -> CreateView:
+        self.expect_keyword("VIEW")
+        name = self.expect_ident()
+        if self.current.is_symbol("("):
+            # Optional output column list, e.g. (mat) — names are cosmetic.
+            self.advance()
+            self.expect_ident()
+            while self.current.is_symbol(","):
+                self.advance()
+                self.expect_ident()
+            self.expect_symbol(")")
+        self.expect_keyword("AS")
+        self.expect_keyword("SELECT")
+        select = self.parse_expression()
+        self.expect_keyword("FROM")
+        tables = [self.parse_from_item()]
+        while self.current.is_symbol(","):
+            self.advance()
+            tables.append(self.parse_from_item())
+        self.expect_symbol(";")
+        return CreateView(name, select, tuple(tables))
+
+    def parse_from_item(self) -> tuple[str, str]:
+        table = self.expect_ident()
+        alias = table
+        if self.current.is_keyword("AS"):
+            self.advance()
+            alias = self.expect_ident()
+        elif self.current.kind is TokenKind.IDENT:
+            alias = self.advance().text
+        return (table, alias)
+
+    def parse_expression(self):
+        if self.current.kind is TokenKind.NUMBER:
+            return NumberLiteral(self.expect_number())
+        name = self.expect_ident()
+        if self.current.is_symbol("("):
+            self.advance()
+            args = []
+            if not self.current.is_symbol(")"):
+                args.append(self.parse_expression())
+                while self.current.is_symbol(","):
+                    self.advance()
+                    args.append(self.parse_expression())
+            self.expect_symbol(")")
+            return FuncCall(name.lower(), tuple(args))
+        if self.current.is_symbol("."):
+            self.advance()
+            column = self.expect_ident()
+            return ColumnRef(name, column)
+        # Bare table reference (treated as alias.mat).
+        return ColumnRef(name, "mat")
+
+
+def parse(source: str) -> list[Statement]:
+    """Parse a matrix-SQL script into statements."""
+    return _Parser(tokenize(source)).parse_script()

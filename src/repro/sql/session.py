@@ -1,0 +1,261 @@
+"""Matrix-SQL sessions: compile SQL scripts into optimizable computations.
+
+The paper's workflow (Section 2.2): declare tables with MATRIX attributes,
+load them in whatever physical format is desired, express the computation
+as views — and let the system choose the physical plan.  A
+:class:`SqlSession` does exactly that on this library's substrate::
+
+    session = SqlSession()
+    session.execute('''
+        CREATE TABLE matA (mat MATRIX[100][10000]);
+        CREATE TABLE matB (mat MATRIX[10000][100]);
+        LOAD matA FORMAT 'row_strips(10)';
+        LOAD matB FORMAT 'col_strips(10)';
+        CREATE VIEW matAB (mat) AS
+        SELECT matrix_multiply(x.mat, m.mat)
+        FROM matA AS x, matB AS m;
+    ''')
+    plan = session.optimize("matAB")
+
+Views referencing the same upstream view share its computation, which is
+what the frontier algorithm optimizes jointly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+import numpy as np
+
+from ..core.annotation import Plan
+from ..core.formats import (
+    PhysicalFormat,
+    coo,
+    col_strips,
+    csr_strips,
+    csc_strips,
+    row_strips,
+    single,
+    sparse_single,
+    sparse_tiles,
+    tiles,
+)
+from ..core.graph import ComputeGraph
+from ..core.optimizer import optimize
+from ..core.registry import OptimizerContext
+from ..engine.executor import ExecutionResult, execute_plan
+from ..lang import expr as lang
+from .parser import (
+    ColumnRef,
+    CreateTable,
+    CreateView,
+    FuncCall,
+    Load,
+    NumberLiteral,
+    parse,
+)
+
+
+class SqlError(ValueError):
+    """Semantic error in a matrix-SQL script."""
+
+
+#: SQL function name -> builder over lang expressions.
+_UNARY = {
+    "relu": lang.relu,
+    "relu_grad": lang.relu_grad,
+    "sigmoid": lang.sigmoid,
+    "softmax": lang.softmax,
+    "exp": lang.exp,
+    "transpose": lambda e: e.T,
+    "matrix_inverse": lang.inverse,
+    "row_sums": lang.row_sums,
+    "col_sums": lang.col_sums,
+}
+
+_BINARY = {
+    "matrix_multiply": lambda a, b: a @ b,
+    "matrix_add": lambda a, b: a + b,
+    "matrix_sub": lambda a, b: a - b,
+    "matrix_hadamard": lambda a, b: a * b,
+    "matrix_div": lambda a, b: a / b,
+    "add_bias": lang.add_bias,
+}
+
+_FORMAT_BUILDERS: dict[str, Callable[..., PhysicalFormat]] = {
+    "single": single,
+    "row_strips": row_strips,
+    "col_strips": col_strips,
+    "tiles": tiles,
+    "coo": coo,
+    "csr_strips": csr_strips,
+    "csc_strips": csc_strips,
+    "sparse_tiles": sparse_tiles,
+    "sparse_single": sparse_single,
+}
+
+_FORMAT_RE = re.compile(
+    r"^\s*([a-z_]+)\s*(?:\(\s*(\d+)\s*(?:,\s*(\d+)\s*)?\))?\s*$")
+
+
+def parse_format(spec: str) -> PhysicalFormat:
+    """Parse a LOAD format spec like ``tiles(1000)`` or ``single``."""
+    match = _FORMAT_RE.match(spec)
+    if match is None:
+        raise SqlError(f"malformed format spec {spec!r}")
+    name, arg1, arg2 = match.groups()
+    builder = _FORMAT_BUILDERS.get(name)
+    if builder is None:
+        raise SqlError(f"unknown format {name!r}; expected one of "
+                       f"{sorted(_FORMAT_BUILDERS)}")
+    args = [int(a) for a in (arg1, arg2) if a is not None]
+    try:
+        return builder(*args)
+    except TypeError as exc:
+        raise SqlError(f"format {name!r}: {exc}") from exc
+
+
+class SqlSession:
+    """Accumulates table/view definitions and compiles them to plans."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, CreateTable] = {}
+        self._loads: dict[str, Load] = {}
+        self._views: dict[str, CreateView] = {}
+        self._exprs: dict[str, lang.Expr] = {}
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def execute(self, script: str) -> None:
+        """Process a script of CREATE TABLE / LOAD / CREATE VIEW statements."""
+        for statement in parse(script):
+            if isinstance(statement, CreateTable):
+                self._create_table(statement)
+            elif isinstance(statement, Load):
+                self._load(statement)
+            elif isinstance(statement, CreateView):
+                self._create_view(statement)
+            else:  # pragma: no cover - parser produces only these
+                raise SqlError(f"unsupported statement {statement!r}")
+
+    def _create_table(self, stmt: CreateTable) -> None:
+        if stmt.name in self._tables or stmt.name in self._views:
+            raise SqlError(f"relation {stmt.name!r} already exists")
+        self._tables[stmt.name] = stmt
+
+    def _load(self, stmt: Load) -> None:
+        if stmt.table not in self._tables:
+            raise SqlError(f"LOAD of unknown table {stmt.table!r}")
+        if stmt.table in self._exprs:
+            raise SqlError(
+                f"table {stmt.table!r} is already referenced by a view; "
+                "LOAD must precede its first use")
+        self._loads[stmt.table] = stmt
+
+    def _create_view(self, stmt: CreateView) -> None:
+        if stmt.name in self._tables or stmt.name in self._views:
+            raise SqlError(f"relation {stmt.name!r} already exists")
+        scope: dict[str, lang.Expr] = {}
+        for table, alias in stmt.from_tables:
+            if alias in scope:
+                raise SqlError(f"duplicate alias {alias!r} in view "
+                               f"{stmt.name!r}")
+            scope[alias] = self._expr_of(table)
+        expr = self._compile(stmt.select, scope, stmt.name)
+        if not isinstance(expr, lang.Expr):
+            raise SqlError(f"view {stmt.name!r} must select a matrix "
+                           "expression")
+        expr.name = stmt.name
+        self._views[stmt.name] = stmt
+        self._exprs[stmt.name] = expr
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _expr_of(self, name: str) -> lang.Expr:
+        if name in self._exprs:
+            return self._exprs[name]
+        table = self._tables.get(name)
+        if table is None:
+            raise SqlError(f"unknown relation {name!r}")
+        load = self._loads.get(name)
+        fmt = parse_format(load.format_spec) if load and load.format_spec \
+            else None
+        sparsity = load.sparsity if load and load.sparsity is not None \
+            else 1.0
+        expr = lang.input_matrix(table.name, table.rows, table.cols,
+                                 sparsity=sparsity, fmt=fmt)
+        self._exprs[name] = expr
+        return expr
+
+    def _compile(self, node, scope: dict[str, lang.Expr], view: str):
+        if isinstance(node, NumberLiteral):
+            return node.value
+        if isinstance(node, ColumnRef):
+            if node.alias not in scope:
+                raise SqlError(
+                    f"view {view!r}: unknown alias {node.alias!r} "
+                    f"(FROM list has {sorted(scope)})")
+            return scope[node.alias]
+        if isinstance(node, FuncCall):
+            args = [self._compile(a, scope, view) for a in node.args]
+            return self._apply(node.name, args, view)
+        raise SqlError(f"view {view!r}: unsupported expression {node!r}")
+
+    def _apply(self, name: str, args: list, view: str):
+        if name == "scalar_multiply":
+            if len(args) != 2 or not isinstance(args[1], float):
+                raise SqlError(
+                    f"view {view!r}: scalar_multiply(matrix, number)")
+            return args[0] * args[1]
+        if name in _UNARY:
+            if len(args) != 1:
+                raise SqlError(f"view {view!r}: {name} takes one argument")
+            return _UNARY[name](args[0])
+        if name in _BINARY:
+            if len(args) != 2:
+                raise SqlError(f"view {view!r}: {name} takes two arguments")
+            return _BINARY[name](args[0], args[1])
+        raise SqlError(
+            f"view {view!r}: unknown function {name!r}; expected one of "
+            f"{sorted(_UNARY) + sorted(_BINARY) + ['scalar_multiply']}")
+
+    # ------------------------------------------------------------------
+    # Planning and execution
+    # ------------------------------------------------------------------
+    @property
+    def tables(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    @property
+    def views(self) -> tuple[str, ...]:
+        return tuple(self._views)
+
+    def graph(self, *view_names: str) -> ComputeGraph:
+        """Compute graph producing the named views (all views if omitted)."""
+        names = view_names or tuple(self._views)
+        if not names:
+            raise SqlError("no views defined")
+        missing = [n for n in names if n not in self._views]
+        if missing:
+            raise SqlError(f"unknown views: {missing}")
+        return lang.build([self._exprs[n] for n in names])
+
+    def optimize(self, *view_names: str,
+                 ctx: OptimizerContext | None = None,
+                 max_states: int | None = None) -> Plan:
+        """Optimize the physical plan for the named views."""
+        return optimize(self.graph(*view_names),
+                        ctx if ctx is not None else OptimizerContext(),
+                        max_states=max_states)
+
+    def run(self, *view_names: str, inputs: dict[str, np.ndarray],
+            ctx: OptimizerContext | None = None,
+            max_states: int | None = None) -> ExecutionResult:
+        """Optimize and execute; ``inputs`` maps table names to matrices."""
+        if ctx is None:
+            ctx = OptimizerContext()
+        plan = self.optimize(*view_names, ctx=ctx, max_states=max_states)
+        return execute_plan(plan, inputs, ctx)

@@ -1,0 +1,15 @@
+"""Operational tooling built on the optimizer: what-if analysis."""
+
+from .whatif import (
+    FormatContribution,
+    SweepPoint,
+    format_family_contributions,
+    recommend_workers,
+    render_sweep,
+    sweep_workers,
+)
+
+__all__ = [
+    "FormatContribution", "SweepPoint", "format_family_contributions",
+    "recommend_workers", "render_sweep", "sweep_workers",
+]

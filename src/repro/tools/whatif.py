@@ -1,0 +1,139 @@
+"""What-if analysis: capacity planning and catalog sensitivity.
+
+Because plans are costed on a parametric cluster model, the optimizer
+doubles as a capacity-planning tool: sweep cluster sizes (re-optimizing at
+each — the best *plan* changes with the hardware, which is the paper's
+Fig 7 observation), find the smallest cluster that meets a latency target,
+or measure how much each format family contributes to plan quality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..cluster import ClusterConfig
+from ..core.annotation import Plan
+from ..core.formats import DEFAULT_FORMATS, Layout, PhysicalFormat
+from ..core.graph import ComputeGraph
+from ..core.optimizer import optimize
+from ..core.registry import OptimizerContext
+
+ProfileFn = Callable[[int], ClusterConfig]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a cluster-size sweep."""
+
+    workers: int
+    seconds: float
+    plan: Plan
+
+    @property
+    def feasible(self) -> bool:
+        return math.isfinite(self.seconds)
+
+
+def sweep_workers(
+    graph: ComputeGraph,
+    profile: ProfileFn,
+    workers: Sequence[int],
+    max_states: int | None = 1000,
+) -> list[SweepPoint]:
+    """Optimize ``graph`` for each cluster size and report predicted times.
+
+    Each point re-optimizes from scratch: bigger clusters change the best
+    plan, not just its cost.
+    """
+    points = []
+    for count in workers:
+        ctx = OptimizerContext(cluster=profile(count))
+        try:
+            plan = optimize(graph, ctx, max_states=max_states)
+            seconds = plan.total_seconds
+        except Exception:
+            plan = None
+            seconds = math.inf
+        points.append(SweepPoint(count, seconds, plan))
+    return points
+
+
+def recommend_workers(
+    graph: ComputeGraph,
+    profile: ProfileFn,
+    target_seconds: float,
+    candidates: Sequence[int] = (2, 5, 10, 20, 40, 80),
+    max_states: int | None = 1000,
+) -> SweepPoint | None:
+    """Smallest candidate cluster whose optimized plan meets the target.
+
+    Returns None when no candidate meets it.
+    """
+    for point in sweep_workers(graph, profile, sorted(candidates),
+                               max_states=max_states):
+        if point.feasible and point.seconds <= target_seconds:
+            return point
+    return None
+
+
+@dataclass(frozen=True)
+class FormatContribution:
+    """Cost impact of removing one format family from the catalog."""
+
+    family: Layout
+    removed_formats: int
+    seconds_without: float
+    slowdown: float  # relative to the full catalog (inf = plan infeasible)
+
+
+def format_family_contributions(
+    graph: ComputeGraph,
+    cluster: ClusterConfig,
+    catalog: tuple[PhysicalFormat, ...] = DEFAULT_FORMATS,
+    max_states: int | None = 1000,
+) -> tuple[float, list[FormatContribution]]:
+    """How much each format family matters for this computation.
+
+    Optimizes once with the full catalog, then once per family with that
+    family removed; reports the slowdown each removal causes.  Families a
+    graph's sources load in are never removed (the data arrives in them).
+    """
+    base_ctx = OptimizerContext(cluster=cluster, formats=catalog)
+    base = optimize(graph, base_ctx, max_states=max_states)
+    protected = {s.format.layout for s in graph.sources}
+
+    contributions = []
+    for family in Layout:
+        subset = tuple(f for f in catalog if f.layout is not family)
+        if len(subset) == len(catalog) or family in protected:
+            continue
+        ctx = OptimizerContext(cluster=cluster, formats=subset)
+        try:
+            plan = optimize(graph, ctx, max_states=max_states)
+            seconds = plan.total_seconds
+            slowdown = seconds / base.total_seconds
+        except Exception:
+            seconds = math.inf
+            slowdown = math.inf
+        contributions.append(FormatContribution(
+            family, len(catalog) - len(subset), seconds, slowdown))
+    contributions.sort(key=lambda c: -c.slowdown)
+    return base.total_seconds, contributions
+
+
+def render_sweep(points: list[SweepPoint]) -> str:
+    """Text table for a worker sweep."""
+    from ..engine.executor import format_hms
+
+    lines = [f"{'workers':>8s} {'predicted':>12s} {'change':>8s}"]
+    previous = None
+    for p in points:
+        cell = format_hms(p.seconds) if p.feasible else "Fail"
+        change = ""
+        if previous and p.feasible and previous.feasible:
+            change = f"x{previous.seconds / p.seconds:.2f}"
+        lines.append(f"{p.workers:8d} {cell:>12s} {change:>8s}")
+        previous = p
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Iterative training on top of optimized plans.
+
+The paper's computations are single steps (one forward/backward pass); a
+real workload runs many.  :class:`Trainer` closes that loop: it optimizes
+the step's compute graph **once**, then executes the cached plan every
+iteration with the updated parameters fed back in — the deployment pattern
+the plan-serialization module exists for.
+
+The built-in :func:`ffnn_trainer` wires this up for the paper's FFNN:
+the step graph outputs the updated W2 (as in Experiments 2-4), the trainer
+tracks the cross-entropy loss over iterations, and tests verify the loss
+actually decreases when training on learnable data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .core.annotation import Plan
+from .core.graph import ComputeGraph
+from .core.optimizer import optimize
+from .core.registry import OptimizerContext
+from .engine.executor import ExecutionResult, Executor
+
+
+@dataclass
+class StepResult:
+    """Outcome of one training step."""
+
+    iteration: int
+    loss: float
+    simulated_seconds: float
+
+
+@dataclass
+class Trainer:
+    """Run an optimized step plan repeatedly with parameter feedback.
+
+    ``updates`` maps an input (parameter) name to the graph output name
+    whose value replaces it after each step; ``loss_fn`` computes a scalar
+    from the step's :class:`ExecutionResult`.
+    """
+
+    graph: ComputeGraph
+    ctx: OptimizerContext
+    updates: dict[str, str]
+    loss_fn: Callable[[ExecutionResult], float]
+    max_states: int | None = 500
+    plan: Plan = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.plan = optimize(self.graph, self.ctx,
+                             max_states=self.max_states)
+        known_outputs = {v.name for v in self.graph.outputs}
+        missing = [out for out in self.updates.values()
+                   if out not in known_outputs]
+        if missing:
+            raise ValueError(
+                f"update outputs {missing} are not graph outputs "
+                f"{sorted(known_outputs)}")
+
+    def fit(self, inputs: dict[str, np.ndarray], steps: int
+            ) -> list[StepResult]:
+        """Run ``steps`` iterations; returns per-step loss history.
+
+        ``inputs`` is copied; the caller's arrays are never mutated.
+        """
+        state = dict(inputs)
+        history: list[StepResult] = []
+        for iteration in range(steps):
+            executor = Executor(self.plan, self.ctx)
+            result = executor.run(state)
+            for param, output in self.updates.items():
+                state[param] = result.outputs[output]
+            history.append(StepResult(
+                iteration, self.loss_fn(result),
+                result.ledger.total_seconds))
+        self.final_state = state
+        return history
+
+
+def cross_entropy(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of row-stochastic predictions vs one-hot labels."""
+    clipped = np.clip(probabilities, 1e-12, 1.0)
+    return float(-(labels * np.log(clipped)).sum(axis=1).mean())
+
+
+def ffnn_trainer(cfg, ctx: OptimizerContext | None = None,
+                 max_states: int | None = 500) -> Trainer:
+    """A trainer for the paper's FFNN that updates all six parameters.
+
+    Builds a step graph outputting the softmax predictions and every
+    updated parameter; the loss is the cross-entropy of the predictions.
+    """
+    from .lang import add_bias, build, col_sums, relu, relu_grad, softmax
+    from .lang import input_matrix
+
+    x = input_matrix("X", cfg.batch, cfg.features,
+                     sparsity=cfg.input_sparsity)
+    y = input_matrix("Y", cfg.batch, cfg.labels)
+    w1 = input_matrix("W1", cfg.features, cfg.hidden)
+    w2 = input_matrix("W2", cfg.hidden, cfg.hidden)
+    w3 = input_matrix("W3", cfg.hidden, cfg.labels)
+    b1 = input_matrix("b1", 1, cfg.hidden)
+    b2 = input_matrix("b2", 1, cfg.hidden)
+    b3 = input_matrix("b3", 1, cfg.labels)
+
+    a1 = add_bias(x @ w1, b1)
+    z1 = relu(a1)
+    a2 = add_bias(z1 @ w2, b2)
+    z2 = relu(a2)
+    out = softmax(add_bias(z2 @ w3, b3))
+    out.name = "predictions"
+
+    lr = cfg.learning_rate
+    d_out = (out - y) * (1.0 / cfg.batch)
+    d_z2 = (d_out @ w3.T) * relu_grad(a2)
+    d_z1 = (d_z2 @ w2.T) * relu_grad(a1)
+
+    new_params = {
+        "W1_new": w1 - (x.T @ d_z1) * lr,
+        "W2_new": w2 - (z1.T @ d_z2) * lr,
+        "W3_new": w3 - (z2.T @ d_out) * lr,
+        "b1_new": b1 - col_sums(d_z1) * lr,
+        "b2_new": b2 - col_sums(d_z2) * lr,
+        "b3_new": b3 - col_sums(d_out) * lr,
+    }
+    for name, expr in new_params.items():
+        expr.name = name
+    graph = build([out] + list(new_params.values()))
+
+    updates = {name.replace("_new", ""): name for name in new_params}
+    if ctx is None:
+        ctx = OptimizerContext()
+    return Trainer(
+        graph, ctx, updates,
+        loss_fn=lambda result: cross_entropy(
+            result.outputs["predictions"],
+            result.vertex_values[_vid_of(graph, "Y")]),
+        max_states=max_states)
+
+
+def _vid_of(graph: ComputeGraph, name: str) -> int:
+    for v in graph.vertices:
+        if v.name == name:
+            return v.vid
+    raise KeyError(name)

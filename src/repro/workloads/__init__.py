@@ -1,0 +1,63 @@
+"""Workload compute-graph builders for the paper's experiments."""
+
+from .chains import (
+    SCALING_FAMILIES,
+    SIZE_SETS,
+    dag1_graph,
+    dag2_graph,
+    mm_chain_graph,
+    motivating_graph,
+    tree_graph,
+)
+from .datagen import (
+    AMAZONCAT_FEATURES,
+    AMAZONCAT_LABELS,
+    amazoncat_like,
+    amazoncat_sparsity,
+    dense_normal,
+    one_hot_labels,
+    sparse_features,
+    spd_matrix,
+)
+from .ffnn import (
+    FFNNConfig,
+    amazoncat_config,
+    ffnn_backprop_to_w2,
+    ffnn_forward,
+    ffnn_full_step,
+)
+from .attention import (
+    AttentionConfig,
+    attention_graph,
+    make_attention_inputs,
+    reference_attention,
+)
+from .inverse import (
+    make_inverse_inputs,
+    reference_inverse,
+    two_level_inverse_graph,
+)
+from .mlalgs import (
+    ALL_WORKLOADS,
+    Workload,
+    linear_regression,
+    logistic_regression_step,
+    power_iteration,
+    ridge_gradient_descent,
+)
+
+__all__ = [
+    "SCALING_FAMILIES", "SIZE_SETS", "dag1_graph", "dag2_graph",
+    "mm_chain_graph", "motivating_graph", "tree_graph",
+    "AMAZONCAT_FEATURES", "AMAZONCAT_LABELS", "amazoncat_like",
+    "amazoncat_sparsity", "dense_normal", "one_hot_labels",
+    "sparse_features", "spd_matrix",
+    "FFNNConfig", "amazoncat_config", "ffnn_backprop_to_w2", "ffnn_forward",
+    "ffnn_full_step",
+    "make_inverse_inputs", "reference_inverse", "two_level_inverse_graph",
+    "AttentionConfig", "attention_graph", "make_attention_inputs",
+    "reference_attention",
+    "ALL_WORKLOADS", "Workload", "linear_regression",
+    "logistic_regression_step", "power_iteration",
+    "ridge_gradient_descent",
+]

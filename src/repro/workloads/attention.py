@@ -1,0 +1,68 @@
+"""Scaled dot-product attention as a compute graph.
+
+A modern workload the paper's framework was built to serve: the attention
+block ``softmax(s · (X Wq)(X Wk)') (X Wv)`` is expressible entirely within
+the 16-operation catalog (matmuls, transpose, scalar multiply, row-wise
+softmax), and its structure — the input projected three ways from one
+shared X — exercises the frontier algorithm's equivalence classes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.graph import ComputeGraph
+from ..lang import build, input_matrix, softmax
+
+
+@dataclass(frozen=True)
+class AttentionConfig:
+    """Shapes of one single-head attention block."""
+
+    seq_len: int = 1024
+    model_dim: int = 512
+    head_dim: int = 64
+
+
+def attention_graph(cfg: AttentionConfig) -> ComputeGraph:
+    """Single-head attention: out = softmax(QK'/sqrt(d)) V."""
+    x = input_matrix("X", cfg.seq_len, cfg.model_dim)
+    wq = input_matrix("Wq", cfg.model_dim, cfg.head_dim)
+    wk = input_matrix("Wk", cfg.model_dim, cfg.head_dim)
+    wv = input_matrix("Wv", cfg.model_dim, cfg.head_dim)
+
+    q = x @ wq
+    k = x @ wk
+    v = x @ wv
+    scores = (q @ k.T) * (1.0 / math.sqrt(cfg.head_dim))
+    weights = softmax(scores)
+    out = weights @ v
+    out.name = "attention"
+    return build(out)
+
+
+def make_attention_inputs(cfg: AttentionConfig,
+                          seed: int = 0) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / math.sqrt(cfg.model_dim)
+    return {
+        "X": rng.standard_normal((cfg.seq_len, cfg.model_dim)),
+        "Wq": rng.standard_normal((cfg.model_dim, cfg.head_dim)) * scale,
+        "Wk": rng.standard_normal((cfg.model_dim, cfg.head_dim)) * scale,
+        "Wv": rng.standard_normal((cfg.model_dim, cfg.head_dim)) * scale,
+    }
+
+
+def reference_attention(inputs: dict[str, np.ndarray]) -> np.ndarray:
+    """Dense numpy reference."""
+    q = inputs["X"] @ inputs["Wq"]
+    k = inputs["X"] @ inputs["Wk"]
+    v = inputs["X"] @ inputs["Wv"]
+    scores = (q @ k.T) / math.sqrt(q.shape[1])
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    weights = np.exp(shifted)
+    weights /= weights.sum(axis=1, keepdims=True)
+    return weights @ v

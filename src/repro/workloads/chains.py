@@ -1,0 +1,124 @@
+"""Matrix-multiplication chain workloads.
+
+Covers the paper's motivating example (Section 2.1 / Figs 1-2), the
+six-matrix multiplication chain of Section 8.2 (Fig 10, with the size sets
+of Fig 4), and the Tree / DAG1 / DAG2 scaling families used for the
+optimizer-runtime study of Section 8.4 (Fig 13).
+"""
+
+from __future__ import annotations
+
+from ..core.formats import PhysicalFormat, col_strips, row_strips, single
+from ..core.graph import ComputeGraph
+from ..lang import Expr, build, input_matrix
+
+#: Fig 4: the three input size combinations of the matmul-chain experiment.
+SIZE_SETS: dict[int, dict[str, tuple[int, int]]] = {
+    1: {"A": (10_000, 30_000), "B": (30_000, 50_000), "C": (50_000, 1),
+        "D": (1, 50_000), "E": (50_000, 10_000), "F": (50_000, 10_000)},
+    2: {"A": (50_000, 1), "B": (1, 100_000), "C": (100_000, 30_000),
+        "D": (30_000, 100_000), "E": (100_000, 50_000),
+        "F": (100_000, 30_000)},
+    3: {"A": (50_000, 50_000), "B": (50_000, 50_000), "C": (50_000, 50_000),
+        "D": (50_000, 50_000), "E": (50_000, 50_000), "F": (50_000, 50_000)},
+}
+
+
+def motivating_graph() -> ComputeGraph:
+    """The Section 2.1 example: matA x matB x matC with the paper's load
+    formats (matA in ten row strips, matB in ten column strips, matC in one
+    hundred column strips)."""
+    mat_a = input_matrix("matA", 100, 10_000, fmt=row_strips(10))
+    mat_b = input_matrix("matB", 10_000, 100, fmt=col_strips(10))
+    mat_c = input_matrix("matC", 100, 1_000_000, fmt=col_strips(10_000))
+    return build((mat_a @ mat_b) @ mat_c)
+
+
+def mm_chain_graph(size_set: int,
+                   fmt_for: "callable | None" = None) -> ComputeGraph:
+    """The Fig 10 chain: O = ((T1 x E) x (T1 x T2)) x (T2 x F).
+
+    ``fmt_for(name, rows, cols) -> PhysicalFormat`` overrides the default
+    load format per input when given.
+    """
+    sizes = SIZE_SETS[size_set]
+
+    def inp(name: str) -> Expr:
+        rows, cols = sizes[name]
+        fmt = fmt_for(name, rows, cols) if fmt_for is not None else None
+        return input_matrix(name, rows, cols, fmt=fmt)
+
+    a, b, c, d = inp("A"), inp("B"), inp("C"), inp("D")
+    e, f = inp("E"), inp("F")
+    t1 = a @ b
+    t2 = c @ d
+    o = ((t1 @ e) @ (t1 @ t2)) @ (t2 @ f)
+    return build(o)
+
+
+# ----------------------------------------------------------------------
+# Fig 13 scaling families
+# ----------------------------------------------------------------------
+#: All Fig 13 matrices are 20,000 x 20,000 and stored as a single tuple.
+SCALING_DIM = 20_000
+
+
+def _scale_input(name: str, fmt: PhysicalFormat | None = None) -> Expr:
+    return input_matrix(name, SCALING_DIM, SCALING_DIM,
+                        fmt=fmt if fmt is not None else single())
+
+
+def tree_graph(scale: int) -> ComputeGraph:
+    """Fig 13 "Tree": T1=AxB; T2=CxD; O1=(T1xT2)xE; O2=O1xF, chained
+    ``scale`` times by replacing A with the previous O2."""
+    prev: Expr | None = None
+    for s in range(scale):
+        a = prev if prev is not None else _scale_input(f"A{s}")
+        b, c, d = (_scale_input(f"{n}{s}") for n in "BCD")
+        e, f = _scale_input(f"E{s}"), _scale_input(f"F{s}")
+        t1 = a @ b
+        t2 = c @ d
+        o1 = (t1 @ t2) @ e
+        prev = o1 @ f
+    return build(prev)
+
+
+def dag1_graph(scale: int) -> ComputeGraph:
+    """Fig 13 "DAG1": T1=AxB; T2=CxD; O1=(T1xT2)xE; O2=(T1xT2)xO1 — the
+    product T1xT2 is shared; scales by replacing A with the previous O2."""
+    prev: Expr | None = None
+    for s in range(scale):
+        a = prev if prev is not None else _scale_input(f"A{s}")
+        b, c, d = (_scale_input(f"{n}{s}") for n in "BCD")
+        e = _scale_input(f"E{s}")
+        t1 = a @ b
+        t2 = c @ d
+        shared = t1 @ t2
+        o1 = shared @ e
+        prev = shared @ o1
+    return build(prev)
+
+
+def dag2_graph(scale: int) -> ComputeGraph:
+    """Fig 13 "DAG2": like DAG1 but each new scale links back twice —
+    A is replaced by the previous O2 *and* C by the previous O1."""
+    prev_o1: Expr | None = None
+    prev_o2: Expr | None = None
+    for s in range(scale):
+        a = prev_o2 if prev_o2 is not None else _scale_input(f"A{s}")
+        c = prev_o1 if prev_o1 is not None else _scale_input(f"C{s}")
+        b, d = _scale_input(f"B{s}"), _scale_input(f"D{s}")
+        e = _scale_input(f"E{s}")
+        t1 = a @ b
+        t2 = c @ d
+        shared = t1 @ t2
+        prev_o1 = shared @ e
+        prev_o2 = shared @ prev_o1
+    return build(prev_o2)
+
+
+SCALING_FAMILIES = {
+    "tree": tree_graph,
+    "dag1": dag1_graph,
+    "dag2": dag2_graph,
+}

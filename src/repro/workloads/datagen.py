@@ -1,0 +1,78 @@
+"""Synthetic data generators.
+
+The paper generates dense inputs by sampling N(0,1) doubles (Section 8.2)
+and uses the AmazonCat-14K dataset for the systems comparison (Section 8.3).
+AmazonCat-14K is not redistributable here, so :func:`amazoncat_like`
+generates a sparse dataset with the same shape statistics: 597,540 features,
+14,588 labels, and a long-tailed number of non-zeros per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+#: AmazonCat-14K dataset shape (McAuley et al.), as used in paper Sec. 8.3.
+AMAZONCAT_FEATURES = 597_540
+AMAZONCAT_LABELS = 14_588
+#: Average non-zero features per example (matches the published statistics).
+AMAZONCAT_MEAN_NNZ_PER_ROW = 71.0
+
+
+def dense_normal(rows: int, cols: int, seed: int = 0) -> np.ndarray:
+    """Dense N(0,1) matrix, the paper's input generator."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((rows, cols))
+
+
+def spd_matrix(n: int, seed: int = 0) -> np.ndarray:
+    """A well-conditioned symmetric positive-definite matrix (invertible)."""
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n)) / np.sqrt(n)
+    return m @ m.T + np.eye(n) * 2.0
+
+
+def one_hot_labels(rows: int, num_labels: int, seed: int = 0) -> np.ndarray:
+    """Dense one-hot label matrix."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_labels, size=rows)
+    out = np.zeros((rows, num_labels))
+    out[np.arange(rows), labels] = 1.0
+    return out
+
+
+def sparse_features(rows: int, cols: int, mean_nnz_per_row: float,
+                    seed: int = 0) -> sp.csr_matrix:
+    """Sparse feature matrix with a long-tailed nnz-per-row distribution.
+
+    Rows draw their non-zero count from a geometric-ish mixture so some rows
+    are much denser than others, as in bag-of-words data.
+    """
+    rng = np.random.default_rng(seed)
+    per_row = np.minimum(
+        rng.poisson(mean_nnz_per_row * rng.lognormal(0.0, 0.6, size=rows)),
+        cols).astype(np.int64)
+    indptr = np.concatenate([[0], np.cumsum(per_row)])
+    total = int(indptr[-1])
+    indices = rng.integers(0, cols, size=total, dtype=np.int64)
+    data = rng.standard_normal(total)
+    mat = sp.csr_matrix((data, indices, indptr), shape=(rows, cols))
+    mat.sum_duplicates()
+    return mat
+
+
+def amazoncat_like(batch: int, seed: int = 0) -> tuple[sp.csr_matrix, np.ndarray]:
+    """An AmazonCat-14K-shaped (features, labels) batch.
+
+    Returns a CSR feature matrix of shape ``(batch, 597540)`` and a dense
+    one-hot label matrix of shape ``(batch, 14588)``.
+    """
+    x = sparse_features(batch, AMAZONCAT_FEATURES,
+                        AMAZONCAT_MEAN_NNZ_PER_ROW, seed=seed)
+    y = one_hot_labels(batch, AMAZONCAT_LABELS, seed=seed + 1)
+    return x, y
+
+
+def amazoncat_sparsity() -> float:
+    """Expected nnz fraction of AmazonCat-like feature matrices."""
+    return AMAZONCAT_MEAN_NNZ_PER_ROW / AMAZONCAT_FEATURES

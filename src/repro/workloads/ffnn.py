@@ -1,0 +1,163 @@
+"""Feed-forward neural network compute graphs (paper Section 8.2/8.3).
+
+Builds the FFNN forward/backward computations the paper evaluates:
+
+* :func:`ffnn_backprop_to_w2` — one forward pass plus backpropagation to the
+  second hidden layer's weight update (Experiments 2-4, Figs 6-8, 11-12);
+* :func:`ffnn_full_step` — forward pass, full backpropagation of every
+  parameter, and one more forward pass to the output activations
+  (Experiment 1, Fig 5); yields the paper's 57-vertex compute graph.
+
+The network has two hidden layers of width ``hidden`` between the input and
+the output layer (relu activations, softmax output), matching the paper:
+"weight matrices have size 60,000 by layer_size, layer_size by layer_size".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.formats import PhysicalFormat
+from ..core.graph import ComputeGraph
+from ..lang import (
+    Expr,
+    add_bias,
+    build,
+    col_sums,
+    input_matrix,
+    relu,
+    relu_grad,
+    softmax,
+)
+
+#: Paper defaults: 10^4 examples, 6x10^4 features, 17 labels.
+DEFAULT_BATCH = 10_000
+DEFAULT_FEATURES = 60_000
+DEFAULT_LABELS = 17
+
+
+@dataclass(frozen=True)
+class FFNNConfig:
+    """Shape configuration of the FFNN experiments."""
+
+    batch: int = DEFAULT_BATCH
+    features: int = DEFAULT_FEATURES
+    hidden: int = 80_000
+    labels: int = DEFAULT_LABELS
+    input_sparsity: float = 1.0
+    learning_rate: float = 0.01
+    #: Optional explicit load format for the input matrix X.
+    x_format: PhysicalFormat | None = None
+    #: Optional explicit load format for the first weight matrix W1.
+    w1_format: PhysicalFormat | None = None
+
+
+@dataclass(frozen=True)
+class FFNNExprs:
+    """The shared expression pieces of one forward/backward computation."""
+
+    x: Expr
+    y: Expr
+    weights: tuple[Expr, Expr, Expr]
+    biases: tuple[Expr, Expr, Expr]
+    pre_activations: tuple[Expr, Expr, Expr]
+    activations: tuple[Expr, Expr, Expr]
+
+
+def _inputs(cfg: FFNNConfig) -> FFNNExprs:
+    x = input_matrix("X", cfg.batch, cfg.features,
+                     sparsity=cfg.input_sparsity, fmt=cfg.x_format)
+    y = input_matrix("Y", cfg.batch, cfg.labels)
+    w1 = input_matrix("W1", cfg.features, cfg.hidden, fmt=cfg.w1_format)
+    w2 = input_matrix("W2", cfg.hidden, cfg.hidden)
+    w3 = input_matrix("W3", cfg.hidden, cfg.labels)
+    b1 = input_matrix("b1", 1, cfg.hidden)
+    b2 = input_matrix("b2", 1, cfg.hidden)
+    b3 = input_matrix("b3", 1, cfg.labels)
+
+    a1 = add_bias(x @ w1, b1)
+    z1 = relu(a1)
+    a2 = add_bias(z1 @ w2, b2)
+    z2 = relu(a2)
+    a3 = add_bias(z2 @ w3, b3)
+    out = softmax(a3)
+    return FFNNExprs(x, y, (w1, w2, w3), (b1, b2, b3),
+                     (a1, a2, a3), (z1, z2, out))
+
+
+def ffnn_forward(cfg: FFNNConfig) -> ComputeGraph:
+    """Forward pass only: activations at the output layer."""
+    return build(_inputs(cfg).activations[2])
+
+
+def ffnn_backprop_to_w2(cfg: FFNNConfig) -> ComputeGraph:
+    """Forward pass plus backpropagation producing the updated W2
+    (Experiments 2-4; also the Fig 11/12 systems-comparison computation)."""
+    net = _inputs(cfg)
+    z1, z2, out = net.activations
+    _w1, w2, w3 = net.weights
+    _a1, a2, _a3 = net.pre_activations
+
+    d_out = out - net.y
+    d_z2 = (d_out @ w3.T) * relu_grad(a2)
+    d_w2 = z1.T @ d_z2
+    w2_new = w2 - d_w2 * cfg.learning_rate
+    return build(w2_new)
+
+
+def ffnn_full_step(cfg: FFNNConfig) -> ComputeGraph:
+    """Forward pass, full backprop of all six parameters, then one more
+    forward pass with the updated parameters (Experiment 1).
+
+    The resulting compute graph has 57 vertices (8 sources + 49 operations),
+    the size the paper reports for this computation.
+    """
+    net = _inputs(cfg)
+    x, y = net.x, net.y
+    w1, w2, w3 = net.weights
+    b1, b2, b3 = net.biases
+    a1, a2, _a3 = net.pre_activations
+    z1, z2, out = net.activations
+    lr = cfg.learning_rate
+
+    d_out = (out - y) * (1.0 / cfg.batch)             # batch x labels
+    d_w3 = z2.T @ d_out
+    d_b3 = col_sums(d_out)
+    d_z2 = (d_out @ w3.T) * relu_grad(a2)
+    d_w2 = z1.T @ d_z2
+    d_b2 = col_sums(d_z2)
+    d_z1 = (d_z2 @ w2.T) * relu_grad(a1)
+    d_w1 = x.T @ d_z1
+    d_b1 = col_sums(d_z1)
+
+    w1_new = w1 - d_w1 * lr
+    w2_new = w2 - d_w2 * lr
+    w3_new = w3 - d_w3 * lr
+    b1_new = b1 - d_b1 * lr
+    b2_new = b2 - d_b2 * lr
+    b3_new = b3 - d_b3 * lr
+
+    # Second forward pass with updated parameters.
+    z1b = relu(add_bias(x @ w1_new, b1_new))
+    z2b = relu(add_bias(z1b @ w2_new, b2_new))
+    out2 = softmax(add_bias(z2b @ w3_new, b3_new))
+    return build(out2)
+
+
+def amazoncat_config(batch: int, hidden: int,
+                     sparse_input: bool = True,
+                     x_format: PhysicalFormat | None = None,
+                     w1_format: PhysicalFormat | None = None) -> FFNNConfig:
+    """The Fig 11/12 configuration: AmazonCat-14K-shaped input."""
+    from .datagen import AMAZONCAT_FEATURES, AMAZONCAT_LABELS, \
+        amazoncat_sparsity
+
+    return FFNNConfig(
+        batch=batch,
+        features=AMAZONCAT_FEATURES,
+        hidden=hidden,
+        labels=AMAZONCAT_LABELS,
+        input_sparsity=amazoncat_sparsity() if sparse_input else 1.0,
+        x_format=x_format,
+        w1_format=w1_format,
+    )

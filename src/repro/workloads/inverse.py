@@ -1,0 +1,134 @@
+"""Two-level block-wise matrix inverse (paper Section 8.2, Fig 9).
+
+The classic partitioned inverse [Graybill 1983]::
+
+    [A B]^-1   [Abar Bbar]
+    [C D]    = [Cbar Dbar]
+
+with ``S = D - C A^-1 B`` (the Schur complement) and::
+
+    Abar = A^-1 + A^-1 B S^-1 C A^-1
+    Bbar = -A^-1 B S^-1
+    Cbar = -S^-1 C A^-1
+    Dbar = S^-1
+
+"Two-level" means ``A^-1`` is itself computed by the same formula over A's
+sub-blocks.  Following the paper's setup, the outer blocks A, B, C, D are
+10K x 10K and A arrives pre-split into 2K x 2K, 2K x 8K, 8K x 2K and
+8K x 8K sub-blocks.  The inner-level block inverse is stitched back into a
+full ``A^-1`` with constant selector matrices ``U1 = [I; 0]`` and
+``U2 = [0; I]`` (so the stitching is itself expressed with atomic matmuls
+and adds and participates in physical-design optimization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.graph import ComputeGraph
+from ..lang import Expr, build, input_matrix, inverse
+
+
+def _block_inverse(a: Expr, b: Expr, c: Expr, d: Expr
+                   ) -> tuple[Expr, Expr, Expr, Expr]:
+    """One level of the partitioned-inverse formula, given ``A^-1``-able A."""
+    a_inv = inverse(a)
+    return _block_inverse_given(a_inv, b, c, d)
+
+
+def _block_inverse_given(a_inv: Expr, b: Expr, c: Expr, d: Expr
+                         ) -> tuple[Expr, Expr, Expr, Expr]:
+    """The partitioned-inverse formula with ``A^-1`` already available."""
+    a_inv_b = a_inv @ b
+    c_a_inv = c @ a_inv
+    schur = d - (c @ a_inv_b)
+    s_inv = inverse(schur)
+    abar = a_inv + (a_inv_b @ (s_inv @ c_a_inv))
+    bbar = -(a_inv_b @ s_inv)
+    cbar = -(s_inv @ c_a_inv)
+    dbar = s_inv
+    return abar, bbar, cbar, dbar
+
+
+def _stitch(blocks: tuple[Expr, Expr, Expr, Expr],
+            u1: Expr, u2: Expr) -> Expr:
+    """Assemble a 2x2 block matrix via selector matrices:
+    M = U1 M11 U1' + U1 M12 U2' + U2 M21 U1' + U2 M22 U2'."""
+    m11, m12, m21, m22 = blocks
+    return (((u1 @ m11) @ u1.T) + ((u1 @ m12) @ u2.T)
+            + ((u2 @ m21) @ u1.T) + ((u2 @ m22) @ u2.T))
+
+
+def two_level_inverse_graph(outer: int = 10_000, inner_top: int = 2_000
+                            ) -> ComputeGraph:
+    """The paper's Fig 9 computation.
+
+    ``outer`` is the size of the blocks A, B, C, D (10K in the paper);
+    ``inner_top`` the size of A's top-left sub-block (2K in the paper).
+    Outputs the four blocks of the inverse as a multi-output graph.
+    """
+    inner_bot = outer - inner_top
+
+    # Sources: A arrives pre-split, B/C/D whole, plus the selectors.
+    a11 = input_matrix("A11", inner_top, inner_top)
+    a12 = input_matrix("A12", inner_top, inner_bot)
+    a21 = input_matrix("A21", inner_bot, inner_top)
+    a22 = input_matrix("A22", inner_bot, inner_bot)
+    b = input_matrix("B", outer, outer)
+    c = input_matrix("C", outer, outer)
+    d = input_matrix("D", outer, outer)
+    u1 = input_matrix("U1", outer, inner_top, sparsity=float(inner_top) /
+                      (outer * inner_top))
+    u2 = input_matrix("U2", outer, inner_bot, sparsity=float(inner_bot) /
+                      (outer * inner_bot))
+
+    # Inner level: A^-1 from A's sub-blocks, stitched into one matrix.
+    inner_blocks = _block_inverse(a11, a12, a21, a22)
+    a_inv = _stitch(inner_blocks, u1, u2)
+
+    # Outer level: the same formula with A^-1 already computed.
+    abar, bbar, cbar, dbar = _block_inverse_given(a_inv, b, c, d)
+    abar.name, bbar.name, cbar.name, dbar.name = \
+        "Abar", "Bbar", "Cbar", "Dbar"
+    return build([abar, bbar, cbar, dbar])
+
+
+def make_inverse_inputs(outer: int, inner_top: int,
+                        seed: int = 0) -> dict[str, np.ndarray]:
+    """Generate numeric inputs for executing a two-level inverse graph."""
+    from .datagen import spd_matrix
+
+    inner_bot = outer - inner_top
+    full = spd_matrix(2 * outer, seed=seed)
+    a = full[:outer, :outer]
+    u1 = np.zeros((outer, inner_top))
+    u1[:inner_top, :] = np.eye(inner_top)
+    u2 = np.zeros((outer, inner_bot))
+    u2[inner_top:, :] = np.eye(inner_bot)
+    return {
+        "A11": a[:inner_top, :inner_top],
+        "A12": a[:inner_top, inner_top:],
+        "A21": a[inner_top:, :inner_top],
+        "A22": a[inner_top:, inner_top:],
+        "B": full[:outer, outer:],
+        "C": full[outer:, :outer],
+        "D": full[outer:, outer:],
+        "U1": u1,
+        "U2": u2,
+    }
+
+
+def reference_inverse(inputs: dict[str, np.ndarray]
+                      ) -> dict[str, np.ndarray]:
+    """Dense numpy reference for the four output blocks."""
+    a = np.block([[inputs["A11"], inputs["A12"]],
+                  [inputs["A21"], inputs["A22"]]])
+    full = np.block([[a, inputs["B"]], [inputs["C"], inputs["D"]]])
+    inv = np.linalg.inv(full)
+    outer = a.shape[0]
+    return {
+        "Abar": inv[:outer, :outer],
+        "Bbar": inv[:outer, outer:],
+        "Cbar": inv[outer:, :outer],
+        "Dbar": inv[outer:, outer:],
+    }

@@ -1,0 +1,177 @@
+"""Classic ML / linear-algebra computations expressed in the logical API.
+
+The paper's introduction motivates the framework with "complicated ML
+computation[s], which may require hundreds of individual operations".
+These builders provide a library of such computations beyond the FFNN:
+regression via the normal equations, logistic-regression gradient steps,
+ridge gradient descent, and power iteration.  Each returns a compute graph
+plus helpers to generate inputs and a dense numpy reference, so every
+workload doubles as an end-to-end correctness test of the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.formats import PhysicalFormat
+from ..core.graph import ComputeGraph
+from ..lang import Expr, build, input_matrix, inverse, sigmoid
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A ready-to-run workload: graph + input generator + numpy reference."""
+
+    name: str
+    graph: ComputeGraph
+    make_inputs: Callable[[int], dict[str, np.ndarray]]
+    reference: Callable[[dict[str, np.ndarray]], np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# Linear regression via the normal equations
+# ----------------------------------------------------------------------
+def linear_regression(n: int, d: int, ridge: float = 1e-2,
+                      x_format: PhysicalFormat | None = None) -> Workload:
+    """w = (X'X + λI)^-1 X'y — the closed-form least-squares solution.
+
+    ``X'`` feeds both the Gram matrix and the projection, so the compute
+    graph is a DAG with sharing (the frontier algorithm's case).
+    """
+    x = input_matrix("X", n, d, fmt=x_format)
+    y = input_matrix("y", n, 1)
+    lam_eye = input_matrix("lamI", d, d, sparsity=min(1.0, 1.0 / d))
+    xt = x.T
+    gram = (xt @ x) + lam_eye
+    w = inverse(gram) @ (xt @ y)
+    w.name = "w"
+    graph = build(w)
+
+    def make_inputs(seed: int = 0) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {
+            "X": rng.standard_normal((n, d)),
+            "y": rng.standard_normal((n, 1)),
+            "lamI": ridge * np.eye(d),
+        }
+
+    def reference(inputs: dict[str, np.ndarray]) -> np.ndarray:
+        x_, y_ = inputs["X"], inputs["y"]
+        return np.linalg.solve(x_.T @ x_ + inputs["lamI"], x_.T @ y_)
+
+    return Workload("linear_regression", graph, make_inputs, reference)
+
+
+# ----------------------------------------------------------------------
+# Logistic regression gradient step
+# ----------------------------------------------------------------------
+def logistic_regression_step(n: int, d: int, lr: float = 0.1,
+                             x_format: PhysicalFormat | None = None
+                             ) -> Workload:
+    """One batch-gradient step: w' = w - η X'(σ(Xw) - y)."""
+    x = input_matrix("X", n, d, fmt=x_format)
+    y = input_matrix("y", n, 1)
+    w = input_matrix("w", d, 1)
+    p = sigmoid(x @ w)
+    grad = x.T @ (p - y)
+    w_new = w - grad * lr
+    w_new.name = "w_new"
+    graph = build(w_new)
+
+    def make_inputs(seed: int = 0) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {
+            "X": rng.standard_normal((n, d)),
+            "y": (rng.random((n, 1)) < 0.5).astype(float),
+            "w": rng.standard_normal((d, 1)) * 0.1,
+        }
+
+    def reference(inputs: dict[str, np.ndarray]) -> np.ndarray:
+        x_, y_, w_ = inputs["X"], inputs["y"], inputs["w"]
+        p_ = 1.0 / (1.0 + np.exp(-(x_ @ w_)))
+        return w_ - lr * (x_.T @ (p_ - y_))
+
+    return Workload("logistic_regression_step", graph, make_inputs,
+                    reference)
+
+
+# ----------------------------------------------------------------------
+# Ridge regression by gradient descent (a deep iterative graph)
+# ----------------------------------------------------------------------
+def ridge_gradient_descent(n: int, d: int, steps: int = 3,
+                           lr: float = 0.01, ridge: float = 0.1) -> Workload:
+    """``steps`` unrolled iterations of w -= η (X'(Xw - y) + λw).
+
+    The input matrix X (and its transpose) is shared by every unrolled
+    step — exactly the "modern back-propagation algorithms have this
+    structure" sharing of the paper's Section 6.
+    """
+    x = input_matrix("X", n, d)
+    y = input_matrix("y", n, 1)
+    w: Expr = input_matrix("w0", d, 1)
+    xt = x.T
+    for _ in range(steps):
+        residual = (x @ w) - y
+        grad = (xt @ residual) + (w * ridge)
+        w = w - grad * lr
+    w.name = "w_final"
+    graph = build(w)
+
+    def make_inputs(seed: int = 0) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {
+            "X": rng.standard_normal((n, d)),
+            "y": rng.standard_normal((n, 1)),
+            "w0": np.zeros((d, 1)),
+        }
+
+    def reference(inputs: dict[str, np.ndarray]) -> np.ndarray:
+        x_, y_ = inputs["X"], inputs["y"]
+        w_ = inputs["w0"].copy()
+        for _ in range(steps):
+            grad = x_.T @ (x_ @ w_ - y_) + ridge * w_
+            w_ = w_ - lr * grad
+        return w_
+
+    return Workload("ridge_gradient_descent", graph, make_inputs, reference)
+
+
+# ----------------------------------------------------------------------
+# Power iteration (dominant eigenvector direction)
+# ----------------------------------------------------------------------
+def power_iteration(n: int, steps: int = 4, damping: float = 0.1) -> Workload:
+    """``steps`` damped matrix-vector products: v <- damping * (A v).
+
+    (Normalization is folded into the fixed damping constant so the whole
+    computation stays inside the 16-operation catalog.)
+    """
+    a = input_matrix("A", n, n)
+    v: Expr = input_matrix("v0", n, 1)
+    for _ in range(steps):
+        v = (a @ v) * damping
+    v.name = "v_final"
+    graph = build(v)
+
+    def make_inputs(seed: int = 0) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        sym = rng.standard_normal((n, n))
+        return {"A": (sym + sym.T) / 2.0,
+                "v0": rng.standard_normal((n, 1))}
+
+    def reference(inputs: dict[str, np.ndarray]) -> np.ndarray:
+        v_ = inputs["v0"]
+        for _ in range(steps):
+            v_ = damping * (inputs["A"] @ v_)
+        return v_
+
+    return Workload("power_iteration", graph, make_inputs, reference)
+
+
+#: All builders, for parametrized testing.
+ALL_WORKLOADS: tuple[Callable[..., Workload], ...] = (
+    linear_regression, logistic_regression_step, ridge_gradient_descent,
+    power_iteration,
+)

@@ -1,0 +1,141 @@
+"""Tests for the baseline planners and system models."""
+
+import math
+
+import pytest
+
+from repro.cluster import pliny_cluster, simsql_cluster
+from repro.core import OptimizerContext, evaluate, matrix, optimize
+from repro.core.formats import csr_strips, single, tiles
+from repro.baselines import (
+    EXPERTISE_LEVELS,
+    UserPlanner,
+    expert_format,
+    plan_all_tile,
+    plan_hand_written,
+    plan_systemds,
+    plan_user_with_retry,
+    simulate_pytorch,
+    systemds_format,
+)
+from repro.workloads import FFNNConfig, amazoncat_config, ffnn_backprop_to_w2
+from repro.workloads.chains import mm_chain_graph
+
+
+def _small_ffnn():
+    return ffnn_backprop_to_w2(
+        FFNNConfig(batch=1000, features=2000, hidden=1000, labels=17))
+
+
+def _ctx(workers=10):
+    return OptimizerContext(cluster=simsql_cluster(workers))
+
+
+class TestRulePlanners:
+    @pytest.mark.parametrize("planner", [
+        plan_all_tile, plan_hand_written, plan_systemds])
+    def test_plans_are_type_correct(self, planner):
+        g = _small_ffnn()
+        ctx = _ctx()
+        plan = planner(g, ctx)
+        cost = evaluate(g, plan.annotation, ctx, allow_infeasible=True)
+        assert cost.total_seconds > 0
+
+    def test_all_tile_uses_tiles_where_possible(self):
+        g = mm_chain_graph(3)
+        ctx = _ctx()
+        plan = plan_all_tile(g, ctx)
+        tiled = [f for f in plan.cost.vertex_formats.values()
+                 if f == tiles(1000)]
+        assert len(tiled) >= len(g.inner_vertices) / 2
+
+    def test_auto_never_worse_than_baselines(self):
+        """The optimizer's plan is optimal under the shared cost model, so
+        every rule-based plan must cost at least as much."""
+        g = _small_ffnn()
+        ctx = _ctx()
+        auto = optimize(g, ctx, max_states=1000).total_seconds
+        for planner in (plan_all_tile, plan_hand_written, plan_systemds):
+            assert planner(g, ctx).total_seconds >= auto - 1e-6
+
+    def test_expert_format_rules(self):
+        assert expert_format(matrix(100, 100)) == single()
+        assert expert_format(matrix(100_000, 1000)).is_row_partitioned
+        assert expert_format(matrix(1000, 100_000)).is_col_partitioned
+        assert expert_format(matrix(50_000, 50_000)) == tiles(1000)
+
+    def test_systemds_format_rules(self):
+        assert systemds_format(matrix(2000, 2000)) == single()
+        assert systemds_format(matrix(100_000, 100_000)) == tiles(1000)
+        assert systemds_format(
+            matrix(100_000, 1000, sparsity=0.001)) == csr_strips(1000)
+
+
+class TestUsers:
+    def test_expertise_levels(self):
+        assert EXPERTISE_LEVELS == ("low", "medium", "high")
+        with pytest.raises(ValueError):
+            UserPlanner("guru")
+
+    def test_low_user_first_attempt_demands_oversize_single(self):
+        g = ffnn_backprop_to_w2(FFNNConfig(hidden=80_000))
+        assert UserPlanner("low").demands_infeasible_format(g)
+        assert not UserPlanner("low", safety=1).demands_infeasible_format(g)
+
+    def test_high_user_does_not_crash(self):
+        g = ffnn_backprop_to_w2(FFNNConfig(hidden=80_000))
+        ctx = _ctx()
+        result = plan_user_with_retry(g, ctx, "high")
+        assert not result.retried
+        assert result.display_suffix == ""
+
+    def test_low_and_medium_retry_at_scale(self):
+        g = ffnn_backprop_to_w2(FFNNConfig(hidden=80_000))
+        ctx = _ctx()
+        for level in ("low", "medium"):
+            result = plan_user_with_retry(g, ctx, level)
+            assert result.retried, level
+            assert result.display_suffix == "*"
+            assert math.isfinite(result.plan.total_seconds)
+
+    def test_expertise_ordering_at_paper_scale(self):
+        """More expertise -> faster final plan (paper Fig 8)."""
+        g = ffnn_backprop_to_w2(FFNNConfig(hidden=80_000))
+        ctx = _ctx()
+        times = {level: plan_user_with_retry(g, ctx, level).plan.total_seconds
+                 for level in EXPERTISE_LEVELS}
+        assert times["high"] <= times["medium"] <= times["low"]
+
+
+class TestPyTorchModel:
+    def test_small_model_succeeds(self):
+        cfg = amazoncat_config(1000, 4000, sparse_input=False)
+        result = simulate_pytorch(cfg, pliny_cluster(5))
+        assert result.ok
+        assert result.seconds > 0
+
+    def test_huge_model_fails(self):
+        """Paper Figs 11-12: PyTorch fails at hidden 7000 (model broadcast
+        exceeds worker RAM) regardless of cluster size."""
+        for workers in (2, 5, 10):
+            cfg = amazoncat_config(1000, 7000, sparse_input=False)
+            result = simulate_pytorch(cfg, pliny_cluster(workers))
+            assert not result.ok
+            assert result.display == "Fail"
+
+    def test_large_batch_fails_on_small_cluster(self):
+        """Paper Fig 12: the dense 10K-batch input shard OOMs 2 workers at
+        hidden 5000 but not at 4000."""
+        ok = simulate_pytorch(amazoncat_config(10_000, 4000), pliny_cluster(2))
+        bad = simulate_pytorch(amazoncat_config(10_000, 5000),
+                               pliny_cluster(2))
+        assert ok.ok
+        assert not bad.ok
+
+    def test_more_workers_slower_for_huge_models(self):
+        """Paper Fig 11: the data-parallel model broadcast dominates, so
+        2 workers beat 10 for this model."""
+        cfg = amazoncat_config(1000, 5000, sparse_input=False)
+        t2 = simulate_pytorch(cfg, pliny_cluster(2)).seconds
+        t10 = simulate_pytorch(cfg, pliny_cluster(10)).seconds
+        assert t10 > t2

@@ -1,0 +1,85 @@
+"""Tests for the optional GPU catalog extension (paper Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.accelerators import (
+    MMGpuSingle,
+    MMGpuTileBroadcast,
+    gpu_implementations,
+)
+from repro.core.atoms import MATMUL
+from repro.core.formats import single, tiles
+from repro.core.implementations import DEFAULT_IMPLEMENTATIONS
+
+CPU_CLUSTER = ClusterConfig()
+GPU_CLUSTER = ClusterConfig(gpus_per_worker=1)
+
+
+def _gpu_ctx(cluster=GPU_CLUSTER):
+    return OptimizerContext(
+        cluster=cluster,
+        implementations=DEFAULT_IMPLEMENTATIONS + gpu_implementations())
+
+
+class TestHardwareAwareTyping:
+    def test_rejected_without_gpus(self):
+        """The paper's ⊥ when the hardware is absent."""
+        mm = MMGpuSingle()
+        types = (matrix(1000, 1000), matrix(1000, 1000))
+        assert mm.output_format(types, (single(), single()),
+                                CPU_CLUSTER) is None
+        assert mm.output_format(types, (single(), single()),
+                                GPU_CLUSTER) is not None
+
+    def test_rejected_when_exceeding_gpu_ram(self):
+        """The paper's "no enough GPU RAM" ⊥."""
+        mm = MMGpuSingle()
+        tiny_gpu = ClusterConfig(gpus_per_worker=1, gpu_ram_bytes=1_000_000)
+        types = (matrix(2000, 2000), matrix(2000, 2000))  # 32 MB operands
+        assert mm.output_format(types, (single(), single()),
+                                tiny_gpu) is None
+
+    def test_tile_variant_bounds_broadcast_side(self):
+        mm = MMGpuTileBroadcast()
+        types = (matrix(40_000, 40_000), matrix(40_000, 40_000))
+        fmts = (tiles(1000), tiles(1000))
+        # 12.8 GB broadcast side exceeds half of 16 GB GPU RAM.
+        assert mm.output_format(types, fmts, GPU_CLUSTER) is None
+        big_gpu = ClusterConfig(gpus_per_worker=1,
+                                gpu_ram_bytes=64 * 1024**3)
+        assert mm.output_format(types, fmts, big_gpu) is not None
+
+
+class TestPlanning:
+    def _graph(self, n=2000):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(n, n), single())
+        b = g.add_source("B", matrix(n, n), single())
+        g.add_op("AB", MATMUL, (a, b))
+        return g
+
+    def test_optimizer_picks_gpu_when_beneficial(self):
+        g = self._graph()
+        plan = optimize(g, _gpu_ctx())
+        chosen = next(iter(plan.annotation.impls.values()))
+        assert chosen.name.startswith("mm_gpu")
+
+    def test_default_catalog_unchanged(self):
+        assert len(DEFAULT_IMPLEMENTATIONS) == 38
+        assert not any(i.name.startswith("mm_gpu")
+                       for i in DEFAULT_IMPLEMENTATIONS)
+
+    def test_cpu_cluster_never_uses_gpu_impls(self):
+        g = self._graph()
+        plan = optimize(g, _gpu_ctx(cluster=CPU_CLUSTER))
+        assert not any(i.name.startswith("mm_gpu")
+                       for i in plan.annotation.impls.values())
+
+    def test_gpu_plan_cheaper_than_cpu_plan(self):
+        g = self._graph(4000)
+        cpu_cost = optimize(g, OptimizerContext()).total_seconds
+        gpu_cost = optimize(g, _gpu_ctx()).total_seconds
+        assert gpu_cost < cpu_cost

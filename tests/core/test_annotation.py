@@ -1,0 +1,90 @@
+"""Tests for annotated plans: evaluation semantics and reporting."""
+
+import math
+
+import pytest
+
+from repro.cluster import simsql_cluster
+from repro.core import (
+    ComputeGraph,
+    OptimizerContext,
+    evaluate,
+    matrix,
+    optimize,
+)
+from repro.core.annotation import AnnotationError, make_plan
+from repro.core.atoms import MATMUL, RELU
+from repro.core.formats import col_strips, row_strips, single, tiles
+
+
+def _plan():
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(300, 400), row_strips(100))
+    b = g.add_source("B", matrix(400, 300), col_strips(100))
+    ab = g.add_op("AB", MATMUL, (a, b))
+    g.add_op("R", RELU, (ab,))
+    ctx = OptimizerContext()
+    return g, optimize(g, ctx), ctx
+
+
+class TestEvaluate:
+    def test_total_is_sum_of_parts(self):
+        g, plan, ctx = _plan()
+        cost = plan.cost
+        assert cost.total_seconds == pytest.approx(
+            cost.compute_seconds + cost.transform_seconds)
+
+    def test_source_costs_are_zero(self):
+        g, plan, ctx = _plan()
+        for source in g.sources:
+            assert plan.cost.vertex_seconds[source.vid] == 0.0
+
+    def test_every_vertex_has_a_format(self):
+        g, plan, ctx = _plan()
+        assert set(plan.cost.vertex_formats) == set(g.vertex_ids)
+
+    def test_reevaluation_is_stable(self):
+        g, plan, ctx = _plan()
+        again = evaluate(g, plan.annotation, ctx)
+        assert again.total_seconds == pytest.approx(plan.total_seconds)
+
+    def test_infeasible_stage_raises_by_default(self):
+        """An annotation whose stage exceeds worker disk is rejected unless
+        allow_infeasible is set."""
+        from repro.baselines import plan_all_tile
+        from repro.workloads.ffnn import FFNNConfig, ffnn_backprop_to_w2
+        ctx = OptimizerContext(cluster=simsql_cluster(10))
+        graph = ffnn_backprop_to_w2(FFNNConfig(hidden=160_000))
+        failing = plan_all_tile(graph, ctx)  # built with allow_infeasible
+        assert math.isinf(failing.total_seconds)
+        with pytest.raises(AnnotationError):
+            evaluate(graph, failing.annotation, ctx)
+        tolerant = evaluate(graph, failing.annotation, ctx,
+                            allow_infeasible=True)
+        assert math.isinf(tolerant.total_seconds)
+
+
+class TestPlanReporting:
+    def test_describe_lists_choices(self):
+        g, plan, ctx = _plan()
+        text = plan.describe()
+        assert "AB" in text
+        assert any(i.name in text for i in plan.annotation.impls.values())
+        assert "simulated seconds" in text
+
+    def test_format_of(self):
+        g, plan, ctx = _plan()
+        sink = g.sinks()[0]
+        assert plan.format_of(sink.vid) == plan.cost.vertex_formats[sink.vid]
+
+    def test_describe_mentions_nonidentity_transforms(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(2000, 2000), single())
+        b = g.add_source("B", matrix(2000, 2000), tiles(1000))
+        g.add_op("AB", MATMUL, (a, b))
+        ctx = OptimizerContext()
+        from repro.experiments.harness import manual_plan
+        plan = manual_plan(g, ctx,
+                           {"AB": ("mm_tile_shuffle",
+                                   (tiles(1000), tiles(1000)))})
+        assert "single_to_tiles" in plan.describe()

@@ -1,0 +1,112 @@
+"""Tests for atomic computations and their type functions."""
+
+import pytest
+
+from repro.core.atoms import (
+    ADD,
+    ADD_BIAS,
+    BINARY_ELEMENTWISE,
+    COL_SUMS,
+    DEFAULT_ATOMS,
+    ELEM_MUL,
+    INVERSE,
+    MATMUL,
+    RELU,
+    ROW_SUMS,
+    SCALAR_MUL,
+    SOFTMAX,
+    SUB,
+    TRANSPOSE,
+    UNARY_MAPS,
+    atom_by_name,
+)
+from repro.core.types import MatrixType, matrix, vector
+
+
+class TestCatalog:
+    def test_paper_inventory_size(self):
+        assert len(DEFAULT_ATOMS) == 16
+
+    def test_unique_names(self):
+        names = [op.name for op in DEFAULT_ATOMS]
+        assert len(set(names)) == 16
+
+    def test_lookup(self):
+        assert atom_by_name("matmul") is MATMUL
+        with pytest.raises(KeyError):
+            atom_by_name("conv3d")
+
+    def test_groupings_are_subsets(self):
+        assert set(UNARY_MAPS) <= set(DEFAULT_ATOMS)
+        assert set(BINARY_ELEMENTWISE) <= set(DEFAULT_ATOMS)
+
+
+class TestMatmulTyping:
+    def test_paper_example(self):
+        # a.f((2,<5,10>), (2,<10,5>)) = (2,<5,5>)  (paper Section 3)
+        out = MATMUL.out_type(matrix(5, 10), matrix(10, 5))
+        assert out.dims == (5, 5)
+
+    def test_inner_mismatch_is_bottom(self):
+        assert MATMUL.out_type(matrix(5, 10), matrix(11, 5)) is None
+
+    def test_wrong_arity_is_bottom(self):
+        assert MATMUL.out_type(matrix(5, 10)) is None
+
+    def test_tensor_rejected(self):
+        assert MATMUL.out_type(MatrixType((2, 3, 4)), matrix(4, 2)) is None
+
+
+class TestElementwiseTyping:
+    def test_add_same_shape(self):
+        assert ADD.out_type(matrix(3, 4), matrix(3, 4)).dims == (3, 4)
+
+    def test_add_shape_mismatch(self):
+        assert ADD.out_type(matrix(3, 4), matrix(4, 3)) is None
+
+    def test_sub_matches_add(self):
+        assert SUB.out_type(matrix(3, 4), matrix(3, 4)).dims == (3, 4)
+
+    def test_hadamard_sparsity_intersects(self):
+        out = ELEM_MUL.out_type(matrix(10, 10, 0.5), matrix(10, 10, 0.5))
+        assert out.sparsity == pytest.approx(0.25)
+
+    def test_add_sparsity_unions(self):
+        out = ADD.out_type(matrix(10, 10, 0.5), matrix(10, 10, 0.5))
+        assert out.sparsity == pytest.approx(0.75)
+
+
+class TestUnaryTyping:
+    def test_transpose(self):
+        assert TRANSPOSE.out_type(matrix(3, 7)).dims == (7, 3)
+
+    def test_relu_preserves_sparsity(self):
+        assert RELU.out_type(matrix(5, 5, 0.2)).sparsity == 0.2
+
+    def test_softmax_densifies(self):
+        assert SOFTMAX.out_type(matrix(5, 5, 0.2)).sparsity == 1.0
+
+    def test_scalar_mul_keeps_shape(self):
+        assert SCALAR_MUL.out_type(matrix(2, 9)).dims == (2, 9)
+
+    def test_row_sums_shape(self):
+        assert ROW_SUMS.out_type(matrix(8, 3)).dims == (8, 1)
+
+    def test_col_sums_shape(self):
+        assert COL_SUMS.out_type(matrix(8, 3)).dims == (1, 3)
+
+    def test_inverse_requires_square(self):
+        assert INVERSE.out_type(matrix(4, 4)).dims == (4, 4)
+        assert INVERSE.out_type(matrix(4, 5)) is None
+
+
+class TestAddBias:
+    def test_row_vector_bias(self):
+        out = ADD_BIAS.out_type(matrix(100, 30), vector(30))
+        assert out.dims == (100, 30)
+
+    def test_wrong_width_bias(self):
+        assert ADD_BIAS.out_type(matrix(100, 30), vector(31)) is None
+
+    def test_non_vector_bias(self):
+        assert ADD_BIAS.out_type(matrix(100, 30), matrix(2, 30)) is None

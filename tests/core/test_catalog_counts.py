@@ -1,0 +1,51 @@
+"""The paper's prototype inventory (Section 8.1), asserted exactly:
+
+"Our implementation includes a total of 19 physical matrix implementations,
+20 different physical matrix transformations, 16 different atomic
+computations, 38 different atomic computation implementations."
+"""
+
+from repro.core.atoms import DEFAULT_ATOMS
+from repro.core.formats import DEFAULT_FORMATS
+from repro.core.implementations import (
+    DEFAULT_IMPLEMENTATIONS,
+    implementations_for,
+)
+from repro.core.transforms import DEFAULT_TRANSFORMS
+
+
+def test_19_physical_matrix_implementations():
+    assert len(DEFAULT_FORMATS) == 19
+
+
+def test_20_physical_matrix_transformations():
+    assert len(DEFAULT_TRANSFORMS) == 20
+
+
+def test_16_atomic_computations():
+    assert len(DEFAULT_ATOMS) == 16
+
+
+def test_38_atomic_computation_implementations():
+    assert len(DEFAULT_IMPLEMENTATIONS) == 38
+
+
+def test_every_atom_has_an_implementation():
+    for op in DEFAULT_ATOMS:
+        assert implementations_for(op), f"{op.name} has no implementation"
+
+
+def test_implementation_names_unique():
+    names = [i.name for i in DEFAULT_IMPLEMENTATIONS]
+    assert len(set(names)) == len(names)
+
+
+def test_transform_names_unique():
+    names = [t.name for t in DEFAULT_TRANSFORMS]
+    assert len(set(names)) == len(names)
+
+
+def test_every_implementation_points_to_catalog_atom():
+    atoms = set(DEFAULT_ATOMS)
+    for impl in DEFAULT_IMPLEMENTATIONS:
+        assert impl.op in atoms

@@ -1,0 +1,172 @@
+"""Tests for physical formats: admission, grids, storage sizes."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.formats import (
+    DEFAULT_FORMATS,
+    DENSE_FORMATS,
+    MAX_TUPLE_BYTES,
+    SINGLE_BLOCK_FORMATS,
+    SINGLE_STRIP_BLOCK_FORMATS,
+    Layout,
+    PhysicalFormat,
+    admissible_formats,
+    coo,
+    col_strips,
+    csr_strips,
+    csc_strips,
+    row_strips,
+    single,
+    sparse_single,
+    sparse_tiles,
+    tiles,
+)
+from repro.core.types import matrix
+
+
+class TestCatalog:
+    def test_paper_inventory_size(self):
+        assert len(DEFAULT_FORMATS) == 19
+
+    def test_fig13_subset_sizes(self):
+        assert len(SINGLE_STRIP_BLOCK_FORMATS) == 16
+        assert len(SINGLE_BLOCK_FORMATS) == 10
+
+    def test_no_duplicates(self):
+        assert len(set(DEFAULT_FORMATS)) == 19
+
+    def test_dense_subset_has_no_sparse(self):
+        assert all(not f.is_sparse for f in DENSE_FORMATS)
+
+    def test_subsets_are_within_catalog_families(self):
+        families = {f.layout for f in DEFAULT_FORMATS}
+        for f in SINGLE_STRIP_BLOCK_FORMATS + SINGLE_BLOCK_FORMATS:
+            assert f.layout in families
+
+
+class TestConstruction:
+    def test_strip_requires_positive_height(self):
+        with pytest.raises(ValueError):
+            PhysicalFormat(Layout.ROW_STRIP, block_rows=0)
+        with pytest.raises(ValueError):
+            PhysicalFormat(Layout.ROW_STRIP)
+
+    def test_single_takes_no_blocks(self):
+        with pytest.raises(ValueError):
+            PhysicalFormat(Layout.SINGLE, block_rows=10)
+
+    def test_tile_needs_both_extents(self):
+        with pytest.raises(ValueError):
+            PhysicalFormat(Layout.TILE, block_rows=10)
+
+    def test_classification_flags(self):
+        assert single().is_single and not single().is_sparse
+        assert sparse_single().is_single and sparse_single().is_sparse
+        assert row_strips(5).is_row_partitioned
+        assert csr_strips(5).is_row_partitioned and csr_strips(5).is_sparse
+        assert col_strips(5).is_col_partitioned
+        assert tiles(5).is_tiled
+        assert sparse_tiles(5).is_tiled and sparse_tiles(5).is_sparse
+        assert coo().is_sparse
+
+
+class TestGrid:
+    def test_single_grid(self):
+        assert single().grid(matrix(100, 200)) == (1, 1)
+
+    def test_row_strip_grid_with_ragged_tail(self):
+        fmt = row_strips(30)
+        assert fmt.grid(matrix(100, 10)) == (4, 1)
+        assert fmt.block_shape(matrix(100, 10), 3, 0) == (10, 10)
+
+    def test_tile_grid(self):
+        fmt = tiles(10)
+        assert fmt.grid(matrix(25, 35)) == (3, 4)
+        assert fmt.block_shape(matrix(25, 35), 2, 3) == (5, 5)
+
+    def test_block_shape_bounds_check(self):
+        with pytest.raises(IndexError):
+            tiles(10).block_shape(matrix(25, 35), 3, 0)
+
+    def test_tuple_count(self):
+        assert tiles(10).tuple_count(matrix(25, 35)) == 12
+        assert col_strips(7).tuple_count(matrix(5, 21)) == 3
+
+    @given(st.integers(1, 500), st.integers(1, 500),
+           st.integers(1, 200), st.integers(1, 200))
+    def test_block_shapes_tile_the_matrix(self, rows, cols, br, bc):
+        """Property: the block grid exactly covers the matrix."""
+        fmt = PhysicalFormat(Layout.TILE, block_rows=br, block_cols=bc)
+        t = matrix(rows, cols)
+        if not fmt.admits(t):
+            return
+        gr, gc = fmt.grid(t)
+        total_rows = sum(fmt.block_shape(t, i, 0)[0] for i in range(gr))
+        total_cols = sum(fmt.block_shape(t, 0, j)[1] for j in range(gc))
+        assert total_rows == rows
+        assert total_cols == cols
+
+
+class TestAdmission:
+    def test_huge_matrix_rejected_as_single(self):
+        # 40 GB matrix cannot be stored in one tuple (paper Section 3).
+        huge = matrix(100_000, 50_000)
+        assert huge.dense_bytes > MAX_TUPLE_BYTES
+        assert not single().admits(huge)
+        assert tiles(1000).admits(huge)
+
+    def test_strip_taller_than_matrix_rejected(self):
+        assert not row_strips(1000).admits(matrix(10, 10))
+        assert row_strips(10).admits(matrix(10, 10))
+
+    def test_sparse_format_rejects_dense_data(self):
+        dense = matrix(100, 100, sparsity=1.0)
+        assert not csr_strips(10).admits(dense)
+        assert csr_strips(10).admits(matrix(100, 100, sparsity=0.01))
+
+    def test_vector_cannot_be_tiled(self):
+        bias = matrix(1, 10_000)
+        assert not tiles(1000).admits(bias)
+        assert single().admits(bias)
+        assert col_strips(1000).admits(bias)
+
+    def test_admissible_formats_filters(self):
+        t = matrix(5000, 5000)
+        fmts = admissible_formats(t)
+        assert single() in fmts
+        assert tiles(1000) in fmts
+        assert all(f.admits(t) for f in fmts)
+
+    def test_higher_rank_rejected(self):
+        from repro.core.types import MatrixType
+        assert not single().admits(MatrixType((2, 3, 4)))
+
+
+class TestStorage:
+    def test_dense_bytes(self):
+        t = matrix(100, 100)
+        assert tiles(10).stored_bytes(t) == t.dense_bytes
+
+    def test_sparse_bytes_scale_with_nnz(self):
+        t = matrix(1000, 1000, sparsity=0.01)
+        sparse = csr_strips(100).stored_bytes(t)
+        assert sparse < t.dense_bytes
+        assert sparse == pytest.approx(t.nnz * 16)
+
+    def test_max_tuple_bytes_single(self):
+        t = matrix(100, 200)
+        assert single().max_tuple_bytes(t) == t.dense_bytes
+
+    def test_max_tuple_bytes_tile(self):
+        t = matrix(100, 200)
+        assert tiles(10).max_tuple_bytes(t) == 10 * 10 * 8
+
+    @given(st.sampled_from(DEFAULT_FORMATS))
+    def test_stored_at_least_one_tuple(self, fmt):
+        t = matrix(2000, 2000, sparsity=0.05)
+        if fmt.admits(t):
+            assert fmt.tuple_count(t) >= 1
+            assert fmt.stored_bytes(t) > 0

@@ -1,0 +1,116 @@
+"""Tests for compute graph construction and analysis."""
+
+import pytest
+
+from repro.core.atoms import ADD, MATMUL, RELU, TRANSPOSE
+from repro.core.formats import single, tiles
+from repro.core.graph import ComputeGraph, GraphError
+from repro.core.types import matrix
+
+
+def _simple_graph():
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(10, 20), single())
+    b = g.add_source("B", matrix(20, 30), single())
+    ab = g.add_op("AB", MATMUL, (a, b))
+    r = g.add_op("R", RELU, (ab,))
+    return g, a, b, ab, r
+
+
+class TestConstruction:
+    def test_type_inference(self):
+        g, a, b, ab, r = _simple_graph()
+        assert g.vertex(ab).mtype.dims == (10, 30)
+        assert g.vertex(r).mtype.dims == (10, 30)
+
+    def test_source_format_recorded(self):
+        g, a, *_ = _simple_graph()
+        assert g.vertex(a).format == single()
+        assert g.vertex(a).is_source
+
+    def test_inadmissible_source_format_rejected(self):
+        g = ComputeGraph()
+        with pytest.raises(GraphError):
+            g.add_source("A", matrix(10, 10), tiles(1000))
+
+    def test_type_error_rejected(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(10, 20), single())
+        b = g.add_source("B", matrix(21, 30), single())
+        with pytest.raises(GraphError):
+            g.add_op("AB", MATMUL, (a, b))
+
+    def test_arity_mismatch_rejected(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(10, 20), single())
+        with pytest.raises(GraphError):
+            g.add_op("bad", MATMUL, (a,))
+
+    def test_unknown_input_rejected(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(10, 10), single())
+        with pytest.raises(GraphError):
+            g.add_op("bad", RELU, (a + 99,))
+
+    def test_param_stored(self):
+        from repro.core.atoms import SCALAR_MUL
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(5, 5), single())
+        s = g.add_op("S", SCALAR_MUL, (a,), param=2.5)
+        assert g.vertex(s).param == 2.5
+
+
+class TestStructure:
+    def test_edges_and_degrees(self):
+        g, a, b, ab, r = _simple_graph()
+        assert g.out_degree(a) == 1
+        assert g.out_degree(ab) == 1
+        assert g.out_degree(r) == 0
+        assert len(g.edges) == 3
+        assert [e.src for e in g.in_edges(ab)] == [a, b]
+
+    def test_multi_edge_self_product(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(10, 10), single())
+        sq = g.add_op("sq", MATMUL, (a, a))
+        assert g.out_degree(a) == 2
+        assert [e.arg_pos for e in g.in_edges(sq)] == [0, 1]
+
+    def test_tree_detection(self):
+        g, *_ = _simple_graph()
+        assert g.is_tree_shaped()
+
+    def test_dag_not_tree(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(10, 10), single())
+        t = g.add_op("T", TRANSPOSE, (a,))
+        g.add_op("S", ADD, (t, t))
+        assert not g.is_tree_shaped()
+
+    def test_sinks(self):
+        g, *_rest, r = _simple_graph()
+        assert [s.vid for s in g.sinks()] == [r]
+
+    def test_ancestors_include_self(self):
+        g, a, b, ab, r = _simple_graph()
+        masks = g.ancestors()
+        assert masks[a] == 1 << a
+        assert masks[ab] & (1 << a)
+        assert masks[ab] & (1 << b)
+        assert masks[ab] & (1 << ab)
+        assert masks[r] & (1 << a)
+
+    def test_topological_order_sources_first(self):
+        g, a, b, ab, r = _simple_graph()
+        order = g.topological_order()
+        assert order.index(a) < order.index(ab) < order.index(r)
+
+    def test_validate_empty_graph(self):
+        with pytest.raises(GraphError):
+            ComputeGraph().validate()
+
+    def test_describe_mentions_all_vertices(self):
+        g, *_ = _simple_graph()
+        text = g.describe()
+        for v in g.vertices:
+            assert v.name in text

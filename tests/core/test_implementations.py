@@ -1,0 +1,234 @@
+"""Tests for atomic computation implementations."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import DEFAULT_CLUSTER, ClusterConfig
+from repro.core.atoms import (
+    ADD,
+    ADD_BIAS,
+    INVERSE,
+    MATMUL,
+    RELU,
+    SOFTMAX,
+    TRANSPOSE,
+)
+from repro.core.formats import (
+    DEFAULT_FORMATS,
+    col_strips,
+    csr_strips,
+    row_strips,
+    single,
+    sparse_single,
+    tiles,
+)
+from repro.core.implementations import (
+    DEFAULT_IMPLEMENTATIONS,
+    JoinStrategy,
+    implementations_for,
+)
+from repro.core.types import matrix, vector
+
+CLUSTER = DEFAULT_CLUSTER
+
+
+def impl(name):
+    for i in DEFAULT_IMPLEMENTATIONS:
+        if i.name == name:
+            return i
+    raise KeyError(name)
+
+
+class TestMatmulImplementations:
+    def test_ten_matmul_impls(self):
+        assert len(implementations_for(MATMUL)) == 10
+
+    def test_tile_shuffle_requires_matching_inner_split(self):
+        mm = impl("mm_tile_shuffle")
+        types = (matrix(4000, 4000), matrix(4000, 4000))
+        ok = mm.output_format(types, (tiles(1000), tiles(1000)), CLUSTER)
+        assert ok == tiles(1000)
+        bad = mm.output_format(types, (tiles(1000), tiles(2000)), CLUSTER)
+        assert bad is None
+
+    def test_strip_cross_no_aggregation_output(self):
+        mm = impl("mm_strip_cross")
+        types = (matrix(4000, 8000), matrix(8000, 4000))
+        fmts = (row_strips(1000), col_strips(1000))
+        out = mm.output_format(types, fmts, CLUSTER)
+        assert out == tiles(1000)
+        # No aggregation: intermediates are bounded by one pass over the
+        # inputs plus the output (no multiplicative partial-product waves).
+        feats = mm.features(types, fmts, CLUSTER)
+        bound = (fmts[0].stored_bytes(types[0])
+                 + fmts[1].stored_bytes(types[1])
+                 + mm.op.out_type(*types).dense_bytes)
+        assert feats.intermediate_bytes <= bound + 1e-6
+
+    def test_broadcast_left_requires_small_side(self):
+        mm = impl("mm_bcast_left")
+        small = (matrix(100, 100), matrix(100, 50_000))
+        out = mm.output_format(small, (single(), col_strips(1000)), CLUSTER)
+        assert out is not None and out.is_col_partitioned
+        # A broadcast side exceeding a RAM fraction is rejected at typing
+        # time (the paper's hardware-aware i.f).
+        tiny_ram = ClusterConfig(ram_bytes=100_000)
+        assert mm.output_format(small, (single(), col_strips(1000)),
+                                tiny_ram) is None
+
+    def test_local_single(self):
+        mm = impl("mm_local_single")
+        types = (matrix(500, 500), matrix(500, 500))
+        assert mm.output_format(types, (single(), single()),
+                                CLUSTER) == single()
+
+    def test_sparse_bcast_flops_scale_with_nnz(self):
+        mm = impl("mm_csr_bcast_dense")
+        sparse_types = (matrix(10_000, 50_000, sparsity=0.001),
+                        matrix(50_000, 1000))
+        fmts = (csr_strips(1000), single())
+        assert mm.output_format(sparse_types, fmts, CLUSTER) is not None
+        sparse_feats = mm.features(sparse_types, fmts, CLUSTER)
+        dense_flops = 2.0 * 10_000 * 50_000 * 1000
+        assert sparse_feats.flops < dense_flops / 100
+
+    def test_wrong_format_family_rejected(self):
+        mm = impl("mm_tile_shuffle")
+        types = (matrix(4000, 4000), matrix(4000, 4000))
+        assert mm.output_format(types, (single(), tiles(1000)),
+                                CLUSTER) is None
+
+
+class TestShuffleIntermediates:
+    def test_partials_grow_with_inner_splits_until_combiner_bound(self):
+        mm = impl("mm_tile_shuffle")
+        big = (matrix(10_000, 10_000), matrix(10_000, 10_000))
+        coarse = mm.features(big, (tiles(5000), tiles(5000)), CLUSTER)
+        fine = mm.features(big, (tiles(1000), tiles(1000)), CLUSTER)
+        assert fine.intermediate_bytes > coarse.intermediate_bytes
+
+    def test_broadcast_avoids_partials(self):
+        shuffle = impl("mm_tile_shuffle")
+        bcast = impl("mm_tile_bcast")
+        types = (matrix(4000, 4000), matrix(4000, 4000))
+        fmts = (tiles(1000), tiles(1000))
+        assert bcast.features(types, fmts, CLUSTER).intermediate_bytes < \
+            shuffle.features(types, fmts, CLUSTER).intermediate_bytes
+
+
+class TestElementwiseImplementations:
+    def test_blocked_requires_identical_formats(self):
+        ew = impl("ew_blocked_add")
+        types = (matrix(4000, 4000), matrix(4000, 4000))
+        assert ew.output_format(types, (tiles(1000), tiles(1000)),
+                                CLUSTER) == tiles(1000)
+        assert ew.output_format(types, (tiles(1000), tiles(2000)),
+                                CLUSTER) is None
+
+    def test_sparse_blocked(self):
+        ew = impl("ew_sparse_add")
+        types = (matrix(4000, 4000, 0.01), matrix(4000, 4000, 0.01))
+        fmts = (csr_strips(1000), csr_strips(1000))
+        assert ew.output_format(types, fmts, CLUSTER) == csr_strips(1000)
+
+    def test_sparse_blocked_rejects_dense_output(self):
+        # add of two half-dense matrices unions to ~0.75 sparsity: the
+        # sparse output format no longer admits it.
+        ew = impl("ew_sparse_add")
+        types = (matrix(4000, 4000, 0.5), matrix(4000, 4000, 0.5))
+        fmts = (csr_strips(1000), csr_strips(1000))
+        assert ew.output_format(types, fmts, CLUSTER) is None
+
+
+class TestUnaryImplementations:
+    def test_map_preserves_any_format(self):
+        m = impl("map_relu")
+        t = (matrix(4000, 4000),)
+        for fmt in (single(), tiles(1000), row_strips(1000)):
+            assert m.output_format(t, (fmt,), CLUSTER) == fmt
+
+    def test_transpose_flips_layout(self):
+        t = impl("t_blocked")
+        types = (matrix(4000, 2000),)
+        out = t.output_format(types, (row_strips(1000),), CLUSTER)
+        assert out is not None and out.is_col_partitioned
+
+    def test_softmax_row_local_needs_complete_rows(self):
+        s = impl("softmax_row_local")
+        types = (matrix(4000, 4000),)
+        assert s.output_format(types, (row_strips(1000),), CLUSTER) \
+            == row_strips(1000)
+        assert s.output_format(types, (col_strips(1000),), CLUSTER) is None
+
+    def test_softmax_blocked_handles_column_splits(self):
+        s = impl("softmax_blocked")
+        types = (matrix(4000, 4000),)
+        assert s.output_format(types, (tiles(1000),), CLUSTER) == tiles(1000)
+
+    def test_inverse_single_only(self):
+        inv = impl("inv_single")
+        types = (matrix(2000, 2000),)
+        assert inv.output_format(types, (single(),), CLUSTER) == single()
+        assert inv.output_format(types, (tiles(1000),), CLUSTER) is None
+
+    def test_add_bias_broadcast(self):
+        ab = impl("add_bias_blocked")
+        types = (matrix(4000, 4000), vector(4000))
+        out = ab.output_format(types, (tiles(1000), single()), CLUSTER)
+        assert out == tiles(1000)
+        assert ab.join is JoinStrategy.BROADCAST
+
+
+class TestFeatureSanity:
+    @settings(max_examples=150, deadline=None)
+    @given(st.sampled_from(DEFAULT_IMPLEMENTATIONS),
+           st.sampled_from([matrix(3000, 3000), matrix(3000, 3000, 0.01),
+                            matrix(1, 3000), matrix(3000, 1)]))
+    def test_features_nonnegative_when_accepted(self, implementation, lhs):
+        """Property: every accepted pattern yields sane cost features."""
+        in_types = _types_for(implementation, lhs)
+        if implementation.op.out_type(*in_types) is None:
+            return
+        for in_fmts, out in implementation.candidate_patterns(
+                in_types, DEFAULT_FORMATS, CLUSTER):
+            feats = implementation.features(in_types, in_fmts, CLUSTER)
+            assert feats.flops >= 0
+            assert feats.network_bytes >= 0
+            assert feats.intermediate_bytes >= 0
+            assert feats.tuples >= 0
+            assert feats.max_worker_bytes >= 0
+            assert feats.spill_bytes >= 0
+            assert math.isfinite(feats.flops)
+            break  # one pattern per impl per example keeps this fast
+
+
+def _types_for(implementation, lhs):
+    """Shape a compatible input-type tuple for any catalog implementation."""
+    op = implementation.op
+    if op.arity == 1:
+        if op is INVERSE:
+            return (matrix(lhs.rows, lhs.rows, lhs.sparsity),)
+        return (lhs,)
+    if op is MATMUL:
+        return (lhs, matrix(lhs.cols, lhs.rows, lhs.sparsity))
+    if op is ADD_BIAS:
+        return (lhs, vector(lhs.cols))
+    return (lhs, lhs)
+
+
+class TestOutputTypeConsistency:
+    @settings(max_examples=120, deadline=None)
+    @given(st.sampled_from(DEFAULT_IMPLEMENTATIONS))
+    def test_output_format_admits_output_type(self, implementation):
+        """Type-correctness invariant: an implementation's output format
+        must admit the atomic computation's output type."""
+        lhs = matrix(3000, 3000, 0.01)
+        in_types = _types_for(implementation, lhs)
+        out_type = implementation.op.out_type(*in_types)
+        if out_type is None:
+            return
+        for in_fmts, out_fmt in implementation.candidate_patterns(
+                in_types, DEFAULT_FORMATS, CLUSTER):
+            assert out_fmt.admits(out_type)

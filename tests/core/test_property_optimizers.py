@@ -1,0 +1,89 @@
+"""Property-based optimizer tests: hypothesis-generated compute graphs.
+
+The central correctness property of the whole system — the frontier
+algorithm finds annotations with exactly brute force's optimal cost on any
+DAG, and every produced plan is type-correct — checked on randomly grown
+graphs rather than hand-picked ones.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComputeGraph, OptimizerContext, evaluate, matrix
+from repro.core.atoms import (
+    ADD,
+    ELEM_MUL,
+    MATMUL,
+    RELU,
+    SCALAR_MUL,
+    SUB,
+    TRANSPOSE,
+)
+from repro.core.brute import optimize_brute
+from repro.core.formats import col_strips, row_strips, single, tiles
+from repro.core.frontier import optimize_dag
+
+#: Small catalog keeps brute force tractable inside hypothesis examples.
+TINY_FORMATS = (single(), tiles(1000), row_strips(1000), col_strips(1000))
+
+OPS = (MATMUL, ADD, SUB, ELEM_MUL, RELU, TRANSPOSE, SCALAR_MUL)
+
+
+@st.composite
+def compute_graphs(draw):
+    """Randomly grown, well-typed compute DAGs over square matrices."""
+    n = draw(st.sampled_from([2000, 3000]))
+    g = ComputeGraph()
+    num_sources = draw(st.integers(2, 3))
+    pool = [g.add_source(f"S{i}", matrix(n, n),
+                         draw(st.sampled_from([single(), tiles(1000)])))
+            for i in range(num_sources)]
+    depth = draw(st.integers(1, 4))
+    for i in range(depth):
+        op = draw(st.sampled_from(OPS))
+        picks = [pool[draw(st.integers(0, len(pool) - 1))]
+                 for _ in range(op.arity)]
+        param = 2.0 if op is SCALAR_MUL else None
+        pool.append(g.add_op(f"v{i}", op, tuple(picks), param=param))
+    return g
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(compute_graphs())
+def test_frontier_matches_brute_force(graph):
+    """Frontier DP cost == brute-force optimal cost, for any DAG."""
+    frontier = optimize_dag(graph, OptimizerContext(formats=TINY_FORMATS))
+    brute = optimize_brute(graph, OptimizerContext(formats=TINY_FORMATS),
+                           timeout_seconds=120)
+    assert math.isclose(frontier.total_seconds, brute.total_seconds,
+                        rel_tol=1e-9)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(compute_graphs())
+def test_plans_are_always_type_correct(graph):
+    """Every produced annotation passes the independent evaluator."""
+    ctx = OptimizerContext(formats=TINY_FORMATS)
+    plan = optimize_dag(graph, ctx)
+    cost = evaluate(graph, plan.annotation, ctx)
+    assert math.isclose(cost.total_seconds, plan.total_seconds, rel_tol=1e-9)
+    # Every inner vertex annotated; every edge has a transformation.
+    assert set(plan.annotation.impls) == \
+        {v.vid for v in graph.inner_vertices}
+    assert set(plan.annotation.transforms) == set(graph.edges)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(compute_graphs(), st.integers(1, 4))
+def test_beam_is_sound_never_below_exact(graph, beam):
+    """Beam pruning may lose optimality but never reports a lower cost."""
+    exact = optimize_dag(graph, OptimizerContext(formats=TINY_FORMATS))
+    beamed = optimize_dag(graph, OptimizerContext(formats=TINY_FORMATS),
+                          max_states=beam)
+    assert beamed.total_seconds >= exact.total_seconds - 1e-9

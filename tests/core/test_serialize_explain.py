@@ -1,0 +1,114 @@
+"""Tests for plan serialization and EXPLAIN."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import ADD, MATMUL, RELU, SCALAR_MUL
+from repro.core.explain import explain, explain_stages
+from repro.core.formats import row_strips, single, tiles
+from repro.core.serialize import (
+    SerializationError,
+    format_from_dict,
+    format_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    plan_from_json,
+    plan_to_json,
+)
+from repro.engine import execute_plan
+
+
+def _plan_and_ctx():
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(300, 400), row_strips(100))
+    b = g.add_source("B", matrix(400, 300), single())
+    ab = g.add_op("AB", MATMUL, (a, b))
+    s = g.add_op("S", SCALAR_MUL, (ab,), param=2.0)
+    g.add_op("R", RELU, (s,))
+    ctx = OptimizerContext()
+    return optimize(g, ctx), ctx
+
+
+class TestFormatRoundTrip:
+    @pytest.mark.parametrize("fmt", [single(), tiles(100), row_strips(50)])
+    def test_round_trip(self, fmt):
+        assert format_from_dict(format_to_dict(fmt)) == fmt
+
+    def test_bad_layout_rejected(self):
+        with pytest.raises(SerializationError):
+            format_from_dict({"layout": "holographic"})
+
+
+class TestGraphRoundTrip:
+    def test_structure_preserved(self):
+        plan, _ = _plan_and_ctx()
+        rebuilt = graph_from_dict(graph_to_dict(plan.graph))
+        assert len(rebuilt) == len(plan.graph)
+        assert [v.name for v in rebuilt.vertices] == \
+            [v.name for v in plan.graph.vertices]
+        assert rebuilt.vertex(3).param == 2.0
+
+    def test_outputs_preserved(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(10, 10), single())
+        r = g.add_op("R", RELU, (a,))
+        g.add_op("S", ADD, (r, r))
+        g.mark_output(r)
+        rebuilt = graph_from_dict(graph_to_dict(g))
+        assert [v.name for v in rebuilt.outputs] == ["R"]
+
+
+class TestPlanRoundTrip:
+    def test_cost_identical_after_round_trip(self):
+        plan, ctx = _plan_and_ctx()
+        text = plan_to_json(plan)
+        rebuilt = plan_from_json(text, ctx)
+        assert rebuilt.total_seconds == pytest.approx(plan.total_seconds)
+        assert {i.name for i in rebuilt.annotation.impls.values()} == \
+            {i.name for i in plan.annotation.impls.values()}
+
+    def test_json_is_valid_and_self_contained(self):
+        plan, _ = _plan_and_ctx()
+        payload = json.loads(plan_to_json(plan, indent=2))
+        assert "graph" in payload and "impls" in payload
+
+    def test_rebuilt_plan_executes(self):
+        plan, ctx = _plan_and_ctx()
+        rebuilt = plan_from_json(plan_to_json(plan), ctx)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((300, 400))
+        b = rng.standard_normal((400, 300))
+        result = execute_plan(rebuilt, {"A": a, "B": b}, ctx)
+        assert np.allclose(result.output(), np.maximum(2 * (a @ b), 0))
+
+    def test_unknown_impl_rejected(self):
+        plan, ctx = _plan_and_ctx()
+        payload = json.loads(plan_to_json(plan))
+        first = next(iter(payload["impls"]))
+        payload["impls"][first] = "mm_quantum"
+        with pytest.raises(SerializationError):
+            plan_from_json(json.dumps(payload), ctx)
+
+
+class TestExplain:
+    def test_stage_rows_cover_all_ops(self):
+        plan, ctx = _plan_and_ctx()
+        rows = explain_stages(plan, ctx)
+        op_rows = [r for r in rows if r.kind == "op"]
+        assert len(op_rows) == len(plan.graph.inner_vertices)
+
+    def test_stage_seconds_sum_to_plan_total(self):
+        plan, ctx = _plan_and_ctx()
+        rows = explain_stages(plan, ctx)
+        assert sum(r.seconds for r in rows) == pytest.approx(
+            plan.total_seconds, rel=1e-9)
+
+    def test_report_renders(self):
+        plan, ctx = _plan_and_ctx()
+        report = explain(plan, ctx)
+        assert "EXPLAIN" in report
+        assert "dominant stages" in report
+        assert "AB" in report

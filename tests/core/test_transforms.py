@@ -1,0 +1,139 @@
+"""Tests for physical matrix transformations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import DEFAULT_CLUSTER
+from repro.core.formats import (
+    DEFAULT_FORMATS,
+    coo,
+    col_strips,
+    csr_strips,
+    row_strips,
+    single,
+    sparse_single,
+    sparse_tiles,
+    tiles,
+)
+from repro.core.transforms import DEFAULT_TRANSFORMS, IDENTITY, find_transform
+from repro.core.types import matrix
+
+DENSE_T = matrix(4000, 4000)
+SPARSE_T = matrix(4000, 4000, sparsity=0.01)
+
+
+def _find(mtype, src, dst):
+    return find_transform(mtype, src, dst, DEFAULT_CLUSTER)
+
+
+class TestIdentity:
+    def test_identity_matches_same_format(self):
+        assert IDENTITY.can_convert(DENSE_T, tiles(1000), tiles(1000))
+        assert not IDENTITY.can_convert(DENSE_T, tiles(1000), tiles(500))
+
+    def test_identity_costs_nothing(self):
+        found = _find(DENSE_T, single(), single())
+        assert found is not None
+        transform, feats = found
+        assert transform.name == "identity"
+        assert feats.network_bytes == 0.0
+        assert feats.flops == 0.0
+
+
+class TestDenseConversions:
+    @pytest.mark.parametrize("dst", [
+        row_strips(1000), col_strips(1000), tiles(1000)])
+    def test_single_to_blocked(self, dst):
+        found = _find(DENSE_T, single(), dst)
+        assert found is not None
+        assert found[0].name.startswith("single_to")
+
+    @pytest.mark.parametrize("src", [
+        row_strips(1000), col_strips(1000), tiles(1000)])
+    def test_blocked_to_single(self, src):
+        found = _find(DENSE_T, src, single())
+        assert found is not None
+
+    def test_tiles_to_single_is_two_phase(self):
+        found = _find(DENSE_T, tiles(1000), single())
+        assert found[0].name == "tiles_to_single"
+        # Two aggregation phases move the data twice (Fig 1's transform).
+        assert found[1].network_bytes == pytest.approx(
+            2 * DENSE_T.dense_bytes)
+
+    def test_retile(self):
+        found = _find(DENSE_T, tiles(1000), tiles(2000))
+        assert found[0].name == "retile"
+
+    def test_restrip(self):
+        assert _find(DENSE_T, row_strips(100), row_strips(1000)) is not None
+        assert _find(DENSE_T, col_strips(100), col_strips(1000)) is not None
+
+    def test_strip_orientation_change(self):
+        found = _find(DENSE_T, row_strips(1000), col_strips(1000))
+        assert found[0].name == "row_to_col_strips"
+
+    def test_strips_to_tiles_and_back(self):
+        assert _find(DENSE_T, row_strips(1000), tiles(1000)) is not None
+        assert _find(DENSE_T, tiles(1000), row_strips(1000)) is not None
+
+
+class TestSparseConversions:
+    def test_densify_single(self):
+        found = _find(SPARSE_T, sparse_single(), single())
+        assert found[0].name == "densify_single"
+
+    def test_densify_blocked(self):
+        found = _find(SPARSE_T, csr_strips(1000), row_strips(1000))
+        assert found[0].name == "densify_blocked"
+
+    def test_densify_mismatched_blocking_rejected(self):
+        assert _find(SPARSE_T, csr_strips(1000), row_strips(500)) is None
+
+    def test_sparsify(self):
+        found = _find(SPARSE_T, row_strips(1000), csr_strips(1000))
+        assert found[0].name == "sparsify"
+
+    def test_sparsify_rejected_for_dense_data(self):
+        # csr_strips does not admit a fully dense type at all.
+        assert _find(DENSE_T, row_strips(1000), csr_strips(1000)) is None
+
+    def test_coo_to_tiles(self):
+        found = _find(SPARSE_T, coo(), tiles(1000))
+        assert found[0].name == "densify_blocked"
+
+    def test_sparse_shuffle(self):
+        found = _find(SPARSE_T, coo(), sparse_tiles(1000))
+        assert found[0].name == "sparse_shuffle"
+        # Moves only the non-zero payload.
+        assert found[1].network_bytes == pytest.approx(SPARSE_T.nnz * 16)
+
+
+class TestSearchProperties:
+    def test_inadmissible_destination_is_bottom(self):
+        tiny = matrix(10, 10)
+        assert _find(tiny, single(), tiles(1000)) is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(DEFAULT_FORMATS), st.sampled_from(DEFAULT_FORMATS))
+    def test_found_transforms_have_finite_nonneg_features(self, src, dst):
+        for mtype in (DENSE_T, SPARSE_T):
+            if not (src.admits(mtype) and dst.admits(mtype)):
+                continue
+            found = _find(mtype, src, dst)
+            if found is None:
+                continue
+            transform, feats = found
+            assert transform.can_convert(mtype, src, dst)
+            assert feats.flops >= 0
+            assert feats.network_bytes >= 0
+            assert feats.tuples >= 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(DEFAULT_FORMATS))
+    def test_dense_formats_fully_connected(self, dst):
+        """Any dense catalog format is reachable from tiles(1000) in one
+        step (for an admitting type) — the optimizer relies on this."""
+        if dst.is_sparse or not dst.admits(DENSE_T):
+            return
+        assert _find(DENSE_T, tiles(1000), dst) is not None

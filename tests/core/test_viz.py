@@ -1,0 +1,49 @@
+"""Tests for DOT rendering of graphs and plans."""
+
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import MATMUL, RELU
+from repro.core.formats import row_strips, single
+from repro.core.viz import graph_to_dot, plan_to_dot
+
+
+def _plan():
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(300, 400), row_strips(100))
+    b = g.add_source("B", matrix(400, 300), single())
+    ab = g.add_op("AB", MATMUL, (a, b))
+    g.add_op("R", RELU, (ab,))
+    ctx = OptimizerContext()
+    return optimize(g, ctx), g
+
+
+def test_graph_dot_contains_all_vertices_and_edges():
+    import re
+    plan, g = _plan()
+    dot = graph_to_dot(g)
+    assert dot.startswith("digraph")
+    for v in g.vertices:
+        assert v.name in dot
+    assert len(re.findall(r"v\d+ -> v\d+", dot)) == len(g.edges)
+
+
+def test_plan_dot_shows_implementations():
+    plan, g = _plan()
+    dot = plan_to_dot(plan)
+    for impl in plan.annotation.impls.values():
+        assert impl.name in dot
+
+
+def test_plan_dot_labels_nonidentity_transforms():
+    plan, g = _plan()
+    dot = plan_to_dot(plan)
+    nontrivial = [t for (t, _f) in plan.annotation.transforms.values()
+                  if t.name != "identity"]
+    for transform in nontrivial:
+        assert transform.name in dot
+
+
+def test_quotes_escaped():
+    g = ComputeGraph()
+    g.add_source('A"quoted', matrix(5, 5), single())
+    dot = graph_to_dot(g)
+    assert '\\"' in dot

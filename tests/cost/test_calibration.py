@@ -1,0 +1,68 @@
+"""Tests for installation-time cost-model calibration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DEFAULT_CLUSTER
+from repro.cost.calibration import (
+    CalibrationSample,
+    calibrate,
+    default_benchmark_samples,
+    fit_weights,
+)
+from repro.cost.features import CostFeatures
+from repro.cost.model import CostModel, CostWeights
+
+
+def _synthetic_samples(weights: CostWeights, n=40, seed=0):
+    """Samples whose measured times come from a known weight vector."""
+    rng = np.random.default_rng(seed)
+    model = CostModel(DEFAULT_CLUSTER, weights)
+    samples = []
+    for _ in range(n):
+        feats = CostFeatures(
+            flops=float(rng.uniform(1e9, 1e13)),
+            network_bytes=float(rng.uniform(1e6, 1e10)),
+            intermediate_bytes=float(rng.uniform(1e6, 1e10)),
+            tuples=float(rng.uniform(10, 1e5)),
+        )
+        samples.append(CalibrationSample(feats, model.seconds(feats)))
+    return samples
+
+
+class TestFitWeights:
+    def test_recovers_known_weights(self):
+        truth = CostWeights(flops=2.0, network=0.5, intermediate=3.0,
+                            tuples=1.5, latency=1.0)
+        fitted = fit_weights(_synthetic_samples(truth), DEFAULT_CLUSTER)
+        assert fitted.flops == pytest.approx(2.0, rel=0.05)
+        assert fitted.network == pytest.approx(0.5, rel=0.05)
+        assert fitted.intermediate == pytest.approx(3.0, rel=0.05)
+        assert fitted.tuples == pytest.approx(1.5, rel=0.05)
+
+    def test_weights_never_negative(self):
+        rng_samples = _synthetic_samples(CostWeights(), n=5)
+        # Corrupt the targets towards zero: weights must stay positive.
+        corrupted = [CalibrationSample(s.features, 0.0)
+                     for s in rng_samples]
+        fitted = fit_weights(corrupted, DEFAULT_CLUSTER)
+        assert all(w >= 0.05 for w in fitted.as_vector())
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_weights([], DEFAULT_CLUSTER)
+
+
+class TestEndToEnd:
+    def test_benchmark_suite_runs(self):
+        samples = default_benchmark_samples(DEFAULT_CLUSTER)
+        assert len(samples) >= 4
+        assert all(s.measured_seconds > 0 for s in samples)
+        assert all(s.features.flops > 0 for s in samples)
+
+    def test_calibrate_produces_usable_weights(self):
+        weights = calibrate(DEFAULT_CLUSTER)
+        model = CostModel(DEFAULT_CLUSTER, weights)
+        cost = model.seconds(CostFeatures(flops=1e12, network_bytes=1e9,
+                                          tuples=100))
+        assert 0 < cost < 1e6

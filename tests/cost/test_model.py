@@ -1,0 +1,106 @@
+"""Tests for cost features and the regression cost model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import ClusterConfig
+from repro.cost.features import CostFeatures, ZERO_FEATURES
+from repro.cost.model import CostModel, CostWeights, INFEASIBLE
+
+
+def _cluster(**kw):
+    return ClusterConfig(**kw)
+
+
+class TestFeatures:
+    def test_addition_sums_additive_fields(self):
+        a = CostFeatures(flops=10, network_bytes=5, tuples=2)
+        b = CostFeatures(flops=1, intermediate_bytes=7, tuples=3)
+        c = a + b
+        assert c.flops == 11
+        assert c.network_bytes == 5
+        assert c.intermediate_bytes == 7
+        assert c.tuples == 5
+
+    def test_addition_maxes_memory_fields(self):
+        a = CostFeatures(max_worker_bytes=100, spill_bytes=10)
+        b = CostFeatures(max_worker_bytes=50, spill_bytes=200)
+        c = a + b
+        assert c.max_worker_bytes == 100
+        assert c.spill_bytes == 200
+
+    def test_scaled(self):
+        f = CostFeatures(flops=10, tuples=4, max_worker_bytes=99).scaled(2.0)
+        assert f.flops == 20
+        assert f.tuples == 8
+        assert f.max_worker_bytes == 99  # memory is a peak, not a volume
+
+    def test_vector_order(self):
+        f = CostFeatures(flops=1, network_bytes=2, intermediate_bytes=3,
+                         tuples=4)
+        assert f.as_vector() == (1, 2, 3, 4)
+
+
+class TestModel:
+    def test_zero_features_cost_nothing(self):
+        model = CostModel(_cluster())
+        assert model.seconds(ZERO_FEATURES) == 0.0
+
+    def test_nonempty_stage_pays_latency(self):
+        cluster = _cluster(stage_latency_seconds=2.5)
+        model = CostModel(cluster)
+        assert model.seconds(CostFeatures(tuples=1)) >= 2.5
+
+    def test_flops_scale_with_cluster(self):
+        f = CostFeatures(flops=1e12)
+        small = CostModel(_cluster(num_workers=2)).seconds(f)
+        big = CostModel(_cluster(num_workers=20)).seconds(f)
+        assert big < small
+
+    def test_ram_overflow_infeasible(self):
+        model = CostModel(_cluster(ram_bytes=100))
+        assert model.seconds(CostFeatures(max_worker_bytes=200)) == INFEASIBLE
+
+    def test_disk_overflow_infeasible(self):
+        model = CostModel(_cluster(disk_bytes=100))
+        assert model.seconds(CostFeatures(spill_bytes=200)) == INFEASIBLE
+
+    def test_weights_scale_components(self):
+        f = CostFeatures(network_bytes=1e9)
+        base = CostModel(_cluster(), CostWeights()).seconds(f)
+        doubled = CostModel(
+            _cluster(), CostWeights(network=2.0)).seconds(f)
+        # Only the network share doubles; latency is unchanged.
+        assert base < doubled < 2 * base + 1e-9
+
+    @given(st.floats(0, 1e15), st.floats(0, 1e13), st.floats(0, 1e13),
+           st.floats(0, 1e8))
+    def test_cost_monotone_in_every_feature(self, flops, net, inter, tuples):
+        model = CostModel(_cluster())
+        base = model.seconds(CostFeatures(flops, net, inter, tuples))
+        assert base >= 0
+        more = model.seconds(CostFeatures(flops * 2 + 1, net, inter, tuples))
+        assert more >= base
+
+    def test_invalid_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            _cluster(num_workers=0)
+        with pytest.raises(ValueError):
+            _cluster(cores_per_worker=0)
+
+
+class TestProfiles:
+    def test_simsql_slower_than_pliny(self):
+        from repro.cluster import pliny_cluster, simsql_cluster
+        f = CostFeatures(flops=1e13, network_bytes=1e9, tuples=1e5)
+        simsql = CostModel(simsql_cluster(10)).seconds(f)
+        pliny = CostModel(pliny_cluster(10)).seconds(f)
+        assert pliny < simsql
+
+    def test_with_workers(self):
+        from repro.cluster import simsql_cluster
+        c = simsql_cluster(10).with_workers(20)
+        assert c.num_workers == 20
+        assert c.flops_per_core == simsql_cluster(10).flops_per_core

@@ -1,0 +1,120 @@
+"""Tests for MNC-sketch graph refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import ADD, ELEM_MUL, MATMUL, RELU, SOFTMAX, TRANSPOSE
+from repro.core.formats import single
+from repro.cost.refine import (
+    SketchPropagationError,
+    propagate_sketches,
+    refine_graph,
+    sketches_from_inputs,
+)
+from repro.cost.sparsity import MncSketch, observed_sparsity, relative_error
+
+RNG = np.random.default_rng(21)
+
+
+def _skewed(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    density = rng.random(rows) ** 3
+    return rng.standard_normal((rows, cols)) * \
+        (rng.random((rows, cols)) < density[:, None])
+
+
+def _chain_graph(n=60):
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(n, n, 0.3), single())
+    b = g.add_source("B", matrix(n, n, 0.3), single())
+    ab = g.add_op("AB", MATMUL, (a, b))
+    m = g.add_op("M", ELEM_MUL, (ab, a))
+    g.add_op("out", MATMUL, (m, b))
+    return g
+
+
+class TestPropagation:
+    def test_uniform_fallback_for_missing_sources(self):
+        g = _chain_graph()
+        sketches = propagate_sketches(g, {})
+        assert sketches[0].sparsity == pytest.approx(0.3)
+
+    def test_shape_mismatch_rejected(self):
+        g = _chain_graph()
+        with pytest.raises(SketchPropagationError):
+            propagate_sketches(g, {"A": MncSketch.from_type(matrix(3, 3))})
+
+    def test_all_vertices_covered(self):
+        g = _chain_graph()
+        sketches = propagate_sketches(g, {})
+        assert set(sketches) == set(g.vertex_ids)
+
+    def test_unary_rules(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(20, 30, 0.1), single())
+        t = g.add_op("T", TRANSPOSE, (a,))
+        s = g.add_op("S", SOFTMAX, (t,))
+        sketches = propagate_sketches(g, {})
+        assert (sketches[t].rows, sketches[t].cols) == (30, 20)
+        assert sketches[s].sparsity == 1.0
+
+    def test_refined_estimates_beat_scalar_on_structured_data(self):
+        """The point of the Sommer et al. integration (paper Section 7)."""
+        n = 60
+        a = _skewed(n, n, seed=1)
+        b = _skewed(n, n, seed=2)
+        g = _chain_graph(n)
+        refined = refine_graph(g, sketches_from_inputs({"A": a, "B": b}))
+
+        true_ab = observed_sparsity(a @ b)
+        scalar_est = g.vertex(2).mtype.sparsity       # the built-in scalar
+        mnc_est = refined.vertex(2).mtype.sparsity
+        assert relative_error(mnc_est, true_ab) <= \
+            relative_error(scalar_est, true_ab)
+
+
+class TestRefineGraph:
+    def test_structure_preserved(self):
+        g = _chain_graph()
+        refined = refine_graph(g, {})
+        assert len(refined) == len(g)
+        assert [v.name for v in refined.vertices] == \
+            [v.name for v in g.vertices]
+        assert [v.format for v in refined.sources] == \
+            [v.format for v in g.sources]
+
+    def test_outputs_preserved(self):
+        g = _chain_graph()
+        refined = refine_graph(g, {})
+        assert [v.name for v in refined.outputs] == \
+            [v.name for v in g.outputs]
+
+    def test_refined_graph_optimizes_and_executes(self):
+        n = 50
+        a = _skewed(n, n, seed=5)
+        b = _skewed(n, n, seed=6)
+        g = _chain_graph(n)
+        refined = refine_graph(g, sketches_from_inputs({"A": a, "B": b}))
+        ctx = OptimizerContext()
+        plan = optimize(refined, ctx)
+        from repro.engine import execute_plan
+        result = execute_plan(plan, {"A": a, "B": b}, ctx)
+        ref = ((a @ b) * a) @ b
+        assert np.allclose(result.output(), ref)
+
+    def test_sparsity_changes_plan_cost(self):
+        """Refinement with very sparse inputs should reduce the predicted
+        cost relative to claiming everything dense."""
+        from repro.core.formats import tiles
+        g = ComputeGraph()
+        x = g.add_source("X", matrix(20_000, 50_000, 1.0), tiles(1000))
+        w = g.add_source("W", matrix(50_000, 2000), single())
+        g.add_op("out", MATMUL, (x, w))
+        ctx = OptimizerContext()
+        dense_plan = optimize(g, ctx)
+        sparse_sketch = MncSketch.from_type(
+            matrix(20_000, 50_000, 0.0005))
+        refined = refine_graph(g, {"X": sparse_sketch})
+        sparse_plan = optimize(refined, OptimizerContext())
+        assert sparse_plan.total_seconds < dense_plan.total_seconds

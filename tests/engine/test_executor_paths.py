@@ -1,0 +1,123 @@
+"""Executor coverage for the less-common execution paths: column-split
+softmax, shuffle reductions, forced transformations, sparse storage
+round trips through whole plans."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeGraph, OptimizerContext, matrix
+from repro.core.atoms import (
+    COL_SUMS,
+    MATMUL,
+    ROW_SUMS,
+    SOFTMAX,
+)
+from repro.core.formats import (
+    col_strips,
+    csr_strips,
+    row_strips,
+    single,
+    tiles,
+)
+from repro.engine import Executor, execute_plan
+from repro.experiments.harness import manual_plan
+
+RNG = np.random.default_rng(17)
+CTX = OptimizerContext()
+
+
+def _softmax_ref(a):
+    e = np.exp(a - a.max(axis=1, keepdims=True))
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class TestColumnSplitSoftmax:
+    def test_softmax_blocked_over_tiles(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(40, 60), tiles(20))
+        g.add_op("S", SOFTMAX, (a,))
+        plan = manual_plan(g, CTX, {"S": ("softmax_blocked", (tiles(20),))})
+        data = RNG.standard_normal((40, 60))
+        result = execute_plan(plan, {"A": data}, CTX)
+        assert np.allclose(result.output(), _softmax_ref(data))
+
+    def test_softmax_blocked_over_col_strips(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(30, 90), col_strips(30))
+        g.add_op("S", SOFTMAX, (a,))
+        plan = manual_plan(g, CTX,
+                           {"S": ("softmax_blocked", (col_strips(30),))})
+        data = RNG.standard_normal((30, 90))
+        result = execute_plan(plan, {"A": data}, CTX)
+        assert np.allclose(result.output(), _softmax_ref(data))
+
+
+class TestShuffleReductions:
+    @pytest.mark.parametrize("op,impl,axis", [
+        (ROW_SUMS, "row_sums_shuffle", 1),
+        (COL_SUMS, "col_sums_shuffle", 0),
+    ])
+    def test_reduction_over_tiles(self, op, impl, axis):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(50, 70), tiles(20))
+        g.add_op("R", op, (a,))
+        plan = manual_plan(g, CTX, {"R": (impl, (tiles(20),))})
+        data = RNG.standard_normal((50, 70))
+        result = execute_plan(plan, {"A": data}, CTX)
+        expected = data.sum(axis=axis, keepdims=True)
+        assert np.allclose(result.output(), expected)
+
+    def test_row_sums_local_over_strips(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(50, 70), row_strips(10))
+        g.add_op("R", ROW_SUMS, (a,))
+        plan = manual_plan(g, CTX,
+                           {"R": ("row_sums_local", (row_strips(10),))})
+        data = RNG.standard_normal((50, 70))
+        result = execute_plan(plan, {"A": data}, CTX)
+        assert np.allclose(result.output(),
+                           data.sum(axis=1, keepdims=True))
+
+
+class TestForcedTransformPaths:
+    @pytest.mark.parametrize("src,need", [
+        (row_strips(10), tiles(25)),
+        (tiles(10), col_strips(25)),
+        (single(), row_strips(25)),
+        (col_strips(10), single()),
+    ])
+    def test_matmul_through_each_transform_family(self, src, need):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(50, 50), src)
+        b = g.add_source("B", matrix(50, 50), single())
+        g.add_op("AB", MATMUL, (a, b))
+        impl = {"row_strip": "mm_bcast_right",
+                "single": "mm_local_single",
+                "tile": None, "col_strip": None}
+        if need == tiles(25):
+            spec = ("mm_tile_shuffle", (tiles(25), tiles(25)))
+        elif need == col_strips(25):
+            spec = ("mm_bcast_left", (single(), col_strips(25)))
+        elif need == row_strips(25):
+            spec = ("mm_bcast_right", (row_strips(25), single()))
+        else:
+            spec = ("mm_local_single", (single(), single()))
+        plan = manual_plan(g, CTX, {"AB": spec})
+        x = RNG.standard_normal((50, 50))
+        y = RNG.standard_normal((50, 50))
+        result = execute_plan(plan, {"A": x, "B": y}, CTX)
+        assert np.allclose(result.output(), x @ y)
+
+
+class TestSparseThroughPlans:
+    def test_sparse_input_stays_sparse_through_map(self):
+        from repro.core.atoms import RELU
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(60, 60, 0.05), csr_strips(20))
+        g.add_op("R", RELU, (a,))
+        plan = manual_plan(g, CTX, {"R": ("map_relu", (csr_strips(20),))})
+        dense = RNG.standard_normal((60, 60)) * \
+            (RNG.random((60, 60)) < 0.05)
+        executor = Executor(plan, CTX)
+        result = executor.run({"A": dense})
+        assert np.allclose(result.output(), np.maximum(dense, 0))

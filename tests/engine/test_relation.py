@@ -1,0 +1,155 @@
+"""Tests for the partitioned relation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.engine.ledger import EngineFailure, TrafficLedger
+from repro.engine.relation import Relation, RelationalEngine, payload_bytes
+
+CLUSTER = ClusterConfig(num_workers=4)
+
+
+def _engine():
+    ledger = TrafficLedger(CLUSTER)
+    return RelationalEngine(CLUSTER, ledger), ledger
+
+
+def _rel(n=8, payload_shape=(10, 10)):
+    rows = {(i, 0): np.full(payload_shape, float(i)) for i in range(n)}
+    return Relation.load(CLUSTER, rows)
+
+
+class TestRelation:
+    def test_load_partitions_by_hash(self):
+        rel = _rel()
+        assert set(rel.home.values()) <= set(range(4))
+        assert len(rel) == 8
+
+    def test_payload_bytes_dense(self):
+        assert payload_bytes(np.zeros((10, 10))) == 800.0
+
+    def test_payload_bytes_sparse(self):
+        import scipy.sparse as sp
+        m = sp.csr_matrix(np.eye(10))
+        assert payload_bytes(m) > 0
+
+    def test_worker_bytes_sum_to_total(self):
+        rel = _rel()
+        assert sum(rel.worker_bytes().values()) == pytest.approx(
+            rel.total_bytes)
+
+
+class TestOperators:
+    def test_map_rows_no_network(self):
+        engine, ledger = _engine()
+        rel = _rel()
+        out = engine.map_rows(rel, lambda k, p: (k, p * 2))
+        assert ledger.stages[-1].features.network_bytes == 0.0
+        assert np.allclose(out.rows[(3, 0)], 6.0)
+
+    def test_map_preserves_homes(self):
+        engine, _ = _engine()
+        rel = _rel()
+        out = engine.map_rows(rel, lambda k, p: (k, p))
+        assert out.home == rel.home
+
+    def test_repartition_charges_only_moved(self):
+        engine, ledger = _engine()
+        rel = _rel()
+        # Repartitioning by the same key moves nothing.
+        engine.repartition(rel, lambda k: k)
+        assert ledger.stages[-1].features.network_bytes == 0.0
+        # Repartitioning to a constant key moves everything off-target.
+        engine.repartition(rel, lambda k: "x")
+        moved = ledger.stages[-1].features.network_bytes
+        assert 0 < moved <= rel.total_bytes
+
+    def test_broadcast_charges_full_replication(self):
+        engine, ledger = _engine()
+        rel = _rel()
+        engine.broadcast(rel)
+        assert ledger.stages[-1].features.network_bytes == pytest.approx(
+            rel.total_bytes * CLUSTER.num_workers)
+
+    def test_shuffle_join_matches_pairs(self):
+        engine, _ = _engine()
+        left = Relation.load(CLUSTER, {(i, k): np.array([[i, k]])
+                                       for i in range(3) for k in range(4)})
+        right = Relation.load(CLUSTER, {(k, j): np.array([[k, j]])
+                                        for k in range(4) for j in range(2)})
+        out = engine.join(
+            left, right,
+            left_key=lambda key: key[1], right_key=lambda key: key[0],
+            combine=lambda lk, lp, rk, rp: ((lk[0], rk[1], lk[1]), 1.0),
+            strategy="shuffle")
+        # 3 x 2 output cells, each from 4 inner matches.
+        assert len(out) == 3 * 2 * 4
+
+    def test_broadcast_join_same_result_as_shuffle(self):
+        engine, _ = _engine()
+
+        def build():
+            left = Relation.load(CLUSTER, {(0, k): np.array([[k]])
+                                           for k in range(4)})
+            right = Relation.load(CLUSTER, {(k, 0): np.array([[k * 10]])
+                                            for k in range(4)})
+            return left, right
+
+        results = {}
+        for strategy in ("shuffle", "broadcast", "copart"):
+            left, right = build()
+            out = engine.join(
+                left, right, lambda key: key[1], lambda key: key[0],
+                combine=lambda lk, lp, rk, rp: (
+                    (lk[0], rk[1], lk[1]), float(lp[0, 0] + rp[0, 0])),
+                strategy=strategy)
+            results[strategy] = dict(out.rows)
+        assert results["shuffle"] == results["broadcast"] == results["copart"]
+
+    def test_unknown_strategy_rejected(self):
+        engine, _ = _engine()
+        rel = _rel()
+        with pytest.raises(ValueError):
+            engine.join(rel, rel, lambda k: k, lambda k: k,
+                        combine=lambda *a: None, strategy="sort-merge")
+
+    def test_group_agg_sums_groups(self):
+        engine, _ = _engine()
+        rel = Relation.load(CLUSTER, {(i, j): float(i)
+                                      for i in range(3) for j in range(5)})
+        out = engine.group_agg(rel, lambda key: key[0],
+                               agg_fn=lambda a, b: a + b)
+        assert len(out) == 3
+        assert out.rows[2] == pytest.approx(10.0)
+
+    def test_cross_pairs_everything(self):
+        engine, _ = _engine()
+        left = Relation.load(CLUSTER, {(i, 0): float(i) for i in range(3)})
+        right = Relation.load(CLUSTER, {(0, j): float(j) for j in range(4)})
+        out = engine.cross(
+            left, right,
+            combine=lambda lk, lp, rk, rp: ((lk[0], rk[1]), lp * rp))
+        assert len(out) == 12
+
+
+class TestLedgerFailures:
+    def test_ram_overflow_fails(self):
+        from repro.cost.features import CostFeatures
+        tiny = ClusterConfig(num_workers=2, ram_bytes=1000)
+        ledger = TrafficLedger(tiny)
+        with pytest.raises(EngineFailure):
+            ledger.charge("boom", CostFeatures(max_worker_bytes=2000))
+
+    def test_disk_overflow_fails(self):
+        from repro.cost.features import CostFeatures
+        tiny = ClusterConfig(num_workers=2, disk_bytes=1000)
+        ledger = TrafficLedger(tiny)
+        with pytest.raises(EngineFailure):
+            ledger.charge("boom", CostFeatures(spill_bytes=2000))
+
+    def test_breakdown_renders(self):
+        engine, ledger = _engine()
+        engine.map_rows(_rel(), lambda k, p: (k, p))
+        text = ledger.breakdown()
+        assert "TOTAL" in text

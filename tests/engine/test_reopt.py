@@ -1,0 +1,79 @@
+"""Tests for mid-execution re-optimization (paper Section 7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeGraph, OptimizerContext, matrix
+from repro.core.atoms import ADD, ELEM_MUL, MATMUL, RELU
+from repro.core.formats import csr_strips, single, sparse_single, tiles
+from repro.engine.reopt import execute_adaptive
+
+RNG = np.random.default_rng(5)
+CTX = OptimizerContext()
+
+
+def _sparse(rows, cols, density, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((rows, cols))
+            * (rng.random((rows, cols)) < density))
+
+
+class TestAdaptiveExecution:
+    def test_no_trigger_on_accurate_estimates(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(40, 40), single())
+        b = g.add_source("B", matrix(40, 40), single())
+        g.add_op("out", MATMUL, (a, b))
+        x, y = RNG.standard_normal((40, 40)), RNG.standard_normal((40, 40))
+        result = execute_adaptive(g, {"A": x, "B": y}, CTX)
+        assert result.reoptimizations == 0
+        assert np.allclose(result.outputs["out"], x @ y)
+
+    def test_triggers_on_misestimated_sparsity(self):
+        """Declare a dense input but feed nearly-empty data: the first
+        intermediate's observed sparsity diverges and triggers replanning."""
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(60, 60), single())   # claimed dense
+        b = g.add_source("B", matrix(60, 60), single())
+        ab = g.add_op("AB", ELEM_MUL, (a, b))
+        g.add_op("out", RELU, (ab,))
+        x = _sparse(60, 60, 0.02, seed=1)                 # actually sparse
+        y = RNG.standard_normal((60, 60))
+        result = execute_adaptive(g, {"A": x, "B": y}, CTX)
+        assert result.reoptimizations >= 1
+        assert result.triggers
+        name, est, act = result.triggers[0]
+        assert act < est
+        assert np.allclose(result.outputs["out"],
+                           np.maximum(x * y, 0))
+
+    def test_correct_result_after_multiple_stages(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(50, 50), single())
+        b = g.add_source("B", matrix(50, 50), single())
+        ab = g.add_op("AB", ELEM_MUL, (a, b))
+        s = g.add_op("S", ADD, (ab, a))
+        g.add_op("out", MATMUL, (s, b))
+        x = _sparse(50, 50, 0.05, seed=2)
+        y = _sparse(50, 50, 0.05, seed=3)
+        result = execute_adaptive(g, {"A": x, "B": y}, CTX)
+        ref = ((x * y) + x) @ y
+        assert np.allclose(result.outputs["out"], ref)
+
+    def test_max_reoptimizations_respected(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(30, 30), single())
+        prev = a
+        for i in range(4):
+            prev = g.add_op(f"m{i}", ELEM_MUL, (prev, a))
+        x = _sparse(30, 30, 0.03, seed=4)
+        result = execute_adaptive(g, {"A": x}, CTX, max_reoptimizations=1)
+        assert result.reoptimizations <= 1
+
+    def test_simulated_seconds_accumulated(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(40, 40), single())
+        g.add_op("out", RELU, (a,))
+        result = execute_adaptive(g, {"A": RNG.standard_normal((40, 40))},
+                                  CTX)
+        assert result.simulated_seconds > 0

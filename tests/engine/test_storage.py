@@ -1,0 +1,117 @@
+"""Tests for matrix <-> relation storage round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import DEFAULT_CLUSTER
+from repro.core.formats import (
+    DEFAULT_FORMATS,
+    coo,
+    col_strips,
+    csr_strips,
+    row_strips,
+    single,
+    sparse_single,
+    sparse_tiles,
+    tiles,
+)
+from repro.core.types import matrix
+from repro.engine.storage import assemble, convert, split
+
+RNG = np.random.default_rng(7)
+
+
+def _random_dense(rows, cols):
+    return RNG.standard_normal((rows, cols))
+
+
+def _random_sparse(rows, cols, density=0.05):
+    data = RNG.standard_normal((rows, cols))
+    mask = RNG.random((rows, cols)) < density
+    return data * mask
+
+
+ALL_FORMAT_CASES = [
+    (single(), _random_dense, 1.0),
+    (row_strips(7), _random_dense, 1.0),
+    (col_strips(13), _random_dense, 1.0),
+    (tiles(9), _random_dense, 1.0),
+    (tiles(10, 25), _random_dense, 1.0),
+    (coo(), _random_sparse, 0.05),
+    (csr_strips(8), _random_sparse, 0.05),
+]
+
+
+@pytest.mark.parametrize("fmt,gen,sparsity", ALL_FORMAT_CASES)
+def test_round_trip(fmt, gen, sparsity):
+    t = matrix(53, 47, sparsity)
+    data = gen(53, 47)
+    stored = split(data, t, fmt, DEFAULT_CLUSTER)
+    assert np.allclose(assemble(stored), data)
+
+
+def test_round_trip_all_sparse_formats():
+    t = matrix(64, 64, 0.05)
+    data = _random_sparse(64, 64)
+    for fmt in (sparse_single(), sparse_tiles(16), csr_strips(16), coo()):
+        stored = split(data, t, fmt, DEFAULT_CLUSTER)
+        assert np.allclose(assemble(stored), data), str(fmt)
+
+
+def test_tuple_count_matches_format(test_dims=(53, 47)):
+    t = matrix(*test_dims)
+    data = _random_dense(*test_dims)
+    for fmt in (row_strips(7), tiles(9), col_strips(13)):
+        stored = split(data, t, fmt, DEFAULT_CLUSTER)
+        assert len(stored.relation) == fmt.tuple_count(t)
+
+
+def test_vector_storage():
+    t = matrix(1, 100)
+    data = _random_dense(1, 100)
+    stored = split(data, t, col_strips(30), DEFAULT_CLUSTER)
+    assert len(stored.relation) == 4
+    assert np.allclose(assemble(stored), data)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        split(_random_dense(5, 5), matrix(6, 5), single(), DEFAULT_CLUSTER)
+
+
+def test_convert_between_formats():
+    t = matrix(40, 60)
+    data = _random_dense(40, 60)
+    stored = split(data, t, row_strips(10), DEFAULT_CLUSTER)
+    retiled = convert(stored, tiles(15), DEFAULT_CLUSTER)
+    assert retiled.fmt == tiles(15)
+    assert np.allclose(assemble(retiled), data)
+
+
+def test_convert_identity_is_noop():
+    t = matrix(10, 10)
+    stored = split(_random_dense(10, 10), t, single(), DEFAULT_CLUSTER)
+    assert convert(stored, single(), DEFAULT_CLUSTER) is stored
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(5, 80), st.integers(5, 80),
+       st.sampled_from([f for f in DEFAULT_FORMATS if not f.is_sparse]))
+def test_round_trip_property(rows, cols, fmt):
+    """Property: split/assemble is lossless for any admitting dense format."""
+    t = matrix(rows, cols)
+    if not fmt.admits(t):
+        return
+    data = _random_dense(rows, cols)
+    assert np.allclose(assemble(split(data, t, fmt, DEFAULT_CLUSTER)), data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(10, 60), st.integers(10, 60))
+def test_sparse_round_trip_property(rows, cols):
+    t = matrix(rows, cols, 0.1)
+    data = _random_sparse(rows, cols, 0.1)
+    for fmt in (coo(), sparse_single()):
+        assert np.allclose(assemble(split(data, t, fmt, DEFAULT_CLUSTER)),
+                           data)

@@ -1,0 +1,74 @@
+"""Tests for pipeline-aware timelines."""
+
+import pytest
+
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import ADD, MATMUL, RELU
+from repro.core.formats import single, tiles
+from repro.engine.trace import schedule
+
+CTX = OptimizerContext()
+
+
+def _diamond_plan():
+    """Two independent branches joined at the end — overlap available."""
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(3000, 3000), tiles(1000))
+    b = g.add_source("B", matrix(3000, 3000), tiles(1000))
+    left = g.add_op("L", MATMUL, (a, a))
+    right = g.add_op("R", MATMUL, (b, b))
+    g.add_op("J", ADD, (left, right))
+    return optimize(g, CTX)
+
+
+def _chain_plan():
+    """A strictly serial pipeline: unary ops over one matrix."""
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(2000, 2000), single())
+    x = g.add_op("X1", MATMUL, (a, a))
+    x = g.add_op("X2", RELU, (x,))
+    g.add_op("X3", RELU, (x,))
+    return optimize(g, CTX)
+
+
+class TestSchedule:
+    def test_critical_path_at_most_sequential(self):
+        for plan in (_diamond_plan(), _chain_plan()):
+            timeline = schedule(plan, CTX)
+            assert timeline.critical_path_seconds <= \
+                timeline.sequential_seconds + 1e-9
+            assert timeline.sequential_seconds == pytest.approx(
+                plan.total_seconds, rel=1e-9)
+
+    def test_diamond_exposes_parallelism(self):
+        timeline = schedule(_diamond_plan(), CTX)
+        assert timeline.parallelism > 1.2
+
+    def test_chain_has_no_overlap(self):
+        timeline = schedule(_chain_plan(), CTX)
+        assert timeline.parallelism == pytest.approx(1.0, abs=1e-6)
+
+    def test_stages_respect_dependencies(self):
+        plan = _chain_plan()
+        timeline = schedule(plan, CTX)
+        by_name = {s.name: s for s in timeline.stages}
+        x1 = next(s for n, s in by_name.items() if n.startswith("X1"))
+        x2 = next(s for n, s in by_name.items() if n.startswith("X2"))
+        x3 = next(s for n, s in by_name.items() if n.startswith("X3"))
+        assert x1.end <= x2.start + 1e-9
+        assert x2.end <= x3.start + 1e-9
+
+    def test_critical_path_is_connected_chain(self):
+        timeline = schedule(_chain_plan(), CTX)
+        path = sorted(timeline.critical_path(), key=lambda s: s.start)
+        assert path
+        for earlier, later in zip(path, path[1:]):
+            assert earlier.end <= later.start + 1e-9
+        assert path[-1].end == pytest.approx(
+            timeline.critical_path_seconds)
+
+    def test_gantt_renders(self):
+        timeline = schedule(_diamond_plan(), CTX)
+        text = timeline.gantt()
+        assert "critical path" in text
+        assert "#" in text

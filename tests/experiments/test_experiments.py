@@ -1,0 +1,122 @@
+"""Tests for the experiment harness and shape properties of key figures.
+
+Full paper-scale figures run in benchmarks/; these tests exercise the
+harness machinery plus the cheapest figures end to end and assert the
+paper's qualitative findings (orderings, fail patterns).
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import simsql_cluster
+from repro.core import OptimizerContext, optimize
+from repro.core.formats import col_strips, row_strips, single, tiles
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    ablation_sharing,
+    fig01,
+)
+from repro.experiments.harness import (
+    ExperimentTable,
+    display_time,
+    manual_plan,
+    opt_time_cell,
+)
+from repro.workloads.chains import motivating_graph
+
+
+class TestHarness:
+    def test_table_rendering(self):
+        t = ExperimentTable("figX", "demo", ["a", "b"])
+        t.add_row("r1", "v1")
+        t.add_row("r2", "v2")
+        t.add_note("a note")
+        text = t.render()
+        assert "figX" in text and "v1" in text and "a note" in text
+
+    def test_cell_lookup(self):
+        t = ExperimentTable("figX", "demo", ["row", "value"])
+        t.add_row("alpha", "42")
+        assert t.cell("alpha", "value") == "42"
+        with pytest.raises(KeyError):
+            t.cell("beta", "value")
+
+    def test_display_time(self):
+        assert display_time(65) == "1:05"
+        assert display_time(float("inf")) == "Fail"
+
+    def test_opt_time_cell(self):
+        class P:
+            optimize_seconds = 3.2
+        assert opt_time_cell(P()) == "(:03)"
+        P.optimize_seconds = 83.0
+        assert opt_time_cell(P()) == "(1:23)"
+
+    def test_registry_complete(self):
+        for fig in ("fig01", "fig05", "fig06", "fig07", "fig08", "fig09",
+                    "fig10", "fig11", "fig12", "fig13",
+                    "ablation_transform_costs", "ablation_sharing"):
+            assert fig in EXPERIMENTS
+
+
+class TestManualPlan:
+    def test_manual_plan_builds_and_costs(self):
+        graph = motivating_graph()
+        ctx = OptimizerContext(cluster=simsql_cluster(5))
+        names = [v.name for v in graph.inner_vertices]
+        plan = manual_plan(graph, ctx, {
+            names[0]: ("mm_strip_cross", (row_strips(10), col_strips(10))),
+            names[1]: ("mm_bcast_left", (single(), col_strips(10_000))),
+        })
+        assert math.isfinite(plan.total_seconds)
+
+    def test_manual_plan_rejects_untransformable(self):
+        graph = motivating_graph()
+        ctx = OptimizerContext(cluster=simsql_cluster(5))
+        names = [v.name for v in graph.inner_vertices]
+        with pytest.raises(ValueError):
+            manual_plan(graph, ctx, {
+                # matA is dense: no transformation reaches a sparse format.
+                names[0]: ("mm_csr_bcast_dense",
+                           (tiles(10), single())),
+                names[1]: ("mm_bcast_left", (single(), col_strips(10_000))),
+            })
+
+
+class TestFig01Shape:
+    """The motivating example reproduces the paper's headline finding."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return fig01()
+
+    def _seconds(self, cell: str) -> float:
+        ours = cell.split(" [")[0]
+        parts = [int(p) for p in ours.split(":")]
+        while len(parts) < 3:
+            parts.insert(0, 0)
+        return parts[0] * 3600 + parts[1] * 60 + parts[2]
+
+    def test_implementation_1_much_slower(self, table):
+        t1 = self._seconds(table.cell("total", "Implementation 1"))
+        t2 = self._seconds(table.cell("total", "Implementation 2"))
+        assert t1 > 5 * t2  # paper: 19:11 vs 0:56 (~20x)
+
+    def test_auto_matches_best_hand_plan(self, table):
+        t2 = self._seconds(table.cell("total", "Implementation 2"))
+        auto = self._seconds(table.cell("total", "Auto"))
+        assert auto <= t2 + 1
+
+    def test_transform_dominates_impl1_middle_phase(self, table):
+        trans1 = self._seconds(table.cell("transform", "Implementation 1"))
+        trans2 = self._seconds(table.cell("transform", "Implementation 2"))
+        assert trans1 > trans2
+
+
+class TestAblationSharing:
+    def test_sharing_saves_cost(self):
+        table = ablation_sharing()
+        for row in table.rows:
+            overhead = float(row[3].rstrip("x"))
+            assert overhead >= 1.0

@@ -1,0 +1,38 @@
+"""Tests for the experiments CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_list_prints_registry(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig01" in out
+    assert "fig13" in out
+    assert "ext_gpu_catalog" in out
+
+
+def test_no_selection_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["--fig", "fig99"])
+
+
+def test_single_figure_runs_and_writes(tmp_path, capsys):
+    out_file = tmp_path / "tables.md"
+    assert main(["--fig", "ext_gpu_catalog", "--out", str(out_file)]) == 0
+    printed = capsys.readouterr().out
+    assert "ext_gpu_catalog" in printed
+    assert "ext_gpu_catalog" in out_file.read_text()
+
+
+def test_repeated_figs(capsys):
+    assert main(["--fig", "ext_gpu_catalog", "--fig",
+                 "ext_gpu_catalog"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("## ext_gpu_catalog") == 2

@@ -1,0 +1,96 @@
+"""Consistency checks on the archived paper values.
+
+Guards against drift between the paper-value tables and the experiment
+builders that cite them (wrong keys silently render as missing cells).
+"""
+
+import re
+
+import pytest
+
+from repro.experiments import paper_values
+
+
+TIME_RE = re.compile(r"^(\d+:)?\d{1,2}:\d{2}$")
+
+
+def _is_time_or_fail(cell: str) -> bool:
+    return cell == "Fail" or cell.rstrip("*") == "Fail" or \
+        bool(TIME_RE.match(cell.rstrip("*")))
+
+
+class TestShapes:
+    def test_fig06_hidden_sizes(self):
+        assert list(paper_values.FIG06) == [10_000, 40_000, 80_000, 160_000]
+
+    def test_fig07_worker_counts(self):
+        assert list(paper_values.FIG07) == [5, 10, 20, 25]
+
+    def test_fig11_fig12_grids(self):
+        expected = {(w, h) for w in (2, 5, 10) for h in (4000, 5000, 7000)}
+        assert set(paper_values.FIG11) == expected
+        assert set(paper_values.FIG12) == expected
+
+    def test_fig13_structure(self):
+        assert set(paper_values.FIG13) == {
+            "all", "single_strip_block", "single_block"}
+        for subset in paper_values.FIG13.values():
+            assert set(subset) == {"dag1", "dag2", "tree"}
+            for family in subset.values():
+                assert set(family) == {1, 2, 3, 4}
+
+
+class TestCellFormats:
+    def test_all_fig06_cells_parse(self):
+        for row in paper_values.FIG06.values():
+            for cell in row.values():
+                assert _is_time_or_fail(cell), cell
+
+    def test_all_fig12_cells_parse(self):
+        for row in paper_values.FIG12.values():
+            for cell in row.values():
+                assert _is_time_or_fail(cell), cell
+
+    def test_fig08_asterisks_on_less_experienced_users(self):
+        assert paper_values.FIG08["user_low"].endswith("*")
+        assert paper_values.FIG08["user_medium"].endswith("*")
+        assert not paper_values.FIG08["user_high"].endswith("*")
+
+    def test_fig13_cells_parse(self):
+        for subset in paper_values.FIG13.values():
+            for family in subset.values():
+                for dp, brute in family.values():
+                    assert _is_time_or_fail(dp), dp
+                    assert _is_time_or_fail(brute), brute
+
+
+class TestPaperFailPattern:
+    """The published failure cells the reproduction is checked against."""
+
+    def test_fig06_all_tile_fails_only_at_160k(self):
+        fails = [h for h, row in paper_values.FIG06.items()
+                 if row["tile"] == "Fail"]
+        assert fails == [160_000]
+
+    def test_fig07_failure_frontier(self):
+        assert paper_values.FIG07[5]["hand"] == "Fail"
+        assert paper_values.FIG07[5]["tile"] == "Fail"
+        assert paper_values.FIG07[10]["hand"] != "Fail"
+        assert paper_values.FIG07[10]["tile"] == "Fail"
+        assert paper_values.FIG07[20]["tile"] != "Fail"
+
+    def test_fig11_pytorch_fails_at_7000(self):
+        for (workers, hidden), row in paper_values.FIG11.items():
+            assert (row["pytorch"] == "Fail") == (hidden == 7000)
+
+    def test_fig12_pytorch_fail_pattern(self):
+        for (workers, hidden), row in paper_values.FIG12.items():
+            expected_fail = hidden == 7000 or (workers == 2 and hidden >= 5000)
+            assert (row["pytorch"] == "Fail") == expected_fail, \
+                (workers, hidden)
+
+    def test_fig13_brute_fails_beyond_scale_1(self):
+        for subset in paper_values.FIG13.values():
+            for family in subset.values():
+                for scale, (_dp, brute) in family.items():
+                    assert (brute == "Fail") == (scale > 1)

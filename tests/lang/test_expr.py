@@ -1,0 +1,118 @@
+"""Tests for the high-level expression API."""
+
+import pytest
+
+from repro.core.formats import col_strips, single, tiles
+from repro.lang import (
+    Expr,
+    add_bias,
+    build,
+    col_sums,
+    default_load_format,
+    exp,
+    input_matrix,
+    inverse,
+    relu,
+    relu_grad,
+    row_sums,
+    sigmoid,
+    softmax,
+)
+
+
+class TestConstruction:
+    def test_input_requires_admitting_format(self):
+        with pytest.raises(ValueError):
+            input_matrix("X", 10, 10, fmt=tiles(1000))
+
+    def test_default_format_small_is_single(self):
+        x = input_matrix("X", 100, 100)
+        assert x.fmt == single()
+
+    def test_default_format_large_is_tiled(self):
+        x = input_matrix("X", 100_000, 100_000)
+        assert x.fmt == tiles(1000)
+
+    def test_shape_inference(self):
+        x = input_matrix("X", 10, 20)
+        w = input_matrix("W", 20, 5)
+        assert (x @ w).shape == (10, 5)
+        assert x.T.shape == (20, 10)
+
+    def test_shape_error_raised_eagerly(self):
+        x = input_matrix("X", 10, 20)
+        y = input_matrix("Y", 21, 5)
+        with pytest.raises(ValueError):
+            x @ y
+
+    def test_sparsity_threads_through(self):
+        x = input_matrix("X", 100, 100, sparsity=0.1)
+        assert relu(x).mtype.sparsity == pytest.approx(0.1)
+        assert softmax(x).mtype.sparsity == 1.0
+
+
+class TestOperators:
+    def test_arithmetic_operators(self):
+        x = input_matrix("X", 10, 10)
+        y = input_matrix("Y", 10, 10)
+        assert (x + y).op.name == "add"
+        assert (x - y).op.name == "sub"
+        assert (x * y).op.name == "elem_mul"
+        assert (x / y).op.name == "elem_div"
+        assert (x @ y).op.name == "matmul"
+        assert x.T.op.name == "transpose"
+
+    def test_scalar_multiplication(self):
+        x = input_matrix("X", 10, 10)
+        e = x * 2.5
+        assert e.op.name == "scalar_mul"
+        assert e.param == 2.5
+        assert (3 * x).op.name == "scalar_mul"
+        assert (-x).param == -1.0
+
+    def test_function_wrappers(self):
+        x = input_matrix("X", 10, 10)
+        b = input_matrix("b", 1, 10)
+        for fn in (relu, relu_grad, sigmoid, softmax, exp, inverse):
+            assert fn(x).op is not None
+        assert row_sums(x).shape == (10, 1)
+        assert col_sums(x).shape == (1, 10)
+        assert add_bias(x, b).shape == (10, 10)
+
+    def test_non_expr_operand_rejected(self):
+        x = input_matrix("X", 10, 10)
+        with pytest.raises(TypeError):
+            x @ "matrix"
+
+
+class TestBuild:
+    def test_build_single_output(self):
+        x = input_matrix("X", 10, 20)
+        w = input_matrix("W", 20, 5)
+        g = build(relu(x @ w))
+        assert len(g) == 4
+        assert len(g.sources) == 2
+
+    def test_shared_subexpression_becomes_one_vertex(self):
+        x = input_matrix("X", 10, 10)
+        shared = x @ x
+        g = build(shared + shared.T)
+        names = [v.name for v in g.vertices]
+        assert names.count(shared.name) == 1
+        assert not g.is_tree_shaped()
+
+    def test_structurally_equal_but_distinct_exprs_not_merged(self):
+        x = input_matrix("X", 10, 10)
+        g = build((x @ x) + (x @ x))
+        # Two distinct @ expressions -> two vertices (no CSE by value).
+        assert len(g.inner_vertices) == 3
+
+    def test_multiple_outputs(self):
+        x = input_matrix("X", 10, 10)
+        g = build([relu(x), exp(x)])
+        assert len(g.sinks()) == 2
+
+    def test_source_format_override(self):
+        x = input_matrix("X", 10, 5000, fmt=col_strips(100))
+        g = build(exp(x))
+        assert g.sources[0].format == col_strips(100)

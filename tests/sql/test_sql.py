@@ -1,0 +1,223 @@
+"""Tests for the matrix-SQL frontend: lexer, parser, session semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizerContext
+from repro.core.formats import coo, col_strips, row_strips, single, tiles
+from repro.sql import (
+    CreateTable,
+    CreateView,
+    Load,
+    SqlError,
+    SqlSession,
+    SqlSyntaxError,
+    parse,
+    parse_format,
+    tokenize,
+)
+
+PAPER_SCRIPT = """
+CREATE TABLE matA (mat MATRIX[100][10000]);
+CREATE TABLE matB (mat MATRIX[10000][100]);
+CREATE TABLE matC (mat MATRIX[100][1000000]);
+LOAD matA FORMAT 'row_strips(10)';
+LOAD matB FORMAT 'col_strips(10)';
+LOAD matC FORMAT 'col_strips(10000)';
+
+CREATE VIEW matAB (mat) AS
+SELECT matrix_multiply(x.mat, m.mat)
+FROM matA AS x, matB AS m;
+
+CREATE VIEW matABC (mat) AS
+SELECT matrix_multiply(x.mat, m.mat)
+FROM matAB AS x, matC AS m;
+"""
+
+
+class TestLexer:
+    def test_tokenizes_statement(self):
+        tokens = tokenize("CREATE TABLE t (mat MATRIX[5][6]);")
+        kinds = [t.text for t in tokens[:4]]
+        assert kinds == ["CREATE", "TABLE", "t", "("]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("-- a comment\nLOAD t;")
+        assert tokens[0].text == "LOAD"
+
+    def test_strings(self):
+        tokens = tokenize("LOAD t FORMAT 'tiles(1000)';")
+        assert any(t.text == "tiles(1000)" for t in tokens)
+
+    def test_bad_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+    def test_line_numbers(self):
+        with pytest.raises(SqlSyntaxError) as err:
+            tokenize("LOAD t;\n  %")
+        assert err.value.line == 2
+
+
+class TestParser:
+    def test_create_table(self):
+        (stmt,) = parse("CREATE TABLE m (mat MATRIX[20][30]);")
+        assert stmt == CreateTable("m", 20, 30)
+
+    def test_load_with_options(self):
+        (stmt,) = parse("LOAD m FORMAT 'tiles(100)' SPARSITY 0.05;")
+        assert stmt == Load("m", "tiles(100)", 0.05)
+
+    def test_view_with_nested_calls(self):
+        (stmt,) = parse(
+            "CREATE VIEW v AS SELECT relu(matrix_multiply(a.mat, b.mat)) "
+            "FROM t1 AS a, t2 AS b;")
+        assert isinstance(stmt, CreateView)
+        assert stmt.select.name == "relu"
+        assert stmt.from_tables == (("t1", "a"), ("t2", "b"))
+
+    def test_implicit_alias(self):
+        (stmt,) = parse("CREATE VIEW v AS SELECT relu(t1.mat) FROM t1;")
+        assert stmt.from_tables == (("t1", "t1"),)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("CREATE TABLE m (mat MATRIX[2][2])")
+
+    def test_paper_script_parses(self):
+        statements = parse(PAPER_SCRIPT)
+        assert len(statements) == 8
+
+
+class TestFormatSpecs:
+    @pytest.mark.parametrize("spec,expected", [
+        ("single", single()),
+        ("row_strips(10)", row_strips(10)),
+        ("col_strips(10000)", col_strips(10_000)),
+        ("tiles(1000)", tiles(1000)),
+        ("tiles(100, 200)", tiles(100, 200)),
+        ("coo", coo()),
+    ])
+    def test_valid_specs(self, spec, expected):
+        assert parse_format(spec) == expected
+
+    def test_unknown_format(self):
+        with pytest.raises(SqlError):
+            parse_format("hypercube(8)")
+
+    def test_malformed_spec(self):
+        with pytest.raises(SqlError):
+            parse_format("tiles(abc)")
+
+
+class TestSessionSemantics:
+    def test_duplicate_table_rejected(self):
+        s = SqlSession()
+        s.execute("CREATE TABLE t (mat MATRIX[2][2]);")
+        with pytest.raises(SqlError):
+            s.execute("CREATE TABLE t (mat MATRIX[2][2]);")
+
+    def test_load_unknown_table_rejected(self):
+        s = SqlSession()
+        with pytest.raises(SqlError):
+            s.execute("LOAD nope FORMAT 'single';")
+
+    def test_load_after_use_rejected(self):
+        s = SqlSession()
+        s.execute("""
+            CREATE TABLE t (mat MATRIX[5][5]);
+            CREATE VIEW v AS SELECT relu(t.mat) FROM t;
+        """)
+        with pytest.raises(SqlError):
+            s.execute("LOAD t FORMAT 'single';")
+
+    def test_unknown_alias_rejected(self):
+        s = SqlSession()
+        s.execute("CREATE TABLE t (mat MATRIX[5][5]);")
+        with pytest.raises(SqlError):
+            s.execute(
+                "CREATE VIEW v AS SELECT relu(x.mat) FROM t AS a;")
+
+    def test_unknown_function_rejected(self):
+        s = SqlSession()
+        s.execute("CREATE TABLE t (mat MATRIX[5][5]);")
+        with pytest.raises(SqlError):
+            s.execute("CREATE VIEW v AS SELECT conv3d(t.mat) FROM t;")
+
+    def test_type_error_surfaces(self):
+        s = SqlSession()
+        s.execute("""
+            CREATE TABLE a (mat MATRIX[5][6]);
+            CREATE TABLE b (mat MATRIX[7][5]);
+        """)
+        with pytest.raises(ValueError):
+            s.execute("CREATE VIEW v AS SELECT matrix_multiply(a.mat, "
+                      "b.mat) FROM a, b;")
+
+    def test_views_catalog(self):
+        s = SqlSession()
+        s.execute(PAPER_SCRIPT)
+        assert s.tables == ("matA", "matB", "matC")
+        assert s.views == ("matAB", "matABC")
+
+
+class TestSessionPlanning:
+    def test_paper_script_optimizes(self):
+        s = SqlSession()
+        s.execute(PAPER_SCRIPT)
+        plan = s.optimize("matABC")
+        assert plan.total_seconds > 0
+        # Loaded formats appear as the source formats.
+        graph = s.graph("matABC")
+        formats = {v.name: v.format for v in graph.sources}
+        assert formats["matA"] == row_strips(10)
+        assert formats["matC"] == col_strips(10_000)
+
+    def test_shared_view_optimized_jointly(self):
+        s = SqlSession()
+        s.execute("""
+            CREATE TABLE a (mat MATRIX[2000][2000]);
+            CREATE TABLE b (mat MATRIX[2000][2000]);
+            CREATE VIEW ab AS SELECT matrix_multiply(a.mat, b.mat)
+            FROM a, b;
+            CREATE VIEW left_use AS SELECT relu(ab.mat) FROM ab;
+            CREATE VIEW right_use AS SELECT transpose(ab.mat) FROM ab;
+        """)
+        graph = s.graph("left_use", "right_use")
+        # ab is one shared vertex with two consumers, not duplicated.
+        ab_vertices = [v for v in graph.vertices if v.name == "ab"]
+        assert len(ab_vertices) == 1
+        assert graph.out_degree(ab_vertices[0].vid) == 2
+
+    def test_sparsity_load_option(self):
+        s = SqlSession()
+        s.execute("""
+            CREATE TABLE x (mat MATRIX[10000][50000]);
+            LOAD x FORMAT 'csr_strips(1000)' SPARSITY 0.001;
+            CREATE VIEW v AS SELECT relu(x.mat) FROM x;
+        """)
+        graph = s.graph("v")
+        assert graph.sources[0].mtype.sparsity == pytest.approx(0.001)
+
+    def test_run_executes_correctly(self):
+        s = SqlSession()
+        s.execute("""
+            CREATE TABLE a (mat MATRIX[40][60]);
+            CREATE TABLE b (mat MATRIX[60][30]);
+            CREATE VIEW prod AS
+            SELECT matrix_multiply(x.mat, y.mat) FROM a AS x, b AS y;
+            CREATE VIEW final AS
+            SELECT relu(scalar_multiply(p.mat, 2)) FROM prod AS p;
+        """)
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((40, 60))
+        b = rng.standard_normal((60, 30))
+        result = s.run("final", inputs={"a": a, "b": b})
+        assert np.allclose(result.outputs["final"],
+                           np.maximum(2 * (a @ b), 0))
+
+    def test_no_views_error(self):
+        s = SqlSession()
+        s.execute("CREATE TABLE t (mat MATRIX[5][5]);")
+        with pytest.raises(SqlError):
+            s.graph()

@@ -1,0 +1,55 @@
+"""Tests for the matrix-SQL CLI."""
+
+import pytest
+
+from repro.sql.__main__ import main
+
+SCRIPT = """
+CREATE TABLE a (mat MATRIX[100][2000]);
+CREATE TABLE b (mat MATRIX[2000][100]);
+LOAD a FORMAT 'row_strips(10)';
+LOAD b FORMAT 'col_strips(10)';
+CREATE VIEW prod AS
+SELECT matrix_multiply(x.mat, y.mat) FROM a AS x, b AS y;
+"""
+
+
+@pytest.fixture()
+def script_path(tmp_path):
+    path = tmp_path / "job.sql"
+    path.write_text(SCRIPT)
+    return str(path)
+
+
+def test_basic_run(script_path, capsys):
+    assert main([script_path]) == 0
+    out = capsys.readouterr().out
+    assert "prod" in out
+    assert "predicted time" in out
+
+
+def test_explain_flag(script_path, capsys):
+    assert main([script_path, "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "EXPLAIN" in out
+    assert "dominant stages" in out
+
+
+def test_dot_output(script_path, tmp_path, capsys):
+    dot_path = tmp_path / "plan.dot"
+    assert main([script_path, "--dot", str(dot_path)]) == 0
+    dot = dot_path.read_text()
+    assert dot.startswith("digraph")
+    assert "prod" in dot
+
+
+def test_specific_view_and_workers(script_path, capsys):
+    assert main([script_path, "--view", "prod", "--workers", "5",
+                 "--beam", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "5 workers" in out
+
+
+def test_missing_script():
+    with pytest.raises(FileNotFoundError):
+        main(["/nonexistent/job.sql"])

@@ -1,0 +1,59 @@
+"""Tests for the attention workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizerContext, optimize
+from repro.engine import execute_plan
+from repro.workloads.attention import (
+    AttentionConfig,
+    attention_graph,
+    make_attention_inputs,
+    reference_attention,
+)
+
+
+class TestStructure:
+    def test_x_projected_three_ways(self):
+        g = attention_graph(AttentionConfig())
+        x = next(v for v in g.sources if v.name == "X")
+        assert g.out_degree(x.vid) == 3
+        assert not g.is_tree_shaped()
+
+    def test_output_shape(self):
+        cfg = AttentionConfig(seq_len=128, model_dim=64, head_dim=16)
+        g = attention_graph(cfg)
+        (sink,) = g.outputs
+        assert sink.mtype.dims == (128, 16)
+
+
+class TestExecution:
+    def test_matches_numpy_reference(self):
+        cfg = AttentionConfig(seq_len=48, model_dim=32, head_dim=8)
+        g = attention_graph(cfg)
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=500)
+        inputs = make_attention_inputs(cfg, seed=4)
+        result = execute_plan(plan, inputs, ctx)
+        assert np.allclose(result.outputs["attention"],
+                           reference_attention(inputs), atol=1e-10)
+
+    def test_attention_rows_are_convex_combinations(self):
+        cfg = AttentionConfig(seq_len=32, model_dim=16, head_dim=4)
+        g = attention_graph(cfg)
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=500)
+        inputs = make_attention_inputs(cfg, seed=5)
+        result = execute_plan(plan, inputs, ctx)
+        v = inputs["X"] @ inputs["Wv"]
+        out = result.outputs["attention"]
+        assert out.min() >= v.min() - 1e-9
+        assert out.max() <= v.max() + 1e-9
+
+
+class TestPlanning:
+    def test_plans_at_long_sequence_lengths(self):
+        cfg = AttentionConfig(seq_len=65_536, model_dim=4096, head_dim=128)
+        plan = optimize(attention_graph(cfg), OptimizerContext(),
+                        max_states=500)
+        assert np.isfinite(plan.total_seconds)

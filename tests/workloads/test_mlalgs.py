@@ -1,0 +1,84 @@
+"""End-to-end tests for the classic ML/LA workloads: every workload's
+optimized plan executes through the engine and matches its numpy reference,
+under both the tree DP and the frontier algorithm where applicable."""
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizerContext, optimize
+from repro.engine import execute_plan
+from repro.workloads.mlalgs import (
+    ALL_WORKLOADS,
+    linear_regression,
+    logistic_regression_step,
+    power_iteration,
+    ridge_gradient_descent,
+)
+
+CTX = OptimizerContext()
+
+
+def _check(workload, seed=0, atol=1e-8):
+    plan = optimize(workload.graph, OptimizerContext(), max_states=500)
+    inputs = workload.make_inputs(seed)
+    result = execute_plan(plan, inputs, CTX)
+    assert np.allclose(result.output(), workload.reference(inputs),
+                       atol=atol), workload.name
+    return plan
+
+
+class TestCorrectness:
+    def test_linear_regression(self):
+        _check(linear_regression(80, 30))
+
+    def test_logistic_regression_step(self):
+        _check(logistic_regression_step(100, 20))
+
+    def test_ridge_gradient_descent(self):
+        _check(ridge_gradient_descent(60, 25, steps=3))
+
+    def test_power_iteration(self):
+        _check(power_iteration(50, steps=4))
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_multiple_seeds(self, seed):
+        _check(logistic_regression_step(50, 10), seed=seed)
+
+
+class TestStructure:
+    def test_linear_regression_shares_transpose(self):
+        g = linear_regression(1000, 200).graph
+        assert not g.is_tree_shaped()
+        transposes = [v for v in g.inner_vertices
+                      if v.op.name == "transpose"]
+        assert len(transposes) == 1
+        assert g.out_degree(transposes[0].vid) == 2
+
+    def test_unrolled_descent_depth_scales(self):
+        short = ridge_gradient_descent(100, 20, steps=2).graph
+        long = ridge_gradient_descent(100, 20, steps=5).graph
+        assert len(long) > len(short)
+
+    def test_power_iteration_is_chain_over_shared_a(self):
+        g = power_iteration(100, steps=3).graph
+        a = next(v for v in g.sources if v.name == "A")
+        assert g.out_degree(a.vid) == 3
+
+
+class TestPlanning:
+    @pytest.mark.parametrize("builder", ALL_WORKLOADS)
+    def test_every_workload_optimizes_at_scale(self, builder):
+        """Paper-scale shapes plan quickly and finitely."""
+        workload = builder(100_000, 500) if builder is not power_iteration \
+            else builder(20_000)
+        plan = optimize(workload.graph, OptimizerContext(), max_states=500)
+        assert np.isfinite(plan.total_seconds)
+        assert plan.total_seconds > 0
+
+    def test_auto_beats_all_tile_on_regression(self):
+        from repro.baselines import plan_all_tile
+        workload = linear_regression(200_000, 2000)
+        ctx = OptimizerContext()
+        auto = optimize(workload.graph, ctx, max_states=500)
+        tile = plan_all_tile(workload.graph, ctx)
+        assert auto.total_seconds <= tile.total_seconds

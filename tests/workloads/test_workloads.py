@@ -1,0 +1,177 @@
+"""Tests for the workload graph builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizerContext, optimize
+from repro.core.formats import col_strips, row_strips
+from repro.engine import execute_plan
+from repro.workloads import (
+    SIZE_SETS,
+    FFNNConfig,
+    amazoncat_config,
+    amazoncat_like,
+    dag1_graph,
+    dag2_graph,
+    dense_normal,
+    ffnn_backprop_to_w2,
+    ffnn_forward,
+    ffnn_full_step,
+    make_inverse_inputs,
+    mm_chain_graph,
+    motivating_graph,
+    one_hot_labels,
+    reference_inverse,
+    sparse_features,
+    spd_matrix,
+    tree_graph,
+    two_level_inverse_graph,
+)
+
+
+class TestFFNNGraphs:
+    def test_full_step_has_57_vertices(self):
+        """The paper reports a 57-vertex graph for Experiment 1."""
+        g = ffnn_full_step(FFNNConfig(hidden=80_000))
+        assert len(g) == 57
+
+    def test_full_step_is_dag_not_tree(self):
+        g = ffnn_full_step(FFNNConfig(hidden=1000, batch=100, features=200))
+        assert not g.is_tree_shaped()
+
+    def test_backprop_graph_output_is_updated_w2(self):
+        cfg = FFNNConfig(hidden=1000, batch=100, features=200)
+        g = ffnn_backprop_to_w2(cfg)
+        (sink,) = g.sinks()
+        assert sink.mtype.dims == (1000, 1000)
+
+    def test_forward_output_shape(self):
+        cfg = FFNNConfig(hidden=64, batch=32, features=100, labels=17)
+        g = ffnn_forward(cfg)
+        (sink,) = g.sinks()
+        assert sink.mtype.dims == (32, 17)
+
+    def test_amazoncat_config_shapes(self):
+        cfg = amazoncat_config(1000, 4000)
+        assert cfg.features == 597_540
+        assert cfg.labels == 14_588
+        assert cfg.input_sparsity < 0.001
+
+    def test_small_ffnn_executes_correctly(self):
+        """Execute a tiny FFNN step and verify against a numpy reference."""
+        cfg = FFNNConfig(batch=30, features=40, hidden=20, labels=5,
+                         learning_rate=0.1)
+        g = ffnn_backprop_to_w2(cfg)
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx)
+        rng = np.random.default_rng(0)
+        inputs = {
+            "X": rng.standard_normal((30, 40)),
+            "Y": one_hot_labels(30, 5),
+            "W1": rng.standard_normal((40, 20)) * 0.1,
+            "W2": rng.standard_normal((20, 20)) * 0.1,
+            "W3": rng.standard_normal((20, 5)) * 0.1,
+            "b1": rng.standard_normal((1, 20)) * 0.1,
+            "b2": rng.standard_normal((1, 20)) * 0.1,
+            "b3": rng.standard_normal((1, 5)) * 0.1,
+        }
+        result = execute_plan(plan, inputs, ctx)
+
+        # numpy reference
+        a1 = inputs["X"] @ inputs["W1"] + inputs["b1"]
+        z1 = np.maximum(a1, 0)
+        a2 = z1 @ inputs["W2"] + inputs["b2"]
+        z2 = np.maximum(a2, 0)
+        a3 = z2 @ inputs["W3"] + inputs["b3"]
+        e = np.exp(a3 - a3.max(axis=1, keepdims=True))
+        out = e / e.sum(axis=1, keepdims=True)
+        d_out = out - inputs["Y"]
+        d_z2 = (d_out @ inputs["W3"].T) * (a2 > 0)
+        d_w2 = z1.T @ d_z2
+        w2_new = inputs["W2"] - 0.1 * d_w2
+        assert np.allclose(result.output(), w2_new)
+
+
+class TestChains:
+    def test_motivating_graph_structure(self):
+        g = motivating_graph()
+        assert len(g.sources) == 3
+        assert len(g.inner_vertices) == 2
+        assert g.sources[0].format == row_strips(10)
+
+    def test_size_sets_are_type_correct(self):
+        for size_set in SIZE_SETS:
+            g = mm_chain_graph(size_set)
+            (sink,) = g.sinks()
+            assert sink.mtype.rows > 0
+
+    def test_chain_shares_t1_and_t2(self):
+        g = mm_chain_graph(1)
+        assert not g.is_tree_shaped()
+
+    def test_tree_family_is_tree(self):
+        for scale in (1, 2, 3):
+            assert tree_graph(scale).is_tree_shaped()
+
+    def test_dag_families_are_dags(self):
+        assert not dag1_graph(1).is_tree_shaped()
+        assert not dag2_graph(1).is_tree_shaped()
+
+    def test_scaling_grows_linearly(self):
+        sizes = [len(dag2_graph(s)) for s in (1, 2, 3)]
+        assert sizes[1] - sizes[0] == sizes[2] - sizes[1]
+
+    def test_custom_format_hook(self):
+        g = mm_chain_graph(
+            1, fmt_for=lambda n, r, c: col_strips(1000) if c >= 1000
+            else None)
+        wide = [s for s in g.sources if s.mtype.cols >= 1000]
+        assert wide
+        assert all(s.format == col_strips(1000) for s in wide)
+
+
+class TestInverse:
+    def test_graph_builds_at_paper_scale(self):
+        g = two_level_inverse_graph()
+        assert len(g.outputs) == 4
+        assert not g.is_tree_shaped()
+
+    def test_small_scale_executes_correctly(self):
+        outer, inner = 40, 12
+        g = two_level_inverse_graph(outer, inner)
+        inputs = make_inverse_inputs(outer, inner, seed=3)
+        ref = reference_inverse(inputs)
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=500)
+        result = execute_plan(plan, inputs, ctx)
+        for key in ("Abar", "Bbar", "Cbar", "Dbar"):
+            assert np.allclose(result.outputs[key], ref[key],
+                               atol=1e-8), key
+
+
+class TestDatagen:
+    def test_dense_normal_deterministic(self):
+        assert np.allclose(dense_normal(5, 5, seed=1),
+                           dense_normal(5, 5, seed=1))
+
+    def test_spd_is_invertible_and_symmetric(self):
+        m = spd_matrix(50)
+        assert np.allclose(m, m.T)
+        assert np.all(np.linalg.eigvalsh(m) > 0)
+
+    def test_one_hot_rows_sum_to_one(self):
+        y = one_hot_labels(100, 17)
+        assert y.shape == (100, 17)
+        assert np.allclose(y.sum(axis=1), 1.0)
+
+    def test_sparse_features_statistics(self):
+        x = sparse_features(2000, 10_000, mean_nnz_per_row=50, seed=0)
+        per_row = np.diff(x.indptr)
+        assert 30 < per_row.mean() < 80
+        assert per_row.std() > 10  # long-tailed, not uniform
+
+    def test_amazoncat_like_shapes(self):
+        x, y = amazoncat_like(100)
+        assert x.shape == (100, 597_540)
+        assert y.shape == (100, 14_588)
+        assert x.nnz > 0
