@@ -33,7 +33,15 @@ from .core import (
     optimize,
     vector,
 )
-from .engine import execute_plan, simulate
+from .engine import (
+    FaultConfig,
+    FaultPlan,
+    RecoveryPolicy,
+    execute_plan,
+    execute_robust,
+    simulate,
+    simulate_robust,
+)
 from .lang import (
     Expr,
     add_bias,
@@ -56,7 +64,8 @@ __all__ = [
     "systemds_cluster",
     "ComputeGraph", "MatrixType", "OptimizerContext", "Plan", "matrix",
     "optimize", "vector",
-    "execute_plan", "simulate",
+    "FaultConfig", "FaultPlan", "RecoveryPolicy",
+    "execute_plan", "execute_robust", "simulate", "simulate_robust",
     "Expr", "add_bias", "build", "col_sums", "exp", "input_matrix",
     "inverse", "relu", "relu_grad", "row_sums", "sigmoid", "softmax",
     "__version__",

@@ -45,6 +45,25 @@ class ClusterConfig:
             raise ValueError("need at least one worker")
         if self.cores_per_worker <= 0:
             raise ValueError("need at least one core per worker")
+        # Resource rates/capacities must be positive: a zero or negative
+        # value would otherwise surface far from the misconfiguration, as a
+        # division by zero or a confusing mid-simulation EngineFailure.
+        for name in ("ram_bytes", "flops_per_core", "network_bytes_per_sec",
+                     "memory_bytes_per_sec", "disk_bytes"):
+            value = getattr(self, name)
+            if not value > 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        for name in ("per_tuple_seconds", "stage_latency_seconds"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.gpus_per_worker < 0:
+            raise ValueError("gpus_per_worker must be >= 0")
+        if self.gpus_per_worker > 0:
+            for name in ("gpu_ram_bytes", "gpu_flops_per_sec",
+                         "pcie_bytes_per_sec"):
+                if not getattr(self, name) > 0:
+                    raise ValueError(f"{name} must be positive when GPUs "
+                                     "are configured")
 
     @property
     def total_cores(self) -> int:

@@ -9,7 +9,31 @@ from .executor import (
     format_hms,
     simulate,
 )
+from .faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    InjectedFault,
+    ScheduledFault,
+    TransientShuffleError,
+    WorkerCrash,
+)
 from .ledger import EngineFailure, StageRecord, TrafficLedger
+from .recovery import (
+    DEFAULT_RECOVERY,
+    FallbackRecord,
+    FaultRetriesExhausted,
+    LineageCheckpoint,
+    RecoveryPolicy,
+    RecoveryStats,
+    RobustExecutionResult,
+    RobustSimulationResult,
+    execute_robust,
+    plan_context,
+    simulate_robust,
+)
 from .relation import Relation, RelationalEngine, payload_bytes
 from .reopt import AdaptiveResult, execute_adaptive
 from .storage import StoredMatrix, assemble, convert, split
@@ -19,7 +43,13 @@ __all__ = [
     "DEFAULT_CLUSTER", "ClusterConfig",
     "ExecutionResult", "Executor", "SimulationResult", "execute_plan",
     "format_hms", "simulate",
+    "FaultConfig", "FaultEvent", "FaultInjector", "FaultKind", "FaultPlan",
+    "InjectedFault", "ScheduledFault", "TransientShuffleError", "WorkerCrash",
     "EngineFailure", "StageRecord", "TrafficLedger",
+    "DEFAULT_RECOVERY", "FallbackRecord", "FaultRetriesExhausted",
+    "LineageCheckpoint", "RecoveryPolicy", "RecoveryStats",
+    "RobustExecutionResult", "RobustSimulationResult", "execute_robust",
+    "plan_context", "simulate_robust",
     "Relation", "RelationalEngine", "payload_bytes",
     "AdaptiveResult", "execute_adaptive",
     "StoredMatrix", "assemble", "convert", "split",

@@ -28,7 +28,15 @@ from ..core.graph import VertexId
 from ..core.implementations import JoinStrategy
 from ..core.registry import OptimizerContext
 from . import kernels
-from .ledger import EngineFailure, TrafficLedger
+from .faults import FaultSource, InjectedFault, as_injector
+from .ledger import RECOVERY, EngineFailure, TrafficLedger
+from .recovery import (
+    DEFAULT_RECOVERY,
+    FaultRetriesExhausted,
+    LineageCheckpoint,
+    RecoveryPolicy,
+    RecoveryStats,
+)
 from .relation import Relation, RelationalEngine
 from .storage import StoredMatrix, _block_bounds, assemble, convert, split
 
@@ -96,18 +104,36 @@ def simulate(plan: Plan, ctx: OptimizerContext) -> SimulationResult:
 # ======================================================================
 @dataclass
 class ExecutionResult:
-    """Outcome of executing a plan on real data."""
+    """Outcome of executing a plan on real data.
+
+    Mirrors :class:`SimulationResult`'s ``ok``/``failure`` pair:
+    :func:`execute_plan` returns a failed result instead of leaking an
+    :class:`EngineFailure` traceback to callers.  ``recovery`` reports what
+    fault tolerance did (and cost) when a fault injector was attached.
+    """
 
     outputs: dict[str, np.ndarray]
     vertex_values: dict[VertexId, np.ndarray]
     ledger: TrafficLedger
+    ok: bool = True
+    failure: str | None = None
+    recovery: RecoveryStats | None = None
 
     def output(self) -> np.ndarray:
         """The single output, when the graph has exactly one sink."""
+        if not self.ok:
+            raise RuntimeError(f"execution failed: {self.failure}")
         if len(self.outputs) != 1:
             raise ValueError(f"plan has {len(self.outputs)} outputs; "
                              "use .outputs[name]")
         return next(iter(self.outputs.values()))
+
+    @property
+    def display(self) -> str:
+        """Table cell: H:MM:SS like the paper, or Fail."""
+        if not self.ok:
+            return "Fail"
+        return format_hms(self.ledger.total_seconds)
 
 
 _JOIN_STRATEGY = {
@@ -121,34 +147,83 @@ _JOIN_STRATEGY = {
 
 
 class Executor:
-    """Executes one annotated plan on real numpy inputs."""
+    """Executes one annotated plan on real numpy inputs.
 
-    def __init__(self, plan: Plan, ctx: OptimizerContext) -> None:
+    ``faults`` attaches a fault source (a :class:`FaultConfig`,
+    :class:`FaultPlan` or prebuilt :class:`FaultInjector`); injected faults
+    are recovered by recomputing the faulted vertex from its lineage
+    checkpoint under ``recovery``'s capped-exponential-backoff policy, with
+    all wasted work, backoff and re-shuffle traffic charged to the ledger.
+    """
+
+    def __init__(self, plan: Plan, ctx: OptimizerContext,
+                 faults: FaultSource = None,
+                 recovery: RecoveryPolicy | None = None) -> None:
         self.plan = plan
         self.ctx = ctx
         self.cluster = ctx.cluster
         self.ledger = TrafficLedger(ctx.cluster, ctx.weights)
-        self.engine = RelationalEngine(ctx.cluster, self.ledger)
+        self.recovery = recovery if recovery is not None else DEFAULT_RECOVERY
+        self.injector = as_injector(faults, ctx.cluster.num_workers)
+        self.engine = RelationalEngine(
+            ctx.cluster, self.ledger, faults=self.injector,
+            speculative_backups=self.recovery.speculative_backups)
+        self.lineage = LineageCheckpoint()
+        self.stats = RecoveryStats()
 
     # ------------------------------------------------------------------
     def run(self, inputs: dict[str, np.ndarray]) -> ExecutionResult:
         """Execute the plan; ``inputs`` maps source names to matrices."""
         graph = self.plan.graph
-        stored: dict[VertexId, StoredMatrix] = {}
+        stored = self.lineage.matrices
         for vid in graph.topological_order():
             v = graph.vertex(vid)
             if v.is_source:
                 if v.name not in inputs:
                     raise KeyError(f"no input provided for source {v.name!r}")
-                stored[vid] = split(inputs[v.name], v.mtype, v.format,
-                                    self.cluster)
+                self.lineage.record(vid, split(inputs[v.name], v.mtype,
+                                               v.format, self.cluster))
                 continue
-            stored[vid] = self.compute_vertex(v, stored)
+            self.lineage.record(vid, self._compute_with_recovery(v, stored))
 
         vertex_values = {vid: assemble(s) for vid, s in stored.items()}
         outputs = {graph.vertex(v.vid).name: vertex_values[v.vid]
                    for v in graph.outputs}
-        return ExecutionResult(outputs, vertex_values, self.ledger)
+        return ExecutionResult(outputs, vertex_values, self.ledger,
+                               recovery=self.stats)
+
+    # ------------------------------------------------------------------
+    def _compute_with_recovery(self, v, stored: dict[VertexId, StoredMatrix]
+                               ) -> StoredMatrix:
+        """Compute a vertex, retrying injected faults from lineage.
+
+        Every failed attempt's partial charges are re-labelled as recovery
+        cost (the work was real but wasted), a capped exponential backoff
+        is charged to the simulated clock, and the vertex is recomputed
+        from its producers' checkpointed matrices.  The *retry's* traffic
+        is charged normally — recomputation and re-shuffle are paid again,
+        which is exactly the measurable cost of lineage-based recovery.
+        """
+        policy = self.recovery
+        attempt = 0
+        while True:
+            mark = self.ledger.mark()
+            try:
+                return self.compute_vertex(v, stored)
+            except InjectedFault as fault:
+                attempt += 1
+                wasted = self.ledger.recategorize_since(mark, RECOVERY)
+                if attempt > policy.max_retries:
+                    self.stats.observe(fault, 0.0, wasted)
+                    raise FaultRetriesExhausted(fault.stage,
+                                                policy.max_retries, fault)
+                backoff = policy.backoff_seconds(attempt)
+                self.ledger.charge_overhead(
+                    f"{fault.stage}:backoff#{attempt}", backoff)
+                self.stats.observe(fault, backoff, wasted)
+                self.lineage.note_recomputation(v.vid)
+                self.stats.recomputed_vertices = len(
+                    self.lineage.recomputations)
 
     # ------------------------------------------------------------------
     def compute_vertex(self, v, stored: dict[VertexId, StoredMatrix]
@@ -335,6 +410,21 @@ def _guess_fmt(mtype, keys) -> PhysicalFormat:
 
 
 def execute_plan(plan: Plan, inputs: dict[str, np.ndarray],
-                 ctx: OptimizerContext) -> ExecutionResult:
-    """Convenience wrapper: build an :class:`Executor` and run it."""
-    return Executor(plan, ctx).run(inputs)
+                 ctx: OptimizerContext,
+                 faults: FaultSource = None,
+                 recovery: RecoveryPolicy | None = None) -> ExecutionResult:
+    """Build an :class:`Executor` and run it; failures come back structured.
+
+    An :class:`EngineFailure` (memory overflow, exhausted fault retries) is
+    returned as an ``ok=False`` result mirroring :class:`SimulationResult`
+    instead of unwinding into callers as a raw traceback.  For automatic
+    re-optimization around such failures, see
+    :func:`repro.engine.recovery.execute_robust`.
+    """
+    executor = Executor(plan, ctx, faults=faults, recovery=recovery)
+    try:
+        return executor.run(inputs)
+    except EngineFailure as failure:
+        return ExecutionResult({}, {}, executor.ledger, ok=False,
+                               failure=str(failure),
+                               recovery=executor.stats)

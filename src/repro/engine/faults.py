@@ -1,0 +1,269 @@
+"""Deterministic fault injection for the relational engine.
+
+The paper's experiment tables are full of "Fail" cells — clusters dying
+mid-query from too much intermediate data — and the real substrates it
+targets (SimSQL on Hadoop, Spark-based SystemML/MLlib) additionally face
+*partial* failures: individual task crashes, lost shuffle fetches, and
+straggling workers.  This module models those failure classes so the
+executor's recovery policies (:mod:`repro.engine.recovery`) can be exercised
+and costed deterministically.
+
+Faults are injected at the entry points of the relational operators in
+:mod:`repro.engine.relation` (map, repartition, broadcast, join, group_agg).
+Two sources of faults exist:
+
+* a :class:`FaultConfig` of per-stage probabilities drawn from a **seeded**
+  RNG — the same seed and the same stage sequence always produce the same
+  faults, so faulty runs are reproducible and property-testable; and
+* a :class:`FaultPlan` of explicitly scheduled faults ("crash the second
+  invocation of stage X"), for targeted tests.
+
+Injected faults are Python exceptions *distinct* from
+:class:`~repro.engine.ledger.EngineFailure`: an :class:`InjectedFault` is
+transient and retryable (a task died; lineage recovery recomputes it), while
+an ``EngineFailure`` is structural (the plan does not fit the cluster) and
+needs re-optimization, not a retry.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+
+class FaultKind(enum.Enum):
+    """The failure classes the injector models."""
+
+    WORKER_CRASH = "worker-crash"
+    SHUFFLE_ERROR = "shuffle-error"
+    STRAGGLER = "straggler"
+
+
+class InjectedFault(RuntimeError):
+    """Base class of retryable, injected failures."""
+
+    kind: FaultKind
+
+    def __init__(self, stage: str, detail: str) -> None:
+        super().__init__(
+            f"injected {self.kind.value} at stage {stage!r}: {detail}")
+        self.stage = stage
+
+
+class WorkerCrash(InjectedFault):
+    """A worker process died; its resident partitions are lost."""
+
+    kind = FaultKind.WORKER_CRASH
+
+    def __init__(self, stage: str, worker: int) -> None:
+        super().__init__(stage, f"worker {worker} crashed")
+        self.worker = worker
+
+
+class TransientShuffleError(InjectedFault):
+    """A shuffle/network fetch failed (lost block, dropped connection)."""
+
+    kind = FaultKind.SHUFFLE_ERROR
+
+    def __init__(self, stage: str) -> None:
+        super().__init__(stage, "shuffle fetch failed")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Probabilistic fault model, drawn from a seeded RNG.
+
+    ``max_faults_per_stage`` bounds how often the *same* stage name can
+    fault (a real scheduler blacklists repeatedly failing executors); set it
+    to ``None`` to let unlucky stages fail until the executor's retry budget
+    runs out — the regime the fault sweep measures completion rates in.
+    """
+
+    seed: int = 0
+    crash_probability: float = 0.0
+    shuffle_error_probability: float = 0.0
+    straggler_probability: float = 0.0
+    straggler_slowdown: float = 4.0
+    max_faults_per_stage: int | None = 3
+
+    def __post_init__(self) -> None:
+        for name in ("crash_probability", "shuffle_error_probability",
+                     "straggler_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1.0")
+
+    @property
+    def any_faults(self) -> bool:
+        return (self.crash_probability > 0
+                or self.shuffle_error_probability > 0
+                or self.straggler_probability > 0)
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One explicitly scheduled fault.
+
+    Fires when a stage whose name contains ``stage`` is entered for the
+    ``occurrence``-th time (counted per exact stage name, 0-based, across
+    retries — so ``occurrence=0`` faults the first attempt and the retry
+    succeeds).
+    """
+
+    stage: str
+    kind: FaultKind
+    occurrence: int = 0
+    slowdown: float = 4.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults (no randomness at all)."""
+
+    faults: tuple[ScheduledFault, ...] = ()
+
+    @classmethod
+    def crash(cls, stage: str, occurrence: int = 0) -> "FaultPlan":
+        return cls((ScheduledFault(stage, FaultKind.WORKER_CRASH,
+                                   occurrence),))
+
+    @classmethod
+    def shuffle_error(cls, stage: str, occurrence: int = 0) -> "FaultPlan":
+        return cls((ScheduledFault(stage, FaultKind.SHUFFLE_ERROR,
+                                   occurrence),))
+
+    @classmethod
+    def straggler(cls, stage: str, occurrence: int = 0,
+                  slowdown: float = 4.0) -> "FaultPlan":
+        return cls((ScheduledFault(stage, FaultKind.STRAGGLER, occurrence,
+                                   slowdown),))
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        return FaultPlan(self.faults + other.faults)
+
+
+@dataclass
+class FaultEvent:
+    """Record of one injected fault (for reporting and assertions)."""
+
+    stage: str
+    kind: FaultKind
+    occurrence: int
+    worker: int | None = None
+    slowdown: float | None = None
+
+
+class FaultInjector:
+    """Stateful, deterministic fault source shared by one execution.
+
+    The injector counts invocations per exact stage name; scheduled faults
+    match on those counts, probabilistic faults are drawn from
+    ``random.Random(config.seed)`` in stage order.  Because the relational
+    operators call :meth:`before_stage` / :meth:`straggler_factor` in a
+    deterministic order for a given plan, the whole fault sequence is a pure
+    function of (plan, inputs, seed).
+    """
+
+    def __init__(self, config: FaultConfig | None = None,
+                 plan: FaultPlan | None = None,
+                 num_workers: int = 1) -> None:
+        self.config = config
+        self.plan = plan
+        self.num_workers = max(1, int(num_workers))
+        self._rng = random.Random(config.seed if config is not None else 0)
+        self._invocations: dict[str, int] = {}
+        self._faults_at: dict[str, int] = {}
+        self._fired: set[int] = set()
+        self.events: list[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    def _scheduled(self, stage: str, occurrence: int,
+                   kinds: tuple[FaultKind, ...]) -> ScheduledFault | None:
+        if self.plan is None:
+            return None
+        for i, sf in enumerate(self.plan.faults):
+            if (i not in self._fired and sf.kind in kinds
+                    and sf.stage in stage and occurrence == sf.occurrence):
+                self._fired.add(i)
+                return sf
+        return None
+
+    def _capped(self, stage: str) -> bool:
+        cap = self.config.max_faults_per_stage if self.config else None
+        return cap is not None and self._faults_at.get(stage, 0) >= cap
+
+    def _record(self, event: FaultEvent) -> None:
+        self._faults_at[event.stage] = self._faults_at.get(event.stage, 0) + 1
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    def before_stage(self, stage: str) -> None:
+        """Called at every operator entry; raises the fault, if any."""
+        occurrence = self._invocations.get(stage, 0)
+        self._invocations[stage] = occurrence + 1
+
+        sf = self._scheduled(stage, occurrence,
+                             (FaultKind.WORKER_CRASH,
+                              FaultKind.SHUFFLE_ERROR))
+        if sf is not None:
+            worker = None
+            if sf.kind is FaultKind.WORKER_CRASH:
+                worker = occurrence % self.num_workers
+                self._record(FaultEvent(stage, sf.kind, occurrence, worker))
+                raise WorkerCrash(stage, worker)
+            self._record(FaultEvent(stage, sf.kind, occurrence))
+            raise TransientShuffleError(stage)
+
+        cfg = self.config
+        if cfg is None or not cfg.any_faults:
+            return
+        # Draw both uniforms unconditionally so the fault sequence for a
+        # given seed does not shift when one probability is changed.
+        crash_roll = self._rng.random()
+        shuffle_roll = self._rng.random()
+        if self._capped(stage):
+            return
+        if crash_roll < cfg.crash_probability:
+            worker = self._rng.randrange(self.num_workers)
+            self._record(FaultEvent(stage, FaultKind.WORKER_CRASH,
+                                    occurrence, worker))
+            raise WorkerCrash(stage, worker)
+        if shuffle_roll < cfg.shuffle_error_probability:
+            self._record(FaultEvent(stage, FaultKind.SHUFFLE_ERROR,
+                                    occurrence))
+            raise TransientShuffleError(stage)
+
+    # ------------------------------------------------------------------
+    def straggler_factor(self, stage: str) -> float:
+        """Slowdown multiplier (>= 1.0) for the stage that just ran."""
+        occurrence = max(0, self._invocations.get(stage, 1) - 1)
+        sf = self._scheduled(stage, occurrence, (FaultKind.STRAGGLER,))
+        if sf is not None:
+            self._record(FaultEvent(stage, FaultKind.STRAGGLER, occurrence,
+                                    slowdown=sf.slowdown))
+            return sf.slowdown
+        cfg = self.config
+        if cfg is None or cfg.straggler_probability <= 0.0:
+            return 1.0
+        if self._rng.random() < cfg.straggler_probability:
+            self._record(FaultEvent(stage, FaultKind.STRAGGLER, occurrence,
+                                    slowdown=cfg.straggler_slowdown))
+            return cfg.straggler_slowdown
+        return 1.0
+
+
+FaultSource = FaultConfig | FaultPlan | FaultInjector | None
+
+
+def as_injector(faults: FaultSource, num_workers: int) -> FaultInjector | None:
+    """Coerce any fault specification into a (fresh) injector."""
+    if faults is None or isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultConfig):
+        return FaultInjector(config=faults, num_workers=num_workers)
+    if isinstance(faults, FaultPlan):
+        return FaultInjector(plan=faults, num_workers=num_workers)
+    raise TypeError(f"cannot build a FaultInjector from {type(faults)!r}")

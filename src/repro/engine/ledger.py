@@ -25,13 +25,35 @@ class EngineFailure(RuntimeError):
         self.reason = reason
 
 
+#: Stage categories: productive work vs. fault-tolerance overheads.
+WORK = "work"
+RECOVERY = "recovery"
+STRAGGLER = "straggler"
+
+
+def _human_bytes(n: float) -> str:
+    """Format a byte count at a readable scale (tiny test clusters would
+    otherwise round to "0 GB")."""
+    for scale, unit in ((1e12, "TB"), (1e9, "GB"), (1e6, "MB"), (1e3, "KB")):
+        if n >= scale:
+            return f"{n / scale:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
 @dataclass
 class StageRecord:
-    """One executed/simulated stage with its features and charged seconds."""
+    """One executed/simulated stage with its features and charged seconds.
+
+    ``category`` separates productive work from fault-tolerance overhead:
+    ``"work"`` is normal execution, ``"recovery"`` is wasted partial work
+    from a failed attempt plus retry backoff, ``"straggler"`` is time lost
+    waiting on (or speculatively re-executing around) slow tasks.
+    """
 
     name: str
     features: CostFeatures
     seconds: float
+    category: str = WORK
 
 
 @dataclass
@@ -46,29 +68,65 @@ class TrafficLedger:
         self._model = CostModel(self.cluster, self.weights)
 
     # ------------------------------------------------------------------
-    def charge(self, name: str, features: CostFeatures) -> float:
+    def charge(self, name: str, features: CostFeatures,
+               category: str = WORK) -> float:
         """Record a stage; returns its seconds.  Raises on memory overflow."""
         if features.max_worker_bytes > self.cluster.ram_bytes:
             raise EngineFailure(
                 name,
-                f"needs {features.max_worker_bytes / 1024**3:.1f} GiB of RAM "
-                f"on one worker, only {self.cluster.ram_bytes / 1024**3:.1f} "
-                "GiB available")
+                f"needs {_human_bytes(features.max_worker_bytes)} of RAM "
+                f"on one worker, only {_human_bytes(self.cluster.ram_bytes)} "
+                "available")
         if features.spill_bytes > self.cluster.disk_bytes:
             raise EngineFailure(
                 name,
-                f"needs {features.spill_bytes / 1e9:.0f} GB of spill space "
-                f"per worker, only {self.cluster.disk_bytes / 1e9:.0f} GB of "
+                f"needs {_human_bytes(features.spill_bytes)} of spill space "
+                f"per worker, only {_human_bytes(self.cluster.disk_bytes)} of "
                 "local disk available (too much intermediate data)")
         seconds = self._model.seconds(features)
-        self.stages.append(StageRecord(name, features, seconds))
+        self.stages.append(StageRecord(name, features, seconds, category))
         return seconds
+
+    # ------------------------------------------------------------------
+    def charge_overhead(self, name: str, seconds: float,
+                        category: str = RECOVERY) -> float:
+        """Charge pure wall-clock overhead (backoff, straggler waits).
+
+        Carries no cost features and bypasses feasibility checks: the
+        cluster is idling/waiting, not holding data.
+        """
+        self.stages.append(
+            StageRecord(name, CostFeatures(), float(seconds), category))
+        return float(seconds)
+
+    def mark(self) -> int:
+        """Checkpoint of the stage log, for :meth:`recategorize_since`."""
+        return len(self.stages)
+
+    def recategorize_since(self, mark: int, category: str) -> float:
+        """Re-label every stage recorded after ``mark`` (e.g. as wasted
+        work from a failed attempt); returns their total seconds."""
+        wasted = 0.0
+        for record in self.stages[mark:]:
+            record.category = category
+            wasted += record.seconds
+        return wasted
 
     # ------------------------------------------------------------------
     @property
     def total_seconds(self) -> float:
-        """Simulated wall-clock total."""
+        """Simulated wall-clock total (including fault-tolerance overhead)."""
         return sum(s.seconds for s in self.stages)
+
+    @property
+    def work_seconds(self) -> float:
+        """Seconds of productive (non-recovery) work."""
+        return sum(s.seconds for s in self.stages if s.category == WORK)
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Seconds lost to faults: wasted attempts, backoff, stragglers."""
+        return sum(s.seconds for s in self.stages if s.category != WORK)
 
     @property
     def total_features(self) -> CostFeatures:
@@ -81,9 +139,13 @@ class TrafficLedger:
         """Per-stage report for debugging and examples."""
         lines = [f"{'stage':40s} {'seconds':>10s} {'net MB':>10s} {'tuples':>10s}"]
         for s in self.stages:
+            name = s.name if s.category == WORK else f"{s.name} [{s.category}]"
             lines.append(
-                f"{s.name:40s} {s.seconds:10.3f} "
+                f"{name:40s} {s.seconds:10.3f} "
                 f"{s.features.network_bytes / 1e6:10.1f} "
                 f"{s.features.tuples:10.0f}")
         lines.append(f"{'TOTAL':40s} {self.total_seconds:10.3f}")
+        if self.recovery_seconds > 0:
+            lines.append(f"{'  of which recovery':40s} "
+                         f"{self.recovery_seconds:10.3f}")
         return "\n".join(lines)

@@ -14,6 +14,7 @@ optimizer's *analytic* predictions.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Callable, Hashable
 
 import numpy as np
@@ -21,7 +22,8 @@ import scipy.sparse as sp
 
 from ..cost.features import CostFeatures
 from ..cluster import ClusterConfig
-from .ledger import TrafficLedger
+from .faults import FaultInjector
+from .ledger import STRAGGLER, TrafficLedger
 
 Key = Hashable
 
@@ -37,8 +39,32 @@ def payload_bytes(payload: Any) -> float:
     return 64.0
 
 
+def _canonical(key: Key) -> bytes:
+    """Stable byte encoding of a tuple key, independent of PYTHONHASHSEED.
+
+    Python's built-in ``hash`` is salted for strings (and anything built on
+    them), so worker placement — and with it per-worker memory peaks,
+    failure behaviour and measured traffic — would differ across processes.
+    """
+    if isinstance(key, tuple):
+        return b"(" + b",".join(_canonical(k) for k in key) + b")"
+    if isinstance(key, bool):
+        return b"b1" if key else b"b0"
+    if isinstance(key, (int, np.integer)):
+        return b"i" + str(int(key)).encode()
+    if isinstance(key, (float, np.floating)):
+        return b"f" + repr(float(key)).encode()
+    if isinstance(key, str):
+        return b"s" + key.encode("utf-8")
+    if isinstance(key, bytes):
+        return b"y" + key
+    if key is None:
+        return b"n"
+    return b"r" + repr(key).encode("utf-8")
+
+
 def _worker_of(key: Key, num_workers: int) -> int:
-    return hash(key) % num_workers
+    return zlib.crc32(_canonical(key)) % num_workers
 
 
 def _max_payload(rel: "Relation") -> float:
@@ -87,16 +113,49 @@ class Relation:
 
 
 class RelationalEngine:
-    """Executes relational operators against a ledger."""
+    """Executes relational operators against a ledger.
 
-    def __init__(self, cluster: ClusterConfig, ledger: TrafficLedger) -> None:
+    With a :class:`FaultInjector` attached, every operator entry may raise
+    an injected :class:`~repro.engine.faults.InjectedFault` (worker crash,
+    transient shuffle error) for the executor's recovery loop to handle,
+    and completed stages may be stretched by straggler slowdowns charged as
+    ``"straggler"``-category overhead.
+    """
+
+    def __init__(self, cluster: ClusterConfig, ledger: TrafficLedger,
+                 faults: FaultInjector | None = None,
+                 speculative_backups: bool = True) -> None:
         self.cluster = cluster
         self.ledger = ledger
+        self.faults = faults
+        self.speculative_backups = speculative_backups
+
+    # ------------------------------------------------------------------
+    def _entry(self, stage: str) -> None:
+        """Operator entry point: the fault-injection site."""
+        if self.faults is not None:
+            self.faults.before_stage(stage)
+
+    def _charge(self, stage: str, features: CostFeatures) -> float:
+        """Charge a stage, then stretch it if a straggler was injected."""
+        seconds = self.ledger.charge(stage, features)
+        if self.faults is not None:
+            factor = self.faults.straggler_factor(stage)
+            if factor > 1.0:
+                wait = seconds * (factor - 1.0)
+                if self.speculative_backups:
+                    # A backup copy races the straggler: the wait is capped
+                    # at one extra stage duration.
+                    wait = min(wait, seconds)
+                self.ledger.charge_overhead(f"{stage}:straggler", wait,
+                                            category=STRAGGLER)
+        return seconds
 
     # ------------------------------------------------------------------
     def map_rows(self, rel: Relation, fn: Callable[[Key, Any], tuple[Key, Any]],
                  flops: float = 0.0, stage: str = "map") -> Relation:
         """Per-tuple map; no data movement."""
+        self._entry(stage)
         out_rows: dict[Key, Any] = {}
         out_home: dict[Key, int] = {}
         for key, payload in rel.rows.items():
@@ -104,7 +163,7 @@ class RelationalEngine:
             out_rows[new_key] = new_payload
             out_home[new_key] = rel.home[key]
         out = Relation(rel.cluster, out_rows, out_home)
-        self.ledger.charge(stage, CostFeatures(
+        self._charge(stage, CostFeatures(
             flops=flops, tuples=float(len(rel)),
             output_bytes=out.total_bytes,
             max_worker_bytes=2.0 * _max_payload(rel),
@@ -115,6 +174,7 @@ class RelationalEngine:
     def repartition(self, rel: Relation, part_fn: Callable[[Key], Key],
                     stage: str = "repartition") -> Relation:
         """Hash-repartition by ``part_fn(key)``; charges moved bytes only."""
+        self._entry(stage)
         moved_bytes = 0.0
         moved_tuples = 0
         new_home: dict[Key, int] = {}
@@ -125,7 +185,7 @@ class RelationalEngine:
                 moved_tuples += 1
             new_home[key] = target
         out = Relation(rel.cluster, dict(rel.rows), new_home)
-        self.ledger.charge(stage, CostFeatures(
+        self._charge(stage, CostFeatures(
             network_bytes=moved_bytes, tuples=float(moved_tuples),
             intermediate_bytes=moved_bytes,
             max_worker_bytes=2.0 * _max_payload(rel),
@@ -135,8 +195,9 @@ class RelationalEngine:
     # ------------------------------------------------------------------
     def broadcast(self, rel: Relation, stage: str = "broadcast") -> dict[Key, Any]:
         """Replicate every tuple to every worker; returns the full view."""
+        self._entry(stage)
         total = rel.total_bytes
-        self.ledger.charge(stage, CostFeatures(
+        self._charge(stage, CostFeatures(
             network_bytes=total * self.cluster.num_workers,
             tuples=float(len(rel) * self.cluster.num_workers),
             max_worker_bytes=total + _max_payload(rel),
@@ -163,6 +224,7 @@ class RelationalEngine:
         measured and charged).  ``combine`` maps a matched pair to an output
         tuple or ``None`` to drop it.
         """
+        self._entry(stage)
         if strategy in ("shuffle", "copart"):
             left = self.repartition(left, left_key, stage=f"{stage}:part-l")
             right = self.repartition(right, right_key, stage=f"{stage}:part-r")
@@ -207,7 +269,7 @@ class RelationalEngine:
             anchor = lk if lk in big_home else rk
             out_home[out_key] = big_home.get(anchor, 0)
         out = Relation(left.cluster, out_rows, out_home)
-        self.ledger.charge(stage, CostFeatures(
+        self._charge(stage, CostFeatures(
             flops=flops, tuples=float(len(out_rows)),
             output_bytes=out.total_bytes,
             max_worker_bytes=4.0 * _max_payload(out),
@@ -237,6 +299,7 @@ class RelationalEngine:
         stage: str = "cross",
     ) -> Relation:
         """Cross join: the smaller side is replicated everywhere."""
+        self._entry(stage)
         if left.total_bytes <= right.total_bytes:
             self.broadcast(left, stage=f"{stage}:bcast")
         else:
@@ -255,7 +318,7 @@ class RelationalEngine:
                 anchor = rk if rk in anchor_home else lk
                 out_home[out_key] = anchor_home.get(anchor, 0)
         out = Relation(left.cluster, out_rows, out_home)
-        self.ledger.charge(stage, CostFeatures(
+        self._charge(stage, CostFeatures(
             flops=flops, tuples=float(len(out_rows)),
             output_bytes=out.total_bytes,
             max_worker_bytes=4.0 * _max_payload(out),
@@ -271,6 +334,7 @@ class RelationalEngine:
         stage: str = "agg",
     ) -> Relation:
         """SUM-style aggregation: shuffle by group key, then reduce."""
+        self._entry(stage)
         shuffled = self.repartition(rel, group_fn, stage=f"{stage}:part")
         out_rows: dict[Key, Any] = {}
         out_home: dict[Key, int] = {}
@@ -284,7 +348,7 @@ class RelationalEngine:
                 out_rows[group] = payload
                 out_home[group] = shuffled.home[key]
         out = Relation(rel.cluster, out_rows, out_home)
-        self.ledger.charge(stage, CostFeatures(
+        self._charge(stage, CostFeatures(
             flops=flops, tuples=float(len(rel)),
             output_bytes=out.total_bytes,
             max_worker_bytes=2.0 * _max_payload(rel) + 2.0 * _max_payload(out),

@@ -258,4 +258,7 @@ class SqlSession:
         if ctx is None:
             ctx = OptimizerContext()
         plan = self.optimize(*view_names, ctx=ctx, max_states=max_states)
-        return execute_plan(plan, inputs, ctx)
+        result = execute_plan(plan, inputs, ctx)
+        if not result.ok:
+            raise SqlError(f"execution failed: {result.failure}")
+        return result

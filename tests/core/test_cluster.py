@@ -1,0 +1,51 @@
+"""ClusterConfig construction-time validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import (
+    DEFAULT_CLUSTER,
+    ClusterConfig,
+    pliny_cluster,
+    simsql_cluster,
+    systemds_cluster,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "ram_bytes", "flops_per_core", "network_bytes_per_sec",
+        "memory_bytes_per_sec", "disk_bytes",
+    ])
+    @pytest.mark.parametrize("value", [0.0, -1.0])
+    def test_capacities_must_be_positive(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            ClusterConfig(**{field: value})
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_workers", 0),
+        ("cores_per_worker", -1),
+        ("per_tuple_seconds", -0.1),
+        ("stage_latency_seconds", -1.0),
+        ("gpus_per_worker", -1),
+    ])
+    def test_counts_and_latencies(self, field, value):
+        with pytest.raises(ValueError):
+            ClusterConfig(**{field: value})
+
+    def test_gpu_fields_checked_only_when_gpus_present(self):
+        # No GPUs: their capability fields are irrelevant.
+        ClusterConfig(gpus_per_worker=0, gpu_ram_bytes=0.0)
+        with pytest.raises(ValueError, match="gpu_ram_bytes"):
+            ClusterConfig(gpus_per_worker=1, gpu_ram_bytes=0.0)
+
+    def test_dataclasses_replace_revalidates(self):
+        with pytest.raises(ValueError, match="ram_bytes"):
+            dataclasses.replace(DEFAULT_CLUSTER, ram_bytes=0.0)
+
+    def test_profiles_are_valid(self):
+        for cluster in (DEFAULT_CLUSTER, simsql_cluster(2), pliny_cluster(5),
+                        systemds_cluster()):
+            assert cluster.num_workers > 0
+            assert cluster.with_workers(3).num_workers == 3

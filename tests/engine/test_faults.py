@@ -1,0 +1,230 @@
+"""Fault injection: determinism, scheduled faults, stragglers, and
+PYTHONHASHSEED-independent worker placement."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import MATMUL, RELU
+from repro.core.formats import tiles
+from repro.engine import execute_plan
+from repro.engine.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    TransientShuffleError,
+    WorkerCrash,
+    as_injector,
+)
+from repro.engine.ledger import STRAGGLER, WORK
+from repro.engine.recovery import RecoveryPolicy
+
+RNG = np.random.default_rng(3)
+
+
+def _workload():
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(48, 48), tiles(16))
+    b = g.add_source("B", matrix(48, 48), tiles(16))
+    h = g.add_op("H", MATMUL, (a, b))
+    g.add_op("OUT", RELU, (h,))
+    inputs = {"A": RNG.standard_normal((48, 48)),
+              "B": RNG.standard_normal((48, 48))}
+    return g, inputs
+
+
+class TestFaultConfig:
+    @pytest.mark.parametrize("field,value", [
+        ("crash_probability", -0.1),
+        ("crash_probability", 1.5),
+        ("shuffle_error_probability", 2.0),
+        ("straggler_probability", -1.0),
+        ("straggler_slowdown", 0.5),
+    ])
+    def test_rejects_invalid(self, field, value):
+        with pytest.raises(ValueError):
+            FaultConfig(**{field: value})
+
+    def test_any_faults(self):
+        assert not FaultConfig().any_faults
+        assert FaultConfig(crash_probability=0.1).any_faults
+        assert FaultConfig(straggler_probability=0.1).any_faults
+
+
+class TestInjectorDeterminism:
+    def _drive(self, injector, stages=("s0", "s1", "s2", "s0", "s1", "s2")):
+        trace = []
+        for stage in stages:
+            try:
+                injector.before_stage(stage)
+                trace.append(("ok", stage))
+            except WorkerCrash as f:
+                trace.append(("crash", stage, f.worker))
+            except TransientShuffleError:
+                trace.append(("shuffle", stage))
+            trace.append(("slow", stage, injector.straggler_factor(stage)))
+        return trace
+
+    def test_same_seed_same_faults(self):
+        cfg = FaultConfig(seed=11, crash_probability=0.3,
+                          shuffle_error_probability=0.3,
+                          straggler_probability=0.3)
+        a = self._drive(FaultInjector(config=cfg, num_workers=4))
+        b = self._drive(FaultInjector(config=cfg, num_workers=4))
+        assert a == b
+
+    def test_seeds_differ(self):
+        traces = set()
+        for seed in range(8):
+            cfg = FaultConfig(seed=seed, crash_probability=0.4,
+                              shuffle_error_probability=0.4)
+            traces.add(tuple(self._drive(
+                FaultInjector(config=cfg, num_workers=4))))
+        assert len(traces) > 1
+
+    def test_per_stage_cap(self):
+        cfg = FaultConfig(seed=0, crash_probability=1.0,
+                          max_faults_per_stage=2)
+        inj = FaultInjector(config=cfg, num_workers=4)
+        fired = 0
+        for _ in range(5):
+            try:
+                inj.before_stage("s")
+            except WorkerCrash:
+                fired += 1
+        assert fired == 2
+
+
+class TestScheduledFaults:
+    def test_crash_fires_on_scheduled_occurrence_only(self):
+        inj = as_injector(FaultPlan.crash("shuffle", occurrence=1),
+                          num_workers=4)
+        inj.before_stage("x:shuffle:part")        # occurrence 0: clean
+        with pytest.raises(WorkerCrash):
+            inj.before_stage("x:shuffle:part")    # occurrence 1: crash
+        inj.before_stage("x:shuffle:part")        # fires once only
+        assert [e.kind for e in inj.events] == [FaultKind.WORKER_CRASH]
+
+    def test_plans_compose(self):
+        plan = FaultPlan.crash("a") + FaultPlan.shuffle_error("b")
+        inj = as_injector(plan, num_workers=2)
+        with pytest.raises(WorkerCrash):
+            inj.before_stage("a")
+        with pytest.raises(TransientShuffleError):
+            inj.before_stage("b")
+
+    def test_scheduled_straggler(self):
+        inj = as_injector(FaultPlan.straggler("agg", slowdown=6.0),
+                          num_workers=2)
+        inj.before_stage("v:agg")
+        assert inj.straggler_factor("v:agg") == 6.0
+        assert inj.straggler_factor("v:agg") == 1.0  # one-shot
+
+
+class TestExecutionWithFaults:
+    def test_seeded_runs_are_reproducible(self):
+        graph, inputs = _workload()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        cfg = FaultConfig(seed=5, crash_probability=0.2,
+                          shuffle_error_probability=0.1,
+                          straggler_probability=0.2)
+        a = execute_plan(plan, inputs, ctx, faults=cfg)
+        b = execute_plan(plan, inputs, ctx, faults=cfg)
+        assert a.ok and b.ok
+        assert a.ledger.total_seconds == b.ledger.total_seconds
+        assert a.recovery.retries == b.recovery.retries
+        for name in a.outputs:
+            assert np.array_equal(a.outputs[name], b.outputs[name])
+
+    def test_straggler_charged_as_overhead(self):
+        graph, inputs = _workload()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        clean = execute_plan(plan, inputs, ctx)
+        slow = execute_plan(plan, inputs, ctx,
+                            faults=FaultPlan.straggler("", slowdown=3.0))
+        waits = [s for s in slow.ledger.stages if s.category == STRAGGLER]
+        assert len(waits) == 1
+        assert waits[0].seconds > 0
+        assert slow.ledger.recovery_seconds == pytest.approx(waits[0].seconds)
+        assert slow.ledger.work_seconds == pytest.approx(
+            clean.ledger.total_seconds)
+        assert np.array_equal(slow.outputs["OUT"], clean.outputs["OUT"])
+
+    def test_speculative_backup_caps_straggler_wait(self):
+        graph, inputs = _workload()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        fault = FaultPlan.straggler("", slowdown=100.0)
+
+        spec = execute_plan(plan, inputs, ctx, faults=fault)
+        patient = execute_plan(
+            plan, inputs, ctx, faults=fault,
+            recovery=RecoveryPolicy(speculative_backups=False))
+
+        wait_spec = spec.ledger.recovery_seconds
+        wait_full = patient.ledger.recovery_seconds
+        # Backup task races the straggler: wait capped at 1x the stage,
+        # versus 99x extra without speculation.
+        assert wait_full == pytest.approx(99.0 * wait_spec)
+
+    def test_fault_free_ledger_is_pure_work(self):
+        graph, inputs = _workload()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        result = execute_plan(plan, inputs, ctx)
+        assert all(s.category == WORK for s in result.ledger.stages)
+        assert result.ledger.recovery_seconds == 0.0
+
+
+class TestStablePartitioning:
+    def test_worker_of_is_hash_seed_independent(self):
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        probe = (
+            "from repro.engine.relation import _worker_of\n"
+            "keys = [('A', 1, 2), ('tile', 0, 3), 'row', 17, (None, 'x'),\n"
+            "        (('nested', 2), 5), 3.25, b'blob']\n"
+            "print([_worker_of(k, 7) for k in keys])\n"
+        )
+        outputs = set()
+        for seed in ("0", "42", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src)
+            proc = subprocess.run([sys.executable, "-c", probe], env=env,
+                                  capture_output=True, text=True, check=True)
+            outputs.add(proc.stdout.strip())
+        assert len(outputs) == 1, outputs
+
+    def test_executions_identical_across_hash_seeds(self):
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        probe = (
+            "import numpy as np\n"
+            "from repro.core import ComputeGraph, OptimizerContext, matrix, "
+            "optimize\n"
+            "from repro.core.atoms import MATMUL\n"
+            "from repro.core.formats import tiles\n"
+            "from repro.engine import execute_plan\n"
+            "g = ComputeGraph()\n"
+            "a = g.add_source('A', matrix(48, 48), tiles(16))\n"
+            "b = g.add_source('B', matrix(48, 48), tiles(16))\n"
+            "g.add_op('C', MATMUL, (a, b))\n"
+            "rng = np.random.default_rng(0)\n"
+            "inputs = {n: rng.standard_normal((48, 48)) for n in 'AB'}\n"
+            "ctx = OptimizerContext()\n"
+            "res = execute_plan(optimize(g, ctx, max_states=200), inputs, ctx)\n"
+            "print(round(res.ledger.total_seconds, 9),\n"
+            "      round(float(res.outputs['C'].sum()), 9))\n"
+        )
+        outputs = set()
+        for seed in ("0", "42"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src)
+            proc = subprocess.run([sys.executable, "-c", probe], env=env,
+                                  capture_output=True, text=True, check=True)
+            outputs.add(proc.stdout.strip())
+        assert len(outputs) == 1, outputs

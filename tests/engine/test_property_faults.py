@@ -1,0 +1,84 @@
+"""Property-based fault-tolerance tests.
+
+For random small graphs under seeded fault injection, any execution that
+completes must produce outputs numerically identical to the fault-free
+run, and whenever faults actually fired the ledger must carry a strictly
+positive recovery cost.  A run may instead exhaust its retry budget (a
+vertex spans several substages, and the per-stage fault cap does not
+bound the per-vertex attempt counter) — then the failure must be the
+structured retries-exhausted kind, never a wrong answer.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import ADD, ELEM_MUL, MATMUL, RELU, SUB
+from repro.core.formats import row_strips, single, tiles
+from repro.engine import execute_plan
+from repro.engine.faults import FaultConfig
+
+OPS = (MATMUL, ADD, SUB, ELEM_MUL, RELU)
+
+
+@st.composite
+def faulty_case(draw):
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n = 24
+    g = ComputeGraph()
+    inputs = {}
+    pool = []
+    for i in range(draw(st.integers(2, 3))):
+        fmt = draw(st.sampled_from([single(), tiles(12), row_strips(8)]))
+        vid = g.add_source(f"S{i}", matrix(n, n), fmt)
+        inputs[f"S{i}"] = rng.standard_normal((n, n))
+        pool.append(vid)
+    for i in range(draw(st.integers(1, 3))):
+        op = draw(st.sampled_from(OPS))
+        picks = [pool[draw(st.integers(0, len(pool) - 1))]
+                 for _ in range(op.arity)]
+        pool.append(g.add_op(f"v{i}", op, tuple(picks)))
+    faults = FaultConfig(
+        seed=draw(st.integers(0, 1_000)),
+        crash_probability=draw(st.sampled_from([0.05, 0.15, 0.3])),
+        shuffle_error_probability=draw(st.sampled_from([0.0, 0.2])),
+        straggler_probability=draw(st.sampled_from([0.0, 0.3])),
+        max_faults_per_stage=3)
+    return g, inputs, faults
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(faulty_case())
+def test_recovered_runs_match_fault_free_runs(case):
+    graph, inputs, faults = case
+    ctx = OptimizerContext()
+    plan = optimize(graph, ctx, max_states=200)
+
+    clean = execute_plan(plan, inputs, ctx)
+    faulty = execute_plan(plan, inputs, ctx, faults=faults)
+
+    assert clean.ok
+    if not faulty.ok:
+        # Exhausting the retry budget is an acceptable outcome — but it
+        # must be the structured failure, never a silently wrong answer.
+        assert "fault persisted" in faulty.failure
+        assert faulty.recovery.recovered_faults > 0
+        return
+    for name, expected in clean.outputs.items():
+        assert np.array_equal(faulty.outputs[name], expected), name
+
+    fired = faulty.recovery.recovered_faults > 0
+    # A straggler on a zero-cost stage stretches it by nothing; only
+    # stragglers that cost time must show up as recovery seconds.
+    slowed = any(s.category == "straggler" and s.seconds > 0
+                 for s in faulty.ledger.stages)
+    if fired or slowed:
+        assert faulty.ledger.recovery_seconds > 0.0
+        assert faulty.ledger.total_seconds > clean.ledger.total_seconds
+    else:
+        assert faulty.ledger.total_seconds == clean.ledger.total_seconds
+    assert faulty.ledger.work_seconds == clean.ledger.total_seconds
