@@ -32,6 +32,16 @@ from .implementations import (
 from .explain import explain, explain_stages
 from .optimizer import optimize
 from .registry import OptimizerContext
+from .rewrites import (
+    DEFAULT_PASS_ORDER,
+    PASS_REGISTRY,
+    PassReport,
+    PipelineReport,
+    PlanPipeline,
+    RewritePass,
+    resolve_passes,
+    structural_cse,
+)
 from .serialize import (
     SerializationError,
     plan_from_dict,
@@ -64,4 +74,6 @@ __all__ = [
     "SerializationError", "plan_from_dict", "plan_from_json",
     "plan_to_dict", "plan_to_json",
     "graph_to_dot", "plan_to_dot",
+    "DEFAULT_PASS_ORDER", "PASS_REGISTRY", "PassReport", "PipelineReport",
+    "PlanPipeline", "RewritePass", "resolve_passes", "structural_cse",
 ]

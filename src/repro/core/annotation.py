@@ -14,6 +14,7 @@ compare optimizer outputs via it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..cost.features import CostFeatures, ZERO_FEATURES
 from .formats import PhysicalFormat
@@ -21,6 +22,9 @@ from .graph import ComputeGraph, Edge, GraphError, VertexId
 from .implementations import OpImplementation
 from .registry import OptimizerContext
 from .transforms import FormatTransform
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .rewrites.base import PipelineReport
 
 
 @dataclass
@@ -62,6 +66,9 @@ class Plan:
     cost: PlanCost
     optimizer: str
     optimize_seconds: float = 0.0
+    #: Per-pass record of the logical rewrite pipeline that produced
+    #: ``graph`` (None when optimization ran without rewrites).
+    pipeline: "PipelineReport | None" = None
 
     @property
     def total_seconds(self) -> float:

@@ -146,9 +146,110 @@ UNARY_MAPS: tuple[AtomicOp, ...] = (SCALAR_MUL, RELU, RELU_GRAD, SIGMOID, EXP)
 BINARY_ELEMENTWISE: tuple[AtomicOp, ...] = (ADD, SUB, ELEM_MUL, ELEM_DIV)
 
 
+# ----------------------------------------------------------------------
+# Fused atoms (logical rewrite layer)
+# ----------------------------------------------------------------------
+#: Name prefix of every fused atom: ``fused(add_bias|relu)``,
+#: ``fused(sub|scalar_mul:0.001)`` ...
+FUSED_PREFIX = "fused("
+
+
+@dataclass(frozen=True)
+class FusedStep:
+    """One step of a fused elementwise chain: a catalog op, plus the scalar
+    parameter for ``scalar_mul`` steps."""
+
+    op_name: str
+    param: float | None = None
+
+    @property
+    def token(self) -> str:
+        if self.param is None:
+            return self.op_name
+        return f"{self.op_name}:{self.param!r}"
+
+
+#: Ops allowed as the *base* (first step) of a fused chain, beyond the
+#: unary maps: elementwise binaries and the broadcast bias add.
+FUSABLE_BASES: tuple[AtomicOp, ...] = BINARY_ELEMENTWISE + (ADD_BIAS,)
+
+_FUSED_ATOMS: dict[str, AtomicOp] = {}
+_FUSED_STEPS: dict[str, tuple[FusedStep, ...]] = {}
+
+
+def fused_name(steps: tuple[FusedStep, ...]) -> str:
+    return FUSED_PREFIX + "|".join(s.token for s in steps) + ")"
+
+
+def is_fused(op: AtomicOp) -> bool:
+    return op.name.startswith(FUSED_PREFIX)
+
+
+def fused_atom(steps: tuple[FusedStep, ...]) -> AtomicOp:
+    """The fused atom applying ``steps`` bottom-up as one operation.
+
+    ``steps[0]`` is the base (a unary map, an elementwise binary or
+    ``add_bias``) and every later step must be a unary map.  Instances are
+    interned by name so graph vertices, catalog lookups and deserialized
+    plans all share one :class:`AtomicOp` object per chain.
+    """
+    name = fused_name(steps)
+    cached = _FUSED_ATOMS.get(name)
+    if cached is not None:
+        return cached
+    if len(steps) < 2:
+        raise ValueError("a fused atom needs at least two steps")
+    base = atom_by_name(steps[0].op_name)
+    unaries = tuple(atom_by_name(s.op_name) for s in steps[1:])
+    if base not in FUSABLE_BASES and base not in UNARY_MAPS:
+        raise ValueError(f"{base.name} cannot start a fused chain")
+    if any(u not in UNARY_MAPS for u in unaries):
+        raise ValueError("only unary maps can extend a fused chain")
+
+    def _fused_type(*in_types: MatrixType) -> MatrixType | None:
+        out = base.out_type(*in_types)
+        for u in unaries:
+            if out is None:
+                return None
+            out = u.out_type(out)
+        return out
+
+    atom = AtomicOp(name, base.arity, _fused_type)
+    _FUSED_ATOMS[name] = atom
+    _FUSED_STEPS[name] = tuple(steps)
+    return atom
+
+
+def fused_steps(name: str) -> tuple[FusedStep, ...]:
+    """The step chain of a fused atom, parsing the name if necessary."""
+    if name in _FUSED_STEPS:
+        return _FUSED_STEPS[name]
+    steps = _parse_fused_name(name)
+    fused_atom(steps)  # intern (validates and fills both registries)
+    return _FUSED_STEPS[name]
+
+
+def _parse_fused_name(name: str) -> tuple[FusedStep, ...]:
+    if not (name.startswith(FUSED_PREFIX) and name.endswith(")")):
+        raise KeyError(f"not a fused atom name: {name!r}")
+    body = name[len(FUSED_PREFIX):-1]
+    steps = []
+    for token in body.split("|"):
+        if ":" in token:
+            op_name, _, param = token.partition(":")
+            steps.append(FusedStep(op_name, float(param)))
+        else:
+            steps.append(FusedStep(token))
+    return tuple(steps)
+
+
 def atom_by_name(name: str) -> AtomicOp:
-    """Look up a catalog operation by name."""
+    """Look up a catalog operation (or reconstruct a fused atom) by name."""
     for op in DEFAULT_ATOMS:
         if op.name == name:
             return op
+    if name in _FUSED_ATOMS:
+        return _FUSED_ATOMS[name]
+    if name.startswith(FUSED_PREFIX):
+        return fused_atom(_parse_fused_name(name))
     raise KeyError(f"unknown atomic computation: {name!r}")

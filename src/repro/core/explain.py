@@ -69,8 +69,9 @@ def explain(plan: Plan, ctx: OptimizerContext, top: int = 5) -> str:
     header = (f"{'stage':34s} {'impl/transform':24s} {'out format':18s} "
               f"{'seconds':>9s} {'GFLOP':>8s} {'net MB':>9s} {'tuples':>9s}")
     lines = [f"EXPLAIN plan ({plan.optimizer}, "
-             f"{_fmt_secs(plan.total_seconds)} predicted)", header,
-             "-" * len(header)]
+             f"{_fmt_secs(plan.total_seconds)} predicted)"]
+    lines.extend(_pipeline_lines(plan))
+    lines += [header, "-" * len(header)]
     for r in rows:
         lines.append(
             f"{r.vertex:34.34s} {r.detail:24.24s} {r.output_format:18.18s} "
@@ -89,6 +90,23 @@ def explain(plan: Plan, ctx: OptimizerContext, top: int = 5) -> str:
                  if plan.total_seconds > 0 else 0.0)
         lines.append(f"  {share:6.1%}  {r.vertex} [{r.detail}]")
     return "\n".join(lines)
+
+
+def _pipeline_lines(plan: Plan) -> list[str]:
+    """Rewrite-pipeline section of the EXPLAIN report (empty when the plan
+    was optimized without rewrites)."""
+    report = plan.pipeline
+    if report is None:
+        return []
+    lines = [f"rewrites: {report.summary()}"]
+    if not report.adopted:
+        lines.append("  (rewritten plan not adopted: unrewritten plan "
+                     "was cheaper)")
+        return lines
+    for p in report.fired:
+        for detail in p.details:
+            lines.append(f"  [{p.name}] {detail}")
+    return lines
 
 
 def _fmt_secs(seconds: float) -> str:

@@ -11,6 +11,7 @@ atomic computations' type functions.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from .atoms import AtomicOp
@@ -226,6 +227,149 @@ class ComputeGraph:
             seen.add(vid)
         if not any(v.is_source for v in self._vertices.values()):
             raise GraphError("graph has no source vertices")
+
+    # ------------------------------------------------------------------
+    # Surgery (used by the logical rewrite passes)
+    # ------------------------------------------------------------------
+    def consumers_of(self, vid: VertexId) -> tuple[VertexId, ...]:
+        """Distinct consumer vertex ids of ``vid``."""
+        return tuple(dict.fromkeys(e.dst for e in self._consumers[vid]))
+
+    def is_output(self, vid: VertexId) -> bool:
+        """True when ``vid`` is a *declared* output."""
+        return vid in self._outputs
+
+    def replace_uses(self, old: VertexId, new: VertexId) -> int:
+        """Redirect every consumer edge (and output marking) of ``old`` to
+        ``new``; returns the number of rewritten argument slots.
+
+        Both vertices must exist and have the same shape.  The replacement
+        must not create a cycle: no consumer of ``old`` may be an ancestor
+        of ``new``.  ``old`` itself is left in place (possibly dead); use
+        :meth:`remove_vertex` or :meth:`pruned` to drop it, and
+        :meth:`compacted` to restore dense, topologically ordered ids.
+        """
+        if old == new:
+            return 0
+        for vid in (old, new):
+            if vid not in self._vertices:
+                raise GraphError(f"unknown vertex {vid}")
+        o, n = self._vertices[old], self._vertices[new]
+        if (o.mtype.rows, o.mtype.cols) != (n.mtype.rows, n.mtype.cols):
+            raise GraphError(
+                f"cannot replace uses of {o.name!r} ({o.mtype}) with "
+                f"{n.name!r} ({n.mtype}): shapes differ")
+        cone = self._ancestor_cone(new)
+        for edge in self._consumers[old]:
+            if edge.dst in cone:
+                raise GraphError(
+                    f"replacing uses of {o.name!r} with {n.name!r} would "
+                    f"create a cycle through {self._vertices[edge.dst].name!r}")
+        replaced = 0
+        for edge in tuple(self._consumers[old]):
+            consumer = self._vertices[edge.dst]
+            inputs = tuple(new if (pos == edge.arg_pos and src == old) else src
+                           for pos, src in enumerate(consumer.inputs))
+            self._vertices[edge.dst] = dataclasses.replace(
+                consumer, inputs=inputs)
+            self._consumers[new].append(Edge(new, edge.dst, edge.arg_pos))
+            replaced += 1
+        self._consumers[old] = []
+        if old in self._outputs:
+            idx = self._outputs.index(old)
+            if new in self._outputs:
+                del self._outputs[idx]
+            else:
+                self._outputs[idx] = new
+        return replaced
+
+    def _ancestor_cone(self, vid: VertexId) -> set[VertexId]:
+        """``vid`` plus everything it (transitively) consumes."""
+        cone: set[VertexId] = set()
+        stack = [vid]
+        while stack:
+            cur = stack.pop()
+            if cur in cone:
+                continue
+            cone.add(cur)
+            stack.extend(self._vertices[cur].inputs)
+        return cone
+
+    def remove_vertex(self, vid: VertexId) -> None:
+        """Remove a dead vertex (no consumers, not a declared output)."""
+        if vid not in self._vertices:
+            raise GraphError(f"unknown vertex {vid}")
+        if self._consumers[vid]:
+            raise GraphError(
+                f"vertex {self._vertices[vid].name!r} still has consumers")
+        if vid in self._outputs:
+            raise GraphError(
+                f"vertex {self._vertices[vid].name!r} is a declared output")
+        for src in self._vertices[vid].inputs:
+            self._consumers[src] = [e for e in self._consumers[src]
+                                    if e.dst != vid]
+        del self._vertices[vid]
+        del self._consumers[vid]
+
+    def pruned(self) -> "ComputeGraph":
+        """A copy without vertices unreachable (backwards) from the outputs.
+
+        Requires declared outputs; without them every sink is live and the
+        graph is returned unchanged.
+        """
+        if not self._outputs:
+            return self
+        live: set[VertexId] = set()
+        stack = list(self._outputs)
+        while stack:
+            cur = stack.pop()
+            if cur in live:
+                continue
+            live.add(cur)
+            stack.extend(self._vertices[cur].inputs)
+        return self.compacted(keep=live)[0]
+
+    def compacted(self, keep: set[VertexId] | None = None
+                  ) -> tuple["ComputeGraph", dict[VertexId, VertexId]]:
+        """A fresh, topologically ordered copy with dense ids.
+
+        Re-runs type inference through ``add_op`` (re-validating the graph
+        after surgery) and returns the old-id -> new-id mapping.  ``keep``
+        restricts the copy to a subset of vertices (used by :meth:`pruned`).
+        Raises :class:`GraphError` when the surgered graph has a cycle.
+        """
+        wanted = set(self._vertices) if keep is None else keep
+        # Count *distinct* producers: the ready-loop decrements once per
+        # distinct consumer, so duplicate argument edges (T1 x T1) must not
+        # be double counted.
+        pending: dict[VertexId, int] = {
+            vid: len({src for src in self._vertices[vid].inputs
+                      if src in wanted})
+            for vid in self._vertices if vid in wanted}
+        ready = [vid for vid, deps in pending.items() if deps == 0]
+        out = ComputeGraph()
+        mapping: dict[VertexId, VertexId] = {}
+        while ready:
+            vid = ready.pop(0)
+            v = self._vertices[vid]
+            if v.is_source:
+                mapping[vid] = out.add_source(v.name, v.mtype, v.format)
+            else:
+                mapping[vid] = out.add_op(
+                    v.name, v.op, tuple(mapping[s] for s in v.inputs),
+                    param=v.param)
+            for consumer in self.consumers_of(vid):
+                if consumer not in pending:
+                    continue
+                pending[consumer] -= 1
+                if pending[consumer] == 0:
+                    ready.append(consumer)
+        if len(mapping) != len(wanted):
+            raise GraphError("graph surgery left a cycle")
+        for o in self._outputs:
+            if o in mapping:
+                out.mark_output(mapping[o])
+        return out, mapping
 
     def describe(self) -> str:
         """Human-readable listing, one vertex per line."""

@@ -19,6 +19,7 @@ computation implementations", Section 8.1).
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from abc import ABC, abstractmethod
 from typing import Iterator, Sequence
@@ -28,6 +29,7 @@ from ..cluster import ClusterConfig
 from .atoms import (
     ADD,
     ADD_BIAS,
+    BINARY_ELEMENTWISE,
     COL_SUMS,
     ELEM_MUL,
     INVERSE,
@@ -36,7 +38,10 @@ from .atoms import (
     SOFTMAX,
     SUB,
     TRANSPOSE,
+    UNARY_MAPS,
     AtomicOp,
+    atom_by_name,
+    fused_steps,
 )
 from .formats import Layout, PhysicalFormat, tiles
 from .types import MatrixType
@@ -1055,12 +1060,92 @@ class AddBiasSingle(OpImplementation):
 
 
 # ======================================================================
+# Fused elementwise chains (logical rewrite layer)
+# ======================================================================
+class FusedEltwise(OpImplementation):
+    """One-stage execution of a fused elementwise chain.
+
+    Wraps a *template* implementation of the chain's base op (a unary map,
+    an elementwise binary, or ``add_bias``); typing delegates to the
+    template with an extra admission check for the — possibly densified —
+    fused output type.  Costing charges the template's features plus one
+    pass of FLOPs per extra unary step: the per-stage overheads (stage
+    latency, tuple counts, intermediate materialization) are paid once
+    instead of once per step, which is exactly where fusion wins.
+    """
+
+    def __init__(self, atom: AtomicOp, template: OpImplementation,
+                 variant: str) -> None:
+        super().__init__(atom, f"fused_{variant}[{atom.name}]", template.join)
+        self.template = template
+        self.steps = fused_steps(atom.name)
+
+    def output_format(self, in_types, in_formats, cluster):
+        fmt = self.template.output_format(in_types, in_formats, cluster)
+        if fmt is None:
+            return None
+        if not fmt.admits(self._out_type(in_types)):
+            return None
+        return fmt
+
+    def features(self, in_types, in_formats, cluster):
+        feats = self.template.features(in_types, in_formats, cluster)
+        extra = float(len(self.steps) - 1) * float(
+            self._out_type(in_types).entries)
+        return dataclasses.replace(feats, flops=feats.flops + extra)
+
+
+_FUSED_IMPLS: dict[str, tuple[OpImplementation, ...]] = {}
+
+
+def fused_implementations(atom: AtomicOp) -> tuple[OpImplementation, ...]:
+    """The (interned) implementations of one fused atom.
+
+    These live outside :data:`DEFAULT_IMPLEMENTATIONS` — the static catalog
+    stays at the paper's 38 entries — and are reached through
+    :meth:`repro.core.registry.OptimizerContext.impls_for`.
+    """
+    cached = _FUSED_IMPLS.get(atom.name)
+    if cached is not None:
+        return cached
+    base = atom_by_name(fused_steps(atom.name)[0].op_name)
+    if base in BINARY_ELEMENTWISE:
+        templates = [(EWBlocked(base), "blocked"), (EWSingle(base), "single")]
+    elif base is ADD_BIAS:
+        templates = [(AddBiasBlocked(), "blocked"),
+                     (AddBiasSingle(), "single")]
+    elif base in UNARY_MAPS:
+        templates = [(UnaryMap(base), "map")]
+    else:
+        templates = []
+    impls = tuple(FusedEltwise(atom, t, variant) for t, variant in templates)
+    _FUSED_IMPLS[atom.name] = impls
+    return impls
+
+
+def fused_impl_by_name(name: str) -> OpImplementation | None:
+    """Reconstruct a fused implementation from its catalog name (used when
+    deserializing plans whose graphs contain fused vertices)."""
+    if not name.startswith("fused_") or not name.endswith("]"):
+        return None
+    bracket = name.find("[")
+    if bracket < 0:
+        return None
+    try:
+        atom = atom_by_name(name[bracket + 1:-1])
+    except (KeyError, ValueError):
+        return None
+    for impl in fused_implementations(atom):
+        if impl.name == name:
+            return impl
+    return None
+
+
+# ======================================================================
 # Catalog
 # ======================================================================
 def build_default_implementations() -> tuple[OpImplementation, ...]:
     """The paper-matching catalog of 38 atomic computation implementations."""
-    from .atoms import BINARY_ELEMENTWISE, UNARY_MAPS
-
     impls: list[OpImplementation] = [
         # matmul (10)
         MMTileShuffle(), MMTileBroadcast(), MMStripCross(), MMOuterAgg(),

@@ -1,9 +1,22 @@
-"""Optimizer facade.
+"""Optimizer facade: the staged plan pipeline.
 
-Chooses the right algorithm for a compute graph: the linear-time tree DP
-(paper Algorithm 3) when the graph is tree shaped, the frontier algorithm
-(paper Algorithm 4) for general DAGs, or brute force (paper Algorithm 2) on
-request.
+Optimization is a pipeline of explicit stages:
+
+1. **Logical rewrites** (``rewrites=`` knob): an ordered sequence of
+   semantics-preserving, cost-guided graph passes — CSE, transpose
+   pushdown, matmul-chain reassociation, scalar pushdown, elementwise
+   fusion (see :mod:`repro.core.rewrites`).
+2. **Physical optimization**: the linear-time tree DP (paper Algorithm 3)
+   when the graph is tree shaped, the frontier algorithm (paper
+   Algorithm 4) for general DAGs, or brute force (paper Algorithm 2) on
+   request.
+
+When rewrites run, the unrewritten graph is also optimized and the cheaper
+of the two plans wins — the logical passes use per-op cost estimates, so a
+rewrite can occasionally lose once transformations are priced in, and the
+fallback guarantees ``rewrites="all"`` never costs more than
+``rewrites="none"``.  The returned :class:`Plan` carries a
+:class:`~repro.core.rewrites.PipelineReport` describing what each pass did.
 """
 
 from __future__ import annotations
@@ -15,6 +28,7 @@ from .brute import optimize_brute
 from .frontier import FrontierStats, optimize_dag
 from .graph import ComputeGraph
 from .registry import OptimizerContext
+from .rewrites import PipelineReport, PlanPipeline, RewriteSpec
 from .tree_dp import optimize_tree
 
 ALGORITHMS = ("auto", "tree", "frontier", "brute")
@@ -40,13 +54,19 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
              algorithm: str = "auto",
              timeout_seconds: float | None = None,
              stats: FrontierStats | None = None,
-             max_states: int | None = None) -> Plan:
+             max_states: int | None = None,
+             rewrites: RewriteSpec = "none") -> Plan:
     """Produce the cost-optimal, type-correct annotated plan for ``graph``.
 
     ``algorithm`` is one of ``auto`` (tree DP when tree shaped, else the
     frontier algorithm), ``tree``, ``frontier`` or ``brute``.
     ``timeout_seconds`` only applies to brute force; ``max_states``
     beam-prunes the frontier algorithm's class tables (None = exact).
+
+    ``rewrites`` selects the logical rewrite pipeline that runs before the
+    physical search: ``"all"`` (the default pass order), ``"none"``, or a
+    tuple of pass names from
+    :data:`repro.core.rewrites.PASS_REGISTRY` in the order they should run.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; "
@@ -54,6 +74,34 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
     if ctx is None:
         ctx = OptimizerContext()
     ctx = _context_for(graph, ctx)
+
+    pipeline = PlanPipeline.from_spec(rewrites)
+    report: PipelineReport | None = None
+    rewritten = graph
+    if pipeline.passes:
+        rewritten, report = pipeline.run(graph, ctx)
+
+    plan = _optimize_physical(rewritten, ctx, algorithm, timeout_seconds,
+                              stats, max_states)
+    if report is not None and report.total_rewrites > 0:
+        # Safety net: the logical passes are guided by per-op estimates;
+        # fall back to the unrewritten graph when its *plan* is cheaper.
+        plain = _optimize_physical(graph, ctx, algorithm, timeout_seconds,
+                                   stats, max_states)
+        if plain.total_seconds < plan.total_seconds:
+            plan = plain
+            report = dataclasses.replace(report, adopted=False)
+    if report is not None:
+        plan = dataclasses.replace(plan, pipeline=report)
+    return plan
+
+
+def _optimize_physical(graph: ComputeGraph, ctx: OptimizerContext,
+                       algorithm: str,
+                       timeout_seconds: float | None,
+                       stats: FrontierStats | None,
+                       max_states: int | None) -> Plan:
+    """Stage 2: physical search over one (possibly rewritten) graph."""
     if algorithm == "auto":
         algorithm = "tree" if graph.is_tree_shaped() else "frontier"
     if algorithm == "tree":

@@ -19,9 +19,13 @@ from dataclasses import dataclass
 from ..cost.features import CostFeatures
 from ..cost.model import CostModel, CostWeights, DEFAULT_WEIGHTS
 from ..cluster import DEFAULT_CLUSTER, ClusterConfig
-from .atoms import AtomicOp
+from .atoms import AtomicOp, is_fused
 from .formats import DEFAULT_FORMATS, PhysicalFormat
-from .implementations import DEFAULT_IMPLEMENTATIONS, OpImplementation
+from .implementations import (
+    DEFAULT_IMPLEMENTATIONS,
+    OpImplementation,
+    fused_implementations,
+)
 from .transforms import DEFAULT_TRANSFORMS, FormatTransform, find_transform
 from .types import MatrixType
 
@@ -53,10 +57,17 @@ class OptimizerContext:
 
     # ------------------------------------------------------------------
     def impls_for(self, op: AtomicOp) -> tuple[OpImplementation, ...]:
-        """Catalog implementations with ``i.a == op``."""
+        """Catalog implementations with ``i.a == op``.
+
+        Fused atoms (created by the logical rewrite layer) are not part of
+        the static catalog; their implementations come from the interned
+        fused-implementation registry instead.
+        """
         cached = self._impls_by_op.get(op)
         if cached is None:
             cached = tuple(i for i in self.implementations if i.op == op)
+            if not cached and is_fused(op):
+                cached = fused_implementations(op)
             self._impls_by_op[op] = cached
         return cached
 

@@ -1,0 +1,30 @@
+"""Logical rewrite layer: cost-guided, semantics-preserving graph passes
+that run between ``lang`` graph construction and physical optimization."""
+
+from .base import GraphRewriter, PassReport, PipelineReport, RewritePass, \
+    op_cost
+from .chain import ReassociatePass
+from .cse import CSEPass, structural_cse
+from .fusion import FusionPass
+from .pipeline import DEFAULT_PASS_ORDER, PASS_REGISTRY, PlanPipeline, \
+    RewriteSpec, resolve_passes
+from .pushdown import ScalarPushdownPass, TransposePushdownPass
+
+__all__ = [
+    "CSEPass",
+    "DEFAULT_PASS_ORDER",
+    "FusionPass",
+    "GraphRewriter",
+    "PASS_REGISTRY",
+    "PassReport",
+    "PipelineReport",
+    "PlanPipeline",
+    "ReassociatePass",
+    "RewritePass",
+    "RewriteSpec",
+    "ScalarPushdownPass",
+    "TransposePushdownPass",
+    "op_cost",
+    "resolve_passes",
+    "structural_cse",
+]

@@ -1,0 +1,151 @@
+"""Shared machinery of the logical rewrite layer.
+
+A rewrite pass is a semantics-preserving transformation of a
+:class:`~repro.core.graph.ComputeGraph`: the rewritten graph computes the
+same outputs (numerically, up to floating-point reassociation) but may have
+fewer vertices, more sharing, or cheaper operations.  Passes are
+*cost-model-guided*: a candidate rewrite is only applied when the cheapest
+available implementation of the rewritten operations is predicted cheaper
+than that of the originals.
+
+Every pass is pure — it returns a fresh graph plus a :class:`PassReport`
+describing what fired — so the pipeline can record, replay and serialize
+what each stage did.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..atoms import AtomicOp
+from ..graph import ComputeGraph
+from ..registry import OptimizerContext
+from ..types import MatrixType
+
+
+@dataclass(frozen=True)
+class PassReport:
+    """What one rewrite pass did to one graph."""
+
+    name: str
+    rewrites: int
+    vertices_before: int
+    vertices_after: int
+    details: tuple[str, ...] = ()
+
+    @property
+    def fired(self) -> bool:
+        return self.rewrites > 0
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "rewrites": self.rewrites,
+                "vertices_before": self.vertices_before,
+                "vertices_after": self.vertices_after,
+                "details": list(self.details)}
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PassReport":
+        return PassReport(payload["name"], payload["rewrites"],
+                          payload["vertices_before"],
+                          payload["vertices_after"],
+                          tuple(payload.get("details", ())))
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Per-pass record of one :class:`PlanPipeline` run."""
+
+    passes: tuple[PassReport, ...] = ()
+    #: False when the physical optimizer found the unrewritten graph's best
+    #: plan at least as cheap and the pipeline fell back to it.
+    adopted: bool = True
+
+    @property
+    def fired(self) -> tuple[PassReport, ...]:
+        return tuple(p for p in self.passes if p.fired)
+
+    @property
+    def total_rewrites(self) -> int:
+        return sum(p.rewrites for p in self.passes)
+
+    def summary(self) -> str:
+        """One-line rendering, e.g. ``cse(2), fuse(1)``."""
+        fired = self.fired
+        if not fired or not self.adopted:
+            return "none"
+        return ", ".join(f"{p.name}({p.rewrites})" for p in fired)
+
+    def to_dict(self) -> dict:
+        return {"passes": [p.to_dict() for p in self.passes],
+                "adopted": self.adopted}
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PipelineReport":
+        return PipelineReport(
+            tuple(PassReport.from_dict(p) for p in payload.get("passes", ())),
+            payload.get("adopted", True))
+
+
+class RewritePass(ABC):
+    """One semantics-preserving pass over a compute graph."""
+
+    #: Stable pass name — the key used by the ``rewrites=`` knob.
+    name: str
+
+    @abstractmethod
+    def apply(self, graph: ComputeGraph,
+              ctx: OptimizerContext) -> tuple[ComputeGraph, PassReport]:
+        """Rewrite ``graph``; return the new graph and a report."""
+
+    def report(self, before: ComputeGraph, after: ComputeGraph,
+               details: list[str]) -> PassReport:
+        return PassReport(self.name, len(details), len(before), len(after),
+                          tuple(details))
+
+
+def op_cost(ctx: OptimizerContext, op: AtomicOp,
+            in_types: tuple[MatrixType, ...]) -> float:
+    """Cheapest implementation cost of ``op`` on ``in_types``.
+
+    The estimate ignores edge transformations (which depend on physical
+    choices the logical layer has not made yet); it is the guide rewrite
+    passes use to compare candidate shapes of the same computation.
+    Returns ``inf`` when no catalog implementation accepts the types.
+    """
+    patterns = ctx.accepted_patterns(op, tuple(in_types))
+    if not patterns:
+        return math.inf
+    return min(cost for _, _, _, cost in patterns)
+
+
+@dataclass
+class GraphRewriter:
+    """Helper for passes that rebuild a graph vertex by vertex.
+
+    Tracks the old-id -> new-id mapping, copies unaffected vertices
+    verbatim, and re-marks outputs at the end.  ``skip`` vertices are not
+    emitted (they must end up unused — the final ``pruned()`` pass drops
+    anything a rewrite left dead).
+    """
+
+    source: ComputeGraph
+    out: ComputeGraph = field(default_factory=ComputeGraph)
+    mapping: dict[int, int] = field(default_factory=dict)
+
+    def copy_vertex(self, vid: int) -> int:
+        v = self.source.vertex(vid)
+        if v.is_source:
+            new = self.out.add_source(v.name, v.mtype, v.format)
+        else:
+            new = self.out.add_op(
+                v.name, v.op, tuple(self.mapping[s] for s in v.inputs),
+                param=v.param)
+        self.mapping[vid] = new
+        return new
+
+    def finish(self) -> ComputeGraph:
+        for v in self.source.outputs:
+            self.out.mark_output(self.mapping[v.vid])
+        return self.out.pruned()

@@ -1,0 +1,155 @@
+"""Matmul-chain reassociation (the classic matrix-chain DP, cost-guided).
+
+A *chain* is a maximal subtree of ``matmul`` vertices whose interior
+products have exactly one consumer and are not declared outputs — i.e.
+re-parenthesising them changes no observable value.  For every chain of
+three or more leaves the pass runs the O(n³) matrix-chain dynamic program
+over the leaves' *matrix types* (shape and sparsity), costing each
+candidate product with the cheapest catalog implementation under the
+session's cluster and cost model, and rebuilds the chain only when the
+best parenthesisation is strictly cheaper than the existing one.
+
+Using the full cost model rather than raw FLOP counts means the tie-break
+accounts for communication: two associations with identical FLOPs can
+differ in network bytes between their intermediate shapes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..atoms import MATMUL
+from ..graph import ComputeGraph
+from ..registry import OptimizerContext
+from ..types import MatrixType
+from .base import GraphRewriter, PassReport, RewritePass, op_cost
+
+
+class ReassociatePass(RewritePass):
+    """Re-parenthesise matmul chains via the matrix-chain DP."""
+
+    name = "reassociate"
+
+    def apply(self, graph: ComputeGraph,
+              ctx: OptimizerContext) -> tuple[ComputeGraph, PassReport]:
+        chains = _find_chains(graph)
+        plans: dict[int, tuple[tuple[int, ...], dict]] = {}
+        consumed: set[int] = set()
+        details: list[str] = []
+        for root, leaves, interior in chains:
+            if len(leaves) < 3:
+                continue
+            old_cost = _chain_cost(graph, ctx, (root, *interior))
+            best_cost, split = _chain_dp(
+                ctx, [graph.vertex(leaf).mtype for leaf in leaves])
+            if best_cost < old_cost and not math.isinf(best_cost):
+                plans[root] = (leaves, split)
+                consumed.update(interior)
+                details.append(
+                    f"reassociated {len(leaves)}-leaf chain at "
+                    f"{graph.vertex(root).name!r} "
+                    f"({old_cost:.3g}s -> {best_cost:.3g}s)")
+        if not plans:
+            return graph, self.report(graph, graph, details)
+
+        rw = GraphRewriter(graph)
+        for vid in graph.topological_order():
+            if vid in consumed:
+                continue
+            if vid in plans:
+                leaves, split = plans[vid]
+                root_name = graph.vertex(vid).name
+                rw.mapping[vid] = _emit(rw, leaves, split, 0,
+                                        len(leaves) - 1, root_name)
+            else:
+                rw.copy_vertex(vid)
+        rewritten = rw.finish()
+        return rewritten, self.report(graph, rewritten, details)
+
+
+def _find_chains(graph: ComputeGraph
+                 ) -> list[tuple[int, list[int], list[int]]]:
+    """All maximal chains as (root, leaves left-to-right, interior vids)."""
+    chains = []
+    for v in graph.inner_vertices:
+        if v.op is not MATMUL or _is_interior(graph, v.vid):
+            continue
+        leaves: list[int] = []
+        interior: list[int] = []
+        _flatten(graph, v.vid, leaves, interior, root=v.vid)
+        chains.append((v.vid, leaves, interior))
+    return chains
+
+
+def _is_interior(graph: ComputeGraph, vid: int) -> bool:
+    """True when ``vid`` is an absorbable interior product of some chain."""
+    v = graph.vertex(vid)
+    if v.op is not MATMUL or graph.is_output(vid):
+        return False
+    consumers = graph.consumers_of(vid)
+    return (graph.out_degree(vid) == 1 and len(consumers) == 1
+            and graph.vertex(consumers[0]).op is MATMUL)
+
+
+def _flatten(graph: ComputeGraph, vid: int, leaves: list[int],
+             interior: list[int], root: int) -> None:
+    v = graph.vertex(vid)
+    if v.op is MATMUL and (vid == root or _is_interior(graph, vid)):
+        if vid != root:
+            interior.append(vid)
+        _flatten(graph, v.inputs[0], leaves, interior, root)
+        _flatten(graph, v.inputs[1], leaves, interior, root)
+    else:
+        leaves.append(vid)
+
+
+def _chain_cost(graph: ComputeGraph, ctx: OptimizerContext,
+                products: tuple[int, ...]) -> float:
+    return sum(
+        op_cost(ctx, MATMUL,
+                tuple(graph.vertex(s).mtype
+                      for s in graph.vertex(p).inputs))
+        for p in products)
+
+
+def _chain_dp(ctx: OptimizerContext, types: list[MatrixType]
+              ) -> tuple[float, dict]:
+    """Cheapest parenthesisation: (total cost, split-point table)."""
+    n = len(types)
+    cost: dict[tuple[int, int], float] = {}
+    mtype: dict[tuple[int, int], MatrixType] = {}
+    split: dict[tuple[int, int], int] = {}
+    for i in range(n):
+        cost[i, i] = 0.0
+        mtype[i, i] = types[i]
+    for span in range(2, n + 1):
+        for i in range(n - span + 1):
+            j = i + span - 1
+            best = math.inf
+            for k in range(i, j):
+                lt, rt = mtype.get((i, k)), mtype.get((k + 1, j))
+                if lt is None or rt is None:
+                    continue
+                out = MATMUL.out_type(lt, rt)
+                if out is None:
+                    continue
+                c = (cost[i, k] + cost[k + 1, j]
+                     + op_cost(ctx, MATMUL, (lt, rt)))
+                if c < best:
+                    best = c
+                    split[i, j] = k
+                    mtype[i, j] = out
+            cost[i, j] = best
+    return cost[0, n - 1], split
+
+
+def _emit(rw: GraphRewriter, leaves: list[int], split: dict,
+          i: int, j: int, root_name: str) -> int:
+    if i == j:
+        return rw.mapping[leaves[i]]
+    k = split[i, j]
+    left = _emit(rw, leaves, split, i, k, root_name)
+    right = _emit(rw, leaves, split, k + 1, j, root_name)
+    name = root_name if (i, j) == (0, len(leaves) - 1) \
+        else f"{root_name}.p{i}_{j}"
+    return rw.out.add_op(name, MATMUL, (left, right))

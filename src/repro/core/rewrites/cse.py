@@ -1,0 +1,59 @@
+"""Structural common-subexpression elimination.
+
+Two vertices are structurally equal when they are the same source (same
+name, type and physical format) or apply the same atomic computation, with
+the same scalar parameter, to structurally equal inputs.  Merging them
+turns duplicated work into sharing — always a win, so this is the one pass
+that needs no cost model.
+
+The same routine backs ``lang.build``: expression DAGs written with
+distinct but structurally identical ``Expr`` objects hash to one vertex.
+"""
+
+from __future__ import annotations
+
+from ..graph import ComputeGraph
+from ..registry import OptimizerContext
+from .base import PassReport, RewritePass
+
+
+def structural_cse(graph: ComputeGraph) -> tuple[ComputeGraph, list[str]]:
+    """Merge structurally equal vertices; returns (new graph, merge log)."""
+    out = ComputeGraph()
+    mapping: dict[int, int] = {}
+    seen: dict[tuple, int] = {}
+    details: list[str] = []
+    for vid in graph.topological_order():
+        v = graph.vertex(vid)
+        if v.is_source:
+            key = ("src", v.name, v.mtype, v.format)
+        else:
+            key = (v.op.name, tuple(mapping[s] for s in v.inputs), v.param)
+        hit = seen.get(key)
+        if hit is not None:
+            mapping[vid] = hit
+            details.append(
+                f"merged {v.name!r} into {out.vertex(hit).name!r}")
+            continue
+        if v.is_source:
+            new = out.add_source(v.name, v.mtype, v.format)
+        else:
+            new = out.add_op(v.name, v.op,
+                             tuple(mapping[s] for s in v.inputs),
+                             param=v.param)
+        seen[key] = new
+        mapping[vid] = new
+    for v in graph.outputs:
+        out.mark_output(mapping[v.vid])
+    return out.pruned(), details
+
+
+class CSEPass(RewritePass):
+    """Deduplicate structurally equal vertices."""
+
+    name = "cse"
+
+    def apply(self, graph: ComputeGraph,
+              ctx: OptimizerContext) -> tuple[ComputeGraph, PassReport]:
+        rewritten, details = structural_cse(graph)
+        return rewritten, self.report(graph, rewritten, details)

@@ -1,0 +1,106 @@
+"""Elementwise-chain fusion into fused atoms.
+
+A fusable chain is a base operation (an elementwise binary, ``add_bias``
+or a unary map) followed by one or more unary maps, where every vertex
+except the top has exactly one consumer and is not a declared output.  The
+chain collapses into a single interned *fused atom* — e.g.
+``relu(X @ W + b)`` keeps the matmul but fuses ``add_bias`` + ``relu``
+into ``fused(add_bias|relu)`` — executed as one stage by the engine's
+fused kernels, which eliminates a materialisation (and the per-stage
+latency) per fused step.
+
+The pass is still cost-guarded: a chain is only fused when the fused
+implementation is predicted cheaper than the sum of its steps.
+"""
+
+from __future__ import annotations
+
+from ..atoms import FUSABLE_BASES, SCALAR_MUL, UNARY_MAPS, FusedStep, \
+    fused_atom
+from ..graph import ComputeGraph, Vertex
+from ..registry import OptimizerContext
+from .base import GraphRewriter, PassReport, RewritePass, op_cost
+
+
+class FusionPass(RewritePass):
+    """Collapse elementwise chains into fused atoms."""
+
+    name = "fuse"
+
+    def apply(self, graph: ComputeGraph,
+              ctx: OptimizerContext) -> tuple[ComputeGraph, PassReport]:
+        chains = _find_chains(graph)
+        plans: dict[int, list[Vertex]] = {}
+        consumed: set[int] = set()
+        details: list[str] = []
+        for chain in chains:  # bottom-up: chain[0] is the base
+            top = chain[-1]
+            base = chain[0]
+            atom = fused_atom(tuple(_step(v) for v in chain))
+            in_types = tuple(graph.vertex(s).mtype for s in base.inputs)
+            fused_cost = op_cost(ctx, atom, in_types)
+            plain_cost = sum(
+                op_cost(ctx, v.op,
+                        tuple(graph.vertex(s).mtype for s in v.inputs))
+                for v in chain)
+            if fused_cost < plain_cost:
+                plans[top.vid] = chain
+                consumed.update(v.vid for v in chain[:-1])
+                details.append(
+                    f"fused {'+'.join(v.op.name for v in chain)} at "
+                    f"{top.name!r}")
+        if not plans:
+            return graph, self.report(graph, graph, details)
+
+        rw = GraphRewriter(graph)
+        for vid in graph.topological_order():
+            if vid in consumed:
+                continue
+            chain = plans.get(vid)
+            if chain is None:
+                rw.copy_vertex(vid)
+                continue
+            base, top = chain[0], chain[-1]
+            atom = fused_atom(tuple(_step(v) for v in chain))
+            rw.mapping[vid] = rw.out.add_op(
+                top.name, atom, tuple(rw.mapping[s] for s in base.inputs))
+        rewritten = rw.finish()
+        return rewritten, self.report(graph, rewritten, details)
+
+
+def _step(v: Vertex) -> FusedStep:
+    if v.op is SCALAR_MUL:
+        return FusedStep(v.op.name, v.param)
+    return FusedStep(v.op.name)
+
+
+def _find_chains(graph: ComputeGraph) -> list[list[Vertex]]:
+    """Maximal fusable chains, each listed base-first."""
+    chains = []
+    for v in graph.inner_vertices:
+        # v is a chain top: a unary map that is not itself absorbed upward.
+        if v.op not in UNARY_MAPS or _absorbable(graph, v):
+            continue
+        chain = [v]
+        cur = v
+        while True:
+            nxt = graph.vertex(cur.inputs[0])
+            if not _absorbable(graph, nxt):
+                break
+            chain.append(nxt)
+            if nxt.op not in UNARY_MAPS:
+                break  # binary/add_bias base terminates the chain
+            cur = nxt
+        if len(chain) >= 2:
+            chain.reverse()
+            chains.append(chain)
+    return chains
+
+
+def _absorbable(graph: ComputeGraph, v: Vertex) -> bool:
+    """Can ``v`` disappear into the consumer above it?"""
+    if v.is_source or graph.is_output(v.vid) or graph.out_degree(v.vid) != 1:
+        return False
+    consumer = graph.vertex(graph.consumers_of(v.vid)[0])
+    return (consumer.op in UNARY_MAPS
+            and (v.op in UNARY_MAPS or v.op in FUSABLE_BASES))

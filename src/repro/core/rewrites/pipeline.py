@@ -1,0 +1,74 @@
+"""The staged logical-rewrite pipeline.
+
+``PlanPipeline`` runs an ordered, configurable sequence of semantics-
+preserving passes over a compute graph before physical optimization.  The
+``rewrites=`` knob of :func:`repro.core.optimizer.optimize` resolves here:
+``"all"`` is the default order, ``"none"`` is the empty pipeline, and a
+tuple of pass names selects (and orders) a subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..graph import ComputeGraph
+from ..registry import OptimizerContext
+from .base import PipelineReport, RewritePass
+from .chain import ReassociatePass
+from .cse import CSEPass
+from .fusion import FusionPass
+from .pushdown import ScalarPushdownPass, TransposePushdownPass
+
+PASS_REGISTRY: dict[str, type[RewritePass]] = {
+    p.name: p for p in (CSEPass, TransposePushdownPass, ReassociatePass,
+                        ScalarPushdownPass, FusionPass)
+}
+
+#: CSE first (it exposes sharing the other passes must respect), structure
+#: rewrites in the middle, fusion last (fused atoms are opaque to the
+#: structural passes).
+DEFAULT_PASS_ORDER: tuple[str, ...] = (
+    "cse", "transpose", "reassociate", "scalars", "fuse")
+
+RewriteSpec = str | Iterable[str]
+
+
+def resolve_passes(spec: RewriteSpec) -> tuple[RewritePass, ...]:
+    """Turn a ``rewrites=`` knob value into pass instances."""
+    if spec == "all":
+        names: tuple[str, ...] = DEFAULT_PASS_ORDER
+    elif spec == "none":
+        names = ()
+    elif isinstance(spec, str):
+        raise ValueError(
+            f"rewrites must be 'all', 'none' or pass names, got {spec!r}")
+    else:
+        names = tuple(spec)
+    unknown = [n for n in names if n not in PASS_REGISTRY]
+    if unknown:
+        raise ValueError(
+            f"unknown rewrite pass(es) {unknown}; "
+            f"known: {sorted(PASS_REGISTRY)}")
+    return tuple(PASS_REGISTRY[n]() for n in names)
+
+
+@dataclass
+class PlanPipeline:
+    """An ordered sequence of rewrite passes with a run record."""
+
+    passes: tuple[RewritePass, ...] = field(
+        default_factory=lambda: resolve_passes("all"))
+
+    @staticmethod
+    def from_spec(spec: RewriteSpec) -> "PlanPipeline":
+        return PlanPipeline(resolve_passes(spec))
+
+    def run(self, graph: ComputeGraph, ctx: OptimizerContext
+            ) -> tuple[ComputeGraph, PipelineReport]:
+        """Apply every pass in order; returns (graph, per-pass report)."""
+        reports = []
+        for rewrite_pass in self.passes:
+            graph, report = rewrite_pass.apply(graph, ctx)
+            reports.append(report)
+        return graph, PipelineReport(tuple(reports))

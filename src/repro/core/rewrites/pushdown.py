@@ -1,0 +1,187 @@
+"""Transpose and scalar pushdown / elimination passes.
+
+Transpose rules:
+
+* ``(Xᵀ)ᵀ -> X`` — always applied (two operations disappear).
+* ``(A @ B)ᵀ -> Bᵀ @ Aᵀ`` — applied when the cost model predicts the
+  rewritten form cheaper.  The costing is cancellation-aware: when ``A`` or
+  ``B`` is itself a transpose, the pushed-down transpose cancels with it and
+  costs nothing, which is where the rule usually wins (e.g. the ubiquitous
+  ``(XᵀY)ᵀ`` gradient patterns become ``YᵀX`` with no transpose left on the
+  large product).
+
+Scalar rules:
+
+* ``b * (a * X) -> (a*b) * X`` — always applied.
+* ``c * (A @ B) -> (c*A) @ B`` (or ``A @ (c*B)``) — applied when scaling
+  one multiplicand is cheaper than scaling the product, e.g. the attention
+  pattern ``(Q @ Kᵀ) / sqrt(d)`` where ``Q`` has ``seq×d`` entries but the
+  product has ``seq×seq``.
+"""
+
+from __future__ import annotations
+
+from ..atoms import MATMUL, SCALAR_MUL, TRANSPOSE
+from ..graph import ComputeGraph
+from ..registry import OptimizerContext
+from .base import GraphRewriter, PassReport, RewritePass, op_cost
+
+#: Fixpoint bound for the iterated pushdown passes; transpose/scalar chains
+#: deeper than this are left partially rewritten (never wrong, just missed).
+MAX_ITERATIONS = 5
+
+
+def _dies_with_consumer(graph: ComputeGraph, vid: int) -> bool:
+    """True when ``vid`` has exactly one use and is not a declared output —
+    i.e. rewriting its sole consumer makes the vertex dead."""
+    return graph.out_degree(vid) == 1 and not graph.is_output(vid)
+
+
+class TransposePushdownPass(RewritePass):
+    """Eliminate double transposes and push transposes through products."""
+
+    name = "transpose"
+
+    def apply(self, graph: ComputeGraph,
+              ctx: OptimizerContext) -> tuple[ComputeGraph, PassReport]:
+        before = graph
+        details: list[str] = []
+        for _ in range(MAX_ITERATIONS):
+            graph, fired = self._one_round(graph, ctx, details)
+            if not fired:
+                break
+        return graph, self.report(before, graph, details)
+
+    def _one_round(self, graph: ComputeGraph, ctx: OptimizerContext,
+                   details: list[str]) -> tuple[ComputeGraph, bool]:
+        rw = GraphRewriter(graph)
+        fired = False
+        for vid in graph.topological_order():
+            v = graph.vertex(vid)
+            if v.op is not TRANSPOSE:
+                rw.copy_vertex(vid)
+                continue
+            inner = graph.vertex(v.inputs[0])
+            if inner.op is TRANSPOSE:
+                # (Xᵀ)ᵀ -> X
+                rw.mapping[vid] = rw.mapping[inner.inputs[0]]
+                details.append(f"eliminated double transpose at {v.name!r}")
+                fired = True
+            elif (inner.op is MATMUL
+                    and _dies_with_consumer(graph, inner.vid)
+                    and self._push_wins(graph, ctx, inner)):
+                a, b = (graph.vertex(s) for s in inner.inputs)
+                bt = self._emit_transpose(rw, b, f"{v.name}.l")
+                at = self._emit_transpose(rw, a, f"{v.name}.r")
+                rw.mapping[vid] = rw.out.add_op(v.name, MATMUL, (bt, at))
+                details.append(
+                    f"pushed transpose at {v.name!r} into "
+                    f"{b.name!r}ᵀ @ {a.name!r}ᵀ")
+                fired = True
+            else:
+                rw.copy_vertex(vid)
+        return rw.finish(), fired
+
+    @staticmethod
+    def _emit_transpose(rw: GraphRewriter, operand, name: str) -> int:
+        """Transpose of ``operand`` in the output graph, cancelling with an
+        existing transpose when possible."""
+        if operand.op is TRANSPOSE:
+            return rw.mapping[operand.inputs[0]]
+        return rw.out.add_op(name, TRANSPOSE, (rw.mapping[operand.vid],))
+
+    @staticmethod
+    def _push_wins(graph: ComputeGraph, ctx: OptimizerContext,
+                   inner) -> bool:
+        a, b = (graph.vertex(s) for s in inner.inputs)
+        ta, tb = a.mtype, b.mtype
+        out_t = inner.mtype
+        old = (op_cost(ctx, MATMUL, (ta, tb))
+               + op_cost(ctx, TRANSPOSE, (out_t,)))
+        tat = TRANSPOSE.out_type(ta)
+        tbt = TRANSPOSE.out_type(tb)
+        new = op_cost(ctx, MATMUL, (tbt, tat))
+        if a.op is TRANSPOSE:
+            # Cancels; and when this was a's only use, a disappears too.
+            if _dies_with_consumer(graph, a.vid):
+                new -= op_cost(ctx, TRANSPOSE, (graph.vertex(a.inputs[0]).mtype,))
+        else:
+            new += op_cost(ctx, TRANSPOSE, (ta,))
+        if b.op is TRANSPOSE:
+            if _dies_with_consumer(graph, b.vid):
+                new -= op_cost(ctx, TRANSPOSE, (graph.vertex(b.inputs[0]).mtype,))
+        else:
+            new += op_cost(ctx, TRANSPOSE, (tb,))
+        return new < old
+
+
+class ScalarPushdownPass(RewritePass):
+    """Collapse scalar chains and push scalars into the cheaper operand."""
+
+    name = "scalars"
+
+    def apply(self, graph: ComputeGraph,
+              ctx: OptimizerContext) -> tuple[ComputeGraph, PassReport]:
+        before = graph
+        details: list[str] = []
+        for _ in range(MAX_ITERATIONS):
+            graph, fired = self._one_round(graph, ctx, details)
+            if not fired:
+                break
+        return graph, self.report(before, graph, details)
+
+    def _one_round(self, graph: ComputeGraph, ctx: OptimizerContext,
+                   details: list[str]) -> tuple[ComputeGraph, bool]:
+        rw = GraphRewriter(graph)
+        fired = False
+        for vid in graph.topological_order():
+            v = graph.vertex(vid)
+            if v.op is not SCALAR_MUL:
+                rw.copy_vertex(vid)
+                continue
+            inner = graph.vertex(v.inputs[0])
+            if (inner.op is SCALAR_MUL
+                    and _dies_with_consumer(graph, inner.vid)):
+                # b * (a * X) -> (a*b) * X
+                rw.mapping[vid] = rw.out.add_op(
+                    v.name, SCALAR_MUL, (rw.mapping[inner.inputs[0]],),
+                    param=v.param * inner.param)
+                details.append(f"collapsed scalar chain at {v.name!r}")
+                fired = True
+                continue
+            side = None
+            if (inner.op is MATMUL
+                    and _dies_with_consumer(graph, inner.vid)):
+                side = self._cheaper_side(graph, ctx, v, inner)
+            if side is None:
+                rw.copy_vertex(vid)
+                continue
+            operands = list(inner.inputs)
+            scaled = rw.out.add_op(f"{v.name}.s", SCALAR_MUL,
+                                   (rw.mapping[operands[side]],),
+                                   param=v.param)
+            args = [rw.mapping[operands[0]], rw.mapping[operands[1]]]
+            args[side] = scaled
+            rw.mapping[vid] = rw.out.add_op(v.name, MATMUL, tuple(args))
+            details.append(
+                f"pushed scalar at {v.name!r} into operand {side} of "
+                f"{inner.name!r}")
+            fired = True
+        return rw.finish(), fired
+
+    @staticmethod
+    def _cheaper_side(graph: ComputeGraph, ctx: OptimizerContext,
+                      v, inner) -> int | None:
+        """Operand index to scale, or None when scaling the product wins.
+
+        Scaling preserves the matrix type, so the product's cost is
+        unchanged — the comparison is purely between the scalar_mul costs.
+        """
+        old = op_cost(ctx, SCALAR_MUL, (inner.mtype,))
+        best, best_cost = None, old
+        for side in (0, 1):
+            t = graph.vertex(inner.inputs[side]).mtype
+            cost = op_cost(ctx, SCALAR_MUL, (t,))
+            if cost < best_cost:
+                best, best_cost = side, cost
+        return best

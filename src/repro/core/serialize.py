@@ -13,12 +13,15 @@ from __future__ import annotations
 import json
 from typing import Any
 
+import dataclasses
+
 from .annotation import Annotation, Plan, make_plan
 from .atoms import atom_by_name
 from .formats import Layout, PhysicalFormat
 from .graph import ComputeGraph, Edge
-from .implementations import DEFAULT_IMPLEMENTATIONS
+from .implementations import DEFAULT_IMPLEMENTATIONS, fused_impl_by_name
 from .registry import OptimizerContext
+from .rewrites import PipelineReport
 from .transforms import DEFAULT_TRANSFORMS
 from .types import MatrixType
 
@@ -101,7 +104,7 @@ _TRANSFORM_BY_NAME = {t.name: t for t in DEFAULT_TRANSFORMS}
 def plan_to_dict(plan: Plan) -> dict[str, Any]:
     """Serialize a plan (graph + annotation + provenance)."""
     annotation = plan.annotation
-    return {
+    payload = {
         "graph": graph_to_dict(plan.graph),
         "impls": {str(vid): impl.name
                   for vid, impl in annotation.impls.items()},
@@ -112,6 +115,9 @@ def plan_to_dict(plan: Plan) -> dict[str, Any]:
         "optimizer": plan.optimizer,
         "optimize_seconds": plan.optimize_seconds,
     }
+    if plan.pipeline is not None:
+        payload["pipeline"] = plan.pipeline.to_dict()
+    return payload
 
 
 def plan_from_dict(payload: dict[str, Any],
@@ -121,6 +127,11 @@ def plan_from_dict(payload: dict[str, Any],
     annotation = Annotation()
     for vid_text, impl_name in payload["impls"].items():
         impl = _IMPL_BY_NAME.get(impl_name)
+        if impl is None and impl_name.startswith("fused_"):
+            try:
+                impl = fused_impl_by_name(impl_name)
+            except (KeyError, ValueError):
+                impl = None
         if impl is None:
             raise SerializationError(f"unknown implementation {impl_name!r}")
         annotation.impls[int(vid_text)] = impl
@@ -132,10 +143,14 @@ def plan_from_dict(payload: dict[str, Any],
         edge = Edge(entry["src"], entry["dst"], entry["arg_pos"])
         annotation.transforms[edge] = (
             transform, format_from_dict(entry["to_format"]))
-    return make_plan(graph, annotation, ctx,
+    plan = make_plan(graph, annotation, ctx,
                      payload.get("optimizer", "deserialized"),
                      payload.get("optimize_seconds", 0.0),
                      allow_infeasible=True)
+    if "pipeline" in payload:
+        plan = dataclasses.replace(
+            plan, pipeline=PipelineReport.from_dict(payload["pipeline"]))
+    return plan
 
 
 def plan_to_json(plan: Plan, indent: int | None = None) -> str:

@@ -266,6 +266,8 @@ class Executor:
             return self._direct(v, impl, args, out_fmt)
         if name.startswith("add_bias"):
             return self._add_bias(v, impl, args, out_fmt)
+        if name.startswith("fused_"):
+            return self._fused(v, impl, args, out_fmt)
         raise NotImplementedError(f"no execution routine for {name}")
 
     # -- matmul ---------------------------------------------------------
@@ -370,6 +372,57 @@ class Executor:
             lambda key, p: (key, kernels.add_bias(
                 p, bias_row[:, bounds[key[1]][0]:bounds[key[1]][1]])),
             flops=float(x.mtype.entries), stage=f"{v.name}:{impl.name}")
+        return self._as_stored(v, rel, out_fmt)
+
+    # -- fused elementwise chains ----------------------------------------
+    def _fused(self, v, impl, args, out_fmt) -> StoredMatrix:
+        """One stage for a whole fused chain: the base operation's kernel
+        followed by the unary epilogue, applied per payload — no
+        intermediate matrices are materialized."""
+        steps = impl.steps
+        base, epilogue = steps[0], steps[1:]
+        flops_per_entry = float(len(steps))
+        stage = f"{v.name}:{impl.name}"
+
+        if base.op_name in kernels.BINARY_KERNELS:
+            kernel = kernels.BINARY_KERNELS[base.op_name]
+            lhs, rhs = args
+            joined = self.engine.join(
+                lhs.relation, rhs.relation,
+                left_key=lambda k: k, right_key=lambda k: k,
+                combine=lambda lk, lp, rk, rp: (
+                    lk, kernels.apply_epilogue(kernel(lp, rp), epilogue)),
+                strategy="copart",
+                flops_fn=lambda a, b: flops_per_entry * float(
+                    np.prod(a.shape)),
+                stage=stage)
+            return self._as_stored(v, joined, out_fmt)
+
+        if base.op_name == "add_bias":
+            x, bias = args
+            bounds = _block_bounds(
+                x.mtype.cols,
+                x.fmt.block_cols
+                if (x.fmt.is_col_partitioned or x.fmt.is_tiled) else None)
+            bias_row = assemble(bias).reshape(1, -1)
+            if impl.join is JoinStrategy.BROADCAST:
+                self.engine.broadcast(bias.relation,
+                                      stage=f"{v.name}:bcast-bias")
+            rel = self.engine.map_rows(
+                x.relation,
+                lambda key, p: (key, kernels.apply_epilogue(
+                    kernels.add_bias(
+                        p, bias_row[:, bounds[key[1]][0]:bounds[key[1]][1]]),
+                    epilogue)),
+                flops=flops_per_entry * x.mtype.entries, stage=stage)
+            return self._as_stored(v, rel, out_fmt)
+
+        # Unary base: the whole chain is an epilogue over the one input.
+        arg = args[0]
+        rel = self.engine.map_rows(
+            arg.relation,
+            lambda key, p: (key, kernels.apply_epilogue(p, steps)),
+            flops=flops_per_entry * arg.mtype.entries, stage=stage)
         return self._as_stored(v, rel, out_fmt)
 
     # ------------------------------------------------------------------

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class FaultKind(enum.Enum):

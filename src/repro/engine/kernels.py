@@ -122,3 +122,20 @@ BINARY_KERNELS = {
     "elem_mul": elem_mul,
     "elem_div": elem_div,
 }
+
+
+def unary_step(block, op_name: str, param: float | None = None):
+    """One unary step of a fused chain on one payload."""
+    if op_name == "scalar_mul":
+        return scalar_mul(block, param if param is not None else 1.0)
+    return UNARY_KERNELS[op_name](block)
+
+
+def apply_epilogue(block, steps):
+    """Apply the unary tail of a fused chain (anything after the base
+    operation) to one payload, in order.  ``steps`` are objects with
+    ``op_name`` and ``param`` attributes
+    (:class:`repro.core.atoms.FusedStep`)."""
+    for step in steps:
+        block = unary_step(block, step.op_name, step.param)
+    return block

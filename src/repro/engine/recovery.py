@@ -40,7 +40,7 @@ from ..core.annotation import Plan
 from ..core.graph import ComputeGraph, VertexId
 from ..core.registry import OptimizerContext
 from .faults import FaultSource, InjectedFault, WorkerCrash
-from .ledger import RECOVERY, EngineFailure, TrafficLedger
+from .ledger import EngineFailure, TrafficLedger
 
 
 # ======================================================================

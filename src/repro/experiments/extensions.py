@@ -26,7 +26,7 @@ from ..core.optimizer import optimize
 from ..core.registry import OptimizerContext
 from ..cost.refine import refine_graph, sketches_from_inputs
 from ..lang import build, input_matrix, relu
-from .harness import ExperimentTable, display_time
+from .harness import ExperimentTable
 
 
 # ----------------------------------------------------------------------

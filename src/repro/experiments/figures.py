@@ -489,6 +489,7 @@ def _tree_expanded_cost(graph, ctx) -> float:
 
 #: Registry used by the CLI and EXPERIMENTS.md generation.
 from .extensions import EXTENSION_EXPERIMENTS  # noqa: E402 (registry tail)
+from .rewrites import REWRITE_EXPERIMENTS  # noqa: E402 (registry tail)
 from .robustness import ROBUSTNESS_EXPERIMENTS  # noqa: E402 (registry tail)
 
 EXPERIMENTS = {
@@ -505,5 +506,6 @@ EXPERIMENTS = {
     "ablation_transform_costs": ablation_transform_costs,
     "ablation_sharing": ablation_sharing,
     **EXTENSION_EXPERIMENTS,
+    **REWRITE_EXPERIMENTS,
     **ROBUSTNESS_EXPERIMENTS,
 }

@@ -1,0 +1,68 @@
+"""Rewrite-pipeline ablation: logical rewrites on vs. off.
+
+For each workload the table optimizes twice — ``rewrites="none"`` (physical
+search only, the pre-pipeline behaviour) and ``rewrites="all"`` (the full
+staged pipeline) — and reports both the optimizer's *predicted* cost and
+the engine's *simulated* execution time, plus which passes fired.  The
+acceptance bar for the pipeline is that the full stack is strictly cheaper
+on the FFNN and attention workloads and that simulation agrees with
+prediction.
+"""
+
+from __future__ import annotations
+
+from ..cluster import DEFAULT_CLUSTER
+from ..core.optimizer import optimize
+from ..engine.executor import simulate
+from ..workloads.attention import AttentionConfig, attention_graph
+from ..workloads.ffnn import amazoncat_config, ffnn_backprop_to_w2, \
+    ffnn_forward
+from .harness import ExperimentTable, display_time, fresh_context
+
+#: Beam width for the frontier search; the backprop DAG is the largest
+#: graph here and stays well within this at the shapes below.
+MAX_STATES = 500
+
+
+def _workloads():
+    cfg = amazoncat_config(batch=2000, hidden=8000)
+    return [
+        ("FFNN forward", ffnn_forward(cfg)),
+        ("FFNN backprop", ffnn_backprop_to_w2(cfg)),
+        ("Attention", attention_graph(AttentionConfig())),
+    ]
+
+
+def ablation_rewrites() -> ExperimentTable:
+    """Predicted and simulated cost with the rewrite pipeline on and off."""
+    table = ExperimentTable(
+        "ablation_rewrites",
+        "Logical rewrite pipeline: predicted/simulated cost on vs. off",
+        ["workload", "predicted off", "predicted on",
+         "simulated off", "simulated on", "speedup", "passes fired"])
+    ctx = fresh_context(DEFAULT_CLUSTER)
+    for label, graph in _workloads():
+        off = optimize(graph, ctx, max_states=MAX_STATES, rewrites="none")
+        on = optimize(graph, ctx, max_states=MAX_STATES, rewrites="all")
+        sim_off = simulate(off, ctx)
+        sim_on = simulate(on, ctx)
+        speedup = (off.total_seconds / on.total_seconds
+                   if on.total_seconds > 0 else float("inf"))
+        fired = on.pipeline.summary() if on.pipeline else "none"
+        table.add_row(
+            label,
+            display_time(off.total_seconds), display_time(on.total_seconds),
+            sim_off.display, sim_on.display,
+            f"x{speedup:.2f}", fired)
+    table.add_note(
+        "rewrites='all' runs cse, transpose, reassociate, scalars, fuse "
+        "before the physical search; 'off' is the physical search alone")
+    table.add_note(
+        "simulated times charge the chosen plan's stages to the traffic "
+        "ledger; they agree with the optimizer's prediction by design")
+    return table
+
+
+REWRITE_EXPERIMENTS = {
+    "ablation_rewrites": ablation_rewrites,
+}

@@ -199,11 +199,14 @@ def add_bias(x: Expr, bias: Expr) -> Expr:
 # ----------------------------------------------------------------------
 # Building a compute graph
 # ----------------------------------------------------------------------
-def build(outputs: Expr | Iterable[Expr]) -> ComputeGraph:
+def build(outputs: Expr | Iterable[Expr], cse: bool = True) -> ComputeGraph:
     """Convert an expression DAG into a :class:`ComputeGraph`.
 
     Shared sub-expressions (the same :class:`Expr` object reachable through
-    several parents) become single vertices with several consumers.
+    several parents) become single vertices with several consumers.  With
+    ``cse=True`` (the default), *structurally* identical sub-expressions —
+    distinct ``Expr`` objects applying the same operations to the same
+    inputs — are also merged, so rewriting ``X @ W`` twice costs nothing.
     """
     if isinstance(outputs, Expr):
         outputs = [outputs]
@@ -224,4 +227,7 @@ def build(outputs: Expr | Iterable[Expr]) -> ComputeGraph:
     for out in outputs:
         graph.mark_output(visit(_as_expr(out)))
     graph.validate()
+    if cse:
+        from ..core.rewrites import structural_cse
+        graph, _ = structural_cse(graph)
     return graph

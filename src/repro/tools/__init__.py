@@ -4,6 +4,7 @@ from .whatif import (
     FormatContribution,
     SweepPoint,
     format_family_contributions,
+    main,
     recommend_workers,
     render_sweep,
     sweep_workers,
@@ -11,5 +12,5 @@ from .whatif import (
 
 __all__ = [
     "FormatContribution", "SweepPoint", "format_family_contributions",
-    "recommend_workers", "render_sweep", "sweep_workers",
+    "main", "recommend_workers", "render_sweep", "sweep_workers",
 ]

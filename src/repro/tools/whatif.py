@@ -41,17 +41,20 @@ def sweep_workers(
     profile: ProfileFn,
     workers: Sequence[int],
     max_states: int | None = 1000,
+    rewrites: str | Sequence[str] = "none",
 ) -> list[SweepPoint]:
     """Optimize ``graph`` for each cluster size and report predicted times.
 
     Each point re-optimizes from scratch: bigger clusters change the best
-    plan, not just its cost.
+    plan, not just its cost.  ``rewrites`` is forwarded to
+    :func:`repro.core.optimizer.optimize`.
     """
     points = []
     for count in workers:
         ctx = OptimizerContext(cluster=profile(count))
         try:
-            plan = optimize(graph, ctx, max_states=max_states)
+            plan = optimize(graph, ctx, max_states=max_states,
+                            rewrites=rewrites)
             seconds = plan.total_seconds
         except Exception:
             plan = None
@@ -66,13 +69,14 @@ def recommend_workers(
     target_seconds: float,
     candidates: Sequence[int] = (2, 5, 10, 20, 40, 80),
     max_states: int | None = 1000,
+    rewrites: str | Sequence[str] = "none",
 ) -> SweepPoint | None:
     """Smallest candidate cluster whose optimized plan meets the target.
 
     Returns None when no candidate meets it.
     """
     for point in sweep_workers(graph, profile, sorted(candidates),
-                               max_states=max_states):
+                               max_states=max_states, rewrites=rewrites):
         if point.feasible and point.seconds <= target_seconds:
             return point
     return None
@@ -93,6 +97,7 @@ def format_family_contributions(
     cluster: ClusterConfig,
     catalog: tuple[PhysicalFormat, ...] = DEFAULT_FORMATS,
     max_states: int | None = 1000,
+    rewrites: str | Sequence[str] = "none",
 ) -> tuple[float, list[FormatContribution]]:
     """How much each format family matters for this computation.
 
@@ -101,7 +106,8 @@ def format_family_contributions(
     graph's sources load in are never removed (the data arrives in them).
     """
     base_ctx = OptimizerContext(cluster=cluster, formats=catalog)
-    base = optimize(graph, base_ctx, max_states=max_states)
+    base = optimize(graph, base_ctx, max_states=max_states,
+                    rewrites=rewrites)
     protected = {s.format.layout for s in graph.sources}
 
     contributions = []
@@ -111,7 +117,8 @@ def format_family_contributions(
             continue
         ctx = OptimizerContext(cluster=cluster, formats=subset)
         try:
-            plan = optimize(graph, ctx, max_states=max_states)
+            plan = optimize(graph, ctx, max_states=max_states,
+                            rewrites=rewrites)
             seconds = plan.total_seconds
             slowdown = seconds / base.total_seconds
         except Exception:
@@ -137,3 +144,83 @@ def render_sweep(points: list[SweepPoint]) -> str:
         lines.append(f"{p.workers:8d} {cell:>12s} {change:>8s}")
         previous = p
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Command-line interface
+# ----------------------------------------------------------------------
+def _cli_workloads() -> dict[str, Callable[[], ComputeGraph]]:
+    from ..workloads import (
+        AttentionConfig,
+        amazoncat_config,
+        attention_graph,
+        ffnn_backprop_to_w2,
+        ffnn_forward,
+        motivating_graph,
+    )
+
+    cfg = amazoncat_config(batch=2000, hidden=8000)
+    return {
+        "ffnn_forward": lambda: ffnn_forward(cfg),
+        "ffnn_backprop": lambda: ffnn_backprop_to_w2(cfg),
+        "attention": lambda: attention_graph(AttentionConfig()),
+        "motivating": motivating_graph,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.tools.whatif``: worker sweep for a workload.
+
+    Rewrites run by default (``rewrites="all"``); ``--no-rewrites``
+    disables the logical rewrite pipeline so its impact shows up directly
+    in the sweep.
+    """
+    import argparse
+
+    from ..cluster import DEFAULT_CLUSTER
+
+    workloads = _cli_workloads()
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.whatif",
+        description="Capacity planning: optimize a workload across "
+                    "cluster sizes and report predicted runtimes.")
+    parser.add_argument("--workload", choices=sorted(workloads),
+                        default="ffnn_forward")
+    parser.add_argument("--workers", default="2,5,10,20",
+                        help="comma-separated cluster sizes to sweep")
+    parser.add_argument("--target", type=float, default=None,
+                        help="latency target in seconds; also report the "
+                             "smallest cluster that meets it")
+    parser.add_argument("--max-states", type=int, default=1000,
+                        help="frontier beam width (0 = exact)")
+    parser.add_argument("--no-rewrites", action="store_true",
+                        help="disable the logical rewrite pipeline")
+    args = parser.parse_args(argv)
+
+    graph = workloads[args.workload]()
+    counts = [int(w) for w in args.workers.split(",") if w.strip()]
+    rewrites = "none" if args.no_rewrites else "all"
+    max_states = args.max_states or None
+    points = sweep_workers(graph, DEFAULT_CLUSTER.with_workers, counts,
+                           max_states=max_states, rewrites=rewrites)
+    print(f"workload {args.workload}: {len(graph)} vertices, "
+          f"rewrites={rewrites}")
+    print(render_sweep(points))
+    fired = {p.plan.pipeline.summary() for p in points
+             if p.plan is not None and p.plan.pipeline is not None}
+    if fired:
+        print("rewrite passes fired: " + "; ".join(sorted(fired)))
+    if args.target is not None:
+        best = recommend_workers(graph, DEFAULT_CLUSTER.with_workers,
+                                 args.target, counts,
+                                 max_states=max_states, rewrites=rewrites)
+        if best is None:
+            print(f"no swept cluster meets {args.target:.1f}s")
+        else:
+            print(f"smallest cluster meeting {args.target:.1f}s: "
+                  f"{best.workers} workers ({best.seconds:.2f}s predicted)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,7 +1,5 @@
 """Tests for the optional GPU catalog extension (paper Section 4.2)."""
 
-import numpy as np
-import pytest
 
 from repro.cluster import ClusterConfig
 from repro.core import ComputeGraph, OptimizerContext, matrix, optimize

@@ -12,7 +12,7 @@ from repro.core import (
     matrix,
     optimize,
 )
-from repro.core.annotation import AnnotationError, make_plan
+from repro.core.annotation import AnnotationError
 from repro.core.atoms import MATMUL, RELU
 from repro.core.formats import col_strips, row_strips, single, tiles
 

@@ -1,6 +1,5 @@
 """Tests for physical formats: admission, grids, storage sizes."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
@@ -17,7 +16,6 @@ from repro.core.formats import (
     coo,
     col_strips,
     csr_strips,
-    csc_strips,
     row_strips,
     single,
     sparse_single,

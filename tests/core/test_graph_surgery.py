@@ -1,0 +1,133 @@
+"""Tests for the compute-graph surgery helpers used by rewrite passes."""
+
+import pytest
+
+from repro.core.atoms import ADD, MATMUL, RELU, TRANSPOSE
+from repro.core.formats import single
+from repro.core.graph import ComputeGraph, GraphError
+from repro.core.types import matrix
+
+
+def _diamond():
+    """A -> (AB, AC) -> sum, with B and C structurally different."""
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(10, 10), single())
+    b = g.add_source("B", matrix(10, 10), single())
+    ab = g.add_op("AB", MATMUL, (a, b))
+    ac = g.add_op("AC", MATMUL, (a, a))
+    s = g.add_op("S", ADD, (ab, ac))
+    g.mark_output(s)
+    return g, a, b, ab, ac, s
+
+
+class TestReplaceUses:
+    def test_redirects_consumers(self):
+        g, a, b, ab, ac, s = _diamond()
+        n = g.replace_uses(ab, ac)
+        assert n == 1
+        assert g.vertex(s).inputs == (ac, ac)
+        assert g.out_degree(ab) == 0
+        assert g.out_degree(ac) == 2
+
+    def test_shape_mismatch_rejected(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(10, 10), single())
+        t = g.add_op("T", TRANSPOSE, (a,))
+        wide = g.add_source("W", matrix(10, 20), single())
+        with pytest.raises(GraphError):
+            g.replace_uses(t, wide)
+
+    def test_cycle_rejected(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(10, 10), single())
+        r1 = g.add_op("R1", RELU, (a,))
+        r2 = g.add_op("R2", RELU, (r1,))
+        # Replacing uses of r1 with r2 would make r2 its own ancestor.
+        with pytest.raises(GraphError):
+            g.replace_uses(r1, r2)
+
+    def test_output_marking_moves(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(10, 10), single())
+        r1 = g.add_op("R1", RELU, (a,))
+        r2 = g.add_op("R2", RELU, (a,))
+        g.mark_output(r1)
+        g.replace_uses(r1, r2)
+        assert g.is_output(r2)
+        assert not g.is_output(r1)
+
+    def test_duplicate_argument_edges_both_redirected(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(10, 10), single())
+        t = g.add_op("T", TRANSPOSE, (a,))
+        tt = g.add_op("TT", TRANSPOSE, (t,))
+        both = g.add_op("BOTH", ADD, (tt, tt))
+        g.mark_output(both)
+        assert g.replace_uses(tt, a) == 2
+        assert g.vertex(both).inputs == (a, a)
+
+
+class TestRemoveAndPrune:
+    def test_remove_dead_vertex(self):
+        g, a, b, ab, ac, s = _diamond()
+        g.replace_uses(ab, ac)
+        g.remove_vertex(ab)
+        assert ab not in g.vertex_ids
+
+    def test_remove_live_vertex_rejected(self):
+        g, a, b, ab, ac, s = _diamond()
+        with pytest.raises(GraphError):
+            g.remove_vertex(ab)
+
+    def test_remove_declared_output_rejected(self):
+        g, *_ , s = _diamond()
+        with pytest.raises(GraphError):
+            g.remove_vertex(s)
+
+    def test_pruned_drops_dead_subtrees(self):
+        g, a, b, ab, ac, s = _diamond()
+        g.replace_uses(ab, ac)
+        pruned = g.pruned()
+        names = {v.name for v in pruned.vertices}
+        assert "AB" not in names and "B" not in names
+        assert {"A", "AC", "S"} <= names
+
+    def test_pruned_without_outputs_is_identity(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(10, 10), single())
+        g.add_op("R", RELU, (a,))
+        assert g.pruned() is g
+
+
+class TestCompacted:
+    def test_ids_dense_and_topological(self):
+        g, a, b, ab, ac, s = _diamond()
+        g.replace_uses(ab, ac)
+        g.remove_vertex(ab)
+        out, mapping = g.compacted()
+        assert tuple(out.vertex_ids) == tuple(range(len(out)))
+        order = {vid: i for i, vid in enumerate(out.topological_order())}
+        for v in out.inner_vertices:
+            assert all(order[src] < order[v.vid] for src in v.inputs)
+        out.validate()
+
+    def test_types_reinferred(self):
+        g, a, b, ab, ac, s = _diamond()
+        out, mapping = g.compacted()
+        for old, new in mapping.items():
+            assert g.vertex(old).mtype == out.vertex(new).mtype
+
+    def test_argument_order_preserved(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(10, 20), single())
+        b = g.add_source("B", matrix(20, 30), single())
+        ab = g.add_op("AB", MATMUL, (a, b))
+        g.mark_output(ab)
+        out, mapping = g.compacted()
+        v = out.vertex(mapping[ab])
+        assert v.inputs == (mapping[a], mapping[b])
+
+    def test_outputs_remapped(self):
+        g, *_, s = _diamond()
+        out, mapping = g.compacted()
+        assert out.is_output(mapping[s])

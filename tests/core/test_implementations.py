@@ -2,18 +2,13 @@
 
 import math
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import DEFAULT_CLUSTER, ClusterConfig
 from repro.core.atoms import (
-    ADD,
     ADD_BIAS,
     INVERSE,
     MATMUL,
-    RELU,
-    SOFTMAX,
-    TRANSPOSE,
 )
 from repro.core.formats import (
     DEFAULT_FORMATS,
@@ -21,7 +16,6 @@ from repro.core.formats import (
     csr_strips,
     row_strips,
     single,
-    sparse_single,
     tiles,
 )
 from repro.core.implementations import (

@@ -9,7 +9,6 @@ import random
 
 import pytest
 
-from repro.cluster import ClusterConfig
 from repro.core import (
     ComputeGraph,
     OptimizerContext,
@@ -25,11 +24,9 @@ from repro.core.atoms import (
     RELU,
     SUB,
     TRANSPOSE,
-    atom_by_name,
 )
 from repro.core.brute import BruteForceTimeout, optimize_brute
 from repro.core.formats import (
-    SINGLE_BLOCK_FORMATS,
     col_strips,
     row_strips,
     single,

@@ -1,0 +1,150 @@
+"""Property tests for the rewrite pipeline.
+
+Two invariants over a corpus of random and targeted expression graphs:
+
+1. **Semantics preserved** — executing the plan optimized with
+   ``rewrites="all"`` produces the same numbers (``np.allclose``) as the
+   plan optimized with ``rewrites="none"``.
+2. **Never worse** — the rewritten plan's predicted cost is at most the
+   unrewritten plan's (the optimizer's fallback makes this a hard
+   guarantee, not a heuristic).
+
+The corpus includes one targeted graph per pass, and the suite asserts
+every pass in the default order actually fired somewhere — so no pass can
+silently rot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import optimize
+from repro.core.registry import OptimizerContext
+from repro.core.rewrites import DEFAULT_PASS_ORDER
+from repro.engine.executor import execute_plan, simulate
+from repro.lang import build, input_matrix, relu
+from repro.lang.expr import Expr, add_bias, exp, sigmoid
+
+RNG_SEED = 20260806
+NUM_RANDOM_GRAPHS = 8
+
+
+# ----------------------------------------------------------------------
+# Corpus
+# ----------------------------------------------------------------------
+def _targeted_exprs() -> list[tuple[str, Expr]]:
+    """One graph per pass, shaped so its pass certainly fires."""
+    x = input_matrix("X", 60, 40)
+    w = input_matrix("W", 40, 50)
+    b = input_matrix("b", 1, 50)
+    cse = (x @ w) + (x @ w)
+
+    tx = input_matrix("TX", 10, 500)
+    ty = input_matrix("TY", 10, 600)
+    transpose = (tx.T @ ty).T
+
+    a = input_matrix("A", 300, 10)
+    bb = input_matrix("B", 10, 400)
+    c = input_matrix("C", 400, 20)
+    reassociate = (a @ bb) @ c
+
+    q = input_matrix("Q", 300, 20)
+    k = input_matrix("K", 20, 300)
+    scalars = (q @ k) * 0.125
+
+    fuse = relu(add_bias(x @ w, b)) * 0.5
+
+    return [("cse", cse), ("transpose", transpose),
+            ("reassociate", reassociate), ("scalars", scalars),
+            ("fuse", fuse)]
+
+
+def _random_expr(rng: np.random.Generator, tag: int) -> Expr:
+    """A random expression DAG over small matrices."""
+    dims = rng.choice([6, 10, 24, 40], size=3, replace=False)
+    pool = [input_matrix(f"M{tag}_{i}",
+                         int(dims[rng.integers(len(dims))]),
+                         int(dims[rng.integers(len(dims))]))
+            for i in range(3)]
+    unaries = [relu, sigmoid, exp, lambda e: e * 0.5,
+               lambda e: e.T, lambda e: e * -2.0]
+    for _ in range(int(rng.integers(4, 9))):
+        op = rng.integers(4)
+        if op == 0:  # unary
+            e = pool[rng.integers(len(pool))]
+            pool.append(unaries[rng.integers(len(unaries))](e))
+        elif op == 1:  # same-shape binary
+            lhs = pool[rng.integers(len(pool))]
+            mates = [e for e in pool if e.shape == lhs.shape]
+            rhs = mates[rng.integers(len(mates))]
+            pool.append([lambda a, b: a + b, lambda a, b: a - b,
+                         lambda a, b: a * b][rng.integers(3)](lhs, rhs))
+        elif op == 2:  # matmul
+            lhs = pool[rng.integers(len(pool))]
+            mates = [e for e in pool if e.shape[0] == lhs.shape[1]]
+            if mates:
+                pool.append(lhs @ mates[rng.integers(len(mates))])
+        else:  # reuse a subexpression twice (builds sharing for CSE)
+            e = pool[rng.integers(len(pool))]
+            pool.append(e + e)
+    return pool[-1]
+
+
+def _inputs_for(graph, rng: np.random.Generator) -> dict[str, np.ndarray]:
+    return {s.name: rng.standard_normal((s.mtype.rows, s.mtype.cols))
+            for s in graph.sources}
+
+
+def _corpus():
+    rng = np.random.default_rng(RNG_SEED)
+    cases = _targeted_exprs()
+    cases += [(f"random{i}", _random_expr(rng, i))
+              for i in range(NUM_RANDOM_GRAPHS)]
+    return cases
+
+
+CORPUS = _corpus()
+_FIRED: set[str] = set()
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return OptimizerContext()
+
+
+@pytest.mark.parametrize("label,expr", CORPUS,
+                         ids=[label for label, _ in CORPUS])
+class TestRewriteProperties:
+    def test_equal_results_and_never_worse(self, label, expr, ctx):
+        graph = build(expr, cse=False)
+        off = optimize(graph, ctx, rewrites="none")
+        on = optimize(graph, ctx, rewrites="all")
+
+        # Invariant 2: predicted cost never worse (fallback guarantees it).
+        assert on.total_seconds <= off.total_seconds * (1 + 1e-12)
+
+        if on.pipeline is not None and on.pipeline.adopted:
+            _FIRED.update(p.name for p in on.pipeline.fired)
+
+        # Invariant 1: identical numbers on real data.
+        rng = np.random.default_rng(RNG_SEED + hash(label) % 1000)
+        inputs = _inputs_for(graph, rng)
+        res_off = execute_plan(off, inputs, ctx)
+        res_on = execute_plan(on, inputs, ctx)
+        assert res_off.ok and res_on.ok
+        assert set(res_on.outputs) == set(res_off.outputs)
+        for name, ref in res_off.outputs.items():
+            np.testing.assert_allclose(
+                res_on.outputs[name], ref, rtol=1e-7, atol=1e-9,
+                err_msg=f"{label}: output {name!r} diverged under rewrites")
+
+        # Simulated execution agrees with the optimizer's prediction.
+        sim = simulate(on, ctx)
+        assert sim.ok
+        assert sim.seconds <= on.total_seconds * (1 + 1e-9)
+
+
+def test_every_pass_fired_somewhere():
+    """Runs after the parametrized corpus: each default pass must have
+    fired on at least one corpus graph."""
+    assert _FIRED >= set(DEFAULT_PASS_ORDER), \
+        f"passes never exercised: {set(DEFAULT_PASS_ORDER) - _FIRED}"

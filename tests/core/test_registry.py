@@ -2,19 +2,15 @@
 
 import math
 
-import pytest
 
-from repro.cluster import ClusterConfig, simsql_cluster
+from repro.cluster import simsql_cluster
 from repro.core import OptimizerContext, matrix
-from repro.core.atoms import ADD, MATMUL, RELU
+from repro.core.atoms import MATMUL
 from repro.core.formats import (
-    DEFAULT_FORMATS,
-    col_strips,
     row_strips,
     single,
     tiles,
 )
-from repro.core.implementations import implementations_for
 
 
 class TestMenus:

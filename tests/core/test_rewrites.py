@@ -1,0 +1,260 @@
+"""Unit tests for the logical rewrite passes and the plan pipeline."""
+
+import json
+
+import pytest
+
+from repro.core.atoms import (
+    FusedStep,
+    MATMUL,
+    atom_by_name,
+    fused_atom,
+    fused_steps,
+    is_fused,
+)
+from repro.core.explain import explain
+from repro.core.implementations import fused_impl_by_name
+from repro.core.optimizer import optimize
+from repro.core.registry import OptimizerContext
+from repro.core.rewrites import (
+    CSEPass,
+    DEFAULT_PASS_ORDER,
+    FusionPass,
+    PASS_REGISTRY,
+    PlanPipeline,
+    ReassociatePass,
+    ScalarPushdownPass,
+    TransposePushdownPass,
+    resolve_passes,
+)
+from repro.core.serialize import plan_from_json, plan_to_json
+from repro.lang import build, input_matrix, relu
+from repro.lang.expr import add_bias
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return OptimizerContext()
+
+
+class TestCSEPass:
+    def test_merges_structural_duplicates(self, ctx):
+        x = input_matrix("X", 50, 50)
+        g = build((x @ x) + (x @ x), cse=False)
+        rewritten, report = CSEPass().apply(g, ctx)
+        assert report.fired and report.rewrites == 1
+        assert len(rewritten.inner_vertices) == 2
+
+    def test_distinguishes_params(self, ctx):
+        x = input_matrix("X", 50, 50)
+        g = build((x * 2.0) + (x * 3.0), cse=False)
+        rewritten, report = CSEPass().apply(g, ctx)
+        assert not report.fired
+        assert len(rewritten.inner_vertices) == len(g.inner_vertices)
+
+    def test_respects_argument_order(self, ctx):
+        a = input_matrix("A", 50, 50)
+        b = input_matrix("B", 50, 50)
+        g = build((a @ b) + (b @ a), cse=False)
+        _, report = CSEPass().apply(g, ctx)
+        assert not report.fired
+
+
+class TestTransposePushdown:
+    def test_double_transpose_eliminated(self, ctx):
+        x = input_matrix("X", 100, 200)
+        g = build(relu(x.T.T), cse=False)
+        rewritten, report = TransposePushdownPass().apply(g, ctx)
+        assert report.fired
+        assert all(v.op is not atom_by_name("transpose")
+                   for v in rewritten.inner_vertices)
+
+    def test_gradient_pattern_loses_large_transpose(self, ctx):
+        # (Xᵀ Y)ᵀ -> Yᵀ X: the transpose moves off the big product.
+        x = input_matrix("X", 10_000, 200)
+        y = input_matrix("Y", 10_000, 8_000)
+        g = build((x.T @ y).T)
+        rewritten, report = TransposePushdownPass().apply(g, ctx)
+        assert report.fired
+        # The rewritten graph transposes Y (10000x8000), not the
+        # 200x8000 product: exactly one transpose, consuming a source.
+        transposes = [v for v in rewritten.inner_vertices
+                      if v.op.name == "transpose"]
+        assert len(transposes) == 1
+        assert rewritten.vertex(transposes[0].inputs[0]).is_source
+
+    def test_small_product_not_rewritten(self, ctx):
+        # Transposing the tiny product is cheaper than transposing both
+        # large operands; the cost guard must refuse.
+        a = input_matrix("A", 30, 10_000)
+        b = input_matrix("B", 10_000, 20)
+        g = build((a @ b).T)
+        _, report = TransposePushdownPass().apply(g, ctx)
+        assert not report.fired
+
+
+class TestReassociate:
+    def test_chain_reassociated(self, ctx):
+        a = input_matrix("A", 1000, 50)
+        b = input_matrix("B", 50, 20_000)
+        c = input_matrix("C", 20_000, 30)
+        g = build((a @ b) @ c)
+        rewritten, report = ReassociatePass().apply(g, ctx)
+        assert report.fired
+        # Optimal association is a @ (b @ c): the root's left input is a.
+        root = rewritten.outputs[0]
+        assert rewritten.vertex(root.inputs[0]).name == "A"
+
+    def test_already_optimal_untouched(self, ctx):
+        a = input_matrix("A", 1000, 50)
+        b = input_matrix("B", 50, 20_000)
+        c = input_matrix("C", 20_000, 30)
+        g = build(a @ (b @ c))
+        _, report = ReassociatePass().apply(g, ctx)
+        assert not report.fired
+
+    def test_shared_interior_not_absorbed(self, ctx):
+        # ab feeds two consumers -> reassociating through it would change
+        # sharing; the chain finder must treat it as a leaf.
+        a = input_matrix("A", 1000, 50)
+        b = input_matrix("B", 50, 20_000)
+        c = input_matrix("C", 20_000, 30)
+        ab = a @ b
+        g = build([(ab @ c), relu(ab)])
+        _, report = ReassociatePass().apply(g, ctx)
+        assert not report.fired
+
+
+class TestScalarPushdown:
+    def test_scalar_chain_collapsed(self, ctx):
+        x = input_matrix("X", 100, 100)
+        g = build((x * 2.0) * 3.0, cse=False)
+        rewritten, report = ScalarPushdownPass().apply(g, ctx)
+        assert report.fired
+        scalar_ops = [v for v in rewritten.inner_vertices
+                      if v.op.name == "scalar_mul"]
+        assert len(scalar_ops) == 1
+        assert scalar_ops[0].param == 6.0
+
+    def test_scalar_pushed_into_smaller_operand(self, ctx):
+        q = input_matrix("Q", 1024, 64)
+        k = input_matrix("K", 64, 1024)
+        g = build((q @ k) * 0.125)
+        rewritten, report = ScalarPushdownPass().apply(g, ctx)
+        assert report.fired
+        scalar_ops = [v for v in rewritten.inner_vertices
+                      if v.op.name == "scalar_mul"]
+        assert len(scalar_ops) == 1
+        # The scale lands on a 1024x64 operand, not the 1024x1024 product.
+        assert rewritten.vertex(scalar_ops[0].inputs[0]).mtype.entries \
+            == 1024 * 64
+
+
+class TestFusion:
+    def test_bias_relu_fused(self, ctx):
+        x = input_matrix("X", 1000, 6000)
+        w = input_matrix("W", 6000, 400)
+        b = input_matrix("b", 1, 400)
+        g = build(relu(add_bias(x @ w, b)))
+        rewritten, report = FusionPass().apply(g, ctx)
+        assert report.fired
+        fused = [v for v in rewritten.inner_vertices if is_fused(v.op)]
+        assert len(fused) == 1
+        assert fused[0].op.name == "fused(add_bias|relu)"
+
+    def test_multi_consumer_not_fused(self, ctx):
+        x = input_matrix("X", 1000, 400)
+        b = input_matrix("b", 1, 400)
+        z = add_bias(x, b)
+        g = build([relu(z), z * 2.0])
+        rewritten, _ = FusionPass().apply(g, ctx)
+        # z feeds two consumers, so add_bias cannot be absorbed; only the
+        # unary pair relu/scalar could fuse with it absent.
+        assert all(v.op.name != "fused(add_bias|relu)"
+                   for v in rewritten.inner_vertices)
+
+    def test_fused_atom_type_composes(self):
+        atom = fused_atom((FusedStep("add"), FusedStep("relu"),
+                           FusedStep("scalar_mul", 0.5)))
+        assert atom.arity == 2
+        steps = fused_steps(atom.name)
+        assert steps[-1].param == 0.5
+        # Interned: same chain -> same object.
+        assert fused_atom(steps) is atom
+
+    def test_fused_impl_round_trip_by_name(self):
+        atom = fused_atom((FusedStep("add_bias"), FusedStep("relu")))
+        from repro.core.implementations import fused_implementations
+        for impl in fused_implementations(atom):
+            assert fused_impl_by_name(impl.name).name == impl.name
+
+
+class TestPipeline:
+    def test_resolve_specs(self):
+        assert [p.name for p in resolve_passes("all")] == \
+            list(DEFAULT_PASS_ORDER)
+        assert resolve_passes("none") == ()
+        assert [p.name for p in resolve_passes(("fuse", "cse"))] == \
+            ["fuse", "cse"]
+        with pytest.raises(ValueError):
+            resolve_passes(("nope",))
+        with pytest.raises(ValueError):
+            resolve_passes("sometimes")
+
+    def test_registry_covers_default_order(self):
+        assert set(DEFAULT_PASS_ORDER) <= set(PASS_REGISTRY)
+
+    def test_run_reports_every_pass(self, ctx):
+        x = input_matrix("X", 100, 100)
+        g = build(relu(x))
+        _, report = PlanPipeline.from_spec("all").run(g, ctx)
+        assert [p.name for p in report.passes] == list(DEFAULT_PASS_ORDER)
+
+    def test_optimize_rejects_bad_spec(self, ctx):
+        x = input_matrix("X", 10, 10)
+        g = build(relu(x))
+        with pytest.raises(ValueError):
+            optimize(g, ctx, rewrites="everything")
+
+
+class TestPlanIntegration:
+    @pytest.fixture(scope="class")
+    def fused_plan(self, ctx):
+        x = input_matrix("X", 1000, 6000)
+        w = input_matrix("W", 6000, 400)
+        b = input_matrix("b", 1, 400)
+        g = build(relu(add_bias(x @ w, b)) * 0.5)
+        return g, optimize(g, ctx, rewrites="all"), \
+            optimize(g, ctx, rewrites="none")
+
+    def test_rewritten_plan_cheaper(self, fused_plan):
+        _, on, off = fused_plan
+        assert on.total_seconds < off.total_seconds
+
+    def test_pipeline_report_attached(self, fused_plan):
+        _, on, off = fused_plan
+        assert on.pipeline is not None and on.pipeline.adopted
+        assert any(p.name == "fuse" and p.fired for p in on.pipeline.passes)
+        assert off.pipeline is None
+
+    def test_explain_lists_fired_passes(self, fused_plan, ctx):
+        _, on, _ = fused_plan
+        text = explain(on, ctx)
+        assert "rewrites:" in text
+        assert "fuse(" in text
+        assert "[fuse]" in text
+
+    def test_serialize_round_trip_with_fused_atoms(self, fused_plan, ctx):
+        _, on, _ = fused_plan
+        payload = plan_to_json(on)
+        restored = plan_from_json(payload, ctx)
+        assert restored.total_seconds == pytest.approx(on.total_seconds)
+        assert restored.pipeline is not None
+        assert restored.pipeline.summary() == on.pipeline.summary()
+        # The wire format is valid JSON containing the fused atom name.
+        assert "fused(add_bias|relu" in json.dumps(json.loads(payload))
+
+    def test_matmul_unchanged_by_fusion(self, fused_plan):
+        g, on, _ = fused_plan
+        assert sum(1 for v in on.graph.inner_vertices
+                   if v.op is MATMUL) == 1

@@ -15,7 +15,7 @@ from repro.core.formats import (
     sparse_tiles,
     tiles,
 )
-from repro.core.transforms import DEFAULT_TRANSFORMS, IDENTITY, find_transform
+from repro.core.transforms import IDENTITY, find_transform
 from repro.core.types import matrix
 
 DENSE_T = matrix(4000, 4000)

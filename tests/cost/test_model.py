@@ -1,6 +1,5 @@
 """Tests for cost features and the regression cost model."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
-from repro.core.atoms import ADD, ELEM_MUL, MATMUL, RELU, SOFTMAX, TRANSPOSE
+from repro.core.atoms import ELEM_MUL, MATMUL, SOFTMAX, TRANSPOSE
 from repro.core.formats import single
 from repro.cost.refine import (
     SketchPropagationError,

@@ -1,7 +1,6 @@
 """Unit tests for the per-block numerical kernels."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st

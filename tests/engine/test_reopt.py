@@ -1,11 +1,10 @@
 """Tests for mid-execution re-optimization (paper Section 7 extension)."""
 
 import numpy as np
-import pytest
 
 from repro.core import ComputeGraph, OptimizerContext, matrix
 from repro.core.atoms import ADD, ELEM_MUL, MATMUL, RELU
-from repro.core.formats import csr_strips, single, sparse_single, tiles
+from repro.core.formats import single
 from repro.engine.reopt import execute_adaptive
 
 RNG = np.random.default_rng(5)

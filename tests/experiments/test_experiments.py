@@ -10,7 +10,7 @@ import math
 import pytest
 
 from repro.cluster import simsql_cluster
-from repro.core import OptimizerContext, optimize
+from repro.core import OptimizerContext
 from repro.core.formats import col_strips, row_strips, single, tiles
 from repro.experiments.figures import (
     EXPERIMENTS,

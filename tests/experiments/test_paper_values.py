@@ -6,7 +6,6 @@ builders that cite them (wrong keys silently render as missing cells).
 
 import re
 
-import pytest
 
 from repro.experiments import paper_values
 

@@ -1,0 +1,43 @@
+"""Tests for the rewrite-pipeline ablation experiment."""
+
+import pytest
+
+from repro.experiments.figures import EXPERIMENTS
+from repro.experiments.rewrites import ablation_rewrites
+
+
+@pytest.fixture(scope="module")
+def table():
+    return ablation_rewrites()
+
+
+class TestAblationRewrites:
+    def test_registered(self):
+        assert EXPERIMENTS["ablation_rewrites"] is ablation_rewrites
+
+    def test_covers_required_workloads(self, table):
+        labels = [row[0] for row in table.rows]
+        assert "FFNN forward" in labels
+        assert "FFNN backprop" in labels
+        assert "Attention" in labels
+
+    def test_pipeline_never_slower_and_wins_somewhere(self, table):
+        speedups = [float(row[5].lstrip("x")) for row in table.rows]
+        assert all(s >= 1.0 for s in speedups)
+        # Strict improvement on at least the two FFNN workloads.
+        assert sum(1 for s in speedups if s > 1.0) >= 2
+
+    def test_passes_reported(self, table):
+        fired = " ".join(row[6] for row in table.rows)
+        assert "fuse(" in fired
+        assert "scalars(" in fired
+
+    def test_simulated_agrees_with_predicted(self, table):
+        for row in table.rows:
+            assert row[3] == row[1]  # simulated off == predicted off
+            assert row[4] == row[2]  # simulated on == predicted on
+
+    def test_renders(self, table):
+        text = table.render()
+        assert "ablation_rewrites" in text
+        assert "Fail" not in text

@@ -4,11 +4,9 @@ import pytest
 
 from repro.core.formats import col_strips, single, tiles
 from repro.lang import (
-    Expr,
     add_bias,
     build,
     col_sums,
-    default_load_format,
     exp,
     input_matrix,
     inverse,
@@ -101,10 +99,16 @@ class TestBuild:
         assert names.count(shared.name) == 1
         assert not g.is_tree_shaped()
 
-    def test_structurally_equal_but_distinct_exprs_not_merged(self):
+    def test_structurally_equal_but_distinct_exprs_merged(self):
         x = input_matrix("X", 10, 10)
         g = build((x @ x) + (x @ x))
-        # Two distinct @ expressions -> two vertices (no CSE by value).
+        # Structural CSE: the two distinct @ expressions are one vertex.
+        assert len(g.inner_vertices) == 2
+        assert not g.is_tree_shaped()
+
+    def test_cse_opt_out_keeps_distinct_vertices(self):
+        x = input_matrix("X", 10, 10)
+        g = build((x @ x) + (x @ x), cse=False)
         assert len(g.inner_vertices) == 3
 
     def test_multiple_outputs(self):

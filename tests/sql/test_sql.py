@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import OptimizerContext
 from repro.core.formats import coo, col_strips, row_strips, single, tiles
 from repro.sql import (
     CreateTable,

@@ -93,3 +93,38 @@ class TestFormatContributions:
             workload.graph, simsql_cluster(10), max_states=300)
         protected = {s.format.layout for s in workload.graph.sources}
         assert all(c.family not in protected for c in contributions)
+
+
+class TestRewritesKnob:
+    def test_sweep_with_rewrites_never_slower(self):
+        from repro.workloads.attention import AttentionConfig, \
+            attention_graph
+
+        graph = attention_graph(AttentionConfig())
+        plain = sweep_workers(graph, simsql_cluster, (5,), max_states=300)
+        rewritten = sweep_workers(graph, simsql_cluster, (5,),
+                                  max_states=300, rewrites="all")
+        assert rewritten[0].seconds <= plain[0].seconds
+        assert rewritten[0].plan.pipeline is not None
+
+
+class TestCli:
+    def test_sweep_output(self, capsys):
+        from repro.tools.whatif import main
+
+        assert main(["--workload", "attention", "--workers", "2,5",
+                     "--target", "1e9"]) == 0
+        out = capsys.readouterr().out
+        assert "workload attention" in out
+        assert "rewrites=all" in out
+        assert "rewrite passes fired:" in out
+        assert "smallest cluster meeting" in out
+
+    def test_no_rewrites_flag(self, capsys):
+        from repro.tools.whatif import main
+
+        assert main(["--workload", "attention", "--workers", "2",
+                     "--no-rewrites"]) == 0
+        out = capsys.readouterr().out
+        assert "rewrites=none" in out
+        assert "rewrite passes fired:" not in out

@@ -1,7 +1,6 @@
 """Tests for the attention workload."""
 
 import numpy as np
-import pytest
 
 from repro.core import OptimizerContext, optimize
 from repro.engine import execute_plan

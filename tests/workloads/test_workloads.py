@@ -1,7 +1,6 @@
 """Tests for the workload graph builders."""
 
 import numpy as np
-import pytest
 
 from repro.core import OptimizerContext, optimize
 from repro.core.formats import col_strips, row_strips
