@@ -6,8 +6,6 @@ mid-execution re-optimization beats running a misestimated plan to
 completion; the GPU catalog beats CPU-only planning when GPUs exist.
 """
 
-import pytest
-
 from repro.experiments.extensions import (
     ext_adaptive_reopt,
     ext_gpu_catalog,

@@ -24,6 +24,7 @@ from .registry import OptimizerContext
 from .transforms import FormatTransform
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.stages import StageGraph
     from .rewrites.base import PipelineReport
 
 
@@ -77,6 +78,14 @@ class Plan:
 
     def format_of(self, vid: VertexId) -> PhysicalFormat:
         return self.cost.vertex_formats[vid]
+
+    def lowered(self, ctx: OptimizerContext) -> "StageGraph":
+        """The plan's physical-stage view: the lowered stage DAG that
+        simulation, execution, tracing and EXPLAIN all share (see
+        :func:`repro.engine.stages.lower`)."""
+        from ..engine.stages import lower
+
+        return lower(self, ctx)
 
     def describe(self) -> str:
         """Human-readable per-vertex plan listing."""

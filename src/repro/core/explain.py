@@ -31,35 +31,29 @@ class StageExplain:
 
 
 def explain_stages(plan: Plan, ctx: OptimizerContext) -> list[StageExplain]:
-    """Per-stage breakdown of a plan, in execution order."""
+    """Per-stage breakdown of a plan, in execution order.
+
+    Rows come straight from the plan's lowered stage DAG
+    (:meth:`Plan.lowered`): exactly the stages the engine charges, so
+    identity edges never appear.
+    """
     graph = plan.graph
     rows: list[StageExplain] = []
-    for vid in graph.topological_order():
-        v = graph.vertex(vid)
-        if v.is_source:
-            continue
-        for edge in graph.in_edges(vid):
-            transform, dst = plan.annotation.transforms[edge]
-            if transform.name == "identity":
-                continue
-            producer = graph.vertex(edge.src)
-            src_fmt = plan.cost.vertex_formats[edge.src]
-            feats = transform.features(producer.mtype, src_fmt, dst,
-                                       ctx.cluster)
+    for stage in plan.lowered(ctx).stages:
+        feats = stage.features
+        if stage.kind == "transform":
+            producer = graph.vertex(stage.edge.src)
+            consumer = graph.vertex(stage.vertex)
             rows.append(StageExplain(
-                "transform", f"{producer.name}->{v.name}", transform.name,
-                str(dst), plan.cost.edge_seconds[edge], feats.flops,
+                "transform", f"{producer.name}->{consumer.name}",
+                stage.transform.name, str(stage.dst_fmt), stage.seconds,
+                feats.flops, feats.network_bytes, feats.intermediate_bytes,
+                feats.tuples))
+        else:
+            rows.append(StageExplain(
+                "op", graph.vertex(stage.vertex).name, stage.impl.name,
+                str(stage.out_fmt), stage.seconds, feats.flops,
                 feats.network_bytes, feats.intermediate_bytes, feats.tuples))
-        impl = plan.annotation.impls[vid]
-        in_types = tuple(graph.vertex(p).mtype for p in v.inputs)
-        in_formats = tuple(plan.annotation.transforms[e][1]
-                           for e in graph.in_edges(vid))
-        feats = impl.features(in_types, in_formats, ctx.cluster)
-        rows.append(StageExplain(
-            "op", v.name, impl.name,
-            str(plan.cost.vertex_formats[vid]),
-            plan.cost.vertex_seconds[vid], feats.flops,
-            feats.network_bytes, feats.intermediate_bytes, feats.tuples))
     return rows
 
 

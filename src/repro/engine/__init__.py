@@ -36,8 +36,16 @@ from .recovery import (
 )
 from .relation import Relation, RelationalEngine, payload_bytes
 from .reopt import AdaptiveResult, execute_adaptive
-from .storage import StoredMatrix, assemble, convert, split
-from .trace import ScheduledStage, Timeline, schedule
+from .scheduler import (
+    ExecutionState,
+    Scheduler,
+    SequentialScheduler,
+    ThreadPoolScheduler,
+)
+from .stages import OpStage, StageGraph, StageNode, TransformStage, lower
+from .storage import StoredMatrix, assemble, convert, infer_format, split, \
+    store_as
+from .trace import ScheduledStage, Timeline, schedule, timeline_of
 
 __all__ = [
     "DEFAULT_CLUSTER", "ClusterConfig",
@@ -52,6 +60,10 @@ __all__ = [
     "plan_context", "simulate_robust",
     "Relation", "RelationalEngine", "payload_bytes",
     "AdaptiveResult", "execute_adaptive",
-    "StoredMatrix", "assemble", "convert", "split",
-    "ScheduledStage", "Timeline", "schedule",
+    "ExecutionState", "Scheduler", "SequentialScheduler",
+    "ThreadPoolScheduler",
+    "OpStage", "StageGraph", "StageNode", "TransformStage", "lower",
+    "StoredMatrix", "assemble", "convert", "infer_format", "split",
+    "store_as",
+    "ScheduledStage", "Timeline", "schedule", "timeline_of",
 ]

@@ -1,17 +1,21 @@
 """Plan execution: pure simulation and real (laptop-scale) execution.
 
-Two entry points:
+Both entry points drive the same lowered stage IR
+(:mod:`repro.engine.stages`):
 
-* :func:`simulate` — walks an annotated plan stage by stage, charging each
-  stage's *analytic* cost features to a :class:`TrafficLedger`.  No data is
-  materialized, so paper-scale matrices (e.g. 60K x 160K weight layers) are
-  fine.  Worker-memory overflows surface as failed simulations — the paper's
-  "Fail" table entries.
+* :func:`simulate` — lowers the plan and charges each stage's *analytic*
+  cost features to a :class:`TrafficLedger`.  No data is materialized, so
+  paper-scale matrices (e.g. 60K x 160K weight layers) are fine.
+  Worker-memory overflows surface as failed simulations — the paper's
+  "Fail" table entries.  ``clock="critical_path"`` reports the
+  pipeline-aware makespan of the stage DAG instead of the paper's
+  sum-of-stages objective.
 
-* :class:`Executor` / :func:`execute_plan` — runs the plan on real numpy
-  data through the relational engine (:mod:`repro.engine.relation`), with
-  actual shuffles/broadcasts whose measured traffic is charged to the
-  ledger.  Integration tests verify results against dense numpy references.
+* :class:`Executor` / :func:`execute_plan` — runs the lowered stage graph
+  on real numpy data under a pluggable
+  :class:`~repro.engine.scheduler.Scheduler`, with actual
+  shuffles/broadcasts whose measured traffic is charged to the ledger.
+  Integration tests verify results against dense numpy references.
 """
 
 from __future__ import annotations
@@ -20,25 +24,21 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..core.annotation import Plan
-from ..core.formats import Layout, PhysicalFormat
 from ..core.graph import VertexId
-from ..core.implementations import JoinStrategy
 from ..core.registry import OptimizerContext
-from . import kernels
-from .faults import FaultSource, InjectedFault, as_injector
-from .ledger import RECOVERY, EngineFailure, TrafficLedger
+from .faults import FaultSource, as_injector
+from .ledger import EngineFailure, TrafficLedger
 from .recovery import (
     DEFAULT_RECOVERY,
-    FaultRetriesExhausted,
     LineageCheckpoint,
     RecoveryPolicy,
     RecoveryStats,
 )
-from .relation import Relation, RelationalEngine
-from .storage import StoredMatrix, _block_bounds, assemble, convert, split
+from .scheduler import ExecutionState, Scheduler, SequentialScheduler
+from .stages import lower
+from .storage import assemble
 
 
 # ======================================================================
@@ -71,32 +71,35 @@ def format_hms(seconds: float) -> str:
     return f"{m}:{s:02d}"
 
 
-def simulate(plan: Plan, ctx: OptimizerContext) -> SimulationResult:
-    """Charge every stage of ``plan`` to a fresh ledger; detect failures."""
+def simulate(plan: Plan, ctx: OptimizerContext,
+             clock: str = "sum") -> SimulationResult:
+    """Charge every stage of the lowered plan to a fresh ledger.
+
+    ``clock`` selects what ``seconds`` reports on success:
+
+    * ``"sum"`` (default) — the paper's objective, the sum of all stage
+      costs (``ledger.total_seconds``);
+    * ``"critical_path"`` — the ASAP makespan of the stage DAG, i.e. the
+      wall clock of an engine that overlaps independent stages (identical
+      to ``trace.schedule(plan, ctx).critical_path_seconds``).
+
+    Identity edges (producer already stores the consumer's format) lower
+    to no stage, so the simulated ledger lists exactly the stages a real
+    execution runs.
+    """
+    if clock not in ("sum", "critical_path"):
+        raise ValueError(f"unknown clock {clock!r}: "
+                         "expected 'sum' or 'critical_path'")
     ledger = TrafficLedger(ctx.cluster, ctx.weights)
-    graph = plan.graph
+    sgraph = lower(plan, ctx)
     try:
-        for vid in graph.topological_order():
-            v = graph.vertex(vid)
-            if v.is_source:
-                continue
-            transformed = []
-            for edge in graph.in_edges(vid):
-                producer = graph.vertex(edge.src)
-                transform, dst = plan.annotation.transforms[edge]
-                src_fmt = plan.cost.vertex_formats[edge.src]
-                feats = transform.features(producer.mtype, src_fmt, dst,
-                                           ctx.cluster)
-                ledger.charge(f"{producer.name}->{v.name}:{transform.name}",
-                              feats)
-                transformed.append(dst)
-            impl = plan.annotation.impls[vid]
-            in_types = tuple(graph.vertex(p).mtype for p in v.inputs)
-            feats = impl.features(in_types, tuple(transformed), ctx.cluster)
-            ledger.charge(f"{v.name}:{impl.name}", feats)
+        for stage in sgraph.stages:
+            ledger.charge(stage.name, stage.features)
     except EngineFailure as failure:
         return SimulationResult(False, math.inf, ledger, str(failure))
-    return SimulationResult(True, ledger.total_seconds, ledger)
+    seconds = (ledger.total_seconds if clock == "sum"
+               else sgraph.critical_path_seconds)
+    return SimulationResult(True, seconds, ledger)
 
 
 # ======================================================================
@@ -109,7 +112,8 @@ class ExecutionResult:
     Mirrors :class:`SimulationResult`'s ``ok``/``failure`` pair:
     :func:`execute_plan` returns a failed result instead of leaking an
     :class:`EngineFailure` traceback to callers.  ``recovery`` reports what
-    fault tolerance did (and cost) when a fault injector was attached.
+    fault tolerance did (and cost) when a fault injector was attached;
+    ``executed_stages`` lists the lowered stages that ran, in stage order.
     """
 
     outputs: dict[str, np.ndarray]
@@ -118,6 +122,7 @@ class ExecutionResult:
     ok: bool = True
     failure: str | None = None
     recovery: RecoveryStats | None = None
+    executed_stages: tuple[str, ...] = ()
 
     def output(self) -> np.ndarray:
         """The single output, when the graph has exactly one sink."""
@@ -136,38 +141,33 @@ class ExecutionResult:
         return format_hms(self.ledger.total_seconds)
 
 
-_JOIN_STRATEGY = {
-    JoinStrategy.SHUFFLE: "shuffle",
-    JoinStrategy.BROADCAST: "broadcast",
-    JoinStrategy.CROSS: "broadcast",
-    JoinStrategy.COPART: "copart",
-    JoinStrategy.LOCAL: "copart",
-    JoinStrategy.MAP: "copart",
-}
-
-
 class Executor:
     """Executes one annotated plan on real numpy inputs.
 
+    The plan is lowered to a :class:`~repro.engine.stages.StageGraph` and
+    handed to ``scheduler`` (sequential by default; pass a
+    :class:`~repro.engine.scheduler.ThreadPoolScheduler` to overlap
+    independent stages — ledger totals are bit-identical either way).
+
     ``faults`` attaches a fault source (a :class:`FaultConfig`,
     :class:`FaultPlan` or prebuilt :class:`FaultInjector`); injected faults
-    are recovered by recomputing the faulted vertex from its lineage
-    checkpoint under ``recovery``'s capped-exponential-backoff policy, with
-    all wasted work, backoff and re-shuffle traffic charged to the ledger.
+    are recovered per stage by re-running it from its lineage-checkpointed
+    inputs under ``recovery``'s capped-exponential-backoff policy, with all
+    wasted work, backoff and re-shuffle traffic charged to the ledger.
     """
 
     def __init__(self, plan: Plan, ctx: OptimizerContext,
                  faults: FaultSource = None,
-                 recovery: RecoveryPolicy | None = None) -> None:
+                 recovery: RecoveryPolicy | None = None,
+                 scheduler: Scheduler | None = None) -> None:
         self.plan = plan
         self.ctx = ctx
         self.cluster = ctx.cluster
         self.ledger = TrafficLedger(ctx.cluster, ctx.weights)
         self.recovery = recovery if recovery is not None else DEFAULT_RECOVERY
         self.injector = as_injector(faults, ctx.cluster.num_workers)
-        self.engine = RelationalEngine(
-            ctx.cluster, self.ledger, faults=self.injector,
-            speculative_backups=self.recovery.speculative_backups)
+        self.scheduler = scheduler if scheduler is not None \
+            else SequentialScheduler()
         self.lineage = LineageCheckpoint()
         self.stats = RecoveryStats()
 
@@ -175,297 +175,32 @@ class Executor:
     def run(self, inputs: dict[str, np.ndarray]) -> ExecutionResult:
         """Execute the plan; ``inputs`` maps source names to matrices."""
         graph = self.plan.graph
-        stored = self.lineage.matrices
-        for vid in graph.topological_order():
-            v = graph.vertex(vid)
-            if v.is_source:
-                if v.name not in inputs:
-                    raise KeyError(f"no input provided for source {v.name!r}")
-                self.lineage.record(vid, split(inputs[v.name], v.mtype,
-                                               v.format, self.cluster))
-                continue
-            self.lineage.record(vid, self._compute_with_recovery(v, stored))
+        sgraph = lower(self.plan, self.ctx)
+        state = ExecutionState(sgraph, self.ctx, injector=self.injector,
+                               policy=self.recovery, lineage=self.lineage,
+                               stats=self.stats)
+        state.seed_sources(inputs)
+        try:
+            self.scheduler.run(state)
+        finally:
+            # Merge even on failure so partial charges (and the recovery
+            # statistics of the failed run) are visible to callers.
+            executed = state.merge_into(self.ledger)
 
+        stored = self.lineage.matrices
         vertex_values = {vid: assemble(s) for vid, s in stored.items()}
         outputs = {graph.vertex(v.vid).name: vertex_values[v.vid]
                    for v in graph.outputs}
         return ExecutionResult(outputs, vertex_values, self.ledger,
-                               recovery=self.stats)
-
-    # ------------------------------------------------------------------
-    def _compute_with_recovery(self, v, stored: dict[VertexId, StoredMatrix]
-                               ) -> StoredMatrix:
-        """Compute a vertex, retrying injected faults from lineage.
-
-        Every failed attempt's partial charges are re-labelled as recovery
-        cost (the work was real but wasted), a capped exponential backoff
-        is charged to the simulated clock, and the vertex is recomputed
-        from its producers' checkpointed matrices.  The *retry's* traffic
-        is charged normally — recomputation and re-shuffle are paid again,
-        which is exactly the measurable cost of lineage-based recovery.
-        """
-        policy = self.recovery
-        attempt = 0
-        while True:
-            mark = self.ledger.mark()
-            try:
-                return self.compute_vertex(v, stored)
-            except InjectedFault as fault:
-                attempt += 1
-                wasted = self.ledger.recategorize_since(mark, RECOVERY)
-                if attempt > policy.max_retries:
-                    self.stats.observe(fault, 0.0, wasted)
-                    raise FaultRetriesExhausted(fault.stage,
-                                                policy.max_retries, fault)
-                backoff = policy.backoff_seconds(attempt)
-                self.ledger.charge_overhead(
-                    f"{fault.stage}:backoff#{attempt}", backoff)
-                self.stats.observe(fault, backoff, wasted)
-                self.lineage.note_recomputation(v.vid)
-                self.stats.recomputed_vertices = len(
-                    self.lineage.recomputations)
-
-    # ------------------------------------------------------------------
-    def compute_vertex(self, v, stored: dict[VertexId, StoredMatrix]
-                       ) -> StoredMatrix:
-        """Execute one inner vertex given its producers' stored matrices:
-        apply the annotated edge transformations, then the implementation."""
-        graph = self.plan.graph
-        args = []
-        for edge in graph.in_edges(v.vid):
-            producer = graph.vertex(edge.src)
-            transform, dst = self.plan.annotation.transforms[edge]
-            src = stored[edge.src]
-            if src.fmt != dst:
-                feats = transform.features(producer.mtype, src.fmt, dst,
-                                           self.cluster)
-                self.ledger.charge(
-                    f"{producer.name}->{v.name}:{transform.name}", feats)
-                args.append(convert(src, dst, self.cluster))
-            else:
-                args.append(src)
-        return self._execute_vertex(v, args)
-
-    def _execute_vertex(self, v, args: list[StoredMatrix]) -> StoredMatrix:
-        impl = self.plan.annotation.impls[v.vid]
-        out_fmt = self.plan.cost.vertex_formats[v.vid]
-        name = impl.name
-        if name.startswith("mm_"):
-            return self._matmul(v, impl, args, out_fmt)
-        if name.startswith("ew_"):
-            return self._elementwise(v, impl, args, out_fmt)
-        if name.startswith("map_"):
-            return self._unary_map(v, impl, args[0], out_fmt)
-        if name.startswith("t_"):
-            return self._transpose(v, args[0], out_fmt)
-        if name == "softmax_row_local":
-            return self._rowwise_map(v, args[0], out_fmt,
-                                     kernels.softmax_rows)
-        if name in ("softmax_blocked", "inv_single") or \
-                name.startswith(("row_sums", "col_sums")):
-            return self._direct(v, impl, args, out_fmt)
-        if name.startswith("add_bias"):
-            return self._add_bias(v, impl, args, out_fmt)
-        if name.startswith("fused_"):
-            return self._fused(v, impl, args, out_fmt)
-        raise NotImplementedError(f"no execution routine for {name}")
-
-    # -- matmul ---------------------------------------------------------
-    def _matmul(self, v, impl, args, out_fmt) -> StoredMatrix:
-        lhs, rhs = args
-        if lhs.fmt.layout is Layout.COO:
-            # Shuffle triples into sparse blocks aligned with the rhs grid.
-            inner = rhs.fmt.block_rows or rhs.mtype.rows
-            blocked = PhysicalFormat(Layout.SPARSE_TILE, block_rows=inner,
-                                     block_cols=inner)
-            lhs = convert(lhs, blocked, self.cluster)
-
-        strategy = _JOIN_STRATEGY[impl.join]
-        partials = self.engine.join(
-            lhs.relation, rhs.relation,
-            left_key=lambda k: k[1], right_key=lambda k: k[0],
-            combine=lambda lk, lp, rk, rp: (
-                (lk[0], rk[1], lk[1]), kernels.matmul(lp, rp)),
-            strategy=strategy,
-            flops_fn=kernels.matmul_flops,
-            stage=f"{v.name}:{impl.name}")
-        summed = self.engine.group_agg(
-            partials, group_fn=lambda k: (k[0], k[1]),
-            agg_fn=lambda a, b: a + b, stage=f"{v.name}:agg")
-        return self._as_stored(v, summed, out_fmt)
-
-    # -- element-wise binary ---------------------------------------------
-    def _elementwise(self, v, impl, args, out_fmt) -> StoredMatrix:
-        lhs, rhs = args
-        kernel = kernels.BINARY_KERNELS[v.op.name]
-        joined = self.engine.join(
-            lhs.relation, rhs.relation,
-            left_key=lambda k: k, right_key=lambda k: k,
-            combine=lambda lk, lp, rk, rp: (lk, kernel(lp, rp)),
-            strategy="copart",
-            flops_fn=lambda a, b: float(np.prod(a.shape)),
-            stage=f"{v.name}:{impl.name}")
-        return self._as_stored(v, joined, out_fmt)
-
-    # -- unary maps -------------------------------------------------------
-    def _unary_map(self, v, impl, arg: StoredMatrix, out_fmt) -> StoredMatrix:
-        if v.op.name == "scalar_mul":
-            scalar = v.param if v.param is not None else 1.0
-            fn = lambda key, p: (key, kernels.scalar_mul(p, scalar))
-        else:
-            kernel = kernels.UNARY_KERNELS[v.op.name]
-            fn = lambda key, p: (key, kernel(p))
-        rel = self.engine.map_rows(arg.relation, fn,
-                                   flops=float(arg.mtype.entries),
-                                   stage=f"{v.name}:{impl.name}")
-        return self._as_stored(v, rel, out_fmt)
-
-    def _rowwise_map(self, v, arg: StoredMatrix, out_fmt, kernel) -> StoredMatrix:
-        rel = self.engine.map_rows(
-            arg.relation, lambda key, p: (key, kernel(p)),
-            flops=4.0 * arg.mtype.entries, stage=f"{v.name}:softmax")
-        return self._as_stored(v, rel, out_fmt)
-
-    # -- transpose --------------------------------------------------------
-    def _transpose(self, v, arg: StoredMatrix, out_fmt) -> StoredMatrix:
-        rel = self.engine.map_rows(
-            arg.relation,
-            lambda key, p: ((key[1], key[0]), kernels.transpose(p)),
-            flops=float(arg.mtype.entries), stage=f"{v.name}:transpose")
-        rel = self.engine.repartition(rel, lambda k: k,
-                                      stage=f"{v.name}:t-shuffle")
-        return self._as_stored(v, rel, out_fmt)
-
-    # -- direct ops (softmax over column blocks, reductions, inverse) -----
-    def _direct(self, v, impl, args, out_fmt) -> StoredMatrix:
-        # Computed via gather + numpy; cost charged from analytic features,
-        # as documented in DESIGN.md.
-        in_types = tuple(a.mtype for a in args)
-        in_formats = tuple(a.fmt for a in args)
-        feats = impl.features(in_types, in_formats, self.cluster)
-        self.ledger.charge(f"{v.name}:{impl.name}", feats)
-        dense = assemble(args[0])
-        if v.op.name == "softmax":
-            result = kernels.softmax_rows(dense)
-        elif v.op.name == "row_sums":
-            result = kernels.row_sums(dense)
-        elif v.op.name == "col_sums":
-            result = kernels.col_sums(dense)
-        elif v.op.name == "inverse":
-            result = kernels.inverse(dense)
-        else:  # pragma: no cover - routing error
-            raise NotImplementedError(v.op.name)
-        return split(result, v.mtype, out_fmt, self.cluster)
-
-    # -- bias add ----------------------------------------------------------
-    def _add_bias(self, v, impl, args, out_fmt) -> StoredMatrix:
-        x, bias = args
-        bounds = _block_bounds(
-            x.mtype.cols,
-            x.fmt.block_cols if (x.fmt.is_col_partitioned or x.fmt.is_tiled)
-            else None)
-        bias_row = assemble(bias).reshape(1, -1)
-        if impl.join is JoinStrategy.BROADCAST:
-            self.engine.broadcast(bias.relation, stage=f"{v.name}:bcast-bias")
-        rel = self.engine.map_rows(
-            x.relation,
-            lambda key, p: (key, kernels.add_bias(
-                p, bias_row[:, bounds[key[1]][0]:bounds[key[1]][1]])),
-            flops=float(x.mtype.entries), stage=f"{v.name}:{impl.name}")
-        return self._as_stored(v, rel, out_fmt)
-
-    # -- fused elementwise chains ----------------------------------------
-    def _fused(self, v, impl, args, out_fmt) -> StoredMatrix:
-        """One stage for a whole fused chain: the base operation's kernel
-        followed by the unary epilogue, applied per payload — no
-        intermediate matrices are materialized."""
-        steps = impl.steps
-        base, epilogue = steps[0], steps[1:]
-        flops_per_entry = float(len(steps))
-        stage = f"{v.name}:{impl.name}"
-
-        if base.op_name in kernels.BINARY_KERNELS:
-            kernel = kernels.BINARY_KERNELS[base.op_name]
-            lhs, rhs = args
-            joined = self.engine.join(
-                lhs.relation, rhs.relation,
-                left_key=lambda k: k, right_key=lambda k: k,
-                combine=lambda lk, lp, rk, rp: (
-                    lk, kernels.apply_epilogue(kernel(lp, rp), epilogue)),
-                strategy="copart",
-                flops_fn=lambda a, b: flops_per_entry * float(
-                    np.prod(a.shape)),
-                stage=stage)
-            return self._as_stored(v, joined, out_fmt)
-
-        if base.op_name == "add_bias":
-            x, bias = args
-            bounds = _block_bounds(
-                x.mtype.cols,
-                x.fmt.block_cols
-                if (x.fmt.is_col_partitioned or x.fmt.is_tiled) else None)
-            bias_row = assemble(bias).reshape(1, -1)
-            if impl.join is JoinStrategy.BROADCAST:
-                self.engine.broadcast(bias.relation,
-                                      stage=f"{v.name}:bcast-bias")
-            rel = self.engine.map_rows(
-                x.relation,
-                lambda key, p: (key, kernels.apply_epilogue(
-                    kernels.add_bias(
-                        p, bias_row[:, bounds[key[1]][0]:bounds[key[1]][1]]),
-                    epilogue)),
-                flops=flops_per_entry * x.mtype.entries, stage=stage)
-            return self._as_stored(v, rel, out_fmt)
-
-        # Unary base: the whole chain is an epilogue over the one input.
-        arg = args[0]
-        rel = self.engine.map_rows(
-            arg.relation,
-            lambda key, p: (key, kernels.apply_epilogue(p, steps)),
-            flops=flops_per_entry * arg.mtype.entries, stage=stage)
-        return self._as_stored(v, rel, out_fmt)
-
-    # ------------------------------------------------------------------
-    def _as_stored(self, v, relation: Relation, out_fmt) -> StoredMatrix:
-        """Wrap relational output blocks as a stored matrix in ``out_fmt``.
-
-        Output keys are expected to match the format's grid; payloads are
-        re-encoded (dense/sparse) when the format demands it.
-        """
-        expected = out_fmt.grid(v.mtype)
-        keys = set(relation.rows.keys())
-        want = {(i, j) for i in range(expected[0]) for j in range(expected[1])}
-        if keys != want:
-            # Block mismatch: reassemble through storage (charged already).
-            tmp = StoredMatrix(v.mtype, _guess_fmt(v.mtype, keys), relation)
-            return split(assemble(tmp), v.mtype, out_fmt, self.cluster)
-        rows = {}
-        for key, payload in relation.rows.items():
-            if out_fmt.is_sparse and not sp.issparse(payload):
-                rows[key] = sp.csr_matrix(payload)
-            elif not out_fmt.is_sparse and sp.issparse(payload):
-                rows[key] = payload.toarray()
-            else:
-                rows[key] = payload
-        return StoredMatrix(v.mtype, out_fmt,
-                            Relation(self.cluster, rows, relation.home))
-
-
-def _guess_fmt(mtype, keys) -> PhysicalFormat:
-    """Infer a block layout from result keys (fallback path)."""
-    max_i = max(k[0] for k in keys) + 1
-    max_j = max(k[1] for k in keys) + 1
-    br = math.ceil(mtype.rows / max_i)
-    bc = math.ceil(mtype.cols / max_j)
-    if max_i == 1 and max_j == 1:
-        return PhysicalFormat(Layout.SINGLE)
-    return PhysicalFormat(Layout.TILE, block_rows=br, block_cols=bc)
+                               recovery=self.stats,
+                               executed_stages=tuple(executed))
 
 
 def execute_plan(plan: Plan, inputs: dict[str, np.ndarray],
                  ctx: OptimizerContext,
                  faults: FaultSource = None,
-                 recovery: RecoveryPolicy | None = None) -> ExecutionResult:
+                 recovery: RecoveryPolicy | None = None,
+                 scheduler: Scheduler | None = None) -> ExecutionResult:
     """Build an :class:`Executor` and run it; failures come back structured.
 
     An :class:`EngineFailure` (memory overflow, exhausted fault retries) is
@@ -474,7 +209,8 @@ def execute_plan(plan: Plan, inputs: dict[str, np.ndarray],
     re-optimization around such failures, see
     :func:`repro.engine.recovery.execute_robust`.
     """
-    executor = Executor(plan, ctx, faults=faults, recovery=recovery)
+    executor = Executor(plan, ctx, faults=faults, recovery=recovery,
+                        scheduler=scheduler)
     try:
         return executor.run(inputs)
     except EngineFailure as failure:

@@ -13,8 +13,10 @@ Faults are injected at the entry points of the relational operators in
 Two sources of faults exist:
 
 * a :class:`FaultConfig` of per-stage probabilities drawn from a **seeded**
-  RNG — the same seed and the same stage sequence always produce the same
-  faults, so faulty runs are reproducible and property-testable; and
+  RNG — every draw is derived from ``(seed, stage name, occurrence)``, so
+  the same seed always produces the same faults *regardless of the order
+  stages run in* (sequential and thread-pool schedulers inject identical
+  faults), and faulty runs are reproducible and property-testable; and
 * a :class:`FaultPlan` of explicitly scheduled faults ("crash the second
   invocation of stage X"), for targeted tests.
 
@@ -29,6 +31,7 @@ from __future__ import annotations
 
 import enum
 import random
+import threading
 from dataclasses import dataclass
 
 
@@ -160,11 +163,14 @@ class FaultInjector:
     """Stateful, deterministic fault source shared by one execution.
 
     The injector counts invocations per exact stage name; scheduled faults
-    match on those counts, probabilistic faults are drawn from
-    ``random.Random(config.seed)`` in stage order.  Because the relational
-    operators call :meth:`before_stage` / :meth:`straggler_factor` in a
-    deterministic order for a given plan, the whole fault sequence is a pure
-    function of (plan, inputs, seed).
+    match on those counts, and each probabilistic draw comes from a private
+    ``random.Random`` seeded with ``(config.seed, purpose, stage,
+    occurrence)`` — string seeds hash through SHA-512, independent of
+    ``PYTHONHASHSEED``.  Whether a given attempt of a given stage faults is
+    therefore a pure function of the seed, *not* of the order stages reach
+    the injector, so sequential and concurrent schedulers inject exactly
+    the same faults.  All bookkeeping is behind a lock: one injector may be
+    driven from many scheduler threads.
     """
 
     def __init__(self, config: FaultConfig | None = None,
@@ -173,11 +179,17 @@ class FaultInjector:
         self.config = config
         self.plan = plan
         self.num_workers = max(1, int(num_workers))
-        self._rng = random.Random(config.seed if config is not None else 0)
+        self._seed = config.seed if config is not None else 0
+        self._lock = threading.Lock()
         self._invocations: dict[str, int] = {}
         self._faults_at: dict[str, int] = {}
         self._fired: set[int] = set()
         self.events: list[FaultEvent] = []
+
+    def _derived_rng(self, purpose: str, stage: str,
+                     occurrence: int) -> random.Random:
+        """Per-(stage, occurrence) RNG: draws never shift with run order."""
+        return random.Random(f"{self._seed}|{purpose}|{stage}|{occurrence}")
 
     # ------------------------------------------------------------------
     def _scheduled(self, stage: str, occurrence: int,
@@ -202,57 +214,66 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def before_stage(self, stage: str) -> None:
         """Called at every operator entry; raises the fault, if any."""
-        occurrence = self._invocations.get(stage, 0)
-        self._invocations[stage] = occurrence + 1
+        with self._lock:
+            occurrence = self._invocations.get(stage, 0)
+            self._invocations[stage] = occurrence + 1
 
-        sf = self._scheduled(stage, occurrence,
-                             (FaultKind.WORKER_CRASH,
-                              FaultKind.SHUFFLE_ERROR))
-        if sf is not None:
-            worker = None
-            if sf.kind is FaultKind.WORKER_CRASH:
-                worker = occurrence % self.num_workers
-                self._record(FaultEvent(stage, sf.kind, occurrence, worker))
+            sf = self._scheduled(stage, occurrence,
+                                 (FaultKind.WORKER_CRASH,
+                                  FaultKind.SHUFFLE_ERROR))
+            if sf is not None:
+                worker = None
+                if sf.kind is FaultKind.WORKER_CRASH:
+                    worker = occurrence % self.num_workers
+                    self._record(FaultEvent(stage, sf.kind, occurrence,
+                                            worker))
+                    raise WorkerCrash(stage, worker)
+                self._record(FaultEvent(stage, sf.kind, occurrence))
+                raise TransientShuffleError(stage)
+
+            cfg = self.config
+            if cfg is None or not cfg.any_faults:
+                return
+            # Crash and shuffle rolls come from independent derived RNGs so
+            # the fault pattern for a given seed does not shift when one
+            # probability is changed.
+            crash_roll = self._derived_rng("crash", stage,
+                                           occurrence).random()
+            shuffle_roll = self._derived_rng("shuffle", stage,
+                                             occurrence).random()
+            if self._capped(stage):
+                return
+            if crash_roll < cfg.crash_probability:
+                worker = self._derived_rng("worker", stage, occurrence) \
+                    .randrange(self.num_workers)
+                self._record(FaultEvent(stage, FaultKind.WORKER_CRASH,
+                                        occurrence, worker))
                 raise WorkerCrash(stage, worker)
-            self._record(FaultEvent(stage, sf.kind, occurrence))
-            raise TransientShuffleError(stage)
-
-        cfg = self.config
-        if cfg is None or not cfg.any_faults:
-            return
-        # Draw both uniforms unconditionally so the fault sequence for a
-        # given seed does not shift when one probability is changed.
-        crash_roll = self._rng.random()
-        shuffle_roll = self._rng.random()
-        if self._capped(stage):
-            return
-        if crash_roll < cfg.crash_probability:
-            worker = self._rng.randrange(self.num_workers)
-            self._record(FaultEvent(stage, FaultKind.WORKER_CRASH,
-                                    occurrence, worker))
-            raise WorkerCrash(stage, worker)
-        if shuffle_roll < cfg.shuffle_error_probability:
-            self._record(FaultEvent(stage, FaultKind.SHUFFLE_ERROR,
-                                    occurrence))
-            raise TransientShuffleError(stage)
+            if shuffle_roll < cfg.shuffle_error_probability:
+                self._record(FaultEvent(stage, FaultKind.SHUFFLE_ERROR,
+                                        occurrence))
+                raise TransientShuffleError(stage)
 
     # ------------------------------------------------------------------
     def straggler_factor(self, stage: str) -> float:
         """Slowdown multiplier (>= 1.0) for the stage that just ran."""
-        occurrence = max(0, self._invocations.get(stage, 1) - 1)
-        sf = self._scheduled(stage, occurrence, (FaultKind.STRAGGLER,))
-        if sf is not None:
-            self._record(FaultEvent(stage, FaultKind.STRAGGLER, occurrence,
-                                    slowdown=sf.slowdown))
-            return sf.slowdown
-        cfg = self.config
-        if cfg is None or cfg.straggler_probability <= 0.0:
+        with self._lock:
+            occurrence = max(0, self._invocations.get(stage, 1) - 1)
+            sf = self._scheduled(stage, occurrence, (FaultKind.STRAGGLER,))
+            if sf is not None:
+                self._record(FaultEvent(stage, FaultKind.STRAGGLER,
+                                        occurrence, slowdown=sf.slowdown))
+                return sf.slowdown
+            cfg = self.config
+            if cfg is None or cfg.straggler_probability <= 0.0:
+                return 1.0
+            roll = self._derived_rng("straggler", stage, occurrence).random()
+            if roll < cfg.straggler_probability:
+                self._record(FaultEvent(stage, FaultKind.STRAGGLER,
+                                        occurrence,
+                                        slowdown=cfg.straggler_slowdown))
+                return cfg.straggler_slowdown
             return 1.0
-        if self._rng.random() < cfg.straggler_probability:
-            self._record(FaultEvent(stage, FaultKind.STRAGGLER, occurrence,
-                                    slowdown=cfg.straggler_slowdown))
-            return cfg.straggler_slowdown
-        return 1.0
 
 
 FaultSource = FaultConfig | FaultPlan | FaultInjector | None

@@ -28,8 +28,11 @@ from ..cost.sparsity import (
     observed_sparsity,
     should_reoptimize,
 )
-from .executor import Executor
-from .storage import StoredMatrix, assemble
+from .ledger import TrafficLedger
+from .recovery import DEFAULT_RECOVERY
+from .scheduler import ExecutionState
+from .stages import OpStage, lower
+from .storage import StoredMatrix, assemble, split
 
 
 @dataclass
@@ -77,36 +80,43 @@ def execute_adaptive(
     max_reoptimizations: int = 5,
     max_states: int | None = None,
 ) -> AdaptiveResult:
-    """Optimize + execute with the paper's sparsity re-optimization loop."""
+    """Optimize + execute with the paper's sparsity re-optimization loop.
+
+    Each attempt lowers the current plan to its stage IR and walks the
+    stages in order through an :class:`~repro.engine.scheduler.
+    ExecutionState`; after the operator stage that completes a vertex, the
+    intermediate's observed sparsity is compared against the estimate, and
+    a divergence rebuilds + re-optimizes the residual graph.
+    """
     total_seconds = 0.0
     reopts = 0
     triggers: list[tuple[str, float, float]] = []
 
     current = graph
-    plan = optimize(current, ctx, max_states=max_states)
-    executor = Executor(plan, ctx)
-    stored: dict[VertexId, StoredMatrix] = {}
-    sparsity_of: dict[VertexId, float] = {}
     values: dict[str, np.ndarray] = dict(inputs)
 
-    progressing = True
-    while progressing:
-        progressing = False
-        restart = False
-        for vid in current.topological_order():
-            if vid in stored:
-                continue
-            v = current.vertex(vid)
-            if v.is_source:
-                if v.name not in values:
-                    raise KeyError(f"no input for source {v.name!r}")
-                from .storage import split
-                stored[vid] = split(values[v.name], v.mtype, v.format,
-                                    ctx.cluster)
-                sparsity_of[vid] = observed_sparsity(values[v.name])
-                continue
+    while True:
+        plan = optimize(current, ctx, max_states=max_states)
+        sgraph = lower(plan, ctx)
+        ledger = TrafficLedger(ctx.cluster, ctx.weights)
+        state = ExecutionState(sgraph, ctx, injector=None,
+                               policy=DEFAULT_RECOVERY)
+        sparsity_of: dict[VertexId, float] = {}
+        for v in current.sources:
+            if v.name not in values:
+                raise KeyError(f"no input for source {v.name!r}")
+            state.lineage.record(v.vid, split(values[v.name], v.mtype,
+                                              v.format, ctx.cluster))
+            sparsity_of[v.vid] = observed_sparsity(values[v.name])
 
-            stored[vid] = executor.compute_vertex(v, stored)
+        restart = False
+        for stage in sgraph.stages:
+            state.run_stage(stage)
+            if not isinstance(stage, OpStage):
+                continue
+            vid = stage.vertex
+            v = current.vertex(vid)
+            stored = state.lineage.matrices
             actual = observed_sparsity(assemble(stored[vid]))
             sparsity_of[vid] = actual
             estimated = v.mtype.sparsity
@@ -117,30 +127,27 @@ def execute_adaptive(
                     and should_reoptimize(estimated, actual, threshold)):
                 triggers.append((v.name, estimated, actual))
                 reopts += 1
-                total_seconds += executor.ledger.total_seconds
+                total_seconds += _merge_and_total(state, ledger)
                 residual, mapping, _ = _rebuild_remaining(
-                    current, {w: s for w, s in stored.items()},
-                    sparsity_of)
-                # Re-key the already-computed matrices into the new graph.
-                stored = {mapping[w]: s for w, s in stored.items()}
-                sparsity_of = {mapping[w]: s
-                               for w, s in sparsity_of.items()}
-                values = {residual.vertex(w).name: assemble(s)
+                    current, dict(stored), sparsity_of)
+                # Residual sources are fed the observed values; their
+                # formats match what is stored, so nothing is re-encoded.
+                values = {residual.vertex(mapping[w]).name: assemble(s)
                           for w, s in stored.items()}
                 current = residual
-                plan = optimize(current, ctx, max_states=max_states)
-                executor = Executor(plan, ctx)
-                # Stored formats may disagree with the new plan's source
-                # formats only if optimize changed them — sources keep their
-                # given formats, so the stored matrices remain valid.
                 restart = True
                 break
-            progressing = True
         if restart:
-            progressing = True
             continue
-        break
 
-    total_seconds += executor.ledger.total_seconds
-    outputs = {v.name: assemble(stored[v.vid]) for v in current.outputs}
-    return AdaptiveResult(outputs, reopts, total_seconds, triggers)
+        total_seconds += _merge_and_total(state, ledger)
+        stored = state.lineage.matrices
+        outputs = {v.name: assemble(stored[v.vid])
+                   for v in current.outputs}
+        return AdaptiveResult(outputs, reopts, total_seconds, triggers)
+
+
+def _merge_and_total(state: ExecutionState, ledger: TrafficLedger) -> float:
+    """Fold an attempt's per-stage sub-ledgers and report their seconds."""
+    state.merge_into(ledger)
+    return ledger.total_seconds

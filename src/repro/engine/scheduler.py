@@ -1,0 +1,250 @@
+"""Schedulers: run a lowered :class:`~repro.engine.stages.StageGraph`.
+
+The executor used to *be* the schedule — a hard-coded sequential walk.  Now
+the walk order is a strategy over the stage DAG:
+
+* :class:`SequentialScheduler` runs stages one by one in stage-id
+  (topological) order — exactly the historical behaviour; and
+* :class:`ThreadPoolScheduler` runs independent stages concurrently.
+
+Both produce **bit-identical ledgers** on fault-free runs: every stage
+charges a private sub-ledger, and :meth:`ExecutionState.merge_into` splices
+the sub-ledgers into the main ledger in stage-id order, so the merged
+record sequence — and therefore every float total — is independent of the
+order stages actually ran in.  Fault handling is deterministic the same
+way: injected faults are a pure function of ``(seed, stage, occurrence)``
+(see :mod:`repro.engine.faults`), each stage retries its own faults from
+lineage under the recovery policy, and recovery statistics are folded in
+stage-id order at merge time.
+
+The one asymmetry is *failure*: when a stage dies structurally
+(:class:`~repro.engine.ledger.EngineFailure`), the sequential scheduler
+stops immediately while the pool may have finished later independent
+stages first — so a failed run's ledger can hold a superset of the
+sequential charges.  Both schedulers report the same failure: the failing
+stage with the smallest stage id.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+import numpy as np
+
+from .faults import FaultInjector, InjectedFault
+from .ledger import RECOVERY, StageRecord, TrafficLedger
+from .recovery import (
+    FaultRetriesExhausted,
+    LineageCheckpoint,
+    RecoveryPolicy,
+    RecoveryStats,
+)
+from .relation import RelationalEngine
+from .stages import OpStage, StageGraph, StageNode, TransformStage
+from .storage import StoredMatrix, convert, split
+
+
+class ExecutionState:
+    """Shared state of one execution of a stage graph.
+
+    Holds the lineage checkpoints, each stage's private sub-ledger records,
+    and the per-stage recovery log.  All mutation is behind one lock so a
+    thread-pool scheduler can drive :meth:`run_stage` from many threads;
+    the sequential scheduler pays only uncontended acquisitions.
+    """
+
+    def __init__(self, sgraph: StageGraph, ctx,
+                 injector: FaultInjector | None,
+                 policy: RecoveryPolicy,
+                 lineage: LineageCheckpoint | None = None,
+                 stats: RecoveryStats | None = None) -> None:
+        self.sgraph = sgraph
+        self.ctx = ctx
+        self.cluster = ctx.cluster
+        self.injector = injector
+        self.policy = policy
+        self.lineage = lineage if lineage is not None else LineageCheckpoint()
+        self.stats = stats if stats is not None else RecoveryStats()
+        #: Transform-stage outputs, by stage id.
+        self.stage_values: dict[int, StoredMatrix] = {}
+        #: Each stage's sub-ledger records, by stage id (present for every
+        #: stage that *started*, even ones that failed).
+        self.records: dict[int, list[StageRecord]] = {}
+        #: Deferred recovery observations: sid -> [(fault, backoff, wasted)].
+        self._recovery_log: dict[int, list] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def seed_sources(self, inputs: dict[str, np.ndarray]) -> None:
+        """Checkpoint every source vertex's stored matrix from ``inputs``."""
+        for v in self.sgraph.plan.graph.sources:
+            if v.name not in inputs:
+                raise KeyError(f"no input provided for source {v.name!r}")
+            self.lineage.record(v.vid, split(inputs[v.name], v.mtype,
+                                             v.format, self.cluster))
+
+    def value_of(self, ref) -> StoredMatrix:
+        """Resolve an :data:`~repro.engine.stages.ArgRef` to its matrix."""
+        kind, key = ref
+        if kind == "stage":
+            return self.stage_values[key]
+        return self.lineage.matrices[key]
+
+    # ------------------------------------------------------------------
+    def run_stage(self, stage: StageNode) -> None:
+        """Run one stage to completion, retrying injected faults.
+
+        The stage charges a private sub-ledger; every failed attempt's
+        partial charges are re-labelled as recovery cost, a capped
+        exponential backoff is charged, and the stage re-runs from its
+        (still checkpointed) inputs.  Recovery observations are deferred
+        to :meth:`merge_into` so statistics accumulate in stage-id order
+        no matter which thread ran the stage.
+        """
+        sub = TrafficLedger(self.cluster, self.ctx.weights)
+        engine = RelationalEngine(
+            self.cluster, sub, faults=self.injector,
+            speculative_backups=self.policy.speculative_backups)
+        with self._lock:
+            self.records[stage.sid] = sub.stages
+        attempt = 0
+        while True:
+            mark = sub.mark()
+            try:
+                result = self._execute(stage, sub, engine)
+                break
+            except InjectedFault as fault:
+                attempt += 1
+                wasted = sub.recategorize_since(mark, RECOVERY)
+                if attempt > self.policy.max_retries:
+                    with self._lock:
+                        self._recovery_log.setdefault(stage.sid, []).append(
+                            (fault, 0.0, wasted, False))
+                    raise FaultRetriesExhausted(fault.stage,
+                                                self.policy.max_retries,
+                                                fault)
+                backoff = self.policy.backoff_seconds(attempt)
+                sub.charge_overhead(f"{fault.stage}:backoff#{attempt}",
+                                    backoff)
+                with self._lock:
+                    self._recovery_log.setdefault(stage.sid, []).append(
+                        (fault, backoff, wasted, True))
+        with self._lock:
+            if isinstance(stage, TransformStage):
+                self.stage_values[stage.sid] = result
+            else:
+                self.lineage.record(stage.vertex, result)
+
+    def _execute(self, stage: StageNode, sub: TrafficLedger,
+                 engine: RelationalEngine) -> StoredMatrix:
+        if isinstance(stage, TransformStage):
+            sub.charge(stage.name, stage.features)
+            src = self.lineage.matrices[stage.edge.src]
+            return convert(src, stage.dst_fmt, self.cluster)
+        assert isinstance(stage, OpStage)
+        args = [self.value_of(ref) for ref in stage.args]
+        return stage.thunk(engine, args)
+
+    # ------------------------------------------------------------------
+    def merge_into(self, ledger: TrafficLedger) -> list[str]:
+        """Splice sub-ledgers into ``ledger`` in stage-id order.
+
+        Also folds the deferred recovery log into ``self.stats`` and the
+        lineage recomputation counts, in the same deterministic order.
+        Returns the names of the stages that ran (i.e. were lowered *and*
+        started), for stage-set comparisons against simulation.
+        """
+        executed: list[str] = []
+        for sid in sorted(self.records):
+            ledger.stages.extend(self.records[sid])
+            executed.append(self.sgraph.stages[sid].name)
+            for fault, backoff, wasted, retried in \
+                    self._recovery_log.get(sid, ()):
+                self.stats.observe(fault, backoff, wasted)
+                if retried:
+                    self.lineage.note_recomputation(
+                        self.sgraph.stages[sid].vertex)
+        if self.lineage.recomputations:
+            self.stats.recomputed_vertices = len(self.lineage.recomputations)
+        return executed
+
+
+# ======================================================================
+# Strategies
+# ======================================================================
+class Scheduler:
+    """Strategy interface: run every stage of ``state``'s graph."""
+
+    name = "scheduler"
+
+    def run(self, state: ExecutionState) -> None:
+        raise NotImplementedError
+
+
+class SequentialScheduler(Scheduler):
+    """One stage at a time, in stage-id order (the historical executor)."""
+
+    name = "sequential"
+
+    def run(self, state: ExecutionState) -> None:
+        for stage in state.sgraph.stages:
+            state.run_stage(stage)
+
+
+class ThreadPoolScheduler(Scheduler):
+    """Run independent stages concurrently on a thread pool.
+
+    Dispatches stages as their dependencies complete (smallest ready
+    stage id first).  After any failure no new stages are dispatched;
+    already-running stages drain, and the failure with the smallest stage
+    id is re-raised — the same stage the sequential scheduler would have
+    died on, because stage outcomes are order-independent.
+    """
+
+    name = "thread-pool"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers
+
+    def run(self, state: ExecutionState) -> None:
+        stages = state.sgraph.stages
+        if not stages:
+            return
+        waiting_on = {s.sid: len(s.deps) for s in stages}
+        dependents: dict[int, list[int]] = {s.sid: [] for s in stages}
+        for s in stages:
+            for dep in s.deps:
+                dependents[dep].append(s.sid)
+        ready = sorted(sid for sid, n in waiting_on.items() if n == 0)
+        failures: dict[int, BaseException] = {}
+
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            running = {}
+
+            def dispatch() -> None:
+                while ready and not failures:
+                    sid = ready.pop(0)
+                    running[pool.submit(state.run_stage, stages[sid])] = sid
+
+            dispatch()
+            while running:
+                done, _ = wait(running, return_when=FIRST_COMPLETED)
+                for future in done:
+                    sid = running.pop(future)
+                    error = future.exception()
+                    if error is not None:
+                        failures[sid] = error
+                        continue
+                    for child in dependents[sid]:
+                        waiting_on[child] -= 1
+                        if waiting_on[child] == 0:
+                            ready.append(child)
+                ready.sort()
+                dispatch()
+
+        if failures:
+            raise failures[min(failures)]
+
+
+DEFAULT_SCHEDULER = SequentialScheduler()

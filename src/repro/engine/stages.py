@@ -1,0 +1,246 @@
+"""The physical-stage IR: annotated plans lowered to an executable DAG.
+
+An annotated :class:`~repro.core.annotation.Plan` fixes every choice the
+paper's optimizer makes — an implementation per vertex, a transformation per
+edge — but it is still a *logical* object: four modules (pure simulation,
+real execution, timeline tracing, adaptive re-optimization) used to each
+re-derive the physical stage sequence from it.  :func:`lower` does that
+derivation once, producing an immutable :class:`StageGraph` whose nodes are
+exactly the stages the engine charges to its ledger:
+
+* a :class:`TransformStage` per *non-identity* edge — edges whose producer
+  already stores the required format cost nothing and run nothing, so they
+  lower to no stage at all (the executor and the simulator therefore agree
+  stage-for-stage by construction); and
+* an :class:`OpStage` per inner vertex, carrying a bound kernel thunk that
+  runs the chosen implementation on a relational engine.
+
+Every stage records its dependencies (as stage ids), its analytic
+:class:`~repro.cost.features.CostFeatures`, and the cost model's seconds —
+so "charge each stage" *is* simulation, an ASAP pass over the DAG *is* the
+pipeline-aware timeline, and a scheduler that respects ``deps`` *is* an
+executor (:mod:`repro.engine.scheduler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..core.annotation import Plan
+from ..core.formats import PhysicalFormat
+from ..core.graph import Edge, VertexId
+from ..core.implementations import OpImplementation
+from ..core.registry import OptimizerContext
+from ..core.transforms import FormatTransform
+from ..cost.features import CostFeatures
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .relation import RelationalEngine
+    from .storage import StoredMatrix
+
+#: How an op stage refers to one input: a transform stage's output
+#: (``("stage", sid)``) or a vertex's stored matrix (``("vertex", vid)``)
+#: when the edge lowered to no stage (identity) or the producer is a source.
+ArgRef = tuple[str, Any]
+
+OpThunk = Callable[["RelationalEngine", list["StoredMatrix"]], "StoredMatrix"]
+
+
+@dataclass(frozen=True)
+class StageNode:
+    """One physical stage: the unit of charging, scheduling and recovery."""
+
+    #: Dense stage id; also the stage's rank in the sequential order
+    #: (stages are emitted in topological order, so ``deps`` only ever
+    #: point at smaller ids).
+    sid: int
+    #: Ledger stage name (``A->C:to-tile`` / ``C:mm_broadcast``).
+    name: str
+    #: Consumer vertex this stage computes for.
+    vertex: VertexId
+    #: Stage ids that must complete before this stage can run.
+    deps: tuple[int, ...]
+    #: Analytic cost features charged for this stage.
+    features: CostFeatures
+    #: The cost model's predicted seconds for ``features``.
+    seconds: float
+
+    kind = "stage"
+
+
+@dataclass(frozen=True)
+class TransformStage(StageNode):
+    """Re-encode one producer's stored matrix into the consumer's format."""
+
+    edge: Edge
+    transform: FormatTransform
+    src_fmt: PhysicalFormat
+    dst_fmt: PhysicalFormat
+
+    kind = "transform"
+
+
+@dataclass(frozen=True)
+class OpStage(StageNode):
+    """Run one vertex's chosen implementation on the relational engine."""
+
+    impl: OpImplementation
+    out_fmt: PhysicalFormat
+    #: One ref per graph in-edge, in edge order.
+    args: tuple[ArgRef, ...]
+    #: Bound kernel: ``thunk(engine, stored_args) -> StoredMatrix``.
+    thunk: OpThunk = field(compare=False, repr=False)
+
+    kind = "op"
+
+
+@dataclass(frozen=True)
+class AsapSchedule:
+    """An as-soon-as-possible placement of a stage graph's stages."""
+
+    starts: tuple[float, ...]
+    ends: tuple[float, ...]
+    #: Stage ids on the critical path (one chain, recovered by walking
+    #: backpointers from the stage that finishes last).
+    on_critical_path: frozenset[int]
+    makespan: float
+
+
+@dataclass(frozen=True)
+class StageGraph:
+    """The lowered plan: an immutable DAG of physical stages.
+
+    ``stages`` are in topological (and sequential-execution) order;
+    ``op_stage_of`` maps each inner vertex to the stage that produces it.
+    """
+
+    plan: Plan
+    stages: tuple[StageNode, ...]
+    op_stage_of: dict[VertexId, int]
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    @property
+    def sum_seconds(self) -> float:
+        """The paper's objective: the sum of all stage costs."""
+        return sum(s.seconds for s in self.stages)
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Pipeline-aware clock: the makespan of the ASAP schedule."""
+        return self.asap().makespan
+
+    def op_stage(self, vid: VertexId) -> OpStage:
+        stage = self.stages[self.op_stage_of[vid]]
+        assert isinstance(stage, OpStage)
+        return stage
+
+    def asap(self) -> AsapSchedule:
+        """Start every stage as soon as its dependencies finish.
+
+        Ties between dependencies are broken toward the *latest* one in
+        stage order (matching the historical timeline behaviour), and the
+        critical path is the backpointer chain from the first stage that
+        attains the maximum finish time.
+        """
+        starts: list[float] = []
+        ends: list[float] = []
+        parent: list[int | None] = []
+        for stage in self.stages:
+            start = 0.0
+            par: int | None = None
+            for dep in stage.deps:
+                if ends[dep] >= start:
+                    start = ends[dep]
+                    par = dep
+            starts.append(start)
+            ends.append(start + stage.seconds)
+            parent.append(par)
+
+        makespan = max(ends, default=0.0)
+        on_path: set[int] = set()
+        if ends:
+            idx: int | None = max(range(len(ends)), key=lambda i: ends[i])
+            while idx is not None:
+                on_path.add(idx)
+                idx = parent[idx]
+        return AsapSchedule(tuple(starts), tuple(ends), frozenset(on_path),
+                            makespan)
+
+
+def _bind_thunk(v, impl: OpImplementation, out_fmt: PhysicalFormat) -> OpThunk:
+    """Close over the vertex's choices; the kernel dispatch lives in
+    :mod:`repro.engine.opkernels`."""
+    from .opkernels import execute_op
+
+    def thunk(engine: "RelationalEngine",
+              args: list["StoredMatrix"]) -> "StoredMatrix":
+        return execute_op(engine, v, impl, args, out_fmt)
+
+    return thunk
+
+
+def lower(plan: Plan, ctx: OptimizerContext) -> StageGraph:
+    """Lower an annotated plan to its physical stage DAG.
+
+    Edges whose producer already stores the consumer's required format
+    (``src_fmt == dst``) lower to *no* stage: nothing runs and nothing is
+    charged, exactly as the executor behaves.  Stage seconds come from
+    ``ctx.cost_model``, so lowering under the planning context reproduces
+    the plan's evaluated costs bit-for-bit.
+    """
+    graph = plan.graph
+    stages: list[StageNode] = []
+    op_stage_of: dict[VertexId, int] = {}
+
+    for vid in graph.topological_order():
+        v = graph.vertex(vid)
+        if v.is_source:
+            continue
+        op_deps: list[int] = []
+        arg_refs: list[ArgRef] = []
+        transformed: list[PhysicalFormat] = []
+        for edge in graph.in_edges(vid):
+            producer = graph.vertex(edge.src)
+            transform, dst = plan.annotation.transforms[edge]
+            src_fmt = plan.cost.vertex_formats[edge.src]
+            transformed.append(dst)
+            if src_fmt == dst:
+                # Identity edge: the consumer reads the producer's blocks
+                # as stored — no stage, no charge.
+                if edge.src in op_stage_of:
+                    op_deps.append(op_stage_of[edge.src])
+                arg_refs.append(("vertex", edge.src))
+                continue
+            feats = transform.features(producer.mtype, src_fmt, dst,
+                                       ctx.cluster)
+            sid = len(stages)
+            deps = ((op_stage_of[edge.src],)
+                    if edge.src in op_stage_of else ())
+            stages.append(TransformStage(
+                sid=sid,
+                name=f"{producer.name}->{v.name}:{transform.name}",
+                vertex=vid, deps=deps, features=feats,
+                seconds=ctx.cost_model.seconds(feats),
+                edge=edge, transform=transform,
+                src_fmt=src_fmt, dst_fmt=dst))
+            op_deps.append(sid)
+            arg_refs.append(("stage", sid))
+
+        impl = plan.annotation.impls[vid]
+        in_types = tuple(graph.vertex(p).mtype for p in v.inputs)
+        feats = impl.features(in_types, tuple(transformed), ctx.cluster)
+        out_fmt = plan.cost.vertex_formats[vid]
+        sid = len(stages)
+        stages.append(OpStage(
+            sid=sid, name=f"{v.name}:{impl.name}", vertex=vid,
+            deps=tuple(op_deps), features=feats,
+            seconds=ctx.cost_model.seconds(feats),
+            impl=impl, out_fmt=out_fmt, args=tuple(arg_refs),
+            thunk=_bind_thunk(v, impl, out_fmt)))
+        op_stage_of[vid] = sid
+
+    return StageGraph(plan=plan, stages=tuple(stages),
+                      op_stage_of=op_stage_of)

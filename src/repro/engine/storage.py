@@ -114,3 +114,41 @@ def convert(stored: StoredMatrix, dst: PhysicalFormat,
     if stored.fmt == dst:
         return stored
     return split(assemble(stored), stored.mtype, dst, cluster)
+
+
+def infer_format(mtype: MatrixType, keys) -> PhysicalFormat:
+    """Infer a block layout from relational result keys (fallback path)."""
+    max_i = max(k[0] for k in keys) + 1
+    max_j = max(k[1] for k in keys) + 1
+    br = math.ceil(mtype.rows / max_i)
+    bc = math.ceil(mtype.cols / max_j)
+    if max_i == 1 and max_j == 1:
+        return PhysicalFormat(Layout.SINGLE)
+    return PhysicalFormat(Layout.TILE, block_rows=br, block_cols=bc)
+
+
+def store_as(relation: Relation, mtype: MatrixType, fmt: PhysicalFormat,
+             cluster: ClusterConfig) -> StoredMatrix:
+    """Wrap relational output blocks as a stored matrix in ``fmt``.
+
+    Output keys are expected to match the format's grid; payloads are
+    re-encoded (dense/sparse) when the format demands it.  When the keys
+    do not form the expected grid, the blocks are reassembled through
+    storage and re-split (the cost of that restructure is the producing
+    stage's to charge).
+    """
+    expected = fmt.grid(mtype)
+    keys = set(relation.rows.keys())
+    want = {(i, j) for i in range(expected[0]) for j in range(expected[1])}
+    if keys != want:
+        tmp = StoredMatrix(mtype, infer_format(mtype, keys), relation)
+        return split(assemble(tmp), mtype, fmt, cluster)
+    rows = {}
+    for key, payload in relation.rows.items():
+        if fmt.is_sparse and not sp.issparse(payload):
+            rows[key] = sp.csr_matrix(payload)
+        elif not fmt.is_sparse and sp.issparse(payload):
+            rows[key] = payload.toarray()
+        else:
+            rows[key] = payload
+    return StoredMatrix(mtype, fmt, Relation(cluster, rows, relation.home))

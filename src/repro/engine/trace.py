@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from ..core.annotation import Plan
 from ..core.graph import VertexId
 from ..core.registry import OptimizerContext
+from .stages import StageGraph, lower
 
 
 @dataclass(frozen=True)
@@ -69,64 +70,24 @@ class Timeline:
         return "\n".join(lines)
 
 
+def timeline_of(sgraph: StageGraph) -> Timeline:
+    """ASAP-schedule a lowered stage graph and find the critical path."""
+    sched = sgraph.asap()
+    scheduled = [
+        ScheduledStage(s.name, s.kind, s.vertex, sched.starts[s.sid],
+                       sched.ends[s.sid], s.sid in sched.on_critical_path)
+        for s in sgraph.stages]
+    return Timeline(scheduled, sgraph.sum_seconds, sched.makespan)
+
+
 def schedule(plan: Plan, ctx: OptimizerContext) -> Timeline:
     """ASAP-schedule the plan's stages and find the critical path.
 
-    A vertex's transformation stages depend on their producer's operator
-    stage; an operator stage depends on all of its transformation stages.
-    Stage durations come from the plan's evaluated costs.
+    The plan is lowered to its physical stage DAG
+    (:func:`repro.engine.stages.lower`) — a transformation stage depends on
+    its producer's operator stage, an operator stage on all of its
+    transformation stages — and placed as soon as dependencies allow.
+    Stage durations come from the cost model under ``ctx``, which under the
+    planning context equal the plan's evaluated costs.
     """
-    graph = plan.graph
-    ready_at: dict[VertexId, float] = {}
-    stages: list[tuple[str, str, VertexId, float, float]] = []
-    # Backpointers for critical-path recovery: stage index -> parent index.
-    parents: dict[int, int | None] = {}
-    op_stage_index: dict[VertexId, int] = {}
-
-    for vid in graph.topological_order():
-        v = graph.vertex(vid)
-        if v.is_source:
-            ready_at[vid] = 0.0
-            continue
-        op_start = 0.0
-        op_parent: int | None = None
-        for edge in graph.in_edges(vid):
-            producer = graph.vertex(edge.src)
-            transform, _dst = plan.annotation.transforms[edge]
-            duration = plan.cost.edge_seconds[edge]
-            start = ready_at[edge.src]
-            end = start + duration
-            if duration > 0:
-                idx = len(stages)
-                stages.append((f"{producer.name}->{v.name}:{transform.name}",
-                               "transform", vid, start, end))
-                parents[idx] = op_stage_index.get(edge.src)
-                candidate_parent = idx
-            else:
-                candidate_parent = op_stage_index.get(edge.src)
-            if end >= op_start:
-                op_start = end
-                op_parent = candidate_parent
-        impl = plan.annotation.impls[vid]
-        duration = plan.cost.vertex_seconds[vid]
-        idx = len(stages)
-        stages.append((f"{v.name}:{impl.name}", "op", vid, op_start,
-                       op_start + duration))
-        parents[idx] = op_parent
-        op_stage_index[vid] = idx
-        ready_at[vid] = op_start + duration
-
-    critical_end = max((s[4] for s in stages), default=0.0)
-    # Walk back from the stage that finishes last.
-    on_path: set[int] = set()
-    if stages:
-        idx = max(range(len(stages)), key=lambda i: stages[i][4])
-        while idx is not None:
-            on_path.add(idx)
-            idx = parents.get(idx)
-
-    scheduled = [
-        ScheduledStage(name, kind, vid, start, end, i in on_path)
-        for i, (name, kind, vid, start, end) in enumerate(stages)]
-    sequential = sum(s.duration for s in scheduled)
-    return Timeline(scheduled, sequential, critical_end)
+    return timeline_of(lower(plan, ctx))

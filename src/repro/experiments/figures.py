@@ -491,6 +491,7 @@ def _tree_expanded_cost(graph, ctx) -> float:
 from .extensions import EXTENSION_EXPERIMENTS  # noqa: E402 (registry tail)
 from .rewrites import REWRITE_EXPERIMENTS  # noqa: E402 (registry tail)
 from .robustness import ROBUSTNESS_EXPERIMENTS  # noqa: E402 (registry tail)
+from .scheduling import SCHEDULING_EXPERIMENTS  # noqa: E402 (registry tail)
 
 EXPERIMENTS = {
     "fig01": fig01,
@@ -508,4 +509,5 @@ EXPERIMENTS = {
     **EXTENSION_EXPERIMENTS,
     **REWRITE_EXPERIMENTS,
     **ROBUSTNESS_EXPERIMENTS,
+    **SCHEDULING_EXPERIMENTS,
 }

@@ -195,6 +195,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="frontier beam width (0 = exact)")
     parser.add_argument("--no-rewrites", action="store_true",
                         help="disable the logical rewrite pipeline")
+    parser.add_argument("--timeline", action="store_true",
+                        help="render the pipeline-aware stage timeline "
+                             "(ASAP Gantt chart) of the best plan at the "
+                             "first feasible cluster size")
     args = parser.parse_args(argv)
 
     graph = workloads[args.workload]()
@@ -210,6 +214,18 @@ def main(argv: Sequence[str] | None = None) -> int:
              if p.plan is not None and p.plan.pipeline is not None}
     if fired:
         print("rewrite passes fired: " + "; ".join(sorted(fired)))
+    if args.timeline:
+        from ..engine.trace import schedule
+
+        shown = next((p for p in points if p.feasible and p.plan is not None),
+                     None)
+        if shown is None:
+            print("timeline: no feasible plan in the sweep")
+        else:
+            ctx = OptimizerContext(
+                cluster=DEFAULT_CLUSTER.with_workers(shown.workers))
+            print(f"timeline at {shown.workers} workers:")
+            print(schedule(shown.plan, ctx).gantt())
     if args.target is not None:
         best = recommend_workers(graph, DEFAULT_CLUSTER.with_workers,
                                  args.target, counts,

@@ -1,0 +1,178 @@
+"""Scheduler equivalence: the thread-pool scheduler must be observably
+identical to the sequential one — outputs, ledgers, and recovery stats —
+because sub-ledgers merge in stage-id order regardless of completion order."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import (
+    ADD,
+    ELEM_MUL,
+    MATMUL,
+    RELU,
+    SCALAR_MUL,
+    SUB,
+    TRANSPOSE,
+)
+from repro.core.formats import row_strips, single, sparse_single, tiles
+from repro.engine import execute_plan
+from repro.engine.faults import FaultConfig, FaultPlan
+from repro.engine.recovery import RecoveryPolicy
+from repro.engine.scheduler import SequentialScheduler, ThreadPoolScheduler
+
+OPS = (MATMUL, ADD, SUB, ELEM_MUL, RELU, TRANSPOSE, SCALAR_MUL)
+RNG = np.random.default_rng(23)
+
+
+def _diamond():
+    g = ComputeGraph()
+    x = g.add_source("X", matrix(48, 48), tiles(16))
+    wl = g.add_source("WL", matrix(48, 48), tiles(16))
+    wr = g.add_source("WR", matrix(48, 48), tiles(16))
+    left = g.add_op("L", MATMUL, (x, wl))
+    right = g.add_op("R", MATMUL, (x, wr))
+    g.add_op("OUT", ADD, (left, right))
+    inputs = {name: RNG.standard_normal((48, 48))
+              for name in ("X", "WL", "WR")}
+    return g, inputs
+
+
+def _both(plan, inputs, ctx, **kwargs):
+    seq = execute_plan(plan, inputs, ctx,
+                       scheduler=SequentialScheduler(), **kwargs)
+    pool = execute_plan(plan, inputs, ctx,
+                        scheduler=ThreadPoolScheduler(), **kwargs)
+    return seq, pool
+
+
+def _assert_equivalent(seq, pool):
+    assert seq.ok == pool.ok
+    assert set(seq.outputs) == set(pool.outputs)
+    for name, value in seq.outputs.items():
+        assert np.array_equal(pool.outputs[name], value), name
+    records = [(s.name, s.seconds, s.category) for s in seq.ledger.stages]
+    assert records == \
+        [(s.name, s.seconds, s.category) for s in pool.ledger.stages]
+    assert seq.ledger.total_seconds == pool.ledger.total_seconds
+    assert seq.ledger.total_seconds == \
+        pytest.approx(pool.ledger.total_seconds, abs=1e-9)
+
+
+class TestCleanEquivalence:
+    def test_diamond_is_bit_identical(self):
+        graph, inputs = _diamond()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        seq, pool = _both(plan, inputs, ctx)
+        assert seq.ok
+        _assert_equivalent(seq, pool)
+        assert seq.executed_stages == pool.executed_stages
+
+    def test_pool_respects_dependencies(self):
+        """Many workers, deep graph: values must still be correct."""
+        g = ComputeGraph()
+        prev = g.add_source("A", matrix(32, 32), tiles(16))
+        a0 = prev
+        for i in range(6):
+            prev = g.add_op(f"v{i}", RELU if i % 2 else ADD,
+                            (prev, a0)[:1 + (i % 2 == 0)])
+        inputs = {"A": RNG.standard_normal((32, 32))}
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        seq, pool = _both(plan, inputs, ctx)
+        assert seq.ok
+        _assert_equivalent(seq, pool)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(st.data())
+    def test_random_plans_are_equivalent(self, data):
+        seed = data.draw(st.integers(0, 10_000))
+        rng = np.random.default_rng(seed)
+        n = data.draw(st.sampled_from([24, 40]))
+        g = ComputeGraph()
+        inputs = {}
+        pool_vids = []
+        for i in range(data.draw(st.integers(2, 3))):
+            fmt = data.draw(st.sampled_from([single(), tiles(16),
+                                             row_strips(8)]))
+            vid = g.add_source(f"S{i}", matrix(n, n), fmt)
+            inputs[f"S{i}"] = rng.standard_normal((n, n))
+            pool_vids.append(vid)
+        for i in range(data.draw(st.integers(1, 5))):
+            op = data.draw(st.sampled_from(OPS))
+            picks = tuple(
+                pool_vids[data.draw(st.integers(0, len(pool_vids) - 1))]
+                for _ in range(op.arity))
+            param = data.draw(st.floats(-2, 2)) if op is SCALAR_MUL else None
+            pool_vids.append(g.add_op(f"v{i}", op, picks, param=param))
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        seq, pool = _both(plan, inputs, ctx)
+        assert seq.ok
+        _assert_equivalent(seq, pool)
+
+
+class TestFaultEquivalence:
+    def test_scheduled_crash_recovers_identically(self):
+        graph, inputs = _diamond()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        seq, pool = _both(plan, inputs, ctx, faults=FaultPlan.crash("L"))
+        assert seq.ok
+        assert seq.recovery.worker_crashes == 1
+        _assert_equivalent(seq, pool)
+        assert seq.recovery.retries == pool.recovery.retries
+        assert seq.recovery.backoff_seconds == pool.recovery.backoff_seconds
+        assert seq.recovery.recovered_faults == pool.recovery.recovered_faults
+
+    def test_probabilistic_faults_recover_identically(self):
+        graph, inputs = _diamond()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        cfg = FaultConfig(seed=6, crash_probability=0.2,
+                          shuffle_error_probability=0.1,
+                          straggler_probability=0.2)
+        seq, pool = _both(plan, inputs, ctx, faults=cfg)
+        assert seq.ok
+        assert seq.recovery.recovered_faults > 0
+        _assert_equivalent(seq, pool)
+        assert seq.recovery.retries == pool.recovery.retries
+        assert seq.recovery.worker_crashes == pool.recovery.worker_crashes
+        assert seq.recovery.transient_errors == pool.recovery.transient_errors
+
+    def test_retries_exhausted_fails_identically(self):
+        graph, inputs = _diamond()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        persistent = FaultPlan(tuple(
+            FaultPlan.crash("L", occurrence=i).faults[0] for i in range(3)))
+        policy = RecoveryPolicy(max_retries=2, backoff_base_seconds=0.1)
+        seq, pool = _both(plan, inputs, ctx, faults=persistent,
+                          recovery=policy)
+        assert not seq.ok and not pool.ok
+        assert seq.failure == pool.failure
+        assert seq.recovery.worker_crashes == pool.recovery.worker_crashes
+
+    def test_memory_failure_fails_identically(self):
+        """Declared sparsity lies and the spill overflows worker disk: both
+        schedulers must surface the same engine failure."""
+        rng = np.random.default_rng(0)
+        n = 256
+        cluster = ClusterConfig(num_workers=4, disk_bytes=1.5e6)
+        ctx = OptimizerContext(cluster=cluster)
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(n, n, sparsity=0.005), sparse_single())
+        b = g.add_source("B", matrix(n, n), tiles(64))
+        g.add_op("C", MATMUL, (a, b))
+        inputs = {"A": rng.standard_normal((n, n)),
+                  "B": rng.standard_normal((n, n))}
+        plan = optimize(g, ctx, max_states=200)
+        seq, pool = _both(plan, inputs, ctx)
+        assert not seq.ok and not pool.ok
+        assert seq.failure == pool.failure

@@ -1,0 +1,142 @@
+"""The physical-stage IR: lowering, clocks, and simulate/execute agreement."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import ADD, MATMUL, RELU
+from repro.core.formats import single, tiles
+from repro.engine import execute_plan, simulate
+from repro.engine.stages import OpStage, TransformStage, lower
+from repro.engine.trace import schedule
+
+CTX = OptimizerContext()
+RNG = np.random.default_rng(17)
+
+
+def _workload():
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(48, 48), tiles(16))
+    b = g.add_source("B", matrix(48, 48), tiles(16))
+    h = g.add_op("H", MATMUL, (a, b))
+    r = g.add_op("R", RELU, (h,))
+    g.add_op("OUT", ADD, (r, a))
+    inputs = {"A": RNG.standard_normal((48, 48)),
+              "B": RNG.standard_normal((48, 48))}
+    return g, inputs
+
+
+def _identity_chain():
+    """RELU over RELU keeps the producer's format: identity edges."""
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(40, 40), single())
+    x = g.add_op("X", RELU, (a,))
+    g.add_op("Y", RELU, (x,))
+    return g, {"A": RNG.standard_normal((40, 40))}
+
+
+def _identity_edges(plan):
+    """Edges whose producer already stores the consumer's required format."""
+    return [e for v in plan.graph.vertices if not v.is_source
+            for e in plan.graph.in_edges(v.vid)
+            if plan.cost.vertex_formats[e.src]
+            == plan.annotation.transforms[e][1]]
+
+
+class TestLowering:
+    def test_one_op_stage_per_inner_vertex(self):
+        graph, _ = _workload()
+        plan = optimize(graph, CTX, max_states=200)
+        sgraph = lower(plan, CTX)
+        op_stages = [s for s in sgraph.stages if isinstance(s, OpStage)]
+        inner = [v for v in graph.vertices if not v.is_source]
+        assert len(op_stages) == len(inner)
+        assert set(sgraph.op_stage_of) == {v.vid for v in inner}
+
+    def test_deps_point_backwards_and_match_structure(self):
+        graph, _ = _workload()
+        plan = optimize(graph, CTX, max_states=200)
+        sgraph = lower(plan, CTX)
+        for stage in sgraph.stages:
+            assert stage.sid == sgraph.stages.index(stage)
+            for dep in stage.deps:
+                assert dep < stage.sid
+            if isinstance(stage, TransformStage):
+                # A transform depends (only) on its producer's op stage.
+                assert len(stage.deps) <= 1
+
+    def test_identity_edges_lower_to_no_stage(self):
+        graph, _ = _identity_chain()
+        plan = optimize(graph, CTX, max_states=200)
+        assert _identity_edges(plan), "workload should have an identity edge"
+        sgraph = lower(plan, CTX)
+        transforms = [s for s in sgraph.stages
+                      if isinstance(s, TransformStage)]
+        for t in transforms:
+            assert t.src_fmt != t.dst_fmt
+
+    def test_lowered_seconds_reproduce_plan_cost(self):
+        graph, _ = _workload()
+        plan = optimize(graph, CTX, max_states=200)
+        sgraph = plan.lowered(CTX)
+        assert sgraph.sum_seconds == pytest.approx(plan.total_seconds,
+                                                   rel=1e-9)
+
+
+class TestSimulateClocks:
+    def test_sum_clock_is_paper_objective(self):
+        graph, _ = _workload()
+        plan = optimize(graph, CTX, max_states=200)
+        sim = simulate(plan, CTX, clock="sum")
+        assert sim.ok
+        assert sim.seconds == pytest.approx(plan.total_seconds, rel=1e-9)
+
+    def test_critical_path_clock_matches_trace(self):
+        graph, _ = _workload()
+        plan = optimize(graph, CTX, max_states=200)
+        sim = simulate(plan, CTX, clock="critical_path")
+        timeline = schedule(plan, CTX)
+        assert sim.seconds == timeline.critical_path_seconds
+        assert sim.seconds <= simulate(plan, CTX).seconds + 1e-9
+
+    def test_unknown_clock_rejected(self):
+        graph, _ = _workload()
+        plan = optimize(graph, CTX, max_states=200)
+        with pytest.raises(ValueError, match="clock"):
+            simulate(plan, CTX, clock="wall")
+
+    def test_failed_simulation_keeps_clock_semantics(self):
+        from repro.cluster import ClusterConfig
+
+        tiny = OptimizerContext(cluster=ClusterConfig(num_workers=2,
+                                                      ram_bytes=1e3))
+        graph, _ = _workload()
+        plan = optimize(graph, CTX, max_states=200)
+        sim = simulate(plan, tiny, clock="critical_path")
+        assert not sim.ok
+        assert math.isinf(sim.seconds)
+
+
+class TestSimulateExecuteAgreement:
+    def test_stage_sets_agree_on_plan_with_identity_edge(self):
+        """Regression: simulate() used to charge a transform stage for
+        every edge, including identity edges the executor never runs."""
+        graph, inputs = _identity_chain()
+        plan = optimize(graph, CTX, max_states=200)
+        assert _identity_edges(plan), "workload should have an identity edge"
+        sim = simulate(plan, CTX)
+        result = execute_plan(plan, inputs, CTX)
+        assert result.ok
+        assert {s.name for s in sim.ledger.stages} == \
+            set(result.executed_stages)
+
+    def test_stage_sets_agree_on_mixed_plan(self):
+        graph, inputs = _workload()
+        plan = optimize(graph, CTX, max_states=200)
+        sim = simulate(plan, CTX)
+        result = execute_plan(plan, inputs, CTX)
+        assert result.ok
+        assert {s.name for s in sim.ledger.stages} == \
+            set(result.executed_stages)

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import DEFAULT_CLUSTER
@@ -17,7 +18,13 @@ from repro.core.formats import (
     tiles,
 )
 from repro.core.types import matrix
-from repro.engine.storage import assemble, convert, split
+from repro.engine.storage import (
+    assemble,
+    convert,
+    infer_format,
+    split,
+    store_as,
+)
 
 RNG = np.random.default_rng(7)
 
@@ -115,3 +122,59 @@ def test_sparse_round_trip_property(rows, cols):
     for fmt in (coo(), sparse_single()):
         assert np.allclose(assemble(split(data, t, fmt, DEFAULT_CLUSTER)),
                            data)
+
+
+class TestStoreAs:
+    """store_as / infer_format: wrapping relational op output as a
+    StoredMatrix, re-encoding payloads when the format demands it."""
+
+    def test_infer_format_single(self):
+        t = matrix(40, 40)
+        fmt = infer_format(t, {(0, 0)})
+        assert fmt.layout.name == "SINGLE"
+
+    def test_infer_format_tiled(self):
+        t = matrix(64, 48)
+        keys = {(i, j) for i in range(2) for j in range(2)}
+        fmt = infer_format(t, keys)
+        assert fmt.is_tiled
+        assert fmt.block_rows == 32 and fmt.block_cols == 24
+        assert fmt.grid(t) == (2, 2)
+
+    def test_dense_payloads_coerced_to_sparse(self):
+        t = matrix(64, 64, 0.05)
+        data = _random_sparse(64, 64)
+        dense_stored = split(data, t, tiles(16), DEFAULT_CLUSTER)
+        # The relation holds dense blocks; the target format is sparse.
+        out = store_as(dense_stored.relation, t, sparse_tiles(16),
+                       DEFAULT_CLUSTER)
+        assert out.fmt == sparse_tiles(16)
+        assert all(sp.issparse(b) for b in out.relation.rows.values())
+        assert np.allclose(assemble(out), data)
+
+    def test_sparse_payloads_coerced_to_dense(self):
+        t = matrix(64, 64, 0.05)
+        data = _random_sparse(64, 64)
+        sparse_stored = split(data, t, sparse_tiles(16), DEFAULT_CLUSTER)
+        out = store_as(sparse_stored.relation, t, tiles(16), DEFAULT_CLUSTER)
+        assert out.fmt == tiles(16)
+        assert not any(sp.issparse(b) for b in out.relation.rows.values())
+        assert np.allclose(assemble(out), data)
+
+    def test_block_mismatch_falls_back_to_resplit(self):
+        t = matrix(64, 64)
+        data = _random_dense(64, 64)
+        coarse = split(data, t, tiles(32), DEFAULT_CLUSTER)  # 2x2 grid
+        out = store_as(coarse.relation, t, tiles(16), DEFAULT_CLUSTER)
+        assert out.fmt == tiles(16)
+        assert set(out.relation.rows) == \
+            {(i, j) for i in range(4) for j in range(4)}
+        assert np.allclose(assemble(out), data)
+
+    def test_matching_grid_preserves_payload_objects(self):
+        t = matrix(64, 64)
+        data = _random_dense(64, 64)
+        stored = split(data, t, tiles(16), DEFAULT_CLUSTER)
+        out = store_as(stored.relation, t, tiles(16), DEFAULT_CLUSTER)
+        for key, block in stored.relation.rows.items():
+            assert out.relation.rows[key] is block

@@ -67,6 +67,27 @@ class TestSchedule:
         assert path[-1].end == pytest.approx(
             timeline.critical_path_seconds)
 
+    def test_diamond_critical_path_is_single_chain(self):
+        """The backpointer walk marks exactly one of the two diamond
+        branches on-path: the stages marked critical form one connected
+        serial chain, never both branches."""
+        timeline = schedule(_diamond_plan(), CTX)
+        assert timeline.parallelism > 1
+        path = sorted(timeline.critical_path(), key=lambda s: s.start)
+        assert path
+        # One chain: consecutive on-path stages never overlap in time...
+        for earlier, later in zip(path, path[1:]):
+            assert earlier.end <= later.start + 1e-9
+        # ... it spans the whole makespan ...
+        assert path[0].start == pytest.approx(0.0)
+        assert path[-1].end == pytest.approx(timeline.critical_path_seconds)
+        assert sum(s.duration for s in path) == pytest.approx(
+            timeline.critical_path_seconds, rel=1e-9)
+        # ... and only one of the two branch matmuls is on it.
+        branch_ops = [s for s in path if s.kind == "op"
+                      and s.name.split(":")[0] in ("L", "R")]
+        assert len(branch_ops) == 1
+
     def test_gantt_renders(self):
         timeline = schedule(_diamond_plan(), CTX)
         text = timeline.gantt()

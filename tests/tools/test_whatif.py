@@ -128,3 +128,13 @@ class TestCli:
         out = capsys.readouterr().out
         assert "rewrites=none" in out
         assert "rewrite passes fired:" not in out
+
+    def test_timeline_flag_renders_gantt(self, capsys):
+        from repro.tools.whatif import main
+
+        assert main(["--workload", "attention", "--workers", "2,5",
+                     "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline at 2 workers:" in out
+        assert "critical path" in out
+        assert "#" in out
