@@ -9,6 +9,7 @@ completion; the GPU catalog beats CPU-only planning when GPUs exist.
 from repro.experiments.extensions import (
     ext_adaptive_reopt,
     ext_gpu_catalog,
+    ext_optimizer_scaling,
     ext_sketch_refinement,
 )
 
@@ -37,6 +38,20 @@ def test_adaptive_reoptimization(benchmark, print_table):
     replans = int(table.rows[1][2])
     assert replans >= 1
     assert adaptive < static
+
+
+def test_optimizer_scaling(benchmark, print_table):
+    table = benchmark.pedantic(ext_optimizer_scaling, rounds=1, iterations=1)
+    print_table(table)
+    widest = table.rows[-1]
+    # The prune is lossless: the cost column flags any divergence.
+    for row in table.rows:
+        assert "!=" not in row[6]
+    # Search-effort reductions are deterministic; wall-clock speedup is
+    # machine-dependent but must clearly show on the widest DAG.
+    pruned_peak, plain_peak = (int(c) for c in widest[5].split(" / "))
+    assert plain_peak > 100 * pruned_peak
+    assert float(widest[4].rstrip("x")) >= 5.0
 
 
 def test_gpu_catalog(benchmark, print_table):

@@ -22,6 +22,7 @@ from .formats import (
     tiles,
 )
 from .frontier import FrontierStats, optimize_dag
+from .profile import OptimizerProfile
 from .graph import ComputeGraph, Edge, GraphError, Vertex, VertexId
 from .implementations import (
     DEFAULT_IMPLEMENTATIONS,
@@ -62,7 +63,7 @@ __all__ = [
     "SINGLE_STRIP_BLOCK_FORMATS", "Layout", "PhysicalFormat",
     "admissible_formats", "coo", "col_strips", "csr_strips", "csc_strips",
     "row_strips", "single", "sparse_single", "sparse_tiles", "tiles",
-    "FrontierStats", "optimize_dag",
+    "FrontierStats", "OptimizerProfile", "optimize_dag",
     "ComputeGraph", "Edge", "GraphError", "Vertex", "VertexId",
     "DEFAULT_IMPLEMENTATIONS", "JoinStrategy", "OpImplementation",
     "implementations_for",

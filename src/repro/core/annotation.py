@@ -25,6 +25,7 @@ from .transforms import FormatTransform
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine.stages import StageGraph
+    from .profile import OptimizerProfile
     from .rewrites.base import PipelineReport
 
 
@@ -70,6 +71,10 @@ class Plan:
     #: Per-pass record of the logical rewrite pipeline that produced
     #: ``graph`` (None when optimization ran without rewrites).
     pipeline: "PipelineReport | None" = None
+    #: Search-effort profile of the physical optimization run (states
+    #: explored/pruned, table sizes, sweep order, per-phase wall time).
+    #: None for baseline planners and deserialized plans.
+    profile: "OptimizerProfile | None" = None
 
     @property
     def total_seconds(self) -> float:
@@ -196,7 +201,9 @@ def evaluate(graph: ComputeGraph, annotation: Annotation,
 def make_plan(graph: ComputeGraph, annotation: Annotation,
               ctx: OptimizerContext, optimizer: str,
               optimize_seconds: float = 0.0,
-              allow_infeasible: bool = False) -> Plan:
+              allow_infeasible: bool = False,
+              profile: "OptimizerProfile | None" = None) -> Plan:
     """Evaluate an annotation and wrap it into a :class:`Plan`."""
     cost = evaluate(graph, annotation, ctx, allow_infeasible=allow_infeasible)
-    return Plan(graph, annotation, cost, optimizer, optimize_seconds)
+    return Plan(graph, annotation, cost, optimizer, optimize_seconds,
+                profile=profile)

@@ -65,6 +65,9 @@ def explain(plan: Plan, ctx: OptimizerContext, top: int = 5) -> str:
     lines = [f"EXPLAIN plan ({plan.optimizer}, "
              f"{_fmt_secs(plan.total_seconds)} predicted)"]
     lines.extend(_pipeline_lines(plan))
+    if plan.profile is not None:
+        lines.extend("  " + line
+                     for line in plan.profile.describe().splitlines())
     lines += [header, "-" * len(header)]
     for r in rows:
         lines.append(

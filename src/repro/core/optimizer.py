@@ -55,13 +55,20 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
              timeout_seconds: float | None = None,
              stats: FrontierStats | None = None,
              max_states: int | None = None,
-             rewrites: RewriteSpec = "none") -> Plan:
+             rewrites: RewriteSpec = "none",
+             prune: bool | None = None,
+             order: str = "class-size") -> Plan:
     """Produce the cost-optimal, type-correct annotated plan for ``graph``.
 
     ``algorithm`` is one of ``auto`` (tree DP when tree shaped, else the
     frontier algorithm), ``tree``, ``frontier`` or ``brute``.
     ``timeout_seconds`` only applies to brute force; ``max_states``
     beam-prunes the frontier algorithm's class tables (None = exact).
+    ``prune`` and ``order`` tune the frontier algorithm's lossless
+    dominance prune and sweep-order heuristic (see
+    :func:`repro.core.frontier.optimize_dag`); neither changes the
+    returned plan.  ``prune=None`` (the default) prunes exactly when no
+    beam is active.
 
     ``rewrites`` selects the logical rewrite pipeline that runs before the
     physical search: ``"all"`` (the default pass order), ``"none"``, or a
@@ -82,12 +89,12 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
         rewritten, report = pipeline.run(graph, ctx)
 
     plan = _optimize_physical(rewritten, ctx, algorithm, timeout_seconds,
-                              stats, max_states)
+                              stats, max_states, prune, order)
     if report is not None and report.total_rewrites > 0:
         # Safety net: the logical passes are guided by per-op estimates;
         # fall back to the unrewritten graph when its *plan* is cheaper.
         plain = _optimize_physical(graph, ctx, algorithm, timeout_seconds,
-                                   stats, max_states)
+                                   stats, max_states, prune, order)
         if plain.total_seconds < plan.total_seconds:
             plan = plain
             report = dataclasses.replace(report, adopted=False)
@@ -100,12 +107,15 @@ def _optimize_physical(graph: ComputeGraph, ctx: OptimizerContext,
                        algorithm: str,
                        timeout_seconds: float | None,
                        stats: FrontierStats | None,
-                       max_states: int | None) -> Plan:
+                       max_states: int | None,
+                       prune: bool | None = None,
+                       order: str = "class-size") -> Plan:
     """Stage 2: physical search over one (possibly rewritten) graph."""
     if algorithm == "auto":
         algorithm = "tree" if graph.is_tree_shaped() else "frontier"
     if algorithm == "tree":
         return optimize_tree(graph, ctx)
     if algorithm == "frontier":
-        return optimize_dag(graph, ctx, stats=stats, max_states=max_states)
+        return optimize_dag(graph, ctx, stats=stats, max_states=max_states,
+                            prune=prune, order=order)
     return optimize_brute(graph, ctx, timeout_seconds=timeout_seconds)

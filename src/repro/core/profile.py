@@ -1,0 +1,57 @@
+"""Optimizer search-effort profiles.
+
+Every physical search attaches an :class:`OptimizerProfile` to the plan it
+returns: how many joint states the dynamic program examined, how many the
+dominance prune discarded, how large the cost tables grew, the vertex sweep
+order it chose, and where the wall-clock time went.  ``explain`` and
+``whatif --profile`` render it; the ``ext_optimizer_scaling`` experiment
+charts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class OptimizerProfile:
+    """Search-effort summary of one physical optimization run."""
+
+    #: Which search produced the plan ("frontier", "tree_dp", ...).
+    algorithm: str
+    #: Joint table states examined during projection/apply steps.
+    states_explored: int = 0
+    #: States discarded by the (lossless) dominance prune.
+    states_pruned: int = 0
+    #: States discarded by the (lossy) ``max_states`` beam.
+    states_beamed: int = 0
+    #: Largest class cost table seen at any point of the sweep.
+    peak_table_size: int = 0
+    #: Largest equivalence class (in member vertices) seen.
+    max_class_size: int = 0
+    #: Inner-vertex ids in the order the sweep consumed them.
+    sweep_order: tuple[int, ...] = ()
+    #: Wall-clock seconds per search phase ("order", "project", "prune", ...).
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [
+            f"optimizer profile ({self.algorithm}): "
+            f"{self.states_explored} states explored, "
+            f"{self.states_pruned} dominance-pruned, "
+            f"{self.states_beamed} beam-dropped",
+            f"  peak table {self.peak_table_size} states, "
+            f"max class {self.max_class_size} vertices",
+        ]
+        if self.phase_seconds:
+            parts = ", ".join(f"{name} {secs:.3f}s"
+                              for name, secs in self.phase_seconds.items())
+            lines.append(f"  phases: {parts}")
+        if self.sweep_order:
+            shown = self.sweep_order[:16]
+            order = ", ".join(str(v) for v in shown)
+            if len(self.sweep_order) > len(shown):
+                order += f", ... ({len(self.sweep_order)} vertices)"
+            lines.append(f"  sweep order: [{order}]")
+        return "\n".join(lines)

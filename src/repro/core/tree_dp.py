@@ -16,6 +16,7 @@ from .annotation import Annotation, Plan, make_plan
 from .formats import PhysicalFormat
 from .graph import ComputeGraph, VertexId
 from .implementations import OpImplementation
+from .profile import OptimizerProfile
 from .registry import OptimizerContext
 from .transforms import FormatTransform
 
@@ -75,6 +76,9 @@ def optimize_tree(graph: ComputeGraph, ctx: OptimizerContext) -> Plan:
     # F[vid][fmt] -> optimal cost; back[(vid, fmt)] -> reconstruction record.
     table: dict[VertexId, dict[PhysicalFormat, float]] = {}
     back: dict[tuple[VertexId, PhysicalFormat], _Back] = {}
+    states_explored = 0
+    peak_table = 0
+    sweep_order: list[VertexId] = []
 
     for vid in graph.topological_order():
         v = graph.vertex(vid)
@@ -82,6 +86,7 @@ def optimize_tree(graph: ComputeGraph, ctx: OptimizerContext) -> Plan:
             table[vid] = {v.format: 0.0}
             continue
 
+        sweep_order.append(vid)
         in_types = tuple(graph.vertex(p).mtype for p in v.inputs)
         patterns = ctx.accepted_patterns(v.op, in_types)
         if not patterns:
@@ -101,6 +106,7 @@ def optimize_tree(graph: ComputeGraph, ctx: OptimizerContext) -> Plan:
 
         costs: dict[PhysicalFormat, float] = {}
         for impl, in_fmts, out_fmt, impl_cost in patterns:
+            states_explored += 1
             total = impl_cost
             chosen = []
             feasible = True
@@ -122,10 +128,16 @@ def optimize_tree(graph: ComputeGraph, ctx: OptimizerContext) -> Plan:
                 f"no feasible annotation for vertex {v.name!r} "
                 f"({v.op.name} over {[str(t) for t in in_types]})")
         table[vid] = costs
+        peak_table = max(peak_table, len(costs))
 
     annotation = _reconstruct(graph, table, back)
     elapsed = time.perf_counter() - started
-    return make_plan(graph, annotation, ctx, "tree_dp", elapsed)
+    profile = OptimizerProfile(
+        algorithm="tree_dp", states_explored=states_explored,
+        peak_table_size=peak_table, max_class_size=1,
+        sweep_order=tuple(sweep_order))
+    return make_plan(graph, annotation, ctx, "tree_dp", elapsed,
+                     profile=profile)
 
 
 def _reconstruct(

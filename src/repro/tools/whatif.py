@@ -195,6 +195,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="frontier beam width (0 = exact)")
     parser.add_argument("--no-rewrites", action="store_true",
                         help="disable the logical rewrite pipeline")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the optimizer search-effort profile "
+                             "(states explored/pruned, table sizes, phase "
+                             "times) of the best plan at the first feasible "
+                             "cluster size")
     parser.add_argument("--timeline", action="store_true",
                         help="render the pipeline-aware stage timeline "
                              "(ASAP Gantt chart) of the best plan at the "
@@ -214,6 +219,14 @@ def main(argv: Sequence[str] | None = None) -> int:
              if p.plan is not None and p.plan.pipeline is not None}
     if fired:
         print("rewrite passes fired: " + "; ".join(sorted(fired)))
+    if args.profile:
+        shown = next((p for p in points if p.feasible and p.plan is not None),
+                     None)
+        if shown is None or shown.plan.profile is None:
+            print("profile: no feasible plan with a profile in the sweep")
+        else:
+            print(f"profile at {shown.workers} workers:")
+            print(shown.plan.profile.describe())
     if args.timeline:
         from ..engine.trace import schedule
 

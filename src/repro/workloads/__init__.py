@@ -8,6 +8,7 @@ from .chains import (
     mm_chain_graph,
     motivating_graph,
     tree_graph,
+    wide_shared_dag,
 )
 from .datagen import (
     AMAZONCAT_FEATURES,
@@ -48,7 +49,7 @@ from .mlalgs import (
 
 __all__ = [
     "SCALING_FAMILIES", "SIZE_SETS", "dag1_graph", "dag2_graph",
-    "mm_chain_graph", "motivating_graph", "tree_graph",
+    "mm_chain_graph", "motivating_graph", "tree_graph", "wide_shared_dag",
     "AMAZONCAT_FEATURES", "AMAZONCAT_LABELS", "amazoncat_like",
     "amazoncat_sparsity", "dense_normal", "one_hot_labels",
     "sparse_features", "spd_matrix",

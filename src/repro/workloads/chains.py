@@ -117,6 +117,40 @@ def dag2_graph(scale: int) -> ComputeGraph:
     return build(prev_o2)
 
 
+def wide_shared_dag(width: int = 5, layers: int = 5,
+                    dim: int = SCALING_DIM) -> ComputeGraph:
+    """A wide shared-ancestor DAG that stresses the frontier algorithm.
+
+    ``shared = A x B`` feeds ``width`` parallel branches
+    ``b_i = shared * C_i``; each of ``layers`` add layers then combines
+    cyclically adjacent branches (``l[i] = prev[i] + prev[(i+1) % width]``),
+    so every branch stays live across the whole sweep and the equivalence
+    classes grow to ``width`` (+1 for ``shared``, which is consumed again by
+    the final reduction).  The result is the worst case for the joint cost
+    tables — exponential in ``width`` without dominance pruning — which is
+    exactly what the ``ext_optimizer_scaling`` experiment and the
+    optimizer-perf smoke test measure.
+
+    Vertex count is ``width + 3`` sources plus ``1 + width * (layers + 1)
+    + width`` inner vertices (width=5, layers=5 gives a 42-vertex graph).
+    """
+    if width < 2:
+        raise ValueError("wide_shared_dag needs width >= 2")
+    a = input_matrix("A", dim, dim, fmt=single())
+    b = input_matrix("B", dim, dim, fmt=single())
+    shared = a @ b
+    branches = [shared * input_matrix(f"C{i}", dim, dim, fmt=single())
+                for i in range(width)]
+    for _ in range(layers):
+        branches = [branches[i] + branches[(i + 1) % width]
+                    for i in range(width)]
+    out = branches[0]
+    for nxt in branches[1:]:
+        out = out + nxt
+    out = out + shared  # keep the shared ancestor live to the very end
+    return build(out, cse=False)
+
+
 SCALING_FAMILIES = {
     "tree": tree_graph,
     "dag1": dag1_graph,

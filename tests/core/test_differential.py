@@ -1,0 +1,165 @@
+"""Differential test harness: the frontier algorithm vs its oracles.
+
+Generates seeded random DAGs — parameterized by vertex count, fan-in and
+sharing density — and checks that :func:`optimize_dag` agrees with
+brute-force enumeration on every one of them, with the dominance prune both
+on and off, and with the linear-time tree DP on tree-shaped graphs.  This
+is the harness the optimizer-perf CI job runs; the wide-DAG budget check at
+the bottom keeps the pruned search inside an absolute time budget on the
+worst-case shared-ancestor topology.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import ComputeGraph, OptimizerContext, matrix
+from repro.core.atoms import (
+    ADD,
+    ELEM_MUL,
+    MATMUL,
+    RELU,
+    SUB,
+    TRANSPOSE,
+)
+from repro.core.brute import optimize_brute
+from repro.core.formats import row_strips, single, tiles
+from repro.core.frontier import FrontierStats, optimize_dag
+from repro.core.tree_dp import optimize_tree
+from repro.workloads import wide_shared_dag
+
+#: Three formats keep the brute-force oracle fast enough to run hundreds of
+#: differential cases while still exercising transformation choices.
+ORACLE_FORMATS = (single(), tiles(1000), row_strips(1000))
+
+OPS = (MATMUL, ADD, SUB, ELEM_MUL, RELU, TRANSPOSE)
+
+
+def oracle_ctx() -> OptimizerContext:
+    return OptimizerContext(formats=ORACLE_FORMATS)
+
+
+def random_dag(seed: int, inner: int = 3, max_fanin: int = 2,
+               sharing: float = 0.5, tree_only: bool = False) -> ComputeGraph:
+    """A seeded random well-typed compute DAG over square matrices.
+
+    ``inner`` bounds the inner-vertex count, ``max_fanin`` restricts which
+    operators are eligible (arity <= max_fanin), and ``sharing`` is the
+    probability that an argument reuses a vertex that already has a
+    consumer — higher values produce more shared ancestors and therefore
+    larger frontier equivalence classes.  ``tree_only`` grows a tree by
+    consuming each vertex at most once.
+    """
+    rng = random.Random(seed)
+    g = ComputeGraph()
+    n = rng.choice([2000, 3000])
+    pool = [g.add_source(f"S{i}", matrix(n, n),
+                         rng.choice([single(), tiles(1000)]))
+            for i in range(rng.randint(2, 3))]
+    consumed: set[int] = set()
+    ops = [op for op in OPS if op.arity <= max_fanin]
+    for i in range(inner):
+        op = rng.choice(ops)
+        if tree_only:
+            free = [v for v in pool if v not in consumed]
+            if len(free) < op.arity:
+                op, free = RELU, (free or pool[-1:])
+            picks = rng.sample(free, op.arity)
+            consumed.update(picks)
+        else:
+            picks = []
+            for _ in range(op.arity):
+                shared = [v for v in pool if v in consumed]
+                if shared and rng.random() < sharing:
+                    picks.append(rng.choice(shared))
+                else:
+                    picks.append(rng.choice(pool))
+            consumed.update(picks)
+        pool.append(g.add_op(f"v{i}", op, tuple(picks)))
+    return g
+
+
+#: 200 differential cases: (seed batch, |V_inner|, max fan-in, sharing).
+DAG_CASES = [(batch, inner, fanin, sharing)
+             for inner, fanin, sharing in [(2, 2, 0.3), (3, 2, 0.5),
+                                           (3, 2, 0.9), (4, 2, 0.7),
+                                           (4, 1, 0.0)]
+             for batch in range(8)]
+
+
+class TestAgainstBrute:
+    """optimize_dag == optimize_brute on total cost, prune on and off."""
+
+    @pytest.mark.parametrize("batch,inner,fanin,sharing", DAG_CASES)
+    def test_matches_brute(self, batch, inner, fanin, sharing):
+        for sub in range(5):  # 40 parameter sets x 5 seeds = 200 graphs
+            seed = batch * 1000 + sub + inner * 37 + int(sharing * 100)
+            g = random_dag(seed, inner=inner, max_fanin=fanin,
+                           sharing=sharing)
+            brute = optimize_brute(g, oracle_ctx(), timeout_seconds=120)
+            for prune in (True, False):
+                plan = optimize_dag(g, oracle_ctx(), prune=prune)
+                assert math.isclose(plan.total_seconds, brute.total_seconds,
+                                    rel_tol=1e-9), \
+                    f"seed={seed} prune={prune} disagrees with brute force"
+
+
+class TestAgainstTreeDP:
+    """optimize_dag == optimize_tree on tree-shaped graphs."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_tree_dp(self, seed):
+        g = random_dag(seed + 300, inner=4, tree_only=True)
+        if not g.is_tree_shaped():
+            pytest.skip("random graph not a tree")
+        tree = optimize_tree(g, oracle_ctx())
+        for prune in (True, False):
+            plan = optimize_dag(g, oracle_ctx(), prune=prune)
+            assert math.isclose(plan.total_seconds, tree.total_seconds,
+                                rel_tol=1e-9)
+
+
+class TestPruneIsLossless:
+    """The dominance prune never changes the plan, only the search effort."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_same_cost_and_formats(self, seed):
+        g = random_dag(seed + 600, inner=5, sharing=0.8)
+        pruned = optimize_dag(g, oracle_ctx(), prune=True)
+        plain = optimize_dag(g, oracle_ctx(), prune=False)
+        assert math.isclose(pruned.total_seconds, plain.total_seconds,
+                            rel_tol=1e-9)
+        assert pruned.cost.vertex_formats == plain.cost.vertex_formats
+
+    def test_no_prunes_implies_same_table_sizes(self):
+        """states_pruned == 0 must mean the search was bit-identical."""
+        for seed in range(40):
+            g = random_dag(seed + 900, inner=3, sharing=0.4)
+            pruned_stats, plain_stats = FrontierStats(), FrontierStats()
+            optimize_dag(g, oracle_ctx(), stats=pruned_stats, prune=True)
+            optimize_dag(g, oracle_ctx(), stats=plain_stats, prune=False)
+            if pruned_stats.states_pruned == 0:
+                assert pruned_stats.max_table_size == \
+                    plain_stats.max_table_size
+                assert pruned_stats.states_examined == \
+                    plain_stats.states_examined
+                return  # found and verified an un-pruned run
+        pytest.skip("every seed triggered at least one prune")
+
+
+@pytest.mark.perf
+def test_wide_dag_inside_budget():
+    """Optimizer-perf smoke: a 40+-vertex shared-ancestor DAG, pruned and
+    exact, must finish well inside a CI-friendly absolute budget."""
+    g = wide_shared_dag(5, 5)
+    assert len(g) >= 40
+    ctx = oracle_ctx()
+    stats = FrontierStats()
+    import time
+    t0 = time.perf_counter()
+    plan = optimize_dag(g, ctx, stats=stats)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 10.0, f"pruned wide-DAG search took {elapsed:.1f}s"
+    assert stats.states_pruned > 0
+    assert math.isfinite(plan.total_seconds)

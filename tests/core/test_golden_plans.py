@@ -1,0 +1,137 @@
+"""Golden-plan regression tests for the canonical paper workloads.
+
+Each case optimizes a fig05/fig09/fig10 workload under its experiment
+configuration and compares the *serialized plan* (implementations, per-edge
+transformations, formats — via :mod:`repro.core.serialize`) against a
+checked-in golden JSON under ``tests/core/golden/``.  Any optimizer change
+that silently alters a chosen plan shows up as a readable per-vertex diff.
+
+To regenerate after an intentional plan change::
+
+    PYTHONPATH=src python tests/core/test_golden_plans.py --regen
+
+then inspect the git diff of ``tests/core/golden/*.json`` before
+committing it.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import simsql_cluster
+from repro.core.optimizer import optimize
+from repro.core.serialize import plan_from_dict, plan_to_dict
+from repro.experiments.figures import FFNN_BEAM
+from repro.experiments.harness import fresh_context
+from repro.workloads import (
+    FFNNConfig,
+    ffnn_full_step,
+    mm_chain_graph,
+    two_level_inverse_graph,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: name -> (graph builder, beam width), matching the fig experiments.
+CASES = {
+    "fig05_ffnn_full_step": (
+        lambda: ffnn_full_step(FFNNConfig(hidden=80_000)), FFNN_BEAM),
+    "fig09_two_level_inverse": (two_level_inverse_graph, FFNN_BEAM),
+    "fig10_mm_chain_set1": (lambda: mm_chain_graph(1), FFNN_BEAM),
+    "fig10_mm_chain_set2": (lambda: mm_chain_graph(2), FFNN_BEAM),
+    "fig10_mm_chain_set3": (lambda: mm_chain_graph(3), FFNN_BEAM),
+}
+
+
+def _optimize_case(name: str) -> dict:
+    """Optimize one case and serialize it, stripping run-dependent fields."""
+    build, beam = CASES[name]
+    graph = build()
+    ctx = fresh_context(simsql_cluster(10))
+    plan = optimize(graph, ctx, max_states=beam)
+    payload = plan_to_dict(plan)
+    payload["optimize_seconds"] = 0.0  # wall time is not part of the plan
+    payload["total_seconds"] = plan.total_seconds
+    # The lang layer names vertices with a process-global expression
+    # counter ("matmul_29"), so names vary with what was built earlier in
+    # the process.  Canonicalize inner-vertex names to op + vertex id,
+    # which depend only on the graph's structure.
+    for entry in payload["graph"]["vertices"]:
+        if "op" in entry:
+            entry["name"] = f"{entry['op']}_{entry['vid']}"
+    return payload
+
+
+def _plan_diff(golden: dict, fresh: dict) -> str:
+    """Readable per-vertex / per-edge diff between two plan payloads."""
+    lines = []
+    g_names = {v["vid"]: v["name"] for v in golden["graph"]["vertices"]}
+    for vid in sorted(set(golden["impls"]) | set(fresh["impls"]), key=int):
+        old = golden["impls"].get(vid)
+        new = fresh["impls"].get(vid)
+        if old != new:
+            lines.append(f"  vertex {vid} ({g_names.get(int(vid), '?')}): "
+                         f"impl {old} -> {new}")
+
+    def by_edge(payload):
+        return {(t["src"], t["dst"], t["arg_pos"]):
+                (t["transform"], t["to_format"]) for t in
+                payload["transforms"]}
+    g_edges, f_edges = by_edge(golden), by_edge(fresh)
+    for edge in sorted(set(g_edges) | set(f_edges)):
+        if g_edges.get(edge) != f_edges.get(edge):
+            src, dst, pos = edge
+            lines.append(
+                f"  edge {g_names.get(src, src)}->{g_names.get(dst, dst)}"
+                f"[arg {pos}]: {g_edges.get(edge)} -> {f_edges.get(edge)}")
+    if golden.get("total_seconds") != fresh.get("total_seconds"):
+        lines.append(f"  total cost: {golden.get('total_seconds')} -> "
+                     f"{fresh.get('total_seconds')}")
+    return "\n".join(lines) or "  (payloads differ outside plan choices)"
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_plan_matches_golden(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), \
+        f"missing golden file {path}; regenerate with " \
+        f"`PYTHONPATH=src python tests/core/test_golden_plans.py --regen`"
+    golden = json.loads(path.read_text())
+    fresh = _optimize_case(name)
+    if golden != fresh:
+        pytest.fail(
+            f"plan for {name} changed (if intentional, regenerate goldens "
+            f"with `PYTHONPATH=src python tests/core/test_golden_plans.py "
+            f"--regen` and review the JSON diff):\n"
+            + _plan_diff(golden, fresh))
+
+
+def test_golden_payloads_deserialize():
+    """Golden payloads round-trip through the serializer and re-cost."""
+    for name in sorted(CASES):
+        payload = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        ctx = fresh_context(simsql_cluster(10))
+        plan = plan_from_dict(payload, ctx)
+        assert math.isclose(plan.total_seconds, payload["total_seconds"],
+                            rel_tol=1e-9), name
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in sorted(CASES):
+        payload = _optimize_case(name)
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path} (cost {payload['total_seconds']:.3f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main())

@@ -56,7 +56,8 @@ class TestHarness:
     def test_registry_complete(self):
         for fig in ("fig01", "fig05", "fig06", "fig07", "fig08", "fig09",
                     "fig10", "fig11", "fig12", "fig13",
-                    "ablation_transform_costs", "ablation_sharing"):
+                    "ablation_transform_costs", "ablation_sharing",
+                    "ext_optimizer_scaling"):
             assert fig in EXPERIMENTS
 
 
