@@ -57,8 +57,16 @@ def explain_stages(plan: Plan, ctx: OptimizerContext) -> list[StageExplain]:
     return rows
 
 
-def explain(plan: Plan, ctx: OptimizerContext, top: int = 5) -> str:
-    """Render an EXPLAIN report for a plan."""
+def explain(plan: Plan, ctx: OptimizerContext, top: int = 5,
+            measured=None) -> str:
+    """Render an EXPLAIN report for a plan.
+
+    ``measured`` optionally appends a cost-drift section joining the cost
+    model's per-stage predictions against what an execution actually
+    charged: pass an :class:`~repro.engine.executor.ExecutionResult` (or
+    its :class:`~repro.obs.drift.DriftReport` directly) from running this
+    plan.
+    """
     rows = explain_stages(plan, ctx)
     header = (f"{'stage':34s} {'impl/transform':24s} {'out format':18s} "
               f"{'seconds':>9s} {'GFLOP':>8s} {'net MB':>9s} {'tuples':>9s}")
@@ -86,7 +94,25 @@ def explain(plan: Plan, ctx: OptimizerContext, top: int = 5) -> str:
         share = (r.seconds / plan.total_seconds
                  if plan.total_seconds > 0 else 0.0)
         lines.append(f"  {share:6.1%}  {r.vertex} [{r.detail}]")
+    drift = _drift_of(measured)
+    if drift is not None:
+        lines.append("")
+        lines.append(drift.render(top=top))
     return "\n".join(lines)
+
+
+def _drift_of(measured):
+    """Accept an ExecutionResult, a DriftReport, or None."""
+    if measured is None:
+        return None
+    drift = getattr(measured, "drift", measured)
+    if drift is None:
+        return None
+    if not hasattr(drift, "render"):
+        raise TypeError(
+            f"measured must be an ExecutionResult or DriftReport, "
+            f"got {type(measured).__name__}")
+    return drift
 
 
 def _pipeline_lines(plan: Plan) -> list[str]:

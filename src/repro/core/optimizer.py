@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import dataclasses
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer, as_tracer
 from .annotation import Plan
 from .brute import optimize_brute
 from .frontier import FrontierStats, optimize_dag
@@ -57,7 +59,9 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
              max_states: int | None = None,
              rewrites: RewriteSpec = "none",
              prune: bool | None = None,
-             order: str = "class-size") -> Plan:
+             order: str = "class-size",
+             tracer: Tracer | None = None,
+             metrics: MetricsRegistry | None = None) -> Plan:
     """Produce the cost-optimal, type-correct annotated plan for ``graph``.
 
     ``algorithm`` is one of ``auto`` (tree DP when tree shaped, else the
@@ -74,6 +78,12 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
     physical search: ``"all"`` (the default pass order), ``"none"``, or a
     tuple of pass names from
     :data:`repro.core.rewrites.PASS_REGISTRY` in the order they should run.
+
+    ``tracer`` records the optimization as nested spans (``optimize`` →
+    one ``pass`` span per rewrite pass → one ``search`` span per physical
+    search, with the frontier's sweep/reconstruct phases nested inside);
+    ``metrics`` accumulates search-effort counters.  Both default to off
+    (see :mod:`repro.obs`).
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; "
@@ -81,25 +91,40 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
     if ctx is None:
         ctx = OptimizerContext()
     ctx = _context_for(graph, ctx)
+    tracer = as_tracer(tracer)
 
-    pipeline = PlanPipeline.from_spec(rewrites)
-    report: PipelineReport | None = None
-    rewritten = graph
-    if pipeline.passes:
-        rewritten, report = pipeline.run(graph, ctx)
+    with tracer.span("optimize", kind="optimize", algorithm=algorithm,
+                     vertices=len(graph)) as span:
+        pipeline = PlanPipeline.from_spec(rewrites)
+        report: PipelineReport | None = None
+        rewritten = graph
+        if pipeline.passes:
+            rewritten, report = pipeline.run(graph, ctx, tracer=tracer)
 
-    plan = _optimize_physical(rewritten, ctx, algorithm, timeout_seconds,
-                              stats, max_states, prune, order)
-    if report is not None and report.total_rewrites > 0:
-        # Safety net: the logical passes are guided by per-op estimates;
-        # fall back to the unrewritten graph when its *plan* is cheaper.
-        plain = _optimize_physical(graph, ctx, algorithm, timeout_seconds,
-                                   stats, max_states, prune, order)
-        if plain.total_seconds < plan.total_seconds:
-            plan = plain
-            report = dataclasses.replace(report, adopted=False)
-    if report is not None:
-        plan = dataclasses.replace(plan, pipeline=report)
+        plan = _optimize_physical(rewritten, ctx, algorithm,
+                                  timeout_seconds, stats, max_states,
+                                  prune, order, tracer)
+        if report is not None and report.total_rewrites > 0:
+            # Safety net: the logical passes are guided by per-op estimates;
+            # fall back to the unrewritten graph when its *plan* is cheaper.
+            plain = _optimize_physical(graph, ctx, algorithm,
+                                       timeout_seconds, stats, max_states,
+                                       prune, order, tracer)
+            if plain.total_seconds < plan.total_seconds:
+                plan = plain
+                report = dataclasses.replace(report, adopted=False)
+        if report is not None:
+            plan = dataclasses.replace(plan, pipeline=report)
+        span.set(optimizer=plan.optimizer, seconds=plan.total_seconds)
+
+    if metrics is not None:
+        metrics.count("optimizer.runs")
+        if plan.profile is not None:
+            plan.profile.record(metrics)
+        if report is not None:
+            metrics.count("optimizer.rewrite_passes_run", len(report.passes))
+            metrics.count("optimizer.rewrites_applied",
+                          report.total_rewrites if report.adopted else 0)
     return plan
 
 
@@ -109,13 +134,24 @@ def _optimize_physical(graph: ComputeGraph, ctx: OptimizerContext,
                        stats: FrontierStats | None,
                        max_states: int | None,
                        prune: bool | None = None,
-                       order: str = "class-size") -> Plan:
+                       order: str = "class-size",
+                       tracer: Tracer = NULL_TRACER) -> Plan:
     """Stage 2: physical search over one (possibly rewritten) graph."""
     if algorithm == "auto":
         algorithm = "tree" if graph.is_tree_shaped() else "frontier"
-    if algorithm == "tree":
-        return optimize_tree(graph, ctx)
-    if algorithm == "frontier":
-        return optimize_dag(graph, ctx, stats=stats, max_states=max_states,
-                            prune=prune, order=order)
-    return optimize_brute(graph, ctx, timeout_seconds=timeout_seconds)
+    with tracer.span(f"search:{algorithm}", kind="search",
+                     algorithm=algorithm) as span:
+        if algorithm == "tree":
+            plan = optimize_tree(graph, ctx)
+        elif algorithm == "frontier":
+            plan = optimize_dag(graph, ctx, stats=stats,
+                                max_states=max_states, prune=prune,
+                                order=order, tracer=tracer)
+        else:
+            plan = optimize_brute(graph, ctx,
+                                  timeout_seconds=timeout_seconds)
+        span.set(seconds=plan.total_seconds)
+        if plan.profile is not None:
+            span.set(states_explored=plan.profile.states_explored,
+                     states_pruned=plan.profile.states_pruned)
+    return plan

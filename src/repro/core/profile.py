@@ -34,6 +34,18 @@ class OptimizerProfile:
     #: Wall-clock seconds per search phase ("order", "project", "prune", ...).
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
+    def record(self, metrics) -> None:
+        """Charge this profile's effort counters to a metrics registry.
+
+        ``metrics`` is a :class:`repro.obs.metrics.MetricsRegistry`;
+        counters accumulate across runs, gauges keep high-water marks.
+        """
+        metrics.count("optimizer.states_explored", self.states_explored)
+        metrics.count("optimizer.states_pruned", self.states_pruned)
+        metrics.count("optimizer.states_beamed", self.states_beamed)
+        metrics.gauge("optimizer.peak_table_size", self.peak_table_size)
+        metrics.gauge("optimizer.max_class_size", self.max_class_size)
+
     def describe(self) -> str:
         """Multi-line human-readable rendering."""
         lines = [

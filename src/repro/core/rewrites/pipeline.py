@@ -64,11 +64,23 @@ class PlanPipeline:
     def from_spec(spec: RewriteSpec) -> "PlanPipeline":
         return PlanPipeline(resolve_passes(spec))
 
-    def run(self, graph: ComputeGraph, ctx: OptimizerContext
-            ) -> tuple[ComputeGraph, PipelineReport]:
-        """Apply every pass in order; returns (graph, per-pass report)."""
+    def run(self, graph: ComputeGraph, ctx: OptimizerContext,
+            tracer=None) -> tuple[ComputeGraph, PipelineReport]:
+        """Apply every pass in order; returns (graph, per-pass report).
+
+        With a ``tracer``, each pass records a ``pass`` span carrying its
+        rewrite count and vertex delta (see :mod:`repro.obs.tracer`).
+        """
+        from ...obs.tracer import as_tracer
+
+        tracer = as_tracer(tracer)
         reports = []
         for rewrite_pass in self.passes:
-            graph, report = rewrite_pass.apply(graph, ctx)
+            with tracer.span(f"pass:{rewrite_pass.name}",
+                             kind="pass") as span:
+                graph, report = rewrite_pass.apply(graph, ctx)
+                span.set(rewrites=report.rewrites,
+                         vertices_before=report.vertices_before,
+                         vertices_after=report.vertices_after)
             reports.append(report)
         return graph, PipelineReport(tuple(reports))

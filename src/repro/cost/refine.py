@@ -131,3 +131,23 @@ def sketches_from_inputs(inputs: dict[str, "np.ndarray"]
     all inputs can easily be estimated as data are loaded")."""
     return {name: MncSketch.from_matrix(data)
             for name, data in inputs.items()}
+
+
+def refine_weights(drift, cluster, ridge: float = 1e-9):
+    """Refit the cost-model weights from a run's measured cost drift.
+
+    ``drift`` is the :class:`~repro.obs.drift.DriftReport` attached to an
+    :class:`~repro.engine.executor.ExecutionResult`: every executed stage
+    contributes one calibration sample pairing its analytic cost features
+    with the seconds it actually charged.  Returns the refitted
+    :class:`~repro.cost.model.CostWeights` (see
+    :func:`repro.cost.calibration.fit_weights`).  This closes the
+    observe-then-recalibrate loop: execute, measure drift, refit, and
+    re-optimize under the refined weights.
+    """
+    from .calibration import fit_weights
+
+    samples = drift.to_samples()
+    if not samples:
+        raise ValueError("drift report has no executed stages to fit from")
+    return fit_weights(samples, cluster, ridge=ridge)

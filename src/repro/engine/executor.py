@@ -28,6 +28,9 @@ import numpy as np
 from ..core.annotation import Plan
 from ..core.graph import VertexId
 from ..core.registry import OptimizerContext
+from ..obs.drift import DriftReport, drift_report
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer, as_tracer
 from .faults import FaultSource, as_injector
 from .ledger import EngineFailure, TrafficLedger
 from .recovery import (
@@ -72,7 +75,9 @@ def format_hms(seconds: float) -> str:
 
 
 def simulate(plan: Plan, ctx: OptimizerContext,
-             clock: str = "sum") -> SimulationResult:
+             clock: str = "sum",
+             tracer: Tracer | None = None,
+             metrics: MetricsRegistry | None = None) -> SimulationResult:
     """Charge every stage of the lowered plan to a fresh ledger.
 
     ``clock`` selects what ``seconds`` reports on success:
@@ -90,15 +95,24 @@ def simulate(plan: Plan, ctx: OptimizerContext,
     if clock not in ("sum", "critical_path"):
         raise ValueError(f"unknown clock {clock!r}: "
                          "expected 'sum' or 'critical_path'")
+    tracer = as_tracer(tracer)
     ledger = TrafficLedger(ctx.cluster, ctx.weights)
-    sgraph = lower(plan, ctx)
-    try:
-        for stage in sgraph.stages:
-            ledger.charge(stage.name, stage.features)
-    except EngineFailure as failure:
-        return SimulationResult(False, math.inf, ledger, str(failure))
-    seconds = (ledger.total_seconds if clock == "sum"
-               else sgraph.critical_path_seconds)
+    with tracer.span("simulate", kind="simulate", clock=clock) as span:
+        sgraph = lower(plan, ctx, tracer=tracer)
+        try:
+            for stage in sgraph.stages:
+                ledger.charge(stage.name, stage.features)
+        except EngineFailure as failure:
+            if metrics is not None:
+                metrics.count("simulate.failures")
+            return SimulationResult(False, math.inf, ledger, str(failure))
+        seconds = (ledger.total_seconds if clock == "sum"
+                   else sgraph.critical_path_seconds)
+        span.set(stages=len(sgraph), seconds=seconds)
+    if metrics is not None:
+        metrics.count("simulate.runs")
+        metrics.count("simulate.stages", len(sgraph))
+        metrics.count("simulate.seconds", seconds)
     return SimulationResult(True, seconds, ledger)
 
 
@@ -113,7 +127,9 @@ class ExecutionResult:
     :func:`execute_plan` returns a failed result instead of leaking an
     :class:`EngineFailure` traceback to callers.  ``recovery`` reports what
     fault tolerance did (and cost) when a fault injector was attached;
-    ``executed_stages`` lists the lowered stages that ran, in stage order.
+    ``executed_stages`` lists the lowered stages that ran, in stage order;
+    ``drift`` joins every executed stage's predicted seconds against the
+    seconds it actually charged (see :mod:`repro.obs.drift`).
     """
 
     outputs: dict[str, np.ndarray]
@@ -123,6 +139,7 @@ class ExecutionResult:
     failure: str | None = None
     recovery: RecoveryStats | None = None
     executed_stages: tuple[str, ...] = ()
+    drift: DriftReport | None = None
 
     def output(self) -> np.ndarray:
         """The single output, when the graph has exactly one sink."""
@@ -159,7 +176,9 @@ class Executor:
     def __init__(self, plan: Plan, ctx: OptimizerContext,
                  faults: FaultSource = None,
                  recovery: RecoveryPolicy | None = None,
-                 scheduler: Scheduler | None = None) -> None:
+                 scheduler: Scheduler | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.plan = plan
         self.ctx = ctx
         self.cluster = ctx.cluster
@@ -168,24 +187,37 @@ class Executor:
         self.injector = as_injector(faults, ctx.cluster.num_workers)
         self.scheduler = scheduler if scheduler is not None \
             else SequentialScheduler()
+        self.tracer = as_tracer(tracer)
+        self.metrics = metrics
         self.lineage = LineageCheckpoint()
         self.stats = RecoveryStats()
+        #: Cost-drift report of the most recent :meth:`run` (set even when
+        #: the run failed, covering the stages that started).
+        self.last_drift: DriftReport | None = None
 
     # ------------------------------------------------------------------
     def run(self, inputs: dict[str, np.ndarray]) -> ExecutionResult:
         """Execute the plan; ``inputs`` maps source names to matrices."""
         graph = self.plan.graph
-        sgraph = lower(self.plan, self.ctx)
-        state = ExecutionState(sgraph, self.ctx, injector=self.injector,
-                               policy=self.recovery, lineage=self.lineage,
-                               stats=self.stats)
-        state.seed_sources(inputs)
-        try:
-            self.scheduler.run(state)
-        finally:
-            # Merge even on failure so partial charges (and the recovery
-            # statistics of the failed run) are visible to callers.
-            executed = state.merge_into(self.ledger)
+        sgraph = lower(self.plan, self.ctx, tracer=self.tracer)
+        with self.tracer.span("execute", kind="execute",
+                              scheduler=self.scheduler.name,
+                              stages=len(sgraph)) as span:
+            state = ExecutionState(sgraph, self.ctx, injector=self.injector,
+                                   policy=self.recovery,
+                                   lineage=self.lineage, stats=self.stats,
+                                   tracer=self.tracer, parent_span=span,
+                                   metrics=self.metrics)
+            state.seed_sources(inputs)
+            try:
+                self.scheduler.run(state)
+            finally:
+                # Merge even on failure so partial charges (and the recovery
+                # statistics of the failed run) are visible to callers.
+                executed = state.merge_into(self.ledger)
+                self.last_drift = drift_report(sgraph, state.records)
+                span.set(executed_stages=len(executed),
+                         measured_seconds=self.ledger.total_seconds)
 
         stored = self.lineage.matrices
         vertex_values = {vid: assemble(s) for vid, s in stored.items()}
@@ -193,14 +225,17 @@ class Executor:
                    for v in graph.outputs}
         return ExecutionResult(outputs, vertex_values, self.ledger,
                                recovery=self.stats,
-                               executed_stages=tuple(executed))
+                               executed_stages=tuple(executed),
+                               drift=self.last_drift)
 
 
 def execute_plan(plan: Plan, inputs: dict[str, np.ndarray],
                  ctx: OptimizerContext,
                  faults: FaultSource = None,
                  recovery: RecoveryPolicy | None = None,
-                 scheduler: Scheduler | None = None) -> ExecutionResult:
+                 scheduler: Scheduler | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> ExecutionResult:
     """Build an :class:`Executor` and run it; failures come back structured.
 
     An :class:`EngineFailure` (memory overflow, exhausted fault retries) is
@@ -208,12 +243,16 @@ def execute_plan(plan: Plan, inputs: dict[str, np.ndarray],
     instead of unwinding into callers as a raw traceback.  For automatic
     re-optimization around such failures, see
     :func:`repro.engine.recovery.execute_robust`.
+
+    ``tracer`` records execute/stage/attempt spans; ``metrics`` accumulates
+    the run's counters (see :mod:`repro.obs`).  Both default to off.
     """
     executor = Executor(plan, ctx, faults=faults, recovery=recovery,
-                        scheduler=scheduler)
+                        scheduler=scheduler, tracer=tracer, metrics=metrics)
     try:
         return executor.run(inputs)
     except EngineFailure as failure:
         return ExecutionResult({}, {}, executor.ledger, ok=False,
                                failure=str(failure),
-                               recovery=executor.stats)
+                               recovery=executor.stats,
+                               drift=executor.last_drift)

@@ -103,6 +103,21 @@ class TrafficLedger:
         """Checkpoint of the stage log, for :meth:`recategorize_since`."""
         return len(self.stages)
 
+    def splice(self, fragments) -> list:
+        """Splice per-stage record fragments into this ledger.
+
+        ``fragments`` maps a sort key (the stage id) to that stage's
+        private records.  Fragments always fold in sorted-key order, so
+        the resulting record sequence — and every float total derived
+        from it — is independent of the order the fragments were
+        produced in (the thread-pool/sequential equivalence invariant).
+        Returns the sorted keys.
+        """
+        keys = sorted(fragments)
+        for key in keys:
+            self.stages.extend(fragments[key])
+        return keys
+
     def recategorize_since(self, mark: int, category: str) -> float:
         """Re-label every stage recorded after ``mark`` (e.g. as wasted
         work from a failed attempt); returns their total seconds."""

@@ -32,8 +32,10 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from .faults import FaultInjector, InjectedFault
-from .ledger import RECOVERY, StageRecord, TrafficLedger
+from .ledger import RECOVERY, WORK, StageRecord, TrafficLedger
 from .recovery import (
     FaultRetriesExhausted,
     LineageCheckpoint,
@@ -58,7 +60,10 @@ class ExecutionState:
                  injector: FaultInjector | None,
                  policy: RecoveryPolicy,
                  lineage: LineageCheckpoint | None = None,
-                 stats: RecoveryStats | None = None) -> None:
+                 stats: RecoveryStats | None = None,
+                 tracer: Tracer | None = None,
+                 parent_span=None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.sgraph = sgraph
         self.ctx = ctx
         self.cluster = ctx.cluster
@@ -66,11 +71,20 @@ class ExecutionState:
         self.policy = policy
         self.lineage = lineage if lineage is not None else LineageCheckpoint()
         self.stats = stats if stats is not None else RecoveryStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Span every stage span parents under (the ``execute`` span);
+        #: explicit because pool stages run on other threads.
+        self.parent_span = parent_span
+        self.metrics = metrics
         #: Transform-stage outputs, by stage id.
         self.stage_values: dict[int, StoredMatrix] = {}
         #: Each stage's sub-ledger records, by stage id (present for every
         #: stage that *started*, even ones that failed).
         self.records: dict[int, list[StageRecord]] = {}
+        #: Per-stage metric fragments, merged in stage-id order at
+        #: :meth:`merge_into` so both schedulers produce bit-identical
+        #: registries.
+        self.metric_fragments: dict[int, MetricsRegistry] = {}
         #: Deferred recovery observations: sid -> [(fault, backoff, wasted)].
         self._recovery_log: dict[int, list] = {}
         self._lock = threading.Lock()
@@ -108,33 +122,77 @@ class ExecutionState:
             speculative_backups=self.policy.speculative_backups)
         with self._lock:
             self.records[stage.sid] = sub.stages
+        span = self.tracer.span(stage.name, kind="stage",
+                                parent=self.parent_span,
+                                stage_id=stage.sid, stage_kind=stage.kind,
+                                predicted_seconds=stage.seconds)
         attempt = 0
-        while True:
-            mark = sub.mark()
-            try:
-                result = self._execute(stage, sub, engine)
-                break
-            except InjectedFault as fault:
-                attempt += 1
-                wasted = sub.recategorize_since(mark, RECOVERY)
-                if attempt > self.policy.max_retries:
-                    with self._lock:
-                        self._recovery_log.setdefault(stage.sid, []).append(
-                            (fault, 0.0, wasted, False))
-                    raise FaultRetriesExhausted(fault.stage,
-                                                self.policy.max_retries,
-                                                fault)
-                backoff = self.policy.backoff_seconds(attempt)
-                sub.charge_overhead(f"{fault.stage}:backoff#{attempt}",
-                                    backoff)
-                with self._lock:
-                    self._recovery_log.setdefault(stage.sid, []).append(
-                        (fault, backoff, wasted, True))
+        try:
+            with span:
+                while True:
+                    mark = sub.mark()
+                    try:
+                        with span.span("attempt", kind="attempt", n=attempt):
+                            result = self._execute(stage, sub, engine)
+                        break
+                    except InjectedFault as fault:
+                        attempt += 1
+                        wasted = sub.recategorize_since(mark, RECOVERY)
+                        if attempt > self.policy.max_retries:
+                            with self._lock:
+                                self._recovery_log.setdefault(
+                                    stage.sid, []).append(
+                                        (fault, 0.0, wasted, False))
+                            raise FaultRetriesExhausted(
+                                fault.stage, self.policy.max_retries, fault)
+                        backoff = self.policy.backoff_seconds(attempt)
+                        sub.charge_overhead(
+                            f"{fault.stage}:backoff#{attempt}", backoff)
+                        with self._lock:
+                            self._recovery_log.setdefault(
+                                stage.sid, []).append(
+                                    (fault, backoff, wasted, True))
+                span.set(retries=attempt,
+                         measured_seconds=sub.total_seconds)
+        finally:
+            if self.metrics is not None:
+                self._record_stage_metrics(stage, sub, attempt)
         with self._lock:
             if isinstance(stage, TransformStage):
                 self.stage_values[stage.sid] = result
             else:
                 self.lineage.record(stage.vertex, result)
+
+    def _record_stage_metrics(self, stage: StageNode, sub: TrafficLedger,
+                              retries: int) -> None:
+        """Build this stage's private metric fragment.
+
+        All values derive from the stage's sub-ledger and the deterministic
+        fault draws, never from wall-clock or thread timing — which is what
+        makes the merged registry bit-identical across schedulers.
+        """
+        frag = MetricsRegistry()
+        frag.count("execute.stages")
+        frag.count("execute.attempts", retries + 1)
+        if retries:
+            frag.count("execute.retries", retries)
+        work = recovery = shuffled = tuples = 0.0
+        for rec in sub.stages:
+            if rec.category == WORK:
+                work += rec.seconds
+                shuffled += rec.features.network_bytes
+                tuples += rec.features.tuples
+            else:
+                recovery += rec.seconds
+        frag.count("execute.kernel_seconds", work)
+        frag.count("execute.bytes_shuffled", shuffled)
+        frag.count("execute.tuples", tuples)
+        if recovery:
+            frag.count("execute.recovery_seconds", recovery)
+        frag.observe("execute.stage_seconds", work)
+        frag.gauge("execute.max_stage_seconds", work)
+        with self._lock:
+            self.metric_fragments[stage.sid] = frag
 
     def _execute(self, stage: StageNode, sub: TrafficLedger,
                  engine: RelationalEngine) -> StoredMatrix:
@@ -156,8 +214,7 @@ class ExecutionState:
         started), for stage-set comparisons against simulation.
         """
         executed: list[str] = []
-        for sid in sorted(self.records):
-            ledger.stages.extend(self.records[sid])
+        for sid in ledger.splice(self.records):
             executed.append(self.sgraph.stages[sid].name)
             for fault, backoff, wasted, retried in \
                     self._recovery_log.get(sid, ()):
@@ -167,6 +224,8 @@ class ExecutionState:
                         self.sgraph.stages[sid].vertex)
         if self.lineage.recomputations:
             self.stats.recomputed_vertices = len(self.lineage.recomputations)
+        if self.metrics is not None:
+            self.metrics.merge_fragments(self.metric_fragments)
         return executed
 
 

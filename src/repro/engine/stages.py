@@ -182,7 +182,8 @@ def _bind_thunk(v, impl: OpImplementation, out_fmt: PhysicalFormat) -> OpThunk:
     return thunk
 
 
-def lower(plan: Plan, ctx: OptimizerContext) -> StageGraph:
+def lower(plan: Plan, ctx: OptimizerContext,
+          tracer=None) -> StageGraph:
     """Lower an annotated plan to its physical stage DAG.
 
     Edges whose producer already stores the consumer's required format
@@ -190,7 +191,23 @@ def lower(plan: Plan, ctx: OptimizerContext) -> StageGraph:
     charged, exactly as the executor behaves.  Stage seconds come from
     ``ctx.cost_model``, so lowering under the planning context reproduces
     the plan's evaluated costs bit-for-bit.
+
+    ``tracer`` optionally records a ``lower`` span summarizing the stage
+    DAG (stage counts, predicted seconds); see :mod:`repro.obs.tracer`.
     """
+    if tracer is None or not tracer.enabled:
+        return _lower(plan, ctx)
+    with tracer.span("lower", kind="lower") as span:
+        sgraph = _lower(plan, ctx)
+        span.set(stages=len(sgraph),
+                 op_stages=sum(1 for s in sgraph.stages if s.kind == "op"),
+                 transform_stages=sum(1 for s in sgraph.stages
+                                      if s.kind == "transform"),
+                 predicted_seconds=sgraph.sum_seconds)
+    return sgraph
+
+
+def _lower(plan: Plan, ctx: OptimizerContext) -> StageGraph:
     graph = plan.graph
     stages: list[StageNode] = []
     op_stage_of: dict[VertexId, int] = {}

@@ -2,19 +2,27 @@
 
 The optimizer's objective, like the paper's, is the *sum* of stage costs
 (``Cost(G')``).  A real engine overlaps independent stages, so the wall
-clock is closer to the critical path of the stage DAG.  This module builds
-an ASAP (as-soon-as-possible) schedule of a plan's stages, reports the
-critical path, and renders a text Gantt chart — useful for understanding
-where a plan's time goes and how much pipeline parallelism it exposes.
+clock is closer to the critical path of the stage DAG.  This module places
+a plan's stages on an ASAP (as-soon-as-possible) schedule, reports the
+critical path, and renders a text Gantt chart.
+
+The timeline is a *consumer of the span stream*
+(:mod:`repro.obs.tracer`): :func:`stage_spans` renders the ASAP schedule
+as predicted spans on a virtual clock — one root ``timeline`` span plus
+one ``stage`` span per physical stage — and :class:`Timeline` is built
+from those spans.  The same spans feed the Chrome-trace/JSONL exporters
+(:mod:`repro.obs.export`), so a *predicted* timeline can be inspected in
+``chrome://tracing`` next to a *measured* one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.annotation import Plan
 from ..core.graph import VertexId
 from ..core.registry import OptimizerContext
+from ..obs.tracer import Span
 from .stages import StageGraph, lower
 
 
@@ -41,6 +49,9 @@ class Timeline:
     stages: list[ScheduledStage]
     sequential_seconds: float
     critical_path_seconds: float
+    #: The span stream this timeline was built from: the ``timeline`` root
+    #: plus one ``stage`` span per physical stage, on a virtual clock.
+    spans: list[Span] = field(default_factory=list)
 
     @property
     def parallelism(self) -> float:
@@ -70,14 +81,45 @@ class Timeline:
         return "\n".join(lines)
 
 
-def timeline_of(sgraph: StageGraph) -> Timeline:
-    """ASAP-schedule a lowered stage graph and find the critical path."""
+def stage_spans(sgraph: StageGraph) -> list[Span]:
+    """Render a stage graph's ASAP schedule as predicted spans.
+
+    Virtual clock: the root ``timeline`` span covers ``[0, makespan]``;
+    each stage span starts when its dependencies finish and lasts the cost
+    model's predicted seconds.  Ids are deterministic (name plus an
+    occurrence counter, matching the tracer's scheme).
+    """
     sched = sgraph.asap()
+    root = Span(sid="timeline#0", parent=None, name="timeline",
+                kind="timeline", start=0.0, end=sched.makespan,
+                attrs={"stages": len(sgraph),
+                       "sequential_seconds": sgraph.sum_seconds})
+    spans = [root]
+    occurrence: dict[str, int] = {}
+    for s in sgraph.stages:
+        k = occurrence.get(s.name, 0)
+        occurrence[s.name] = k + 1
+        spans.append(Span(
+            sid=f"{root.sid}/{s.name}#{k}", parent=root.sid,
+            name=s.name, kind="stage",
+            start=sched.starts[s.sid], end=sched.ends[s.sid],
+            attrs={"stage_id": s.sid, "stage_kind": s.kind,
+                   "vertex": s.vertex,
+                   "on_critical_path": s.sid in sched.on_critical_path,
+                   "predicted_seconds": s.seconds}))
+    return spans
+
+
+def timeline_of(sgraph: StageGraph) -> Timeline:
+    """Build the timeline by consuming the predicted span stream."""
+    spans = stage_spans(sgraph)
+    root, stage_stream = spans[0], spans[1:]
     scheduled = [
-        ScheduledStage(s.name, s.kind, s.vertex, sched.starts[s.sid],
-                       sched.ends[s.sid], s.sid in sched.on_critical_path)
-        for s in sgraph.stages]
-    return Timeline(scheduled, sgraph.sum_seconds, sched.makespan)
+        ScheduledStage(sp.name, sp.attrs["stage_kind"], sp.attrs["vertex"],
+                       sp.start, sp.end, sp.attrs["on_critical_path"])
+        for sp in stage_stream]
+    return Timeline(scheduled, root.attrs["sequential_seconds"], root.end,
+                    spans=spans)
 
 
 def schedule(plan: Plan, ctx: OptimizerContext) -> Timeline:

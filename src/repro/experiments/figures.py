@@ -489,6 +489,9 @@ def _tree_expanded_cost(graph, ctx) -> float:
 
 #: Registry used by the CLI and EXPERIMENTS.md generation.
 from .extensions import EXTENSION_EXPERIMENTS  # noqa: E402 (registry tail)
+from .observability import (  # noqa: E402 (registry tail)
+    OBSERVABILITY_EXPERIMENTS,
+)
 from .rewrites import REWRITE_EXPERIMENTS  # noqa: E402 (registry tail)
 from .robustness import ROBUSTNESS_EXPERIMENTS  # noqa: E402 (registry tail)
 from .scheduling import SCHEDULING_EXPERIMENTS  # noqa: E402 (registry tail)
@@ -507,6 +510,7 @@ EXPERIMENTS = {
     "ablation_transform_costs": ablation_transform_costs,
     "ablation_sharing": ablation_sharing,
     **EXTENSION_EXPERIMENTS,
+    **OBSERVABILITY_EXPERIMENTS,
     **REWRITE_EXPERIMENTS,
     **ROBUSTNESS_EXPERIMENTS,
     **SCHEDULING_EXPERIMENTS,

@@ -1,0 +1,47 @@
+"""Unified observability: spans, metrics, trace export, cost drift.
+
+One instrumentation layer every component emits into:
+
+* :mod:`repro.obs.tracer` — nested, structured spans with deterministic
+  ids covering the whole pipeline (optimize → rewrite passes → physical
+  search; lower; execute → per-stage attempts/retries), with an
+  off-by-default no-op fast path;
+* :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms
+  whose fragments merge in stage-id order, so sequential and thread-pool
+  executions produce bit-identical totals;
+* :mod:`repro.obs.export` — JSONL and Chrome ``chrome://tracing`` /
+  Perfetto exporters over the span stream;
+* :mod:`repro.obs.drift` — the per-stage cost-drift report joining the
+  stage graph's predicted seconds against the measured ledger, feeding
+  cost-model recalibration.
+"""
+
+from .drift import DriftReport, DriftRow, drift_report
+from .export import (
+    chrome_trace,
+    export_trace,
+    read_jsonl,
+    validate_spans,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Histogram, MetricsRegistry
+from .tracer import NULL_TRACER, Span, Tracer, as_tracer
+
+__all__ = [
+    "DriftReport",
+    "DriftRow",
+    "drift_report",
+    "chrome_trace",
+    "export_trace",
+    "read_jsonl",
+    "validate_spans",
+    "write_chrome_trace",
+    "write_jsonl",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "as_tracer",
+]

@@ -1,0 +1,146 @@
+"""Per-stage cost drift: predicted seconds vs. measured seconds.
+
+The paper's central claim is that a calibrated cost model can pick the
+best physical implementations; this report shows *where* prediction and
+measurement diverge.  For every executed stage it joins the stage graph's
+predicted seconds (the cost model over analytic features) against the
+measured seconds the engine actually charged for that stage — the work
+records of its private sub-ledger, which for operator stages reflect real
+shuffle/broadcast traffic rather than the analytic estimate.
+
+The report renders as a table (``explain(..., measured=result)``), and
+feeds recalibration: :meth:`DriftReport.to_samples` yields
+:class:`~repro.cost.calibration.CalibrationSample` pairs that
+:func:`repro.cost.refine.refine_weights` fits new cost weights from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..cost.features import CostFeatures
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cost.calibration import CalibrationSample
+    from ..engine.ledger import StageRecord
+    from ..engine.stages import StageGraph
+
+__all__ = ["DriftRow", "DriftReport", "drift_report"]
+
+
+@dataclass(frozen=True)
+class DriftRow:
+    """One executed stage's predicted vs. measured seconds."""
+
+    sid: int
+    name: str
+    kind: str                     # "op" or "transform"
+    predicted_seconds: float
+    measured_seconds: float
+    features: CostFeatures
+    #: Ledger records the stage charged (work + recovery), and how many
+    #: of its attempts were retries.
+    records: int = 0
+    retries: int = 0
+
+    @property
+    def drift_seconds(self) -> float:
+        return self.measured_seconds - self.predicted_seconds
+
+    @property
+    def ratio(self) -> float:
+        """measured / predicted (inf when a free stage measured nonzero)."""
+        if self.predicted_seconds > 0:
+            return self.measured_seconds / self.predicted_seconds
+        return math.inf if self.measured_seconds > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Cost drift of one execution, one row per executed stage."""
+
+    rows: tuple[DriftRow, ...]
+
+    @property
+    def total_predicted(self) -> float:
+        return sum(r.predicted_seconds for r in self.rows)
+
+    @property
+    def total_measured(self) -> float:
+        return sum(r.measured_seconds for r in self.rows)
+
+    @property
+    def total_ratio(self) -> float:
+        if self.total_predicted > 0:
+            return self.total_measured / self.total_predicted
+        return math.inf if self.total_measured > 0 else 1.0
+
+    def worst(self, top: int = 5) -> tuple[DriftRow, ...]:
+        """Stages with the largest absolute drift, worst first."""
+        ranked = sorted(self.rows, key=lambda r: abs(r.drift_seconds),
+                        reverse=True)
+        return tuple(ranked[:top])
+
+    def to_samples(self) -> "list[CalibrationSample]":
+        """Calibration samples (analytic features, measured seconds)."""
+        from ..cost.calibration import CalibrationSample
+
+        return [CalibrationSample(r.features, r.measured_seconds)
+                for r in self.rows]
+
+    def render(self, top: int | None = None) -> str:
+        """Text table: every executed stage, predicted vs. measured."""
+        header = (f"{'stage':36s} {'kind':10s} {'predicted':>10s} "
+                  f"{'measured':>10s} {'drift':>9s} {'ratio':>7s}")
+        lines = ["cost drift (predicted vs measured seconds per stage)",
+                 header, "-" * len(header)]
+        for r in self.rows:
+            ratio = f"x{r.ratio:.2f}" if math.isfinite(r.ratio) else "inf"
+            retry = f" (+{r.retries} retries)" if r.retries else ""
+            lines.append(
+                f"{r.name:36.36s} {r.kind:10s} {r.predicted_seconds:10.3f} "
+                f"{r.measured_seconds:10.3f} {r.drift_seconds:+9.3f} "
+                f"{ratio:>7s}{retry}")
+        lines.append("-" * len(header))
+        total_ratio = (f"x{self.total_ratio:.2f}"
+                       if math.isfinite(self.total_ratio) else "inf")
+        lines.append(
+            f"{'TOTAL':36s} {'':10s} {self.total_predicted:10.3f} "
+            f"{self.total_measured:10.3f} "
+            f"{self.total_measured - self.total_predicted:+9.3f} "
+            f"{total_ratio:>7s}")
+        if top:
+            lines.append("largest drift:")
+            for r in self.worst(top):
+                lines.append(f"  {r.name}: {r.drift_seconds:+.3f}s")
+        return "\n".join(lines)
+
+
+def drift_report(sgraph: "StageGraph",
+                 records: "Mapping[int, Sequence[StageRecord]]"
+                 ) -> DriftReport:
+    """Join predicted stage seconds against their measured sub-ledgers.
+
+    ``records`` maps stage id to the ledger records that stage charged
+    (see :attr:`repro.engine.scheduler.ExecutionState.records`); only
+    stages that actually started appear in the report.  Measured seconds
+    count productive work — wasted attempts and backoff are recovery
+    overhead, not model error — while ``retries`` reports how many
+    attempts the stage needed beyond the first.
+    """
+    from ..engine.ledger import WORK
+
+    rows = []
+    for sid in sorted(records):
+        stage = sgraph.stages[sid]
+        recs = records[sid]
+        measured = sum(r.seconds for r in recs if r.category == WORK)
+        retries = sum(1 for r in recs
+                      if r.category != WORK and "backoff" in r.name)
+        rows.append(DriftRow(
+            sid=sid, name=stage.name, kind=stage.kind,
+            predicted_seconds=stage.seconds, measured_seconds=measured,
+            features=stage.features, records=len(recs), retries=retries))
+    return DriftReport(tuple(rows))

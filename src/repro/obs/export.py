@@ -1,0 +1,149 @@
+"""Span-stream exporters: JSONL and Chrome/Perfetto trace format.
+
+* :func:`write_jsonl` / :func:`read_jsonl` — one span per line, losslessly
+  round-trippable (the machine-readable archive format);
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format understood by ``chrome://tracing`` and https://ui.perfetto.dev:
+  every span becomes a complete (``"ph": "X"``) event, with tracks
+  assigned so that spans on one track only ever nest, never overlap.
+
+:func:`export_trace` picks the format from the file extension
+(``.jsonl`` → JSONL, anything else → Chrome JSON).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from .tracer import Span, Tracer
+
+__all__ = ["write_jsonl", "read_jsonl", "chrome_trace",
+           "write_chrome_trace", "export_trace", "validate_spans"]
+
+
+def _as_spans(source: "Tracer | Iterable[Span]") -> list[Span]:
+    if isinstance(source, Tracer):
+        return source.spans()
+    return list(source)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_jsonl(source: "Tracer | Iterable[Span]", path: str) -> int:
+    """Write one JSON object per span; returns the span count."""
+    spans = _as_spans(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+    return len(spans)
+
+
+def read_jsonl(path: str) -> list[Span]:
+    """Read spans back from a JSONL trace file."""
+    spans = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Chrome trace format
+# ----------------------------------------------------------------------
+def _assign_tracks(spans: Sequence[Span]) -> list[int]:
+    """Greedy track assignment: a span joins the first track whose open
+    spans all *contain* it (pure nesting); overlapping siblings — e.g.
+    thread-pool stages running concurrently — land on separate tracks, so
+    the Chrome/Perfetto stack reconstruction never sees a partial overlap.
+    """
+    order = sorted(range(len(spans)),
+                   key=lambda i: (spans[i].start, -spans[i].end, spans[i].sid))
+    tracks: list[list[Span]] = []          # per track: stack of open spans
+    assigned = [0] * len(spans)
+    eps = 1e-12
+    for i in order:
+        span = spans[i]
+        placed = False
+        for tid, stack in enumerate(tracks):
+            while stack and stack[-1].end <= span.start + eps:
+                stack.pop()
+            if not stack or (stack[-1].start <= span.start + eps
+                             and span.end <= stack[-1].end + eps):
+                stack.append(span)
+                assigned[i] = tid
+                placed = True
+                break
+        if not placed:
+            tracks.append([span])
+            assigned[i] = len(tracks) - 1
+    return assigned
+
+
+def chrome_trace(source: "Tracer | Iterable[Span]") -> dict:
+    """Render spans as a Trace Event Format document (times in µs)."""
+    spans = _as_spans(source)
+    tracks = _assign_tracks(spans)
+    events = []
+    for span, tid in zip(spans, tracks):
+        events.append({
+            "name": span.name,
+            "cat": span.kind,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": max(span.duration, 0.0) * 1e6,
+            "pid": 1,
+            "tid": tid,
+            "args": {"sid": span.sid, "parent": span.parent,
+                     **{k: v for k, v in span.attrs.items()}},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source: "Tracer | Iterable[Span]", path: str) -> int:
+    """Write a Chrome-loadable JSON trace; returns the event count."""
+    doc = chrome_trace(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    return len(doc["traceEvents"])
+
+
+def export_trace(source: "Tracer | Iterable[Span]", path: str) -> int:
+    """Export by extension: ``.jsonl`` → JSONL, else Chrome trace JSON."""
+    if path.endswith(".jsonl"):
+        return write_jsonl(source, path)
+    return write_chrome_trace(source, path)
+
+
+# ----------------------------------------------------------------------
+# Schema validation (used by tests and the overhead regression gate)
+# ----------------------------------------------------------------------
+def validate_spans(spans: Sequence[Span]) -> None:
+    """Check span-stream invariants; raises ``ValueError`` on violation.
+
+    * ids are unique and every parent id names another span in the stream;
+    * every span's interval is well formed (``end >= start``);
+    * children are contained in their parent's interval (nesting).
+    """
+    by_sid = {}
+    for span in spans:
+        if span.sid in by_sid:
+            raise ValueError(f"duplicate span id {span.sid!r}")
+        by_sid[span.sid] = span
+    for span in spans:
+        if span.end < span.start:
+            raise ValueError(f"span {span.sid!r} ends before it starts")
+        if span.parent is None:
+            continue
+        parent = by_sid.get(span.parent)
+        if parent is None:
+            raise ValueError(
+                f"span {span.sid!r} names missing parent {span.parent!r}")
+        eps = 1e-9
+        if span.start < parent.start - eps or span.end > parent.end + eps:
+            raise ValueError(
+                f"span {span.sid!r} [{span.start}, {span.end}] escapes its "
+                f"parent {parent.sid!r} [{parent.start}, {parent.end}]")

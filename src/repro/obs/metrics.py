@@ -1,0 +1,148 @@
+"""Counters, gauges and histograms with order-independent merging.
+
+A :class:`MetricsRegistry` accumulates named metrics; components record
+into private *fragments* (one per physical stage) and the engine merges
+them in stage-id order (:meth:`MetricsRegistry.merge_fragments`).  Because
+the merge order is a function of the stage graph rather than of thread
+scheduling, the sequential and thread-pool schedulers produce **bit
+identical** registries — including every float total — and the canonical
+JSON rendering (:meth:`MetricsRegistry.to_json`) is byte-identical.
+
+Merge semantics per metric type:
+
+* counters add;
+* gauges keep the maximum (high-water marks — ``max`` is commutative and
+  associative, so gauges stay order-independent too);
+* histograms add bucket counts and sums (fixed shared bucket bounds).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["Histogram", "MetricsRegistry", "DEFAULT_BOUNDS"]
+
+#: Decade buckets spanning microseconds to ~11 days (or bytes to TBs):
+#: wide enough for every metric this system records.
+DEFAULT_BOUNDS: tuple[float, ...] = tuple(10.0 ** e for e in range(-6, 7))
+
+
+@dataclass
+class Histogram:
+    """Fixed-bound histogram: counts per bucket plus sum and count."""
+
+    bounds: tuple[float, ...] = DEFAULT_BOUNDS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        idx = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            idx += 1
+        self.counts[idx] += 1
+        self.total += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.count += other.count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "total": self.total, "count": self.count}
+
+
+class MetricsRegistry:
+    """One run's named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Raise the high-water-mark gauge ``name`` to at least ``value``."""
+        prev = self.gauges.get(name)
+        if prev is None or value > prev:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (names in sorted order)."""
+        for name in sorted(other.counters):
+            self.count(name, other.counters[name])
+        for name in sorted(other.gauges):
+            self.gauge(name, other.gauges[name])
+        for name in sorted(other.histograms):
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram(
+                    other.histograms[name].bounds)
+            hist.merge(other.histograms[name])
+
+    def merge_fragments(self, fragments: Mapping[int, "MetricsRegistry"]
+                        ) -> None:
+        """Merge per-stage fragments in stage-id order.
+
+        The caller's key order is irrelevant: fragments always fold in
+        sorted-key order, so shuffled merge orders of the same fragments
+        yield identical totals and identical serialized output.
+        """
+        for key in sorted(fragments):
+            self.merge(fragments[key])
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Name-sorted nested dict of everything recorded."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {k: self.histograms[k].to_dict()
+                           for k in sorted(self.histograms)},
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: byte-identical for identical metrics."""
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-metric rendering."""
+        lines = []
+        for name in sorted(self.counters):
+            lines.append(f"{name:40s} {self.counters[name]:>14g}")
+        for name in sorted(self.gauges):
+            lines.append(f"{name:40s} {self.gauges[name]:>14g} (gauge)")
+        for name in sorted(self.histograms):
+            hist = self.histograms[name]
+            lines.append(f"{name:40s} n={hist.count} mean={hist.mean:.4g}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,203 @@
+"""Structured spans: the one span stream every component emits into.
+
+A span is a named, timed interval with a deterministic id, an optional
+parent, and free-form attributes.  Ids are *paths*: a root span is named
+``optimize#0``, its second ``pass`` child ``optimize#0/pass:cse#0`` — the
+``#k`` suffix counts occurrences of the same name under the same parent.
+Because ids derive from the span tree's shape rather than from allocation
+order, two runs that do the same work produce the same ids even when a
+thread-pool scheduler finishes stages in a different order.
+
+Tracing is **off by default**: the module-level :data:`NULL_TRACER` (and
+any ``Tracer(enabled=False)``) hands out a shared no-op span, so
+instrumented call sites cost one method call and no allocation when
+nobody is listening.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Span", "Tracer", "NullSpan", "NULL_TRACER", "as_tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished span: a named interval in the run's virtual timeline."""
+
+    sid: str
+    parent: str | None
+    name: str
+    kind: str
+    start: float
+    end: float
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {"sid": self.sid, "parent": self.parent, "name": self.name,
+                "kind": self.kind, "start": self.start, "end": self.end,
+                "attrs": dict(self.attrs)}
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "Span":
+        return Span(payload["sid"], payload["parent"], payload["name"],
+                    payload["kind"], payload["start"], payload["end"],
+                    dict(payload.get("attrs", {})))
+
+
+class ActiveSpan:
+    """A span being recorded; context manager and parent handle in one."""
+
+    __slots__ = ("_tracer", "sid", "parent_sid", "name", "kind",
+                 "_attrs", "_start", "_counts")
+
+    def __init__(self, tracer: "Tracer", sid: str, parent_sid: str | None,
+                 name: str, kind: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.sid = sid
+        self.parent_sid = parent_sid
+        self.name = name
+        self.kind = kind
+        self._attrs = attrs
+        self._start = tracer._now()
+        self._counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, kind: str = "span", **attrs) -> "ActiveSpan":
+        """Open a child span (explicit parenting; works across threads)."""
+        return self._tracer.span(name, kind, parent=self, **attrs)
+
+    def set(self, **attrs) -> None:
+        """Attach/overwrite attributes on this span."""
+        self._attrs.update(attrs)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ActiveSpan":
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        self._tracer._pop(self)
+        if exc is not None:
+            self._attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        self._tracer._finish(self)
+
+
+class NullSpan:
+    """The shared no-op span: every method is free and returns itself."""
+
+    __slots__ = ()
+    sid = "null"
+    parent_sid = None
+    name = "null"
+    kind = "null"
+
+    def span(self, name: str, kind: str = "span", **attrs) -> "NullSpan":
+        return self
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Collects spans for one run.
+
+    Thread safe: the id counters and the finished-span list are guarded by
+    one lock; each thread keeps its own implicit current-span stack, and
+    cross-thread children name their parent explicitly (``parent=``).
+    """
+
+    def __init__(self, enabled: bool = True, clock=time.perf_counter) -> None:
+        self.enabled = enabled
+        self._clock = clock
+        self._epoch = clock() if enabled else 0.0
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._root_counts: dict[str, int] = {}
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def _push(self, span: ActiveSpan) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span: ActiveSpan) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def _finish(self, span: ActiveSpan) -> None:
+        done = Span(span.sid, span.parent_sid, span.name, span.kind,
+                    span._start, self._now(), dict(span._attrs))
+        with self._lock:
+            self._finished.append(done)
+
+    # ------------------------------------------------------------------
+    def current(self) -> ActiveSpan | None:
+        """This thread's innermost open span (implicit parent)."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def span(self, name: str, kind: str = "span",
+             parent: "ActiveSpan | NullSpan | None" = None,
+             **attrs) -> "ActiveSpan | NullSpan":
+        """Open a span; parent defaults to this thread's current span."""
+        if not self.enabled:
+            return _NULL_SPAN
+        if parent is None:
+            parent = self.current()
+        if parent is None or isinstance(parent, NullSpan):
+            with self._lock:
+                k = self._root_counts.get(name, 0)
+                self._root_counts[name] = k + 1
+            sid = f"{name}#{k}"
+            parent_sid = None
+        else:
+            with self._lock:
+                k = parent._counts.get(name, 0)
+                parent._counts[name] = k + 1
+            sid = f"{parent.sid}/{name}#{k}"
+            parent_sid = parent.sid
+        return ActiveSpan(self, sid, parent_sid, name, kind, dict(attrs))
+
+    # ------------------------------------------------------------------
+    def add_span(self, span: Span) -> None:
+        """Record a pre-built (e.g. virtual-clock) span verbatim."""
+        with self._lock:
+            self._finished.append(span)
+
+    def spans(self) -> list[Span]:
+        """Finished spans in a deterministic (start, end, id) order."""
+        with self._lock:
+            return sorted(self._finished,
+                          key=lambda s: (s.start, s.end, s.sid))
+
+
+#: The default tracer: tracing disabled, zero-allocation no-op spans.
+NULL_TRACER = Tracer(enabled=False)
+
+
+def as_tracer(tracer: Tracer | None) -> Tracer:
+    """Normalize an optional tracer argument to a usable tracer."""
+    return NULL_TRACER if tracer is None else tracer

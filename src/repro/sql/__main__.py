@@ -36,12 +36,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the per-stage EXPLAIN report")
     parser.add_argument("--dot", default=None,
                         help="write the annotated plan as Graphviz DOT")
+    parser.add_argument("--emit-trace", metavar="PATH", default=None,
+                        help="record planning as structured spans and "
+                             "export them (.jsonl = JSONL, anything else = "
+                             "Chrome trace JSON)")
     args = parser.parse_args(argv)
 
     with open(args.script, encoding="utf-8") as fh:
         source = fh.read()
 
-    session = SqlSession()
+    tracer = None
+    if args.emit_trace:
+        from ..obs.tracer import Tracer
+
+        tracer = Tracer()
+    session = SqlSession(tracer=tracer)
     session.execute(source)
     ctx = OptimizerContext(cluster=simsql_cluster(args.workers))
     beam = args.beam if args.beam > 0 else None
@@ -58,6 +67,11 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.dot, "w", encoding="utf-8") as fh:
             fh.write(plan_to_dot(plan))
         print(f"\nwrote {args.dot}")
+    if tracer is not None:
+        from ..obs.export import export_trace
+
+        count = export_trace(tracer, args.emit_trace)
+        print(f"\ntrace: {count} spans -> {args.emit_trace}")
     return 0
 
 

@@ -24,7 +24,7 @@ what the frontier algorithm optimizes jointly.
 from __future__ import annotations
 
 import re
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -55,6 +55,10 @@ from .parser import (
     NumberLiteral,
     parse,
 )
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry  # noqa: F401
+    from ..obs.tracer import Tracer  # noqa: F401
 
 
 class SqlError(ValueError):
@@ -117,13 +121,23 @@ def parse_format(spec: str) -> PhysicalFormat:
 
 
 class SqlSession:
-    """Accumulates table/view definitions and compiles them to plans."""
+    """Accumulates table/view definitions and compiles them to plans.
 
-    def __init__(self) -> None:
+    ``tracer`` and ``metrics`` (see :mod:`repro.obs`) observe every
+    :meth:`optimize` and :meth:`run` the session performs: one ``optimize``
+    span tree per planning call and one ``execute`` span tree per
+    execution, all in the same stream, exportable with
+    :func:`repro.obs.export.export_trace`.
+    """
+
+    def __init__(self, tracer: "Tracer | None" = None,
+                 metrics: "MetricsRegistry | None" = None) -> None:
         self._tables: dict[str, CreateTable] = {}
         self._loads: dict[str, Load] = {}
         self._views: dict[str, CreateView] = {}
         self._exprs: dict[str, lang.Expr] = {}
+        self.tracer = tracer
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # DDL
@@ -245,20 +259,25 @@ class SqlSession:
 
     def optimize(self, *view_names: str,
                  ctx: OptimizerContext | None = None,
-                 max_states: int | None = None) -> Plan:
+                 max_states: int | None = None,
+                 rewrites: str | tuple[str, ...] = "none") -> Plan:
         """Optimize the physical plan for the named views."""
         return optimize(self.graph(*view_names),
                         ctx if ctx is not None else OptimizerContext(),
-                        max_states=max_states)
+                        max_states=max_states, rewrites=rewrites,
+                        tracer=self.tracer, metrics=self.metrics)
 
     def run(self, *view_names: str, inputs: dict[str, np.ndarray],
             ctx: OptimizerContext | None = None,
-            max_states: int | None = None) -> ExecutionResult:
+            max_states: int | None = None,
+            rewrites: str | tuple[str, ...] = "none") -> ExecutionResult:
         """Optimize and execute; ``inputs`` maps table names to matrices."""
         if ctx is None:
             ctx = OptimizerContext()
-        plan = self.optimize(*view_names, ctx=ctx, max_states=max_states)
-        result = execute_plan(plan, inputs, ctx)
+        plan = self.optimize(*view_names, ctx=ctx, max_states=max_states,
+                             rewrites=rewrites)
+        result = execute_plan(plan, inputs, ctx, tracer=self.tracer,
+                              metrics=self.metrics)
         if not result.ok:
             raise SqlError(f"execution failed: {result.failure}")
         return result

@@ -42,23 +42,32 @@ def sweep_workers(
     workers: Sequence[int],
     max_states: int | None = 1000,
     rewrites: str | Sequence[str] = "none",
+    tracer=None,
 ) -> list[SweepPoint]:
     """Optimize ``graph`` for each cluster size and report predicted times.
 
     Each point re-optimizes from scratch: bigger clusters change the best
     plan, not just its cost.  ``rewrites`` is forwarded to
-    :func:`repro.core.optimizer.optimize`.
+    :func:`repro.core.optimizer.optimize`.  With a ``tracer``, each point
+    records a ``sweep-point`` span with the nested ``optimize`` span tree
+    inside it.
     """
+    from ..obs.tracer import as_tracer
+
+    tracer = as_tracer(tracer)
     points = []
     for count in workers:
         ctx = OptimizerContext(cluster=profile(count))
-        try:
-            plan = optimize(graph, ctx, max_states=max_states,
-                            rewrites=rewrites)
-            seconds = plan.total_seconds
-        except Exception:
-            plan = None
-            seconds = math.inf
+        with tracer.span(f"sweep-point:{count}", kind="sweep-point",
+                         workers=count) as span:
+            try:
+                plan = optimize(graph, ctx, max_states=max_states,
+                                rewrites=rewrites, tracer=tracer)
+                seconds = plan.total_seconds
+            except Exception:
+                plan = None
+                seconds = math.inf
+            span.set(seconds=seconds, feasible=math.isfinite(seconds))
         points.append(SweepPoint(count, seconds, plan))
     return points
 
@@ -204,14 +213,26 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="render the pipeline-aware stage timeline "
                              "(ASAP Gantt chart) of the best plan at the "
                              "first feasible cluster size")
+    parser.add_argument("--emit-trace", metavar="PATH", default=None,
+                        help="record the sweep as structured spans and "
+                             "export them (.jsonl = JSONL, anything else = "
+                             "Chrome trace JSON for chrome://tracing or "
+                             "ui.perfetto.dev)")
     args = parser.parse_args(argv)
+
+    tracer = None
+    if args.emit_trace:
+        from ..obs.tracer import Tracer
+
+        tracer = Tracer()
 
     graph = workloads[args.workload]()
     counts = [int(w) for w in args.workers.split(",") if w.strip()]
     rewrites = "none" if args.no_rewrites else "all"
     max_states = args.max_states or None
     points = sweep_workers(graph, DEFAULT_CLUSTER.with_workers, counts,
-                           max_states=max_states, rewrites=rewrites)
+                           max_states=max_states, rewrites=rewrites,
+                           tracer=tracer)
     print(f"workload {args.workload}: {len(graph)} vertices, "
           f"rewrites={rewrites}")
     print(render_sweep(points))
@@ -248,6 +269,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             print(f"smallest cluster meeting {args.target:.1f}s: "
                   f"{best.workers} workers ({best.seconds:.2f}s predicted)")
+    if tracer is not None:
+        from ..engine.trace import stage_spans
+        from ..obs.export import export_trace
+
+        shown = next((p for p in points if p.feasible and p.plan is not None),
+                     None)
+        if shown is not None:
+            # Append the first feasible plan's predicted ASAP timeline as
+            # virtual-clock spans so the exported trace shows the schedule
+            # next to the measured optimization spans.
+            ctx = OptimizerContext(
+                cluster=DEFAULT_CLUSTER.with_workers(shown.workers))
+            for span in stage_spans(shown.plan.lowered(ctx)):
+                tracer.add_span(span)
+        count = export_trace(tracer, args.emit_trace)
+        print(f"trace: {count} spans -> {args.emit_trace}")
     return 0
 
 

@@ -176,3 +176,64 @@ class TestFaultEquivalence:
         seq, pool = _both(plan, inputs, ctx)
         assert not seq.ok and not pool.ok
         assert seq.failure == pool.failure
+
+
+class TestMetricsEquivalence:
+    """The metrics registry must be BIT-identical between schedulers: every
+    float total and the canonical JSON rendering, with and without faults
+    (see docs/observability.md)."""
+
+    def _both_metrics(self, plan, inputs, ctx, **kwargs):
+        from repro.obs.metrics import MetricsRegistry
+
+        seq_m, pool_m = MetricsRegistry(), MetricsRegistry()
+        seq = execute_plan(plan, inputs, ctx,
+                           scheduler=SequentialScheduler(),
+                           metrics=seq_m, **kwargs)
+        pool = execute_plan(plan, inputs, ctx,
+                            scheduler=ThreadPoolScheduler(),
+                            metrics=pool_m, **kwargs)
+        return (seq, seq_m), (pool, pool_m)
+
+    def test_clean_run_metrics_bit_identical(self):
+        graph, inputs = _diamond()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        (seq, seq_m), (pool, pool_m) = self._both_metrics(plan, inputs, ctx)
+        assert seq.ok and pool.ok
+        assert seq_m.to_json() == pool_m.to_json()
+        assert seq_m.counters["execute.stages"] == len(seq.executed_stages)
+        assert seq_m.counters["execute.kernel_seconds"] == \
+            pool_m.counters["execute.kernel_seconds"]  # exact, not approx
+
+    def test_faulty_run_metrics_bit_identical(self):
+        graph, inputs = _diamond()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        cfg = FaultConfig(seed=6, crash_probability=0.2,
+                          shuffle_error_probability=0.1,
+                          straggler_probability=0.2)
+        (seq, seq_m), (pool, pool_m) = self._both_metrics(
+            plan, inputs, ctx, faults=cfg)
+        assert seq.ok and pool.ok
+        assert seq_m.to_json() == pool_m.to_json()
+        assert seq_m.counters["execute.retries"] >= 1
+        assert "execute.recovery_seconds" in seq_m.counters
+
+    def test_traced_runs_have_identical_span_ids(self):
+        """Span ids derive from the tree shape, not completion order: both
+        schedulers produce the same id set (wall-clock times differ)."""
+        from repro.obs.tracer import Tracer
+
+        graph, inputs = _diamond()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        seq_t, pool_t = Tracer(), Tracer()
+        execute_plan(plan, inputs, ctx, scheduler=SequentialScheduler(),
+                     tracer=seq_t)
+        execute_plan(plan, inputs, ctx, scheduler=ThreadPoolScheduler(),
+                     tracer=pool_t)
+        seq_ids = {s.sid for s in seq_t.spans()}
+        pool_ids = {s.sid for s in pool_t.spans()}
+        assert seq_ids == pool_ids
+        assert any(s.kind == "stage" for s in seq_t.spans())

@@ -5,9 +5,21 @@ import pytest
 from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
 from repro.core.atoms import ADD, MATMUL, RELU
 from repro.core.formats import single, tiles
-from repro.engine.trace import schedule
+from repro.cost.features import CostFeatures
+from repro.engine.stages import StageGraph, StageNode
+from repro.engine.trace import schedule, stage_spans, timeline_of
+from repro.obs.export import validate_spans
 
 CTX = OptimizerContext()
+
+
+def _stage(sid, name, seconds, deps=()):
+    return StageNode(sid=sid, name=name, vertex=sid, deps=tuple(deps),
+                     features=CostFeatures(), seconds=seconds)
+
+
+def _hand_graph(*stages) -> StageGraph:
+    return StageGraph(plan=None, stages=tuple(stages), op_stage_of={})
 
 
 def _diamond_plan():
@@ -93,3 +105,105 @@ class TestSchedule:
         text = timeline.gantt()
         assert "critical path" in text
         assert "#" in text
+
+
+class TestHandComputedSchedules:
+    """ASAP placement and critical path checked against schedules worked
+    out by hand on stage DAGs built directly from StageNode instances."""
+
+    def _diamond(self) -> StageGraph:
+        """src(2s) -> {left(3s), right(5s)} -> join(1s).
+
+        ASAP by hand: src [0,2]; left [2,5]; right [2,7]; join starts when
+        *both* branches finish = max(5,7) = 7, so join [7,8].  Critical
+        path is src -> right -> join = 2+5+1 = 8; left is off-path.
+        """
+        return _hand_graph(
+            _stage(0, "src", 2.0),
+            _stage(1, "left", 3.0, deps=(0,)),
+            _stage(2, "right", 5.0, deps=(0,)),
+            _stage(3, "join", 1.0, deps=(1, 2)))
+
+    def _fan_in(self) -> StageGraph:
+        """Three independent roots (4s, 2s, 6s) joining into one 3s stage.
+
+        ASAP by hand: roots all start at 0 and end at 4, 2, 6; the join
+        waits for the slowest root, so join [6,9].  Makespan 9; critical
+        path is c -> join; sequential time is 4+2+6+3 = 15.
+        """
+        return _hand_graph(
+            _stage(0, "a", 4.0),
+            _stage(1, "b", 2.0),
+            _stage(2, "c", 6.0),
+            _stage(3, "join", 3.0, deps=(0, 1, 2)))
+
+    def test_diamond_asap_placement(self):
+        sched = self._diamond().asap()
+        assert sched.starts == (0.0, 2.0, 2.0, 7.0)
+        assert sched.ends == (2.0, 5.0, 7.0, 8.0)
+        assert sched.makespan == 8.0
+
+    def test_diamond_critical_path(self):
+        sgraph = self._diamond()
+        assert sgraph.asap().on_critical_path == frozenset({0, 2, 3})
+        assert sgraph.critical_path_seconds == 8.0
+        assert sgraph.sum_seconds == 11.0
+
+    def test_fan_in_join_waits_for_slowest_root(self):
+        sched = self._fan_in().asap()
+        assert sched.starts == (0.0, 0.0, 0.0, 6.0)
+        assert sched.ends == (4.0, 2.0, 6.0, 9.0)
+        assert sched.makespan == 9.0
+        assert sched.on_critical_path == frozenset({2, 3})
+
+    def test_fan_in_timeline_consumes_span_stream(self):
+        timeline = timeline_of(self._fan_in())
+        assert timeline.critical_path_seconds == 9.0
+        assert timeline.sequential_seconds == 15.0
+        assert timeline.parallelism == pytest.approx(15.0 / 9.0)
+        assert [s.name for s in timeline.critical_path()] == ["c", "join"]
+
+    def test_diamond_timeline_marks_off_path_branch(self):
+        timeline = timeline_of(self._diamond())
+        by_name = {s.name: s for s in timeline.stages}
+        assert not by_name["left"].on_critical_path
+        assert by_name["right"].on_critical_path
+        assert by_name["join"].start == 7.0
+
+
+class TestStageSpans:
+    def test_span_stream_is_schema_valid_and_nested(self):
+        spans = stage_spans(_diamond_plan().lowered(CTX))
+        validate_spans(spans)
+        root = spans[0]
+        assert root.sid == "timeline#0"
+        assert root.kind == "timeline"
+        assert all(s.parent == root.sid for s in spans[1:])
+        assert all(s.kind == "stage" for s in spans[1:])
+
+    def test_one_stage_span_per_physical_stage(self):
+        sgraph = _diamond_plan().lowered(CTX)
+        spans = stage_spans(sgraph)
+        assert len(spans) == len(sgraph) + 1
+        assert root_attrs_match(spans[0], sgraph)
+
+    def test_duplicate_stage_names_get_distinct_ids(self):
+        sgraph = _hand_graph(_stage(0, "mm", 1.0),
+                             _stage(1, "mm", 1.0, deps=(0,)))
+        spans = stage_spans(sgraph)
+        assert [s.sid for s in spans[1:]] == \
+            ["timeline#0/mm#0", "timeline#0/mm#1"]
+        validate_spans(spans)
+
+    def test_timeline_exposes_its_span_stream(self):
+        timeline = schedule(_diamond_plan(), CTX)
+        assert timeline.spans
+        assert timeline.spans[0].name == "timeline"
+        assert len(timeline.spans) == len(timeline.stages) + 1
+
+
+def root_attrs_match(root, sgraph):
+    return (root.attrs["stages"] == len(sgraph)
+            and root.attrs["sequential_seconds"] ==
+            pytest.approx(sgraph.sum_seconds)
+            and root.end == pytest.approx(sgraph.critical_path_seconds))

@@ -1,0 +1,70 @@
+"""Acceptance: the paper-scale fig05 plan exports a loadable Chrome trace.
+
+The fig05 experiment optimizes the hidden-80K FFNN full step (the paper's
+57-vertex Experiment 1 graph) — far too large to execute on real data, but
+planning and simulation run fine.  Tracing the whole pipeline and
+exporting must yield a Chrome-loadable JSON document with properly nested
+spans covering optimization, lowering, and the simulated stage timeline.
+"""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.cluster import simsql_cluster
+from repro.core.optimizer import optimize
+from repro.core.registry import OptimizerContext
+from repro.engine.executor import simulate
+from repro.engine.trace import stage_spans
+from repro.obs.export import validate_spans, write_chrome_trace
+from repro.obs.tracer import Tracer
+from repro.workloads.ffnn import FFNNConfig, ffnn_full_step
+
+FFNN_BEAM = 1500  # fig05's beam width
+
+
+@pytest.fixture(scope="module")
+def traced_fig05(tmp_path_factory):
+    graph = ffnn_full_step(FFNNConfig(hidden=80_000))
+    ctx = OptimizerContext(cluster=simsql_cluster(10))
+    tracer = Tracer()
+    plan = optimize(graph, ctx, max_states=FFNN_BEAM, tracer=tracer)
+    sim = simulate(plan, ctx, tracer=tracer)
+    assert sim.ok
+    for span in stage_spans(plan.lowered(ctx)):
+        tracer.add_span(span)
+    path = str(tmp_path_factory.mktemp("trace") / "fig05.json")
+    write_chrome_trace(tracer, path)
+    return graph, plan, tracer, path
+
+
+def test_fig05_chrome_trace_loads_as_valid_json(traced_fig05):
+    graph, _plan, tracer, path = traced_fig05
+    assert len(graph) >= 50  # the paper's 57-vertex experiment 1 graph
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc["traceEvents"]
+    assert len(events) == len(tracer.spans())
+    assert all(e["ph"] == "X" for e in events)
+
+
+def test_fig05_spans_nest(traced_fig05):
+    _graph, plan, tracer, _path = traced_fig05
+    spans = tracer.spans()
+    validate_spans(spans)
+    kinds = Counter(s.kind for s in spans)
+    assert kinds["optimize"] == 1
+    assert kinds["search"] >= 1
+    assert kinds["search-phase"] >= 2  # sweep + reconstruct
+    assert kinds["simulate"] == 1
+    assert kinds["timeline"] == 1
+    # The virtual timeline carries one span per lowered stage.
+    ctx = OptimizerContext(cluster=simsql_cluster(10))
+    assert kinds["stage"] == len(plan.lowered(ctx))
+    # Nesting: search lives inside optimize, sweep inside search.
+    by_sid = {s.sid: s for s in spans}
+    search = next(s for s in spans if s.kind == "search")
+    assert by_sid[search.parent].kind == "optimize"
+    sweep = next(s for s in spans if s.name == "sweep")
+    assert by_sid[sweep.parent].kind == "search"

@@ -1,0 +1,137 @@
+"""Cost-drift report: every executed stage, faults, and recalibration."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import ADD, MATMUL, TRANSPOSE
+from repro.core.explain import explain
+from repro.core.formats import tiles
+from repro.cost.features import CostFeatures
+from repro.cost.refine import refine_weights
+from repro.engine import execute_plan
+from repro.engine.faults import FaultConfig
+from repro.engine.ledger import RECOVERY, WORK, StageRecord
+from repro.obs.drift import DriftReport, DriftRow, drift_report
+
+RNG = np.random.default_rng(3)
+CTX = OptimizerContext()
+
+
+def _executed():
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(60, 45), tiles(20))
+    b = g.add_source("B", matrix(45, 60), tiles(20))
+    m = g.add_op("M", MATMUL, (a, b))
+    t = g.add_op("T", TRANSPOSE, (m,))
+    g.add_op("OUT", ADD, (m, t))
+    plan = optimize(g, CTX)
+    inputs = {"A": RNG.standard_normal((60, 45)),
+              "B": RNG.standard_normal((45, 60))}
+    result = execute_plan(plan, inputs, CTX)
+    assert result.ok
+    return plan, result
+
+
+class TestDriftReport:
+    def test_covers_every_executed_stage(self):
+        plan, result = _executed()
+        drift = result.drift
+        assert drift is not None
+        assert len(drift.rows) == len(result.executed_stages)
+        assert [r.name for r in drift.rows] == list(result.executed_stages)
+        for row in drift.rows:
+            assert row.predicted_seconds > 0
+            assert row.measured_seconds > 0
+            assert row.records >= 1
+            assert row.retries == 0
+
+    def test_totals_and_worst_ranking(self):
+        _plan, result = _executed()
+        drift = result.drift
+        assert drift.total_predicted == pytest.approx(
+            sum(r.predicted_seconds for r in drift.rows))
+        assert drift.total_measured == pytest.approx(
+            sum(r.measured_seconds for r in drift.rows))
+        worst = drift.worst(top=2)
+        assert len(worst) == 2
+        assert abs(worst[0].drift_seconds) >= abs(worst[1].drift_seconds)
+
+    def test_measured_counts_only_work_records(self):
+        """Synthetic sub-ledgers: recovery/backoff records are overhead,
+        not model error — only WORK seconds count as measured."""
+        plan, result = _executed()
+        sgraph = plan.lowered(CTX)
+        records = {
+            0: [StageRecord("s", CostFeatures(), 2.0, WORK),
+                StageRecord("s [recovery]", CostFeatures(), 9.0, RECOVERY),
+                StageRecord("s [retry backoff]", CostFeatures(), 0.5,
+                            RECOVERY)],
+        }
+        drift = drift_report(sgraph, records)
+        (row,) = drift.rows
+        assert row.measured_seconds == pytest.approx(2.0)
+        assert row.retries == 1  # one backoff record = one retry
+        assert row.records == 3
+
+    def test_faulty_run_reports_retries(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(48, 48), tiles(16))
+        g.add_op("M", MATMUL, (a, a))
+        plan = optimize(g, CTX)
+        result = execute_plan(
+            plan, {"A": RNG.standard_normal((48, 48))}, CTX,
+            faults=FaultConfig(seed=5, crash_probability=1.0,
+                               max_faults_per_stage=1))
+        assert result.ok
+        assert sum(r.retries for r in result.drift.rows) >= 1
+
+    def test_render_lists_every_stage(self):
+        _plan, result = _executed()
+        text = result.drift.render(top=3)
+        for name in result.executed_stages:
+            assert name[:36] in text
+        assert "TOTAL" in text
+        assert "largest drift:" in text
+
+    def test_ratio_handles_zero_prediction(self):
+        row = DriftRow(0, "s", "op", 0.0, 1.0, CostFeatures())
+        assert row.ratio == float("inf")
+        free = DriftRow(0, "s", "op", 0.0, 0.0, CostFeatures())
+        assert free.ratio == 1.0
+
+
+class TestRecalibration:
+    def test_refine_weights_fits_from_drift(self):
+        _plan, result = _executed()
+        weights = refine_weights(result.drift, CTX.cluster)
+        samples = result.drift.to_samples()
+        assert len(samples) == len(result.drift.rows)
+        # The fitted weights must be usable by a cost model: re-optimizing
+        # under them still produces a finite-cost plan.
+        refit_ctx = OptimizerContext(weights=weights)
+        plan = optimize(_plan.graph, refit_ctx)
+        assert np.isfinite(plan.total_seconds)
+
+    def test_refine_weights_rejects_empty_drift(self):
+        with pytest.raises(ValueError):
+            refine_weights(DriftReport(()), CTX.cluster)
+
+
+class TestExplainIntegration:
+    def test_explain_appends_drift_section(self):
+        plan, result = _executed()
+        text = explain(plan, CTX, measured=result)
+        assert "cost drift" in text
+        assert "EXPLAIN plan" in text
+        # Accepts the DriftReport directly too.
+        assert "cost drift" in explain(plan, CTX, measured=result.drift)
+
+    def test_explain_without_measurement_unchanged(self):
+        plan, _result = _executed()
+        assert "cost drift" not in explain(plan, CTX)
+
+    def test_explain_rejects_wrong_type(self):
+        plan, _result = _executed()
+        with pytest.raises(TypeError):
+            explain(plan, CTX, measured="not a drift report")

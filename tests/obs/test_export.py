@@ -1,0 +1,106 @@
+"""Exporter tests: JSONL round-trip, Chrome trace shape, validation."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    export_trace,
+    read_jsonl,
+    validate_spans,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import Span, Tracer
+
+
+def _stream():
+    """A small two-level span tree plus an overlapping sibling pair."""
+    return [
+        Span("root#0", None, "root", "execute", 0.0, 10.0, {"stages": 2}),
+        Span("root#0/a#0", "root#0", "a", "stage", 1.0, 4.0),
+        Span("root#0/b#0", "root#0", "b", "stage", 3.0, 8.0),  # overlaps a
+        Span("root#0/b#0/try#0", "root#0/b#0", "try", "attempt", 3.5, 7.0),
+    ]
+
+
+class TestJsonl:
+    def test_round_trip_is_lossless(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        count = write_jsonl(_stream(), path)
+        assert count == 4
+        assert read_jsonl(path) == _stream()
+
+    def test_accepts_a_tracer(self, tmp_path):
+        tr = Tracer()
+        with tr.span("x"):
+            pass
+        path = str(tmp_path / "t.jsonl")
+        assert write_jsonl(tr, path) == 1
+
+
+class TestChromeTrace:
+    def test_events_carry_span_identity(self):
+        doc = chrome_trace(_stream())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 4
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+        by_sid = {e["args"]["sid"]: e for e in events}
+        assert by_sid["root#0/a#0"]["args"]["parent"] == "root#0"
+        assert by_sid["root#0"]["ts"] == 0.0
+        assert by_sid["root#0"]["dur"] == pytest.approx(10.0 * 1e6)
+
+    def test_overlapping_siblings_get_distinct_tracks(self):
+        """Spans on one Chrome track must strictly nest; the overlapping
+        a/b siblings therefore land on different tids."""
+        doc = chrome_trace(_stream())
+        tid = {e["args"]["sid"]: e["tid"] for e in doc["traceEvents"]}
+        assert tid["root#0/a#0"] != tid["root#0/b#0"]
+        # Proper containment shares the container's track.
+        assert tid["root#0/b#0/try#0"] == tid["root#0/b#0"]
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(_stream(), path)
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert len(doc["traceEvents"]) == count == 4
+
+    def test_export_trace_dispatches_on_extension(self, tmp_path):
+        jsonl = str(tmp_path / "t.jsonl")
+        chrome = str(tmp_path / "t.json")
+        export_trace(_stream(), jsonl)
+        export_trace(_stream(), chrome)
+        assert read_jsonl(jsonl) == _stream()
+        with open(chrome, encoding="utf-8") as fh:
+            assert "traceEvents" in json.load(fh)
+
+
+class TestValidation:
+    def test_valid_stream_passes(self):
+        validate_spans(_stream())
+
+    def test_duplicate_ids_rejected(self):
+        stream = _stream() + [Span("root#0", None, "root", "x", 0.0, 1.0)]
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_spans(stream)
+
+    def test_missing_parent_rejected(self):
+        stream = [Span("a#0", "ghost#0", "a", "x", 0.0, 1.0)]
+        with pytest.raises(ValueError, match="missing parent"):
+            validate_spans(stream)
+
+    def test_inverted_interval_rejected(self):
+        stream = [Span("a#0", None, "a", "x", 2.0, 1.0)]
+        with pytest.raises(ValueError, match="ends before"):
+            validate_spans(stream)
+
+    def test_child_escaping_parent_rejected(self):
+        stream = [Span("p#0", None, "p", "x", 0.0, 1.0),
+                  Span("p#0/c#0", "p#0", "c", "x", 0.5, 2.0)]
+        with pytest.raises(ValueError, match="escapes"):
+            validate_spans(stream)

@@ -1,0 +1,83 @@
+"""MetricsRegistry unit tests: semantics and canonical serialization."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BOUNDS, Histogram, MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counters_add(self):
+        m = MetricsRegistry()
+        m.count("x")
+        m.count("x", 2.5)
+        assert m.counters["x"] == 3.5
+
+    def test_gauges_keep_maximum(self):
+        m = MetricsRegistry()
+        m.gauge("peak", 10.0)
+        m.gauge("peak", 4.0)
+        m.gauge("peak", 12.0)
+        assert m.gauges["peak"] == 12.0
+
+    def test_histogram_buckets_and_mean(self):
+        m = MetricsRegistry()
+        for v in (0.5, 1.5, 1.5):
+            m.observe("lat", v)
+        hist = m.histograms["lat"]
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(3.5 / 3)
+        # 0.5 lands in the <=1 bucket, both 1.5s in the <=10 bucket.
+        one = DEFAULT_BOUNDS.index(1.0)
+        assert hist.counts[one] == 1
+        assert hist.counts[one + 1] == 2
+
+    def test_histogram_overflow_bucket(self):
+        hist = Histogram()
+        hist.observe(10.0 ** 9)  # above the top bound
+        assert hist.counts[-1] == 1
+
+    def test_mismatched_bounds_refuse_to_merge(self):
+        with pytest.raises(ValueError):
+            Histogram().merge(Histogram(bounds=(1.0, 2.0)))
+
+
+class TestMerge:
+    def _fragment(self, seed: float) -> MetricsRegistry:
+        m = MetricsRegistry()
+        m.count("stages")
+        m.count("seconds", seed)
+        m.gauge("max_seconds", seed)
+        m.observe("stage_seconds", seed)
+        return m
+
+    def test_merge_folds_all_types(self):
+        total = MetricsRegistry()
+        total.merge(self._fragment(1.0))
+        total.merge(self._fragment(3.0))
+        assert total.counters["stages"] == 2.0
+        assert total.counters["seconds"] == 4.0
+        assert total.gauges["max_seconds"] == 3.0
+        assert total.histograms["stage_seconds"].count == 2
+
+    def test_merge_fragments_ignores_key_order(self):
+        fragments = {i: self._fragment(float(i)) for i in range(8)}
+        ascending = MetricsRegistry()
+        ascending.merge_fragments(dict(sorted(fragments.items())))
+        descending = MetricsRegistry()
+        descending.merge_fragments(
+            dict(sorted(fragments.items(), reverse=True)))
+        assert ascending.to_json() == descending.to_json()
+
+    def test_to_json_is_canonical(self):
+        m = self._fragment(2.0)
+        doc = json.loads(m.to_json())
+        assert set(doc) == {"counters", "gauges", "histograms"}
+        assert m.to_json() == m.to_json()
+
+    def test_describe_renders_every_metric(self):
+        text = self._fragment(1.0).describe()
+        for name in ("stages", "seconds", "max_seconds", "stage_seconds"):
+            assert name in text
+        assert MetricsRegistry().describe() == "(no metrics recorded)"

@@ -1,0 +1,85 @@
+"""Observability overhead: disabled tracing must be (nearly) free.
+
+The contract (docs/observability.md): with ``tracer=None`` every call
+site takes the early-return fast path; with ``Tracer(enabled=False)`` the
+generic dispatch runs but hands out the shared no-op span.  Both must stay
+within a few percent of each other on a real optimize+execute workload —
+the fig05 FFNN full step, scaled down so the kernels run on real data in
+CI time.  The enabled path is then checked for schema-validity rather
+than speed.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import optimize
+from repro.core.registry import OptimizerContext
+from repro.engine.executor import execute_plan
+from repro.obs.export import validate_spans
+from repro.obs.tracer import Tracer
+from repro.workloads.ffnn import FFNNConfig, ffnn_full_step
+
+#: Scaled-down fig05 workload: same 50+-vertex graph shape as the paper's
+#: hidden-80K FFNN step, small enough to execute on real data quickly.
+CFG = FFNNConfig(features=64, hidden=32, labels=8, batch=24)
+BEAM = 200
+REPEATS = 3
+
+
+def _workload():
+    graph = ffnn_full_step(CFG)
+    ctx = OptimizerContext()
+    rng = np.random.default_rng(29)
+    inputs = {s.name: rng.standard_normal((s.mtype.rows, s.mtype.cols))
+              for s in graph.sources}
+    return graph, ctx, inputs
+
+
+def _run_once(graph, ctx, inputs, tracer):
+    plan = optimize(graph, ctx, max_states=BEAM, tracer=tracer)
+    result = execute_plan(plan, inputs, ctx, tracer=tracer)
+    assert result.ok
+    return result
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.perf
+def test_disabled_tracing_overhead_within_five_percent():
+    graph, ctx, inputs = _workload()
+    # Warm caches (imports, kernel dispatch) before timing anything.
+    _run_once(graph, ctx, inputs, tracer=None)
+
+    baseline = _best_of(
+        REPEATS, lambda: _run_once(graph, ctx, inputs, tracer=None))
+    disabled = _best_of(
+        REPEATS,
+        lambda: _run_once(graph, ctx, inputs, tracer=Tracer(enabled=False)))
+
+    # 5% relative budget plus a small absolute slack so scheduler jitter
+    # on a sub-second workload cannot flake the gate.
+    assert disabled <= baseline * 1.05 + 0.05, (
+        f"disabled tracing cost {disabled:.3f}s vs "
+        f"uninstrumented {baseline:.3f}s")
+
+
+@pytest.mark.perf
+def test_enabled_tracing_produces_schema_valid_trace():
+    graph, ctx, inputs = _workload()
+    tracer = Tracer()
+    result = _run_once(graph, ctx, inputs, tracer=tracer)
+    spans = tracer.spans()
+    validate_spans(spans)
+    stage_spans = [s for s in spans if s.kind == "stage"]
+    assert len(stage_spans) == len(result.executed_stages)
+    assert any(s.kind == "optimize" for s in spans)
+    assert any(s.kind == "execute" for s in spans)

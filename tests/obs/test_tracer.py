@@ -1,0 +1,120 @@
+"""Tracer unit tests: deterministic ids, nesting, and the no-op path."""
+
+import threading
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullSpan,
+    Span,
+    Tracer,
+    as_tracer,
+)
+
+
+class TestIds:
+    def test_root_and_child_ids_are_paths(self):
+        tr = Tracer()
+        with tr.span("optimize", kind="optimize") as root:
+            with root.span("pass:cse", kind="pass"):
+                pass
+            with root.span("pass:cse", kind="pass"):
+                pass
+            with root.span("search:tree", kind="search"):
+                pass
+        sids = sorted(s.sid for s in tr.spans())
+        assert sids == ["optimize#0", "optimize#0/pass:cse#0",
+                        "optimize#0/pass:cse#1", "optimize#0/search:tree#0"]
+
+    def test_repeated_roots_count_occurrences(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("optimize"):
+                pass
+        assert [s.sid for s in tr.spans()] == \
+            ["optimize#0", "optimize#1", "optimize#2"]
+
+    def test_implicit_parent_is_thread_current(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner") as inner:
+                assert inner.sid == "outer#0/inner#0"
+        by_sid = {s.sid: s for s in tr.spans()}
+        assert by_sid["outer#0/inner#0"].parent == "outer#0"
+        assert by_sid["outer#0"].parent is None
+
+    def test_explicit_parent_crosses_threads(self):
+        """A worker thread names its parent explicitly; ids stay rooted."""
+        tr = Tracer()
+        with tr.span("execute") as root:
+            def work():
+                with tr.span("stage", parent=root):
+                    pass
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        stage_ids = sorted(s.sid for s in tr.spans() if s.name == "stage")
+        assert stage_ids == [f"execute#0/stage#{k}" for k in range(4)]
+
+
+class TestSpans:
+    def test_attrs_and_set(self):
+        tr = Tracer()
+        with tr.span("s", kind="k", a=1) as span:
+            span.set(b=2)
+            span.set(a=3)
+        (done,) = tr.spans()
+        assert done.kind == "k"
+        assert done.attrs == {"a": 3, "b": 2}
+
+    def test_exception_records_error_attr(self):
+        tr = Tracer()
+        try:
+            with tr.span("boom"):
+                raise ValueError("bad")
+        except ValueError:
+            pass
+        (done,) = tr.spans()
+        assert done.attrs["error"] == "ValueError: bad"
+
+    def test_intervals_nest(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        by_name = {s.name: s for s in tr.spans()}
+        inner, outer = by_name["inner"], by_name["outer"]
+        assert outer.start <= inner.start <= inner.end <= outer.end
+
+    def test_add_span_records_verbatim(self):
+        tr = Tracer()
+        virtual = Span("timeline#0", None, "timeline", "timeline", 0.0, 5.0)
+        tr.add_span(virtual)
+        assert tr.spans() == [virtual]
+
+    def test_span_round_trips_through_dict(self):
+        span = Span("a#0", None, "a", "x", 0.5, 1.5, {"n": 3})
+        assert Span.from_dict(span.to_dict()) == span
+
+
+class TestDisabled:
+    def test_disabled_tracer_hands_out_shared_null_span(self):
+        tr = Tracer(enabled=False)
+        one = tr.span("anything", kind="x", attr=1)
+        two = tr.span("else")
+        assert isinstance(one, NullSpan)
+        assert one is two  # the shared singleton: zero allocation
+
+    def test_null_span_absorbs_everything(self):
+        span = NULL_TRACER.span("x")
+        with span as active:
+            active.set(a=1)
+            child = active.span("child")
+            assert child is active
+        assert NULL_TRACER.spans() == []
+
+    def test_as_tracer_normalizes_none(self):
+        assert as_tracer(None) is NULL_TRACER
+        tr = Tracer()
+        assert as_tracer(tr) is tr

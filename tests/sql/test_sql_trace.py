@@ -1,0 +1,128 @@
+"""End-to-end SQL observability: a traced two-statement session.
+
+Covers the full narrative: declare and load tables, define two dependent
+views, run both with one tracer/metrics pair attached to the session,
+then check the span stream's nesting, its exact composition (stage spans
+== executed stages, plus the planning spans), the JSONL round-trip, and
+the Chrome export.
+"""
+
+import json
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    validate_spans,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.sql import SqlSession
+
+SCRIPT = """
+CREATE TABLE matA (mat MATRIX[60][40]);
+CREATE TABLE matB (mat MATRIX[40][60]);
+LOAD matA FORMAT 'tiles(20)';
+LOAD matB FORMAT 'tiles(20)';
+
+CREATE VIEW matAB (mat) AS
+SELECT matrix_multiply(x.mat, m.mat)
+FROM matA AS x, matB AS m;
+
+CREATE VIEW matSig (mat) AS
+SELECT sigmoid(x.mat)
+FROM matAB AS x;
+"""
+
+RNG = np.random.default_rng(17)
+
+
+def _traced_session():
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    session = SqlSession(tracer=tracer, metrics=metrics)
+    session.execute(SCRIPT)
+    inputs = {"matA": RNG.standard_normal((60, 40)),
+              "matB": RNG.standard_normal((40, 60))}
+    first = session.run("matAB", inputs=inputs)
+    second = session.run("matSig", inputs=inputs, rewrites="all")
+    return session, tracer, metrics, first, second
+
+
+class TestTracedSqlSession:
+    def test_two_statement_session_produces_two_trees(self):
+        _s, tracer, _m, first, second = _traced_session()
+        assert first.ok and second.ok
+        roots = [s for s in tracer.spans() if s.parent is None]
+        # Each run() = one optimize tree + one lower + one execute tree.
+        assert sorted(s.sid for s in roots if s.name == "optimize") == \
+            ["optimize#0", "optimize#1"]
+        assert sorted(s.sid for s in roots if s.name == "execute") == \
+            ["execute#0", "execute#1"]
+
+    def test_span_stream_validates_and_nests(self):
+        _s, tracer, _m, _f, _snd = _traced_session()
+        spans = tracer.spans()
+        validate_spans(spans)
+        by_sid = {s.sid: s for s in spans}
+        for span in spans:
+            if span.kind == "stage":
+                assert by_sid[span.parent].kind == "execute"
+            if span.kind == "attempt":
+                assert by_sid[span.parent].kind == "stage"
+            if span.kind in ("pass", "search"):
+                assert by_sid[span.parent].kind == "optimize"
+
+    def test_span_count_equation(self):
+        """Stage spans == executed stages; the rest is exactly the planning
+        and execution envelope the two runs produced."""
+        _s, tracer, _m, first, second = _traced_session()
+        kinds = Counter(s.kind for s in tracer.spans())
+        executed = len(first.executed_stages) + len(second.executed_stages)
+        assert kinds["stage"] == executed
+        assert kinds["attempt"] == executed  # fault-free: one attempt each
+        assert kinds["execute"] == 2
+        assert kinds["optimize"] == 2
+        # Run 1 plans without rewrites, run 2 with the default 5-pass
+        # pipeline; each optimize holds at least one search span.
+        assert kinds["pass"] == 5
+        assert kinds["search"] >= 2
+        assert kinds["lower"] == 2  # one per Executor.run
+        total = (kinds["stage"] + kinds["attempt"] + kinds["execute"]
+                 + kinds["optimize"] + kinds["pass"] + kinds["search"]
+                 + kinds["search-phase"] + kinds["lower"])
+        assert total == len(tracer.spans())
+
+    def test_jsonl_round_trip(self, tmp_path):
+        _s, tracer, _m, _f, _snd = _traced_session()
+        path = str(tmp_path / "session.jsonl")
+        count = write_jsonl(tracer, path)
+        restored = read_jsonl(path)
+        assert count == len(restored) == len(tracer.spans())
+        assert restored == tracer.spans()
+        validate_spans(restored)
+
+    def test_chrome_export_is_loadable(self):
+        _s, tracer, _m, _f, _snd = _traced_session()
+        doc = json.loads(json.dumps(chrome_trace(tracer)))
+        assert len(doc["traceEvents"]) == len(tracer.spans())
+
+    def test_session_metrics_cover_both_runs(self):
+        _s, _t, metrics, first, second = _traced_session()
+        executed = len(first.executed_stages) + len(second.executed_stages)
+        assert metrics.counters["execute.stages"] == executed
+        assert metrics.counters["optimizer.runs"] == 2
+        assert metrics.counters["execute.kernel_seconds"] == pytest.approx(
+            first.ledger.total_seconds + second.ledger.total_seconds)
+
+    def test_untraced_session_still_works(self):
+        session = SqlSession()
+        session.execute(SCRIPT)
+        inputs = {"matA": RNG.standard_normal((60, 40)),
+                  "matB": RNG.standard_normal((40, 60))}
+        result = session.run("matSig", inputs=inputs)
+        assert result.ok
