@@ -34,11 +34,18 @@ from .core import (
     vector,
 )
 from .engine import (
+    DynamicsConfig,
+    ExecutionCheckpoint,
     FaultConfig,
     FaultPlan,
     RecoveryPolicy,
+    SpeculationPolicy,
+    WorkerTimeline,
     execute_plan,
     execute_robust,
+    execute_with_dynamics,
+    resume,
+    run_to_frontier,
     simulate,
     simulate_robust,
 )
@@ -64,8 +71,10 @@ __all__ = [
     "systemds_cluster",
     "ComputeGraph", "MatrixType", "OptimizerContext", "Plan", "matrix",
     "optimize", "vector",
-    "FaultConfig", "FaultPlan", "RecoveryPolicy",
-    "execute_plan", "execute_robust", "simulate", "simulate_robust",
+    "DynamicsConfig", "ExecutionCheckpoint", "FaultConfig", "FaultPlan",
+    "RecoveryPolicy", "SpeculationPolicy", "WorkerTimeline",
+    "execute_plan", "execute_robust", "execute_with_dynamics",
+    "resume", "run_to_frontier", "simulate", "simulate_robust",
     "Expr", "add_bias", "build", "col_sums", "exp", "input_matrix",
     "inverse", "relu", "relu_grad", "row_sums", "sigmoid", "softmax",
     "__version__",

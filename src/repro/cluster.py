@@ -81,7 +81,22 @@ class ClusterConfig:
         return self.num_workers * self.network_bytes_per_sec
 
     def with_workers(self, num_workers: int) -> "ClusterConfig":
-        """The same hardware with a different worker count."""
+        """The same hardware with a different worker count.
+
+        This is the one sanctioned way to resize a cluster — degraded-mode
+        re-planning (:mod:`repro.engine.dynamics`), capacity sweeps, and
+        the cluster profiles below all route through it, so the ``n >= 1``
+        invariant is checked in one place with a clear error instead of
+        surfacing later as a modulo-by-zero in worker placement.
+        """
+        if not isinstance(num_workers, int) or isinstance(num_workers, bool):
+            raise TypeError(
+                f"with_workers expects an int, got {type(num_workers).__name__}")
+        if num_workers < 1:
+            raise ValueError(
+                f"with_workers({num_workers}): a cluster needs at least one "
+                "worker (losing the last worker is a cluster failure, not a "
+                "resize)")
         return replace(self, num_workers=num_workers)
 
 

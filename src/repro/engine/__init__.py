@@ -20,7 +20,41 @@ from .faults import (
     TransientShuffleError,
     WorkerCrash,
 )
-from .ledger import EngineFailure, StageRecord, TrafficLedger
+from .checkpoint import (
+    CheckpointError,
+    ExecutionCheckpoint,
+    checkpoint,
+    restore_into,
+    resume,
+    run_to_frontier,
+)
+from .dynamics import (
+    DynamicsConfig,
+    DynamicsEventReport,
+    DynamicsResult,
+    ReplanReport,
+    execute_with_dynamics,
+)
+from .ledger import (
+    CATEGORIES,
+    RECOVERY,
+    REPLAN,
+    STRAGGLER,
+    WORK,
+    EngineFailure,
+    StageRecord,
+    TrafficLedger,
+)
+from .membership import (
+    ChurnConfig,
+    HeartbeatConfig,
+    HeartbeatDetector,
+    MembershipEvent,
+    MembershipEventKind,
+    MembershipView,
+    WorkerTimeline,
+    crash_at_frontier,
+)
 from .recovery import (
     DEFAULT_RECOVERY,
     FallbackRecord,
@@ -30,6 +64,7 @@ from .recovery import (
     RecoveryStats,
     RobustExecutionResult,
     RobustSimulationResult,
+    SpeculationPolicy,
     execute_robust,
     plan_context,
     simulate_robust,
@@ -53,11 +88,19 @@ __all__ = [
     "format_hms", "simulate",
     "FaultConfig", "FaultEvent", "FaultInjector", "FaultKind", "FaultPlan",
     "InjectedFault", "ScheduledFault", "TransientShuffleError", "WorkerCrash",
+    "CheckpointError", "ExecutionCheckpoint", "checkpoint", "restore_into",
+    "resume", "run_to_frontier",
+    "DynamicsConfig", "DynamicsEventReport", "DynamicsResult",
+    "ReplanReport", "execute_with_dynamics",
+    "CATEGORIES", "RECOVERY", "REPLAN", "STRAGGLER", "WORK",
     "EngineFailure", "StageRecord", "TrafficLedger",
+    "ChurnConfig", "HeartbeatConfig", "HeartbeatDetector",
+    "MembershipEvent", "MembershipEventKind", "MembershipView",
+    "WorkerTimeline", "crash_at_frontier",
     "DEFAULT_RECOVERY", "FallbackRecord", "FaultRetriesExhausted",
     "LineageCheckpoint", "RecoveryPolicy", "RecoveryStats",
-    "RobustExecutionResult", "RobustSimulationResult", "execute_robust",
-    "plan_context", "simulate_robust",
+    "RobustExecutionResult", "RobustSimulationResult", "SpeculationPolicy",
+    "execute_robust", "plan_context", "simulate_robust",
     "Relation", "RelationalEngine", "payload_bytes",
     "AdaptiveResult", "execute_adaptive",
     "ExecutionState", "Scheduler", "SequentialScheduler",

@@ -1,0 +1,336 @@
+"""Durable checkpoint/resume of executions at stage-graph frontiers.
+
+A long-running execution should survive losing the *driver*, not just a
+worker: this module snapshots an in-flight
+:class:`~repro.engine.scheduler.ExecutionState` to a JSON document and
+resumes it later — in another process, or after a chaos kill — with a
+final ledger **bit-identical** to the uninterrupted run's.
+
+What makes bit-identity possible:
+
+* every stage's charges live in its private sub-ledger fragment, spliced
+  into the final ledger in stage-id order (PR 3's scheduler-equivalence
+  invariant) — so a ledger is fully determined by the per-stage record
+  lists, which the checkpoint carries verbatim;
+* fault draws are pure functions of ``(seed, stage, occurrence)``; the
+  injector's :meth:`~repro.engine.faults.FaultInjector.cursor` snapshots
+  its counters, so a resumed run sees exactly the draws the uninterrupted
+  run would have; and
+* JSON round-trips Python floats exactly (``repr``-based), so charged
+  seconds and cost features survive serialization bit-for-bit.
+
+Checkpoints are intended for *quiescent* points — between scheduler
+calls, i.e. at stage-graph frontiers — which is when the dynamics driver
+(:mod:`repro.engine.dynamics`) writes them.  Known limitation: metric
+fragments are not checkpointed, so a resumed run's
+:class:`~repro.obs.metrics.MetricsRegistry` covers only the stages run
+after the resume (ledgers and recovery stats are complete).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.serialize import (
+    format_from_dict,
+    format_to_dict,
+    type_from_dict,
+    type_to_dict,
+)
+from ..cost.features import CostFeatures
+from .faults import FaultKind, TransientShuffleError, WorkerCrash
+from .ledger import StageRecord
+from .relation import Relation
+from .scheduler import ExecutionState
+from .stages import StageGraph
+from .storage import StoredMatrix
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint payload is malformed or does not match the plan."""
+
+
+def plan_fingerprint(sgraph: StageGraph) -> str:
+    """Identity of a lowered plan: the stage DAG's names and edges.
+
+    Two lowered graphs with the same fingerprint charge the same stages
+    with the same dependencies, which is what resuming requires.
+    """
+    spec = ";".join(
+        f"{s.sid}:{s.name}:{','.join(map(str, s.deps))}"
+        for s in sgraph.stages)
+    return hashlib.sha256(spec.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Payload serialization (dense / CSR / COO blocks)
+# ----------------------------------------------------------------------
+def _payload_to_dict(payload: Any) -> dict[str, Any]:
+    if sp.issparse(payload):
+        csr = payload.tocsr()
+        return {"kind": "csr", "shape": list(csr.shape),
+                "data": csr.data.tolist(),
+                "indices": csr.indices.tolist(),
+                "indptr": csr.indptr.tolist()}
+    dense = np.asarray(payload, dtype=np.float64)
+    return {"kind": "dense", "shape": list(dense.shape),
+            "data": dense.ravel().tolist()}
+
+
+def _payload_from_dict(payload: dict[str, Any]) -> Any:
+    kind = payload.get("kind")
+    if kind == "csr":
+        return sp.csr_matrix(
+            (np.array(payload["data"], dtype=np.float64),
+             np.array(payload["indices"], dtype=np.int32),
+             np.array(payload["indptr"], dtype=np.int32)),
+            shape=tuple(payload["shape"]))
+    if kind == "dense":
+        return np.array(payload["data"], dtype=np.float64) \
+            .reshape(tuple(payload["shape"]))
+    raise CheckpointError(f"unknown payload kind {kind!r}")
+
+
+def _stored_to_dict(stored: StoredMatrix) -> dict[str, Any]:
+    return {
+        "mtype": type_to_dict(stored.mtype),
+        "fmt": format_to_dict(stored.fmt),
+        "rows": [{"key": list(key), "home": stored.relation.home[key],
+                  "payload": _payload_to_dict(payload)}
+                 for key, payload in stored.relation.rows.items()],
+    }
+
+
+def _stored_from_dict(payload: dict[str, Any], cluster) -> StoredMatrix:
+    rows = {}
+    home = {}
+    for row in payload["rows"]:
+        key = tuple(row["key"])
+        rows[key] = _payload_from_dict(row["payload"])
+        home[key] = row["home"]
+    return StoredMatrix(type_from_dict(payload["mtype"]),
+                        format_from_dict(payload["fmt"]),
+                        Relation(cluster, rows, home))
+
+
+# ----------------------------------------------------------------------
+# Ledger records and the recovery log
+# ----------------------------------------------------------------------
+def _record_to_dict(record: StageRecord) -> dict[str, Any]:
+    return {"name": record.name, "seconds": record.seconds,
+            "category": record.category,
+            "features": asdict(record.features)}
+
+
+def _record_from_dict(payload: dict[str, Any]) -> StageRecord:
+    return StageRecord(payload["name"],
+                       CostFeatures(**payload["features"]),
+                       payload["seconds"], payload["category"])
+
+
+def _fault_to_dict(fault) -> dict[str, Any]:
+    return {"kind": fault.kind.value, "stage": fault.stage,
+            "worker": getattr(fault, "worker", None)}
+
+
+def _fault_from_dict(payload: dict[str, Any]):
+    kind = FaultKind(payload["kind"])
+    if kind is FaultKind.WORKER_CRASH:
+        return WorkerCrash(payload["stage"], payload["worker"])
+    if kind is FaultKind.SHUFFLE_ERROR:
+        return TransientShuffleError(payload["stage"])
+    raise CheckpointError(f"recovery log cannot contain {kind}")
+
+
+# ----------------------------------------------------------------------
+# The checkpoint itself
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionCheckpoint:
+    """Everything needed to resume an execution at a frontier.
+
+    Sub-ledger records of completed stages, their produced matrices
+    (transform outputs and vertex lineage), the fault injector's cursor,
+    and the deferred recovery log — the inputs :meth:`ExecutionState
+    .merge_into` folds into the final ledger in stage-id order, which is
+    why the resumed ledger is bit-identical to an uninterrupted run's.
+    """
+
+    fingerprint: str
+    completed: list[int]
+    records: dict[int, list[StageRecord]]
+    stage_values: dict[int, StoredMatrix]
+    lineage: dict[int, StoredMatrix]
+    effective_seconds: dict[int, float]
+    injector_cursor: dict | None = None
+    #: sid -> [(fault payload, backoff, wasted, retried)], reconstructed
+    #: into live fault objects on restore.
+    recovery_log: dict[int, list] = field(default_factory=dict)
+    version: int = CHECKPOINT_VERSION
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "completed": sorted(self.completed),
+            "records": {str(sid): [_record_to_dict(r) for r in recs]
+                        for sid, recs in self.records.items()},
+            "stage_values": {str(sid): _stored_to_dict(s)
+                             for sid, s in self.stage_values.items()},
+            "lineage": {str(vid): _stored_to_dict(s)
+                        for vid, s in self.lineage.items()},
+            "effective_seconds": {str(sid): s
+                                  for sid, s in
+                                  self.effective_seconds.items()},
+            "injector_cursor": self.injector_cursor,
+            "recovery_log": {
+                str(sid): [[_fault_to_dict(fault), backoff, wasted, retried]
+                           for fault, backoff, wasted, retried in entries]
+                for sid, entries in self.recovery_log.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any],
+                  cluster) -> "ExecutionCheckpoint":
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {payload.get('version')!r} "
+                f"!= {CHECKPOINT_VERSION}")
+        return cls(
+            fingerprint=payload["fingerprint"],
+            completed=list(payload["completed"]),
+            records={int(sid): [_record_from_dict(r) for r in recs]
+                     for sid, recs in payload["records"].items()},
+            stage_values={int(sid): _stored_from_dict(s, cluster)
+                          for sid, s in payload["stage_values"].items()},
+            lineage={int(vid): _stored_from_dict(s, cluster)
+                     for vid, s in payload["lineage"].items()},
+            effective_seconds={int(sid): s
+                               for sid, s in
+                               payload["effective_seconds"].items()},
+            injector_cursor=payload.get("injector_cursor"),
+            recovery_log={
+                int(sid): [(_fault_from_dict(f), backoff, wasted, retried)
+                           for f, backoff, wasted, retried in entries]
+                for sid, entries in payload["recovery_log"].items()},
+        )
+
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str, cluster) -> "ExecutionCheckpoint":
+        return cls.from_dict(json.loads(text), cluster)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.dumps())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path, cluster) -> "ExecutionCheckpoint":
+        return cls.loads(Path(path).read_text(), cluster)
+
+
+# ----------------------------------------------------------------------
+# Capture and restore
+# ----------------------------------------------------------------------
+def checkpoint(state: ExecutionState) -> ExecutionCheckpoint:
+    """Snapshot a *quiescent* execution state (no stages in flight)."""
+    return ExecutionCheckpoint(
+        fingerprint=plan_fingerprint(state.sgraph),
+        completed=sorted(state.completed),
+        records={sid: list(recs) for sid, recs in state.records.items()},
+        stage_values=dict(state.stage_values),
+        lineage=dict(state.lineage.matrices),
+        effective_seconds=dict(state.effective_seconds),
+        injector_cursor=(state.injector.cursor()
+                         if state.injector is not None else None),
+        recovery_log={sid: list(entries)
+                      for sid, entries in state._recovery_log.items()},
+    )
+
+
+def restore_into(ckpt: ExecutionCheckpoint, state: ExecutionState) -> None:
+    """Load a checkpoint into a fresh :class:`ExecutionState`.
+
+    The state must be built from a plan lowering with the checkpoint's
+    fingerprint; sources should already be seeded (checkpointed source
+    lineage then overwrites them with identical values).
+    """
+    fingerprint = plan_fingerprint(state.sgraph)
+    if fingerprint != ckpt.fingerprint:
+        raise CheckpointError(
+            f"checkpoint was taken for plan {ckpt.fingerprint}, "
+            f"resuming {fingerprint}: the stage DAGs differ")
+    state.completed = set(ckpt.completed)
+    state.records.update({sid: list(recs)
+                          for sid, recs in ckpt.records.items()})
+    state.stage_values.update(ckpt.stage_values)
+    state.lineage.matrices.update(ckpt.lineage)
+    state.effective_seconds.update(ckpt.effective_seconds)
+    state._recovery_log.update({sid: list(entries)
+                                for sid, entries in
+                                ckpt.recovery_log.items()})
+    if ckpt.injector_cursor is not None and state.injector is not None:
+        state.injector.restore(ckpt.injector_cursor)
+
+
+def resume(ckpt: ExecutionCheckpoint, plan, inputs, ctx,
+           faults=None, recovery=None, scheduler=None,
+           tracer=None, metrics=None, speculation=None, drift_hint=None):
+    """Finish a checkpointed execution; returns an ``ExecutionResult``.
+
+    Takes the same arguments as
+    :func:`~repro.engine.executor.execute_plan` — pass the *same* plan,
+    inputs, context, fault source and policies as the original run, and
+    the final ledger (records, order, and every float total) is
+    bit-identical to the run that was interrupted, on either scheduler.
+    """
+    from .executor import Executor
+
+    executor = Executor(plan, ctx, faults=faults, recovery=recovery,
+                        scheduler=scheduler, tracer=tracer, metrics=metrics,
+                        speculation=speculation, drift_hint=drift_hint)
+    return executor.run(inputs, resume_from=ckpt)
+
+
+def run_to_frontier(plan, inputs, ctx, frontier: int,
+                    faults=None, recovery=None, scheduler=None,
+                    speculation=None, drift_hint=None) -> ExecutionCheckpoint:
+    """Run the first ``frontier`` frontiers and checkpoint there.
+
+    The test/chaos entry point for "interrupt an execution at frontier
+    ``k``": frontiers ``0..k-1`` execute under ``scheduler``, then the
+    quiescent state is checkpointed and abandoned.
+    """
+    from .executor import Executor
+    from .scheduler import SequentialScheduler
+
+    executor = Executor(plan, ctx, faults=faults, recovery=recovery,
+                        scheduler=scheduler, speculation=speculation,
+                        drift_hint=drift_hint)
+    sched = executor.scheduler if scheduler is not None \
+        else SequentialScheduler()
+    from .stages import lower
+
+    sgraph = lower(plan, ctx)
+    state = ExecutionState(sgraph, ctx, injector=executor.injector,
+                           policy=executor.recovery,
+                           lineage=executor.lineage, stats=executor.stats,
+                           speculation=speculation, drift=drift_hint)
+    state.seed_sources(inputs)
+    for sids in sgraph.frontiers()[:frontier]:
+        sched.run_stages(state, list(sids))
+    return checkpoint(state)

@@ -38,6 +38,7 @@ from .recovery import (
     LineageCheckpoint,
     RecoveryPolicy,
     RecoveryStats,
+    SpeculationPolicy,
 )
 from .scheduler import ExecutionState, Scheduler, SequentialScheduler
 from .stages import lower
@@ -140,6 +141,11 @@ class ExecutionResult:
     recovery: RecoveryStats | None = None
     executed_stages: tuple[str, ...] = ()
     drift: DriftReport | None = None
+    #: Makespan under *effective* stage durations: with speculation on,
+    #: a stage finishes at its winning attempt's time rather than after
+    #: the full straggler wait (see
+    #: :meth:`~repro.engine.scheduler.ExecutionState.effective_critical_path`).
+    critical_path_seconds: float = 0.0
 
     def output(self) -> np.ndarray:
         """The single output, when the graph has exactly one sink."""
@@ -178,7 +184,9 @@ class Executor:
                  recovery: RecoveryPolicy | None = None,
                  scheduler: Scheduler | None = None,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 speculation: SpeculationPolicy | None = None,
+                 drift_hint: DriftReport | None = None) -> None:
         self.plan = plan
         self.ctx = ctx
         self.cluster = ctx.cluster
@@ -189,15 +197,31 @@ class Executor:
             else SequentialScheduler()
         self.tracer = as_tracer(tracer)
         self.metrics = metrics
+        #: Stage-level speculative straggler mitigation; ``drift_hint`` is
+        #: a prior run's drift report the speculation deadline is
+        #: estimated from (see :class:`SpeculationPolicy`).
+        self.speculation = speculation
+        self.drift_hint = drift_hint
         self.lineage = LineageCheckpoint()
         self.stats = RecoveryStats()
         #: Cost-drift report of the most recent :meth:`run` (set even when
         #: the run failed, covering the stages that started).
         self.last_drift: DriftReport | None = None
+        #: The :class:`ExecutionState` of the most recent :meth:`run` —
+        #: checkpointing reads completed stages and sub-ledgers off it.
+        self.state: ExecutionState | None = None
 
     # ------------------------------------------------------------------
-    def run(self, inputs: dict[str, np.ndarray]) -> ExecutionResult:
-        """Execute the plan; ``inputs`` maps source names to matrices."""
+    def run(self, inputs: dict[str, np.ndarray],
+            resume_from=None) -> ExecutionResult:
+        """Execute the plan; ``inputs`` maps source names to matrices.
+
+        ``resume_from`` restores an
+        :class:`~repro.engine.checkpoint.ExecutionCheckpoint` before
+        running: completed stages are skipped, their checkpointed charges
+        splice back into the ledger, and the final result is bit-identical
+        to the uninterrupted run (see :mod:`repro.engine.checkpoint`).
+        """
         graph = self.plan.graph
         sgraph = lower(self.plan, self.ctx, tracer=self.tracer)
         with self.tracer.span("execute", kind="execute",
@@ -207,8 +231,16 @@ class Executor:
                                    policy=self.recovery,
                                    lineage=self.lineage, stats=self.stats,
                                    tracer=self.tracer, parent_span=span,
-                                   metrics=self.metrics)
+                                   metrics=self.metrics,
+                                   speculation=self.speculation,
+                                   drift=self.drift_hint)
+            self.state = state
             state.seed_sources(inputs)
+            if resume_from is not None:
+                from .checkpoint import restore_into
+
+                restore_into(resume_from, state)
+                span.set(resumed_stages=len(state.completed))
             try:
                 self.scheduler.run(state)
             finally:
@@ -226,7 +258,9 @@ class Executor:
         return ExecutionResult(outputs, vertex_values, self.ledger,
                                recovery=self.stats,
                                executed_stages=tuple(executed),
-                               drift=self.last_drift)
+                               drift=self.last_drift,
+                               critical_path_seconds=(
+                                   state.effective_critical_path()))
 
 
 def execute_plan(plan: Plan, inputs: dict[str, np.ndarray],
@@ -235,7 +269,9 @@ def execute_plan(plan: Plan, inputs: dict[str, np.ndarray],
                  recovery: RecoveryPolicy | None = None,
                  scheduler: Scheduler | None = None,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None) -> ExecutionResult:
+                 metrics: MetricsRegistry | None = None,
+                 speculation: SpeculationPolicy | None = None,
+                 drift_hint: DriftReport | None = None) -> ExecutionResult:
     """Build an :class:`Executor` and run it; failures come back structured.
 
     An :class:`EngineFailure` (memory overflow, exhausted fault retries) is
@@ -248,7 +284,8 @@ def execute_plan(plan: Plan, inputs: dict[str, np.ndarray],
     the run's counters (see :mod:`repro.obs`).  Both default to off.
     """
     executor = Executor(plan, ctx, faults=faults, recovery=recovery,
-                        scheduler=scheduler, tracer=tracer, metrics=metrics)
+                        scheduler=scheduler, tracer=tracer, metrics=metrics,
+                        speculation=speculation, drift_hint=drift_hint)
     try:
         return executor.run(inputs)
     except EngineFailure as failure:

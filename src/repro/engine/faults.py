@@ -121,6 +121,16 @@ class ScheduledFault:
     occurrence: int = 0
     slowdown: float = 4.0
 
+    def __post_init__(self) -> None:
+        if not isinstance(self.stage, str):
+            raise TypeError(
+                f"scheduled fault needs a stage-name substring "
+                f"(\"\" matches every stage), got {self.stage!r}")
+        if self.occurrence < 0:
+            raise ValueError(f"occurrence must be >= 0, got {self.occurrence}")
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -256,13 +266,24 @@ class FaultInjector:
 
     # ------------------------------------------------------------------
     def straggler_factor(self, stage: str) -> float:
-        """Slowdown multiplier (>= 1.0) for the stage that just ran."""
+        """Slowdown multiplier (>= 1.0) for the stage that just ran.
+
+        Straggler draws are *worker-scoped* as well as stage-scoped: the
+        straggling worker is drawn from its own derived RNG and recorded
+        on the event, so reports (and the membership layer) can attribute
+        slow tasks to machines — and, like every draw, the attribution is
+        a pure function of ``(seed, stage, occurrence)``, identical across
+        schedulers and ``PYTHONHASHSEED`` values.
+        """
         with self._lock:
             occurrence = max(0, self._invocations.get(stage, 1) - 1)
             sf = self._scheduled(stage, occurrence, (FaultKind.STRAGGLER,))
             if sf is not None:
                 self._record(FaultEvent(stage, FaultKind.STRAGGLER,
-                                        occurrence, slowdown=sf.slowdown))
+                                        occurrence,
+                                        worker=self._straggler_worker(
+                                            stage, occurrence),
+                                        slowdown=sf.slowdown))
                 return sf.slowdown
             cfg = self.config
             if cfg is None or cfg.straggler_probability <= 0.0:
@@ -271,9 +292,50 @@ class FaultInjector:
             if roll < cfg.straggler_probability:
                 self._record(FaultEvent(stage, FaultKind.STRAGGLER,
                                         occurrence,
+                                        worker=self._straggler_worker(
+                                            stage, occurrence),
                                         slowdown=cfg.straggler_slowdown))
                 return cfg.straggler_slowdown
             return 1.0
+
+    def _straggler_worker(self, stage: str, occurrence: int) -> int:
+        """Which worker hosts the straggling task (derived, not drawn from
+        the probability RNG, so adding the attribution shifted no rolls)."""
+        return self._derived_rng("straggler-worker", stage, occurrence) \
+            .randrange(self.num_workers)
+
+    # ------------------------------------------------------------------
+    def cursor(self) -> dict:
+        """Snapshot of the injector's deterministic state, for checkpoints.
+
+        Captures the per-stage invocation counts, the per-stage fault
+        counts, the fired scheduled-fault indexes, and the event log.  A
+        resumed execution that restores this cursor sees exactly the draws
+        the uninterrupted run would have seen — draws derive from
+        ``(seed, stage, occurrence)``, so the counts *are* the RNG state.
+        """
+        with self._lock:
+            return {
+                "invocations": dict(self._invocations),
+                "faults_at": dict(self._faults_at),
+                "fired": sorted(self._fired),
+                "events": [
+                    {"stage": e.stage, "kind": e.kind.value,
+                     "occurrence": e.occurrence, "worker": e.worker,
+                     "slowdown": e.slowdown}
+                    for e in self.events],
+            }
+
+    def restore(self, cursor: dict) -> None:
+        """Restore a :meth:`cursor` snapshot (resume-from-checkpoint)."""
+        with self._lock:
+            self._invocations = dict(cursor["invocations"])
+            self._faults_at = dict(cursor["faults_at"])
+            self._fired = set(cursor["fired"])
+            self.events = [
+                FaultEvent(e["stage"], FaultKind(e["kind"]),
+                           e["occurrence"], e["worker"], e["slowdown"])
+                for e in cursor["events"]]
 
 
 FaultSource = FaultConfig | FaultPlan | FaultInjector | None

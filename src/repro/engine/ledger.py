@@ -29,6 +29,15 @@ class EngineFailure(RuntimeError):
 WORK = "work"
 RECOVERY = "recovery"
 STRAGGLER = "straggler"
+#: Time spent re-optimizing pending stages after the failure detector
+#: declares a worker dead (degraded-mode re-planning — see
+#: :mod:`repro.engine.dynamics`).
+REPLAN = "replan"
+
+#: Every category a ledger record may carry, in reporting order.  The
+#: chaos harness asserts that these partition the clock exactly: any
+#: second charged outside them would be unattributed fault time.
+CATEGORIES = (WORK, RECOVERY, STRAGGLER, REPLAN)
 
 
 def _human_bytes(n: float) -> str:
@@ -121,11 +130,24 @@ class TrafficLedger:
     def recategorize_since(self, mark: int, category: str) -> float:
         """Re-label every stage recorded after ``mark`` (e.g. as wasted
         work from a failed attempt); returns their total seconds."""
-        wasted = 0.0
-        for record in self.stages[mark:]:
+        return self.recategorize_range(mark, len(self.stages), category)
+
+    def recategorize_range(self, start: int, end: int, category: str,
+                           only: tuple[str, ...] | None = None) -> float:
+        """Re-label the records in ``[start, end)``; returns their seconds.
+
+        ``only`` restricts the relabelling to records currently in one of
+        the given categories — speculative execution uses it to charge a
+        losing attempt's work and straggler waits to ``"straggler"`` while
+        leaving its genuine recovery charges attributed to recovery.
+        """
+        moved = 0.0
+        for record in self.stages[start:end]:
+            if only is not None and record.category not in only:
+                continue
             record.category = category
-            wasted += record.seconds
-        return wasted
+            moved += record.seconds
+        return moved
 
     # ------------------------------------------------------------------
     @property
@@ -142,6 +164,29 @@ class TrafficLedger:
     def recovery_seconds(self) -> float:
         """Seconds lost to faults: wasted attempts, backoff, stragglers."""
         return sum(s.seconds for s in self.stages if s.category != WORK)
+
+    @property
+    def straggler_seconds(self) -> float:
+        """Seconds charged to straggler waits and losing speculative runs."""
+        return sum(s.seconds for s in self.stages
+                   if s.category == STRAGGLER)
+
+    @property
+    def replan_seconds(self) -> float:
+        """Seconds charged to degraded-mode re-planning."""
+        return sum(s.seconds for s in self.stages if s.category == REPLAN)
+
+    def seconds_by_category(self) -> dict[str, float]:
+        """Total seconds per category (categories with charges only).
+
+        Every record carries a category from :data:`CATEGORIES`, so these
+        totals partition the clock: the chaos harness checks that every
+        non-work charge is attributable to a named fault event.
+        """
+        totals: dict[str, float] = {}
+        for s in self.stages:
+            totals[s.category] = totals.get(s.category, 0.0) + s.seconds
+        return totals
 
     @property
     def total_features(self) -> CostFeatures:

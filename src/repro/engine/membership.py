@@ -1,0 +1,279 @@
+"""Cluster membership: deterministic worker churn and failure detection.
+
+The paper optimizes for a *fixed* cluster, but a long-running service sees
+workers die, slow down, and rejoin mid-execution.  This module models that
+churn the same way :mod:`repro.engine.faults` models task faults — fully
+deterministically, so every churn scenario is reproducible and identical
+across schedulers:
+
+* a :class:`MembershipEvent` is one scripted change (worker 3 crashes at
+  simulated second 40, or at stage-graph frontier 2);
+* a :class:`WorkerTimeline` is the full event schedule — either scripted
+  explicitly (the chaos harness kills each worker at each frontier in
+  turn) or derived from a seeded :class:`ChurnConfig`, where every draw
+  comes from a ``random.Random`` keyed by ``(seed, purpose, worker)``
+  (string seeds hash through SHA-512, independent of ``PYTHONHASHSEED``),
+  so a worker's fate never depends on execution order;
+* a :class:`MembershipView` tracks the engine's *current* belief — which
+  workers are alive and which are degraded — as events are applied; and
+* a :class:`HeartbeatDetector` turns a crash *time* into a *detection*
+  time: crashes surface at the first heartbeat tick at or after the
+  crash, plus a configurable suspicion timeout.  The gap between crash
+  and detection is charged to the ledger by the dynamics driver
+  (:mod:`repro.engine.dynamics`), so slow detection has a measured cost.
+
+Simulated time throughout is ledger seconds, not wall-clock.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass
+
+
+class MembershipEventKind(enum.Enum):
+    """What happened to a worker."""
+
+    CRASH = "crash"
+    SLOWDOWN = "slowdown"
+    REJOIN = "rejoin"
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One change to the cluster's membership.
+
+    Exactly one of ``time`` (simulated seconds) and ``frontier`` (index
+    into :meth:`~repro.engine.stages.StageGraph.frontiers`) places the
+    event: timed events model organic churn, frontier events script exact
+    kill points for the chaos harness without precomputing the clock.
+    A frontier event fires *after* that frontier's stages complete.
+    """
+
+    worker: int
+    kind: MembershipEventKind
+    time: float | None = None
+    frontier: int | None = None
+    #: Slowdown multiplier (``SLOWDOWN`` events only).
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError(f"worker must be >= 0, got {self.worker}")
+        if (self.time is None) == (self.frontier is None):
+            raise ValueError("exactly one of time= and frontier= must be "
+                             f"given (got time={self.time!r}, "
+                             f"frontier={self.frontier!r})")
+        if self.time is not None and self.time < 0:
+            raise ValueError("event time must be >= 0")
+        if self.frontier is not None and self.frontier < 0:
+            raise ValueError("event frontier must be >= 0")
+        if self.kind is MembershipEventKind.SLOWDOWN and self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1.0")
+
+
+def crash_at_frontier(worker: int, frontier: int) -> MembershipEvent:
+    """The chaos harness's staple: kill ``worker`` after ``frontier``."""
+    return MembershipEvent(worker, MembershipEventKind.CRASH,
+                           frontier=frontier)
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Seeded probabilistic churn, drawn per ``(seed, purpose, worker)``.
+
+    Each worker independently crashes with ``crash_probability`` at a
+    uniform time within ``horizon_seconds``; a crashed worker rejoins
+    with ``rejoin_probability`` at a uniform later time; and independently
+    slows down by ``slowdown_factor`` with ``slowdown_probability``.  All
+    draws derive from the seed and the worker id alone, so the timeline
+    is a pure function of the config — scheduler- and hash-seed-
+    independent, like every fault draw in this engine.
+    """
+
+    seed: int = 0
+    crash_probability: float = 0.0
+    slowdown_probability: float = 0.0
+    slowdown_factor: float = 4.0
+    rejoin_probability: float = 0.0
+    horizon_seconds: float = 600.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_probability", "slowdown_probability",
+                     "rejoin_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.slowdown_factor < 1.0:
+            raise ValueError("slowdown_factor must be >= 1.0")
+        if self.horizon_seconds <= 0:
+            raise ValueError("horizon_seconds must be positive")
+
+    def draw_events(self, num_workers: int) -> tuple[MembershipEvent, ...]:
+        """Materialize the timeline's events for ``num_workers`` workers."""
+        events: list[MembershipEvent] = []
+        for worker in range(num_workers):
+            crash_rng = random.Random(
+                f"{self.seed}|membership|crash|{worker}")
+            if crash_rng.random() < self.crash_probability:
+                crash_time = crash_rng.uniform(0.0, self.horizon_seconds)
+                events.append(MembershipEvent(
+                    worker, MembershipEventKind.CRASH, time=crash_time))
+                rejoin_rng = random.Random(
+                    f"{self.seed}|membership|rejoin|{worker}")
+                if rejoin_rng.random() < self.rejoin_probability:
+                    events.append(MembershipEvent(
+                        worker, MembershipEventKind.REJOIN,
+                        time=rejoin_rng.uniform(crash_time,
+                                                self.horizon_seconds)))
+            slow_rng = random.Random(
+                f"{self.seed}|membership|slowdown|{worker}")
+            if slow_rng.random() < self.slowdown_probability:
+                events.append(MembershipEvent(
+                    worker, MembershipEventKind.SLOWDOWN,
+                    time=slow_rng.uniform(0.0, self.horizon_seconds),
+                    factor=self.slowdown_factor))
+        return tuple(sorted(events, key=lambda e: (e.time, e.worker,
+                                                   e.kind.value)))
+
+
+class WorkerTimeline:
+    """The full, immutable schedule of membership events for one run.
+
+    Queries are pure — the dynamics driver tracks which events it has
+    already consumed by only ever asking for half-open time windows
+    ``(t0, t1]`` and exact frontier indexes.
+    """
+
+    def __init__(self, num_workers: int,
+                 events: tuple[MembershipEvent, ...] | list[MembershipEvent]
+                 = (),
+                 churn: ChurnConfig | None = None) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        drawn = churn.draw_events(num_workers) if churn is not None else ()
+        all_events = tuple(events) + drawn
+        for event in all_events:
+            if event.worker >= num_workers:
+                raise ValueError(
+                    f"event for worker {event.worker} but the cluster has "
+                    f"only {num_workers} workers")
+        self.events = all_events
+
+    @property
+    def any_events(self) -> bool:
+        return bool(self.events)
+
+    def timed_between(self, t0: float,
+                      t1: float) -> tuple[MembershipEvent, ...]:
+        """Timed events in ``(t0, t1]``, in (time, worker) order."""
+        hits = [e for e in self.events
+                if e.time is not None and t0 < e.time <= t1]
+        return tuple(sorted(hits, key=lambda e: (e.time, e.worker,
+                                                 e.kind.value)))
+
+    def at_frontier(self, frontier: int) -> tuple[MembershipEvent, ...]:
+        """Frontier-scripted events firing after ``frontier`` completes."""
+        hits = [e for e in self.events if e.frontier == frontier]
+        return tuple(sorted(hits, key=lambda e: (e.worker, e.kind.value)))
+
+
+class MembershipView:
+    """The engine's current belief about which workers are usable.
+
+    Crash and rejoin events shrink and grow the alive set; slowdown
+    events tag a worker with its degradation factor (cleared if it
+    rejoins fresh).  ``apply`` is idempotent per event and returns
+    whether anything actually changed, so replaying a checkpoint's event
+    history reconverges to the same view.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        self.num_workers = num_workers
+        self._alive = set(range(num_workers))
+        self._slow: dict[int, float] = {}
+        #: Every event applied, in application order (for reports).
+        self.history: list[MembershipEvent] = []
+
+    @property
+    def alive(self) -> frozenset[int]:
+        return frozenset(self._alive)
+
+    @property
+    def n_alive(self) -> int:
+        return len(self._alive)
+
+    def slowdown(self, worker: int) -> float:
+        """Current degradation factor of ``worker`` (1.0 = healthy)."""
+        return self._slow.get(worker, 1.0)
+
+    @property
+    def slow_workers(self) -> dict[int, float]:
+        return dict(self._slow)
+
+    def apply(self, event: MembershipEvent) -> bool:
+        changed = False
+        if event.kind is MembershipEventKind.CRASH:
+            if event.worker in self._alive:
+                self._alive.discard(event.worker)
+                self._slow.pop(event.worker, None)
+                changed = True
+        elif event.kind is MembershipEventKind.REJOIN:
+            if event.worker not in self._alive:
+                self._alive.add(event.worker)
+                self._slow.pop(event.worker, None)
+                changed = True
+        else:
+            if self._slow.get(event.worker) != event.factor \
+                    and event.worker in self._alive:
+                self._slow[event.worker] = event.factor
+                changed = True
+        if changed:
+            self.history.append(event)
+        return changed
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Simulated failure-detection parameters.
+
+    Workers heartbeat every ``interval_seconds`` of simulated time; a
+    crashed worker is *suspected* at its first missed heartbeat — the
+    first tick at or after the crash — and *declared dead* once
+    ``suspicion_timeout_seconds`` more pass without one.  A longer
+    timeout means fewer false positives on a real cluster; here it
+    simply delays detection, and the delay is charged to the ledger.
+    """
+
+    interval_seconds: float = 5.0
+    suspicion_timeout_seconds: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        if self.suspicion_timeout_seconds < 0:
+            raise ValueError("suspicion_timeout_seconds must be >= 0")
+
+
+class HeartbeatDetector:
+    """Maps crash times to detection times under a :class:`HeartbeatConfig`.
+
+    Pure arithmetic — no state — so detection is exactly reproducible:
+    ``detect(t) = ceil(t / interval) * interval + suspicion_timeout``.
+    """
+
+    def __init__(self, config: HeartbeatConfig | None = None) -> None:
+        self.config = config if config is not None else HeartbeatConfig()
+
+    def detection_time(self, crash_time: float) -> float:
+        """When a crash at ``crash_time`` is declared (simulated seconds)."""
+        interval = self.config.interval_seconds
+        first_missed = math.ceil(crash_time / interval) * interval
+        return first_missed + self.config.suspicion_timeout_seconds
+
+    def detection_delay(self, crash_time: float) -> float:
+        """Seconds between the crash and its declaration."""
+        return self.detection_time(crash_time) - crash_time

@@ -78,6 +78,63 @@ class RecoveryPolicy:
 DEFAULT_RECOVERY = RecoveryPolicy()
 
 
+@dataclass(frozen=True)
+class SpeculationPolicy:
+    """Stage-level speculative execution: race a backup against stragglers.
+
+    A stage whose successful attempt charged more than its *deadline* —
+    the cost model's predicted seconds stretched by
+    :meth:`deadline_multiplier` — gets one full backup attempt.  The first
+    finisher (by simulated finish time: the backup launches at the
+    deadline) wins; the loser's work and waits are re-charged to the
+    ``"straggler"`` ledger category, so the winner's productive work is
+    all that stays under ``"work"``.  Both schedulers make the same
+    win/lose decisions because they depend only on the stage's own
+    sub-ledger, never on run order — ledgers stay bit-identical.
+
+    The multiplier is quantile-based: past executions' drift reports
+    (measured/predicted ratios per stage, :mod:`repro.obs.drift`) say how
+    much honest stages drift, and the deadline sits at ``quantile`` of
+    that distribution — floored at ``min_multiplier`` so a well-calibrated
+    model doesn't speculate on noise, capped at ``max_multiplier`` so a
+    drifted model still catches extreme stragglers.
+    """
+
+    #: Which quantile of observed drift ratios sets the deadline.
+    quantile: float = 0.75
+    min_multiplier: float = 1.5
+    max_multiplier: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quantile <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.min_multiplier < 1.0:
+            raise ValueError("min_multiplier must be >= 1.0")
+        if self.max_multiplier < self.min_multiplier:
+            raise ValueError("max_multiplier must be >= min_multiplier")
+
+    def deadline_multiplier(self, drift=None) -> float:
+        """Deadline as a multiple of a stage's predicted seconds.
+
+        ``drift`` is a prior run's :class:`~repro.obs.drift.DriftReport`
+        (or ``None``); the multiplier is the ``quantile``-th observed
+        measured/predicted ratio, clamped into
+        ``[min_multiplier, max_multiplier]``.  The quantile is taken by
+        sorted-index (no interpolation), so it is exact and deterministic.
+        """
+        if drift is None:
+            return self.min_multiplier
+        import math
+
+        ratios = sorted(r.ratio for r in drift.rows
+                        if math.isfinite(r.ratio))
+        if not ratios:
+            return self.min_multiplier
+        pick = ratios[min(len(ratios) - 1,
+                          int(self.quantile * (len(ratios) - 1) + 0.5))]
+        return min(self.max_multiplier, max(self.min_multiplier, pick))
+
+
 class FaultRetriesExhausted(EngineFailure):
     """A stage kept faulting past the policy's retry budget."""
 
@@ -224,16 +281,23 @@ class RobustSimulationResult:
 
 
 def plan_context(ctx: OptimizerContext, banned: frozenset[str] | set[str] = (),
-                 ram_headroom: float = 1.0) -> OptimizerContext:
+                 ram_headroom: float = 1.0,
+                 workers: int | None = None) -> OptimizerContext:
     """A planning context with implementations pruned and RAM tightened.
 
     ``banned`` implementation names are removed from the catalog;
     ``ram_headroom < 1`` shrinks the RAM the *optimizer* believes each
     worker has, pruning analytically-marginal choices whose measured
-    footprint overflowed.  Execution still runs against the real cluster.
+    footprint overflowed.  ``workers`` re-plans for a different cluster
+    size (degraded-mode re-planning after the failure detector shrinks the
+    membership) via the validated
+    :meth:`~repro.cluster.ClusterConfig.with_workers`.  Execution still
+    runs against the real cluster.
     """
     impls = tuple(i for i in ctx.implementations if i.name not in banned)
     cluster = ctx.cluster
+    if workers is not None and workers != cluster.num_workers:
+        cluster = cluster.with_workers(workers)
     if ram_headroom < 1.0:
         cluster = dataclasses.replace(
             cluster, ram_bytes=cluster.ram_bytes * ram_headroom)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.formats import PhysicalFormat
 from ..core.graph import ComputeGraph, VertexId
 from ..core.optimizer import optimize
 from ..core.registry import OptimizerContext
@@ -46,22 +47,49 @@ class AdaptiveResult:
     triggers: list[tuple[str, float, float]]
 
 
-def _rebuild_remaining(
+def residual_graph(
     graph: ComputeGraph,
-    computed: dict[VertexId, StoredMatrix],
+    computed: dict[VertexId, PhysicalFormat],
     sparsity_of: dict[VertexId, float],
+    prune: bool = False,
 ) -> tuple[ComputeGraph, dict[VertexId, VertexId], dict[str, VertexId]]:
-    """Build the residual graph: computed vertices become sources carrying
-    their observed sparsity and current physical format."""
+    """Build the residual graph of a partially-executed computation.
+
+    Computed vertices become sources carrying their observed sparsity and
+    current physical format (``computed`` maps vid to that format); every
+    other vertex is copied.  Returns the residual graph, the old-vid ->
+    new-vid mapping, and the output-name -> new-vid mapping.  Both the
+    sparsity re-optimization loop below and degraded-mode re-planning
+    (:mod:`repro.engine.dynamics`) re-plan through this one rebuild, so
+    "what remains of a half-run plan" has a single definition.
+
+    ``prune`` drops vertices no output still depends on.  Degraded-mode
+    re-planning needs it: a dead worker can lose an intermediate whose
+    consumers all finished, and without pruning the residual would
+    pointlessly recompute it.  The sparsity loop keeps the default
+    (every vertex), matching the original plan's coverage.
+    """
+    keep: set[VertexId] | None = None
+    if prune:
+        keep = set()
+        stack = [out.vid for out in graph.outputs]
+        while stack:
+            vid = stack.pop()
+            if vid in keep:
+                continue
+            keep.add(vid)
+            if vid not in computed:
+                stack.extend(graph.vertex(vid).inputs)
     residual = ComputeGraph()
     mapping: dict[VertexId, VertexId] = {}
     out_names: dict[str, VertexId] = {}
     for vid in graph.topological_order():
+        if keep is not None and vid not in keep:
+            continue
         v = graph.vertex(vid)
         if vid in computed:
-            stored = computed[vid]
             mtype = v.mtype.with_sparsity(sparsity_of[vid])
-            mapping[vid] = residual.add_source(v.name, mtype, stored.fmt)
+            mapping[vid] = residual.add_source(v.name, mtype, computed[vid])
         else:
             new_inputs = tuple(mapping[p] for p in v.inputs)
             mapping[vid] = residual.add_op(v.name, v.op, new_inputs,
@@ -70,6 +98,17 @@ def _rebuild_remaining(
         residual.mark_output(mapping[out.vid])
         out_names[out.name] = mapping[out.vid]
     return residual, mapping, out_names
+
+
+def _rebuild_remaining(
+    graph: ComputeGraph,
+    computed: dict[VertexId, StoredMatrix],
+    sparsity_of: dict[VertexId, float],
+) -> tuple[ComputeGraph, dict[VertexId, VertexId], dict[str, VertexId]]:
+    """:func:`residual_graph` keyed by stored matrices."""
+    return residual_graph(graph,
+                          {vid: s.fmt for vid, s in computed.items()},
+                          sparsity_of)
 
 
 def execute_adaptive(

@@ -35,12 +35,13 @@ import numpy as np
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer
 from .faults import FaultInjector, InjectedFault
-from .ledger import RECOVERY, WORK, StageRecord, TrafficLedger
+from .ledger import RECOVERY, STRAGGLER, WORK, StageRecord, TrafficLedger
 from .recovery import (
     FaultRetriesExhausted,
     LineageCheckpoint,
     RecoveryPolicy,
     RecoveryStats,
+    SpeculationPolicy,
 )
 from .relation import RelationalEngine
 from .stages import OpStage, StageGraph, StageNode, TransformStage
@@ -63,7 +64,9 @@ class ExecutionState:
                  stats: RecoveryStats | None = None,
                  tracer: Tracer | None = None,
                  parent_span=None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 speculation: SpeculationPolicy | None = None,
+                 drift=None) -> None:
         self.sgraph = sgraph
         self.ctx = ctx
         self.cluster = ctx.cluster
@@ -76,11 +79,26 @@ class ExecutionState:
         #: explicit because pool stages run on other threads.
         self.parent_span = parent_span
         self.metrics = metrics
+        #: Stage-level speculative execution (see
+        #: :class:`~repro.engine.recovery.SpeculationPolicy`); ``drift`` is
+        #: a prior run's report the deadline multiplier is estimated from.
+        self.speculation = speculation
+        self._deadline_multiplier = (
+            speculation.deadline_multiplier(drift)
+            if speculation is not None else None)
         #: Transform-stage outputs, by stage id.
         self.stage_values: dict[int, StoredMatrix] = {}
         #: Each stage's sub-ledger records, by stage id (present for every
         #: stage that *started*, even ones that failed).
         self.records: dict[int, list[StageRecord]] = {}
+        #: Stage ids that ran to completion.  Schedulers skip them, which
+        #: is what makes checkpoint resume and frontier-by-frontier
+        #: dynamics driving possible.
+        self.completed: set[int] = set()
+        #: Effective per-stage elapsed seconds (winner finish time under
+        #: speculation, sub-ledger total otherwise) — feeds
+        #: :meth:`effective_critical_path`.
+        self.effective_seconds: dict[int, float] = {}
         #: Per-stage metric fragments, merged in stage-id order at
         #: :meth:`merge_into` so both schedulers produce bit-identical
         #: registries.
@@ -115,18 +133,29 @@ class ExecutionState:
         (still checkpointed) inputs.  Recovery observations are deferred
         to :meth:`merge_into` so statistics accumulate in stage-id order
         no matter which thread ran the stage.
+
+        Re-running an already-recorded stage (the dynamics layer does this
+        when a worker death loses the stage's output) keeps the earlier
+        records in the stage's fragment — the lost attempt's charges stay
+        on the clock under whatever category the caller re-labelled them.
         """
         sub = TrafficLedger(self.cluster, self.ctx.weights)
         engine = RelationalEngine(
             self.cluster, sub, faults=self.injector,
-            speculative_backups=self.policy.speculative_backups)
+            speculative_backups=(self.policy.speculative_backups
+                                 and self.speculation is None))
         with self._lock:
+            prior = self.records.get(stage.sid)
+            if prior:
+                sub.stages.extend(prior)
             self.records[stage.sid] = sub.stages
         span = self.tracer.span(stage.name, kind="stage",
                                 parent=self.parent_span,
                                 stage_id=stage.sid, stage_kind=stage.kind,
                                 predicted_seconds=stage.seconds)
         attempt = 0
+        effective: float | None = None
+        spec_outcome: str | None = None
         try:
             with span:
                 while True:
@@ -152,19 +181,80 @@ class ExecutionState:
                             self._recovery_log.setdefault(
                                 stage.sid, []).append(
                                     (fault, backoff, wasted, True))
+                if self._deadline_multiplier is not None:
+                    result, effective, spec_outcome = self._maybe_speculate(
+                        stage, sub, engine, span, mark, result)
                 span.set(retries=attempt,
                          measured_seconds=sub.total_seconds)
         finally:
             if self.metrics is not None:
-                self._record_stage_metrics(stage, sub, attempt)
+                self._record_stage_metrics(stage, sub, attempt, spec_outcome)
         with self._lock:
             if isinstance(stage, TransformStage):
                 self.stage_values[stage.sid] = result
             else:
                 self.lineage.record(stage.vertex, result)
+            self.completed.add(stage.sid)
+            self.effective_seconds[stage.sid] = (
+                effective if effective is not None else sub.total_seconds)
+
+    def _maybe_speculate(self, stage: StageNode, sub: TrafficLedger,
+                         engine: RelationalEngine, span, attempt_mark: int,
+                         result: StoredMatrix):
+        """Race one backup attempt against a straggling stage.
+
+        The deadline is the stage's predicted seconds times the policy's
+        quantile multiplier; the original attempt's charged seconds stand
+        in for its (simulated) finish time, and the backup — launched at
+        the deadline — finishes at ``deadline + its charged seconds``.
+        First finisher wins; the loser's work and waits move to the
+        ``"straggler"`` category.  Everything here depends only on the
+        stage's own sub-ledger, so both schedulers decide identically.
+
+        Returns ``(winning result, effective stage seconds or None,
+        outcome label or None)`` — effective seconds are the winner's
+        finish plus any pre-attempt recovery time, for the measured
+        critical path.
+        """
+        deadline = stage.seconds * self._deadline_multiplier
+        original = sum(r.seconds for r in sub.stages[attempt_mark:])
+        if deadline <= 0.0 or original <= deadline:
+            return result, None, None
+        prefix = sum(r.seconds for r in sub.stages[:attempt_mark])
+        backup_mark = sub.mark()
+        with span.span("backup", kind="speculate",
+                       deadline_seconds=deadline,
+                       original_seconds=original) as bspan:
+            try:
+                backup = self._execute(stage, sub, engine)
+            except InjectedFault:
+                # The backup died mid-flight: the original stands, and the
+                # backup's partial work was pure extra.
+                sub.recategorize_since(backup_mark, STRAGGLER)
+                bspan.set(outcome="faulted")
+                return result, prefix + original, "faulted"
+            backup_seconds = sum(r.seconds
+                                 for r in sub.stages[backup_mark:])
+            backup_finish = deadline + backup_seconds
+            if backup_finish < original:
+                # Backup wins: the straggling original was all wasted.
+                sub.recategorize_range(attempt_mark, backup_mark, STRAGGLER,
+                                       only=(WORK, STRAGGLER))
+                bspan.set(outcome="won", backup_seconds=backup_seconds)
+                return backup, prefix + backup_finish, "won"
+            sub.recategorize_since(backup_mark, STRAGGLER)
+            bspan.set(outcome="lost", backup_seconds=backup_seconds)
+            return result, prefix + original, "lost"
+
+    def effective_critical_path(self) -> float:
+        """Makespan of the ASAP schedule under *effective* stage durations
+        (speculation winners finish at their winning time, not after the
+        full straggler wait)."""
+        return self.sgraph.asap(seconds=self.effective_seconds).makespan
 
     def _record_stage_metrics(self, stage: StageNode, sub: TrafficLedger,
-                              retries: int) -> None:
+                              retries: int,
+                              spec_outcome: str | None = None) -> None:
         """Build this stage's private metric fragment.
 
         All values derive from the stage's sub-ledger and the deterministic
@@ -176,6 +266,10 @@ class ExecutionState:
         frag.count("execute.attempts", retries + 1)
         if retries:
             frag.count("execute.retries", retries)
+        if spec_outcome is not None:
+            frag.count("execute.speculations")
+            if spec_outcome == "won":
+                frag.count("execute.speculation_wins")
         work = recovery = shuffled = tuples = 0.0
         for rec in sub.stages:
             if rec.category == WORK:
@@ -233,11 +327,22 @@ class ExecutionState:
 # Strategies
 # ======================================================================
 class Scheduler:
-    """Strategy interface: run every stage of ``state``'s graph."""
+    """Strategy interface: run stages of ``state``'s graph.
+
+    :meth:`run` runs everything not yet completed (a fresh execution, or
+    the pending remainder after a checkpoint resume); :meth:`run_stages`
+    runs an explicit subset — dependencies *outside* the subset are taken
+    as already satisfied, which is how the dynamics layer drives one
+    frontier at a time and how lost stages are re-run.
+    """
 
     name = "scheduler"
 
     def run(self, state: ExecutionState) -> None:
+        self.run_stages(state, [s.sid for s in state.sgraph.stages
+                                if s.sid not in state.completed])
+
+    def run_stages(self, state: ExecutionState, sids) -> None:
         raise NotImplementedError
 
 
@@ -246,9 +351,9 @@ class SequentialScheduler(Scheduler):
 
     name = "sequential"
 
-    def run(self, state: ExecutionState) -> None:
-        for stage in state.sgraph.stages:
-            state.run_stage(stage)
+    def run_stages(self, state: ExecutionState, sids) -> None:
+        for sid in sorted(sids):
+            state.run_stage(state.sgraph.stages[sid])
 
 
 class ThreadPoolScheduler(Scheduler):
@@ -266,15 +371,20 @@ class ThreadPoolScheduler(Scheduler):
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = max_workers
 
-    def run(self, state: ExecutionState) -> None:
+    def run_stages(self, state: ExecutionState, sids) -> None:
         stages = state.sgraph.stages
-        if not stages:
+        todo = set(sids)
+        if not todo:
             return
-        waiting_on = {s.sid: len(s.deps) for s in stages}
-        dependents: dict[int, list[int]] = {s.sid: [] for s in stages}
-        for s in stages:
-            for dep in s.deps:
-                dependents[dep].append(s.sid)
+        # Dependencies outside the subset were satisfied by earlier calls
+        # (or restored from a checkpoint) — only intra-subset edges gate.
+        waiting_on = {sid: sum(1 for d in stages[sid].deps if d in todo)
+                      for sid in todo}
+        dependents: dict[int, list[int]] = {sid: [] for sid in todo}
+        for sid in todo:
+            for dep in stages[sid].deps:
+                if dep in todo:
+                    dependents[dep].append(sid)
         ready = sorted(sid for sid, n in waiting_on.items() if n == 0)
         failures: dict[int, BaseException] = {}
 

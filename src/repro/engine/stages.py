@@ -137,13 +137,37 @@ class StageGraph:
         assert isinstance(stage, OpStage)
         return stage
 
-    def asap(self) -> AsapSchedule:
+    def frontiers(self) -> tuple[tuple[int, ...], ...]:
+        """Stage ids grouped into topological levels ("frontiers").
+
+        Level 0 holds stages with no dependencies; each later level holds
+        stages whose deepest dependency sits one level up.  Frontiers are
+        the natural checkpoint/membership boundaries: every stage in a
+        frontier may run concurrently, and a checkpoint between frontiers
+        captures a dependency-closed prefix of the graph.
+        """
+        level: dict[int, int] = {}
+        groups: list[list[int]] = []
+        for stage in self.stages:
+            depth = (max(level[d] for d in stage.deps) + 1
+                     if stage.deps else 0)
+            level[stage.sid] = depth
+            while len(groups) <= depth:
+                groups.append([])
+            groups[depth].append(stage.sid)
+        return tuple(tuple(g) for g in groups)
+
+    def asap(self, seconds: dict[int, float] | None = None) -> AsapSchedule:
         """Start every stage as soon as its dependencies finish.
 
         Ties between dependencies are broken toward the *latest* one in
         stage order (matching the historical timeline behaviour), and the
         critical path is the backpointer chain from the first stage that
         attains the maximum finish time.
+
+        ``seconds`` optionally overrides per-stage durations by sid — the
+        speculation layer uses it to compute the *effective* critical path
+        from winner finish times instead of the cost model's predictions.
         """
         starts: list[float] = []
         ends: list[float] = []
@@ -155,8 +179,11 @@ class StageGraph:
                 if ends[dep] >= start:
                     start = ends[dep]
                     par = dep
+            duration = stage.seconds
+            if seconds is not None:
+                duration = seconds.get(stage.sid, duration)
             starts.append(start)
-            ends.append(start + stage.seconds)
+            ends.append(start + duration)
             parent.append(par)
 
         makespan = max(ends, default=0.0)

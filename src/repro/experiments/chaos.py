@@ -1,0 +1,321 @@
+"""Chaos experiments: worker-kill sweeps and speculative straggler wins.
+
+The chaos *tests* (``tests/engine/test_chaos.py``) assert invariants;
+these experiments measure the **price** of surviving cluster churn:
+
+* :func:`ext_chaos_sweep` kills each worker at representative stage
+  frontiers of three workloads and reports how much wall-clock the
+  recovery machinery adds — detector gaps, re-planning charges, and
+  re-executed lost work — relative to the fault-free run.
+* :func:`ext_speculation_winrate` injects stragglers of increasing
+  severity and reports how often a speculative backup beats the original
+  attempt, and how much critical-path time the race saves.
+
+:func:`write_benchmark` condenses both sweeps into the repo-root
+``BENCH_robustness.json`` so the recovery-overhead and win-rate numbers
+have a tracked trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster import ClusterConfig
+from ..core.graph import ComputeGraph
+from ..core.optimizer import optimize
+from ..core.registry import OptimizerContext
+from ..engine.dynamics import DynamicsConfig, execute_with_dynamics
+from ..engine.executor import execute_plan
+from ..engine.faults import FaultPlan
+from ..engine.membership import WorkerTimeline, crash_at_frontier
+from ..engine.recovery import RecoveryPolicy, SpeculationPolicy
+from ..core.formats import row_strips, tiles
+from ..engine.stages import lower
+from ..obs.metrics import MetricsRegistry
+from ..workloads.chains import wide_shared_dag
+from ..workloads.datagen import dense_normal, spd_matrix
+from ..workloads.ffnn import FFNNConfig, ffnn_full_step
+from ..workloads.inverse import two_level_inverse_graph
+from .harness import ExperimentTable
+
+#: Cluster size used throughout the chaos sweeps.
+NUM_WORKERS = 3
+
+#: Beam width for the (frequent) degraded re-optimizations.
+CHAOS_BEAM = 64
+
+
+def _chaos_inputs(graph: ComputeGraph) -> dict[str, np.ndarray]:
+    out = {}
+    for v in graph.sources:
+        dims = v.mtype.dims
+        if len(dims) == 2 and dims[0] == dims[1]:
+            out[v.name] = spd_matrix(dims[0], seed=v.vid)
+        else:
+            out[v.name] = dense_normal(*dims, seed=v.vid)
+    return out
+
+
+def chaos_workloads() -> dict[str, ComputeGraph]:
+    """The three chaos workloads: fig05's FFNN step, the recursive
+    inverse, and a wide DAG with heavy operand sharing."""
+    return {
+        "ffnn": ffnn_full_step(FFNNConfig(batch=24, features=12,
+                                          hidden=10, labels=4)),
+        "inverse": two_level_inverse_graph(outer=40, inner_top=12),
+        "wide": wide_shared_dag(width=3, layers=2, dim=24),
+    }
+
+
+@dataclass(frozen=True)
+class ChaosSweepRow:
+    """Aggregate cost of surviving a single worker kill, per workload."""
+
+    workload: str
+    scenarios: int            #: (frontier, worker) kill sites swept
+    completed: int
+    mean_overhead: float      #: extra clock vs fault-free, fraction
+    max_overhead: float
+    mean_detector_seconds: float
+    mean_replan_seconds: float
+    mean_lost_work_seconds: float
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.scenarios if self.scenarios else 0.0
+
+
+def chaos_sweep(
+    graph: ComputeGraph,
+    inputs: dict[str, np.ndarray],
+    ctx: OptimizerContext,
+    workload: str = "workload",
+    frontiers: tuple[int, ...] | None = None,
+) -> ChaosSweepRow:
+    """Kill each worker at each sampled frontier; measure the recovery bill.
+
+    Every completed scenario's outputs are checked against the fault-free
+    run — a silent wrong answer would invalidate the overhead numbers.
+    """
+    plan = optimize(graph, ctx, max_states=CHAOS_BEAM)
+    clean = execute_plan(plan, inputs, ctx)
+    if not clean.ok:
+        raise RuntimeError(f"fault-free run failed: {clean.failure}")
+    clean_seconds = clean.ledger.total_seconds
+    n_frontiers = len(lower(plan, ctx).frontiers())
+    if frontiers is None:
+        frontiers = tuple(sorted({0, 1, n_frontiers // 2, n_frontiers - 1}))
+
+    config = DynamicsConfig(max_states=CHAOS_BEAM)
+    scenarios = completed = 0
+    overheads: list[float] = []
+    detector: list[float] = []
+    replan: list[float] = []
+    lost: list[float] = []
+    for frontier in frontiers:
+        for worker in range(ctx.cluster.num_workers):
+            scenarios += 1
+            timeline = WorkerTimeline(
+                ctx.cluster.num_workers,
+                [crash_at_frontier(worker, frontier)])
+            res = execute_with_dynamics(plan, inputs, ctx, timeline,
+                                        config=config)
+            if not res.ok:
+                continue
+            for name, expected in clean.outputs.items():
+                if not np.allclose(res.outputs[name], expected):
+                    raise AssertionError(
+                        f"{workload}: output {name!r} diverged after "
+                        f"killing w{worker}@f{frontier}")
+            completed += 1
+            overheads.append(res.ledger.total_seconds / clean_seconds - 1)
+            detector.append(sum(r.seconds for r in res.ledger.stages
+                                if r.name.startswith("detector:")))
+            replan.append(res.ledger.replan_seconds)
+            lost.append(sum(rep.lost_work_seconds for rep in res.replans))
+    return ChaosSweepRow(
+        workload, scenarios, completed,
+        float(np.mean(overheads)) if overheads else float("inf"),
+        float(np.max(overheads)) if overheads else float("inf"),
+        float(np.mean(detector)) if detector else 0.0,
+        float(np.mean(replan)) if replan else 0.0,
+        float(np.mean(lost)) if lost else 0.0)
+
+
+def ext_chaos_sweep() -> ExperimentTable:
+    """Recovery overhead of killing any worker at representative frontiers."""
+    ctx = OptimizerContext(cluster=ClusterConfig(num_workers=NUM_WORKERS))
+    table = ExperimentTable(
+        "ext_chaos_sweep",
+        f"Chaos sweep: kill each of {NUM_WORKERS} workers at sampled stage "
+        "frontiers; overhead vs the fault-free run",
+        ["workload", "scenarios", "overhead", "worst", "detector s",
+         "replan s", "lost-work s"])
+    for name, graph in chaos_workloads().items():
+        row = chaos_sweep(graph, _chaos_inputs(graph), ctx, workload=name)
+        table.add_row(
+            name, f"{row.completed}/{row.scenarios}",
+            f"+{row.mean_overhead * 100:.0f}%",
+            f"+{row.max_overhead * 100:.0f}%",
+            f"{row.mean_detector_seconds:.1f}",
+            f"{row.mean_replan_seconds:.1f}",
+            f"{row.mean_lost_work_seconds:.1f}")
+    table.add_note("all recovered outputs verified against the fault-free "
+                   "run; overhead = detector gap + re-plan charge + "
+                   "re-executed lost work on the shrunken cluster")
+    return table
+
+
+@dataclass(frozen=True)
+class SpeculationRow:
+    """Speculative-vs-wait outcome for one straggler severity."""
+
+    slowdown: float
+    speculations: int
+    wins: int
+    wait_seconds: float       #: critical path when waiting out the straggler
+    race_seconds: float       #: critical path with the speculative backup
+
+    @property
+    def win_rate(self) -> float:
+        return self.wins / self.speculations if self.speculations else 0.0
+
+    @property
+    def saved_fraction(self) -> float:
+        if self.wait_seconds <= 0:
+            return 0.0
+        return 1.0 - self.race_seconds / self.wait_seconds
+
+
+def _straggler_victim(ledger) -> str:
+    """A charge name a scheduled straggler will actually stretch.
+
+    Scheduled faults match by substring and fire once, on the first
+    matching charge; only per-partition substages of op stages pass
+    through the injector.  So the victim must be such a substage, carry
+    real seconds, and not be contained in any earlier charge's name
+    (else the stretch lands on a zero-second bookkeeping record and
+    slows nothing).
+    """
+    for i, rec in enumerate(ledger.stages):
+        if rec.seconds <= 0 or rec.name.count(":") < 2:
+            continue
+        if any(rec.name in prev.name for prev in ledger.stages[:i]):
+            continue
+        return rec.name
+    raise RuntimeError("no straggler-eligible charge in the clean ledger")
+
+
+def speculation_sweep(
+    slowdowns: tuple[float, ...] = (6.0, 8.0, 12.0, 16.0),
+) -> list[SpeculationRow]:
+    """Race a backup against stragglers of increasing severity.
+
+    The FFNN loads X and W1 in distributed formats (as fig05's real data
+    does), so the first matmul runs several per-partition substages —
+    the straggler hits one of those, exactly the granularity a slow
+    worker slows.  The deadline policy is pinned above the worst healthy
+    drift ratio so only injected stragglers trigger backups.  The
+    no-mitigation baseline waits out the full slowdown — the fair
+    comparison for the paper-style claim that speculation strictly
+    shortens the critical path.
+    """
+    graph = ffnn_full_step(FFNNConfig(batch=128, features=128, hidden=128,
+                                      labels=8, x_format=tiles(64),
+                                      w1_format=row_strips(32)))
+    inputs = _chaos_inputs(graph)
+    ctx = OptimizerContext()
+    plan = optimize(graph, ctx, max_states=CHAOS_BEAM)
+    clean = execute_plan(plan, inputs, ctx)
+    victim = _straggler_victim(clean.ledger)
+    wait_policy = RecoveryPolicy(speculative_backups=False)
+    deadline = SpeculationPolicy(min_multiplier=5.0)
+
+    rows = []
+    for slowdown in slowdowns:
+        faults = FaultPlan.straggler(victim, slowdown=slowdown)
+        wait = execute_plan(plan, inputs, ctx, faults=faults,
+                            recovery=wait_policy)
+        metrics = MetricsRegistry()
+        race = execute_plan(plan, inputs, ctx, faults=faults,
+                            recovery=wait_policy, speculation=deadline,
+                            metrics=metrics)
+        if not (wait.ok and race.ok):
+            raise RuntimeError("straggler run failed unexpectedly")
+        rows.append(SpeculationRow(
+            slowdown,
+            int(metrics.counters.get("execute.speculations", 0)),
+            int(metrics.counters.get("execute.speculation_wins", 0)),
+            wait.critical_path_seconds,
+            race.critical_path_seconds))
+    return rows
+
+
+def ext_speculation_winrate() -> ExperimentTable:
+    """Speculative backups vs waiting out stragglers of rising severity."""
+    rows = speculation_sweep()
+    table = ExperimentTable(
+        "ext_speculation_winrate",
+        "Speculative straggler mitigation on the FFNN step: backup races "
+        "a stage slowed by the given factor",
+        ["slowdown", "backups", "wins", "wait cp s", "race cp s", "saved"])
+    for row in rows:
+        table.add_row(f"x{row.slowdown:.0f}",
+                      str(row.speculations), str(row.wins),
+                      f"{row.wait_seconds:.2f}", f"{row.race_seconds:.2f}",
+                      f"{row.saved_fraction * 100:.0f}%")
+    table.add_note("cp = simulated critical-path seconds; the loser's time "
+                   "is charged to the straggler ledger category, so total "
+                   "cost stays fully attributed")
+    return table
+
+
+def robustness_benchmark() -> dict:
+    """The numbers tracked in the repo-root ``BENCH_robustness.json``."""
+    ctx = OptimizerContext(cluster=ClusterConfig(num_workers=NUM_WORKERS))
+    recovery = {}
+    for name, graph in chaos_workloads().items():
+        row = chaos_sweep(graph, _chaos_inputs(graph), ctx, workload=name)
+        recovery[name] = {
+            "scenarios": row.scenarios,
+            "completion_rate": row.completion_rate,
+            "mean_overhead_frac": round(row.mean_overhead, 4),
+            "max_overhead_frac": round(row.max_overhead, 4),
+            "mean_detector_seconds": round(row.mean_detector_seconds, 4),
+            "mean_replan_seconds": round(row.mean_replan_seconds, 4),
+            "mean_lost_work_seconds": round(row.mean_lost_work_seconds, 4),
+        }
+    spec_rows = speculation_sweep()
+    speculations = sum(r.speculations for r in spec_rows)
+    wins = sum(r.wins for r in spec_rows)
+    return {
+        "benchmark": "robustness",
+        "cluster_workers": NUM_WORKERS,
+        "recovery_overhead": recovery,
+        "speculation": {
+            "slowdowns": [r.slowdown for r in spec_rows],
+            "speculations": speculations,
+            "wins": wins,
+            "win_rate": round(wins / speculations, 4) if speculations else 0.0,
+            "mean_saved_frac": round(
+                float(np.mean([r.saved_fraction for r in spec_rows])), 4),
+        },
+    }
+
+
+def write_benchmark(path: str) -> dict:
+    """Write :func:`robustness_benchmark` to ``path`` as stable JSON."""
+    data = robustness_benchmark()
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return data
+
+
+CHAOS_EXPERIMENTS = {
+    "ext_chaos_sweep": ext_chaos_sweep,
+    "ext_speculation_winrate": ext_speculation_winrate,
+}

@@ -488,6 +488,7 @@ def _tree_expanded_cost(graph, ctx) -> float:
 
 
 #: Registry used by the CLI and EXPERIMENTS.md generation.
+from .chaos import CHAOS_EXPERIMENTS  # noqa: E402 (registry tail)
 from .extensions import EXTENSION_EXPERIMENTS  # noqa: E402 (registry tail)
 from .observability import (  # noqa: E402 (registry tail)
     OBSERVABILITY_EXPERIMENTS,
@@ -509,6 +510,7 @@ EXPERIMENTS = {
     "fig13": fig13,
     "ablation_transform_costs": ablation_transform_costs,
     "ablation_sharing": ablation_sharing,
+    **CHAOS_EXPERIMENTS,
     **EXTENSION_EXPERIMENTS,
     **OBSERVABILITY_EXPERIMENTS,
     **REWRITE_EXPERIMENTS,

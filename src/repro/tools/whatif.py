@@ -139,6 +139,76 @@ def format_family_contributions(
     return base.total_seconds, contributions
 
 
+@dataclass(frozen=True)
+class ChaosPreviewPoint:
+    """Predicted cost of losing one worker at a given cluster size."""
+
+    workers: int
+    healthy_seconds: float
+    degraded_seconds: float   #: re-optimized for ``workers - 1`` survivors
+
+    @property
+    def penalty(self) -> float:
+        if not math.isfinite(self.healthy_seconds) or \
+                not math.isfinite(self.degraded_seconds):
+            return math.inf
+        return self.degraded_seconds / self.healthy_seconds
+
+
+def chaos_preview(
+    graph: ComputeGraph,
+    profile: ProfileFn,
+    workers: Sequence[int],
+    max_states: int | None = 1000,
+    rewrites: str | Sequence[str] = "none",
+) -> list[ChaosPreviewPoint]:
+    """What losing one worker costs, before it happens.
+
+    For each cluster size this re-optimizes the workload for ``n - 1``
+    survivors — the same degraded-mode re-planning the dynamics driver
+    performs when the heartbeat detector declares a worker dead — and
+    reports the predicted slowdown.  Sizes of 1 are skipped: losing the
+    last worker is a cluster failure, not a degraded mode.
+    """
+    points = []
+    for count in workers:
+        if count <= 1:
+            continue
+        seconds = []
+        for n in (count, count - 1):
+            ctx = OptimizerContext(cluster=profile(n))
+            try:
+                seconds.append(optimize(graph, ctx, max_states=max_states,
+                                        rewrites=rewrites).total_seconds)
+            except Exception:
+                seconds.append(math.inf)
+        points.append(ChaosPreviewPoint(count, seconds[0], seconds[1]))
+    return points
+
+
+def render_chaos_preview(points: list[ChaosPreviewPoint]) -> str:
+    """Text table for a degraded-mode preview."""
+    from ..engine.executor import format_hms
+    from ..engine.membership import HeartbeatConfig
+
+    def cell(seconds: float) -> str:
+        return format_hms(seconds) if math.isfinite(seconds) else "Fail"
+
+    lines = [f"{'workers':>8s} {'healthy':>12s} {'one lost':>12s} "
+             f"{'penalty':>8s}"]
+    for p in points:
+        pen = f"x{p.penalty:.2f}" if math.isfinite(p.penalty) else "Fail"
+        lines.append(f"{p.workers:8d} {cell(p.healthy_seconds):>12s} "
+                     f"{cell(p.degraded_seconds):>12s} {pen:>8s}")
+    hb = HeartbeatConfig()
+    lines.append(f"detection gap: up to "
+                 f"{hb.interval_seconds + hb.suspicion_timeout_seconds:.0f}s "
+                 f"(heartbeat every {hb.interval_seconds:.0f}s, suspicion "
+                 f"timeout {hb.suspicion_timeout_seconds:.0f}s) before "
+                 f"re-planning starts")
+    return "\n".join(lines)
+
+
 def render_sweep(points: list[SweepPoint]) -> str:
     """Text table for a worker sweep."""
     from ..engine.executor import format_hms
@@ -213,6 +283,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="render the pipeline-aware stage timeline "
                              "(ASAP Gantt chart) of the best plan at the "
                              "first feasible cluster size")
+    parser.add_argument("--chaos", action="store_true",
+                        help="preview degraded-mode re-planning: predicted "
+                             "runtime after losing one worker (re-optimized "
+                             "for the survivors) at each swept size, plus "
+                             "the heartbeat detection gap")
     parser.add_argument("--emit-trace", metavar="PATH", default=None,
                         help="record the sweep as structured spans and "
                              "export them (.jsonl = JSONL, anything else = "
@@ -260,6 +335,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                 cluster=DEFAULT_CLUSTER.with_workers(shown.workers))
             print(f"timeline at {shown.workers} workers:")
             print(schedule(shown.plan, ctx).gantt())
+    if args.chaos:
+        preview = chaos_preview(graph, DEFAULT_CLUSTER.with_workers, counts,
+                                max_states=max_states, rewrites=rewrites)
+        if preview:
+            print("chaos preview (one worker lost, plan re-optimized):")
+            print(render_chaos_preview(preview))
+        else:
+            print("chaos preview: all swept sizes <= 1 worker (losing the "
+                  "last worker is a cluster failure)")
     if args.target is not None:
         best = recommend_workers(graph, DEFAULT_CLUSTER.with_workers,
                                  args.target, counts,

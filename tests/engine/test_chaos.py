@@ -1,0 +1,154 @@
+"""Chaos harness: kill any worker at any frontier; the answer never changes.
+
+For each workload x scheduler, the sweep runs the dynamics driver with a
+scripted crash of worker ``w`` after frontier ``f`` and asserts the three
+robustness invariants:
+
+* **correctness** — outputs numerically match the fault-free run, no
+  matter which worker died or when;
+* **attribution** — every second on the clock belongs to a declared
+  category (work / recovery / straggler / replan), and a mid-run kill
+  always shows detector + re-planning cost;
+* **scheduler independence** — sequential and thread-pool executions of
+  the same scenario produce bit-identical ledgers.
+
+The default tests sample frontiers to stay fast; the ``chaos``-marked
+sweep is exhaustive (every worker x every frontier x every scheduler)
+and runs in CI's dedicated chaos job:
+``python -m pytest -m chaos``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.core.optimizer import optimize
+from repro.core.registry import OptimizerContext
+from repro.engine.dynamics import DynamicsConfig, execute_with_dynamics
+from repro.engine.executor import execute_plan
+from repro.engine.ledger import CATEGORIES, WORK
+from repro.engine.membership import WorkerTimeline, crash_at_frontier
+from repro.engine.scheduler import SequentialScheduler, ThreadPoolScheduler
+from repro.engine.stages import lower
+from repro.workloads.chains import wide_shared_dag
+from repro.workloads.datagen import dense_normal, spd_matrix
+from repro.workloads.ffnn import FFNNConfig, ffnn_full_step
+from repro.workloads.inverse import two_level_inverse_graph
+
+NUM_WORKERS = 3
+CONFIG = DynamicsConfig(max_states=64)
+
+
+def _inputs_for(graph):
+    out = {}
+    for v in graph.sources:
+        dims = v.mtype.dims
+        if len(dims) == 2 and dims[0] == dims[1]:
+            # Square sources may feed INVERSE — keep them invertible.
+            out[v.name] = spd_matrix(dims[0], seed=v.vid)
+        else:
+            out[v.name] = dense_normal(*dims, seed=v.vid)
+    return out
+
+
+def _workload(name):
+    if name == "ffnn":
+        graph = ffnn_full_step(FFNNConfig(batch=24, features=12,
+                                          hidden=10, labels=4))
+    elif name == "inverse":
+        graph = two_level_inverse_graph(outer=40, inner_top=12)
+    else:
+        graph = wide_shared_dag(width=3, layers=2, dim=24)
+    return graph, _inputs_for(graph)
+
+
+_CACHE = {}
+
+
+def _planned(name):
+    """(plan, inputs, ctx, clean outputs, frontier count), cached."""
+    if name not in _CACHE:
+        graph, inputs = _workload(name)
+        ctx = OptimizerContext(cluster=ClusterConfig(
+            num_workers=NUM_WORKERS))
+        plan = optimize(graph, ctx, max_states=64)
+        clean = execute_plan(plan, inputs, ctx)
+        assert clean.ok
+        n_frontiers = len(lower(plan, ctx).frontiers())
+        _CACHE[name] = (plan, inputs, ctx, clean.outputs, n_frontiers)
+    return _CACHE[name]
+
+
+def _check_scenario(name, frontier, worker, scheduler):
+    plan, inputs, ctx, clean_outputs, n_frontiers = _planned(name)
+    timeline = WorkerTimeline(NUM_WORKERS,
+                              [crash_at_frontier(worker, frontier)])
+    res = execute_with_dynamics(plan, inputs, ctx, timeline,
+                                config=CONFIG, scheduler=scheduler)
+    label = f"{name}: kill w{worker}@f{frontier} ({scheduler.name})"
+    assert res.ok, f"{label}: {res.failure}"
+    for out, expected in clean_outputs.items():
+        assert np.allclose(res.outputs[out], expected), f"{label}: {out}"
+    # Every second is attributed to a declared category.
+    assert all(r.category in CATEGORIES for r in res.ledger.stages), label
+    by_cat = res.ledger.seconds_by_category()
+    assert res.ledger.total_seconds == pytest.approx(
+        sum(by_cat.values())), label
+    if frontier < n_frontiers:  # the kill interrupted a live run
+        crash = [e for e in res.events if e.kind == "crash"]
+        assert crash and crash[0].applied, label
+        assert crash[0].detector_seconds > 0, label
+        if res.replans:
+            assert res.ledger.replan_seconds > 0, label
+    # Non-work charges carry recognizable fault tags (or are re-labelled
+    # lost stage work, whose names are plain stage names).
+    tags = ("backoff", "straggler", "detector:", "replan:", "slow:")
+    for rec in res.ledger.stages:
+        if rec.category == WORK:
+            continue
+        tagged = any(t in rec.name for t in tags)
+        assert tagged or rec.category in ("recovery", "straggler"), \
+            f"{label}: unattributed {rec.name} ({rec.category})"
+    return res
+
+
+WORKLOADS = ("ffnn", "inverse", "wide")
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_chaos_sampled_frontiers(name):
+    """Fast default: kill each worker at a few representative frontiers."""
+    *_, n_frontiers = _planned(name)
+    frontiers = sorted({0, 1, n_frontiers // 2, n_frontiers - 1})
+    for frontier in frontiers:
+        for worker in range(NUM_WORKERS):
+            _check_scenario(name, frontier, worker, SequentialScheduler())
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_chaos_schedulers_bit_identical(name):
+    """Same kill scenario, both schedulers: bit-identical ledgers."""
+    *_, n_frontiers = _planned(name)
+    for frontier in (1, n_frontiers // 2):
+        for worker in (0, NUM_WORKERS - 1):
+            a = _check_scenario(name, frontier, worker,
+                                SequentialScheduler())
+            b = _check_scenario(name, frontier, worker,
+                                ThreadPoolScheduler())
+            assert [(r.name, r.seconds, r.category)
+                    for r in a.ledger.stages] == \
+                   [(r.name, r.seconds, r.category)
+                    for r in b.ledger.stages]
+            assert a.ledger.total_seconds == b.ledger.total_seconds
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("scheduler_cls", [SequentialScheduler,
+                                           ThreadPoolScheduler])
+def test_chaos_exhaustive(name, scheduler_cls):
+    """Kill every worker at every frontier, on both schedulers."""
+    *_, n_frontiers = _planned(name)
+    for frontier in range(n_frontiers):
+        for worker in range(NUM_WORKERS):
+            _check_scenario(name, frontier, worker, scheduler_cls())

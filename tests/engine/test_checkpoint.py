@@ -1,0 +1,227 @@
+"""Durable checkpoint/resume: bit-identical continuation at any frontier.
+
+The core claim: interrupt an execution at any stage-graph frontier,
+serialize the quiescent state to JSON, deserialize it (possibly in
+another process), resume — and the final ledger's record stream, every
+float total, the recovery statistics, and the numerical outputs are all
+*bit-identical* to the run that was never interrupted.  JSON floats
+round-trip exactly (``repr``-based), which is what makes this a float
+equality claim rather than an approximate one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import ADD, ELEM_MUL, MATMUL, RELU, SUB
+from repro.core.formats import row_strips, single, tiles
+from repro.engine import execute_plan
+from repro.engine.checkpoint import (
+    CheckpointError,
+    ExecutionCheckpoint,
+    plan_fingerprint,
+    restore_into,
+    resume,
+    run_to_frontier,
+)
+from repro.engine.faults import FaultConfig, FaultPlan
+from repro.engine.scheduler import (
+    ExecutionState,
+    SequentialScheduler,
+    ThreadPoolScheduler,
+)
+from repro.engine.stages import lower
+
+OPS = (MATMUL, ADD, SUB, ELEM_MUL, RELU)
+FAULTS = FaultConfig(seed=11, crash_probability=0.15,
+                     straggler_probability=0.2, max_faults_per_stage=2)
+
+
+def _small_case(seed=0):
+    rng = np.random.default_rng(seed)
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(24, 24), tiles(12))
+    b = g.add_source("B", matrix(24, 24), row_strips(8))
+    h1 = g.add_op("h1", MATMUL, (a, b))
+    h2 = g.add_op("h2", RELU, (h1,))
+    h3 = g.add_op("h3", ADD, (h2, a))
+    g.add_op("out", MATMUL, (h3, b))
+    inputs = {"A": rng.standard_normal((24, 24)),
+              "B": rng.standard_normal((24, 24))}
+    return g, inputs
+
+
+def _ledger_key(result):
+    return [(r.name, r.seconds, r.category) for r in result.ledger.stages]
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_exact(self):
+        g, inputs = _small_case()
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        ckpt = run_to_frontier(plan, inputs, ctx, 2, faults=FAULTS)
+        back = ExecutionCheckpoint.loads(ckpt.dumps(), ctx.cluster)
+        assert back.fingerprint == ckpt.fingerprint
+        assert back.completed == ckpt.completed
+        assert back.effective_seconds == ckpt.effective_seconds
+        for sid, recs in ckpt.records.items():
+            got = back.records[sid]
+            assert [(r.name, r.seconds, r.category) for r in recs] == \
+                   [(r.name, r.seconds, r.category) for r in got]
+        for vid, stored in ckpt.lineage.items():
+            for key, payload in stored.relation.rows.items():
+                other = back.lineage[vid].relation.rows[key]
+                assert np.array_equal(np.asarray(payload.toarray()
+                                                 if hasattr(payload,
+                                                            "toarray")
+                                                 else payload),
+                                      np.asarray(other.toarray()
+                                                 if hasattr(other,
+                                                            "toarray")
+                                                 else other))
+
+    def test_save_load_file(self, tmp_path):
+        g, inputs = _small_case()
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        ckpt = run_to_frontier(plan, inputs, ctx, 1)
+        path = ckpt.save(tmp_path / "ck.json")
+        back = ExecutionCheckpoint.load(path, ctx.cluster)
+        assert back.completed == ckpt.completed
+
+    def test_fingerprint_guards_against_wrong_plan(self):
+        g, inputs = _small_case()
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        ckpt = run_to_frontier(plan, inputs, ctx, 1)
+
+        g2 = ComputeGraph()
+        a = g2.add_source("A", matrix(24, 24), tiles(12))
+        g2.add_op("out", RELU, (a,))
+        plan2 = optimize(g2, ctx, max_states=200)
+        sgraph2 = lower(plan2, ctx)
+        state = ExecutionState(sgraph2, ctx, injector=None,
+                               policy=__import__(
+                                   "repro.engine.recovery",
+                                   fromlist=["DEFAULT_RECOVERY"]
+                               ).DEFAULT_RECOVERY)
+        with pytest.raises(CheckpointError, match="stage DAGs differ"):
+            restore_into(ckpt, state)
+        assert plan_fingerprint(sgraph2) != ckpt.fingerprint
+
+
+class TestBitIdenticalResume:
+    @pytest.mark.parametrize("scheduler_cls", [SequentialScheduler,
+                                               ThreadPoolScheduler])
+    def test_every_frontier_resumes_bit_identically(self, scheduler_cls):
+        g, inputs = _small_case()
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        full = execute_plan(plan, inputs, ctx, faults=FAULTS,
+                            scheduler=scheduler_cls())
+        assert full.ok
+        n_frontiers = len(lower(plan, ctx).frontiers())
+        for cut in range(n_frontiers + 1):
+            ckpt = run_to_frontier(plan, inputs, ctx, cut, faults=FAULTS,
+                                   scheduler=scheduler_cls())
+            ckpt = ExecutionCheckpoint.loads(ckpt.dumps(), ctx.cluster)
+            resumed = resume(ckpt, plan, inputs, ctx, faults=FAULTS,
+                             scheduler=scheduler_cls())
+            assert resumed.ok
+            assert _ledger_key(resumed) == _ledger_key(full), cut
+            assert resumed.ledger.total_seconds == full.ledger.total_seconds
+            assert resumed.ledger.work_seconds == full.ledger.work_seconds
+            for name, expected in full.outputs.items():
+                assert np.array_equal(resumed.outputs[name], expected)
+            assert resumed.recovery.recovered_faults == \
+                full.recovery.recovered_faults
+
+    def test_resume_across_schedulers_is_bit_identical(self):
+        """Checkpoint under one scheduler, resume under the other."""
+        g, inputs = _small_case(seed=1)
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        full = execute_plan(plan, inputs, ctx, faults=FAULTS)
+        assert full.ok
+        ckpt = run_to_frontier(plan, inputs, ctx, 2, faults=FAULTS,
+                               scheduler=SequentialScheduler())
+        resumed = resume(ckpt, plan, inputs, ctx, faults=FAULTS,
+                         scheduler=ThreadPoolScheduler())
+        assert resumed.ok
+        assert _ledger_key(resumed) == _ledger_key(full)
+
+    def test_resume_with_scheduled_straggler(self):
+        """Fault occurrence counters survive the checkpoint (RNG cursor)."""
+        g, inputs = _small_case(seed=2)
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        sgraph = lower(plan, ctx)
+        victim = sgraph.stages[-1].name
+        faults = FaultPlan.straggler(victim, slowdown=6.0)
+        full = execute_plan(plan, inputs, ctx, faults=faults)
+        assert full.ok
+        ckpt = run_to_frontier(plan, inputs, ctx, 1, faults=faults)
+        resumed = resume(ckpt, plan, inputs, ctx, faults=faults)
+        assert resumed.ok
+        assert _ledger_key(resumed) == _ledger_key(full)
+        assert any(r.category == "straggler" for r in resumed.ledger.stages)
+
+
+@st.composite
+def interrupted_case(draw):
+    """A random small graph, fault config, and an interruption frontier."""
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n = 24
+    g = ComputeGraph()
+    inputs = {}
+    pool = []
+    for i in range(draw(st.integers(2, 3))):
+        fmt = draw(st.sampled_from([single(), tiles(12), row_strips(8)]))
+        vid = g.add_source(f"S{i}", matrix(n, n), fmt)
+        inputs[f"S{i}"] = rng.standard_normal((n, n))
+        pool.append(vid)
+    for i in range(draw(st.integers(1, 3))):
+        op = draw(st.sampled_from(OPS))
+        picks = [pool[draw(st.integers(0, len(pool) - 1))]
+                 for _ in range(op.arity)]
+        pool.append(g.add_op(f"v{i}", op, tuple(picks)))
+    faults = FaultConfig(
+        seed=draw(st.integers(0, 1_000)),
+        crash_probability=draw(st.sampled_from([0.0, 0.1])),
+        straggler_probability=draw(st.sampled_from([0.0, 0.3])),
+        max_faults_per_stage=2)
+    cut = draw(st.integers(0, 6))
+    return g, inputs, faults, cut
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(interrupted_case())
+def test_property_checkpoint_resume_is_float_exact(case):
+    """Satellite: serialize -> deserialize -> resume keeps every ledger
+    total float-exact against the uninterrupted run, for random graphs
+    and random interruption frontiers."""
+    graph, inputs, faults, cut = case
+    ctx = OptimizerContext()
+    plan = optimize(graph, ctx, max_states=200)
+    full = execute_plan(plan, inputs, ctx, faults=faults)
+    if not full.ok:
+        assert "fault persisted" in full.failure
+        return
+    n_frontiers = len(lower(plan, ctx).frontiers())
+    cut = min(cut, n_frontiers)
+    ckpt = run_to_frontier(plan, inputs, ctx, cut, faults=faults)
+    ckpt = ExecutionCheckpoint.loads(ckpt.dumps(), ctx.cluster)
+    resumed = resume(ckpt, plan, inputs, ctx, faults=faults)
+    assert resumed.ok
+    assert resumed.ledger.total_seconds == full.ledger.total_seconds
+    assert resumed.ledger.work_seconds == full.ledger.work_seconds
+    assert resumed.ledger.recovery_seconds == full.ledger.recovery_seconds
+    assert _ledger_key(resumed) == _ledger_key(full)
+    for name, expected in full.outputs.items():
+        assert np.array_equal(resumed.outputs[name], expected), name

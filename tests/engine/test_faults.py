@@ -229,3 +229,67 @@ class TestStablePartitioning:
                                   capture_output=True, text=True, check=True)
             outputs.add(proc.stdout.strip())
         assert len(outputs) == 1, outputs
+
+
+class TestFaultStreamHashSeedIndependence:
+    """Satellite of the cluster-dynamics work: the *entire* fault event
+    stream — including each straggler's derived worker attribution — must
+    be identical under different PYTHONHASHSEED values, on both
+    schedulers.  String-keyed RNG derivation hashes through SHA-512, so
+    nothing here may depend on interpreter hash randomization."""
+
+    _PROBE = r"""
+import json
+import numpy as np
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import ADD, MATMUL, RELU
+from repro.core.formats import row_strips, tiles
+from repro.engine import execute_plan
+from repro.engine.faults import FaultConfig, as_injector
+from repro.engine.scheduler import SequentialScheduler, ThreadPoolScheduler
+
+g = ComputeGraph()
+a = g.add_source("A", matrix(24, 24), tiles(12))
+b = g.add_source("B", matrix(24, 24), row_strips(8))
+h = g.add_op("h", MATMUL, (a, b))
+r = g.add_op("r", RELU, (h,))
+g.add_op("out", ADD, (r, a))
+rng = np.random.default_rng(0)
+inputs = {"A": rng.standard_normal((24, 24)),
+          "B": rng.standard_normal((24, 24))}
+ctx = OptimizerContext()
+plan = optimize(g, ctx, max_states=200)
+faults = FaultConfig(seed=13, crash_probability=0.2,
+                     straggler_probability=0.5, max_faults_per_stage=2)
+report = {}
+for sched in (SequentialScheduler(), ThreadPoolScheduler()):
+    injector = as_injector(faults, ctx.cluster.num_workers)
+    res = execute_plan(plan, inputs, ctx, faults=injector, scheduler=sched)
+    report[sched.name] = {
+        "ok": res.ok,
+        "events": [[e.stage, e.kind.value, e.occurrence, e.worker,
+                    e.slowdown] for e in injector.events],
+        "ledger": [[s.name, s.seconds, s.category]
+                   for s in res.ledger.stages],
+    }
+print(json.dumps(report, sort_keys=True))
+"""
+
+    def test_fault_events_identical_across_hash_seeds_and_schedulers(self):
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        outputs = set()
+        for seed in ("0", "42"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src)
+            proc = subprocess.run([sys.executable, "-c", self._PROBE],
+                                  env=env, capture_output=True, text=True,
+                                  check=True, timeout=300)
+            outputs.add(proc.stdout.strip())
+        assert len(outputs) == 1
+        report = __import__("json").loads(outputs.pop())
+        # Both schedulers saw the same faults, with worker attribution on
+        # every straggler event.
+        assert report["sequential"]["events"] == \
+            report["thread-pool"]["events"]
+        stragglers = [e for e in report["sequential"]["events"]
+                      if e[1] == "straggler"]
+        assert stragglers and all(e[3] is not None for e in stragglers)

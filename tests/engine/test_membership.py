@@ -1,0 +1,157 @@
+"""Unit tests for the worker-churn model and the heartbeat detector."""
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.engine.membership import (
+    ChurnConfig,
+    HeartbeatConfig,
+    HeartbeatDetector,
+    MembershipEvent,
+    MembershipEventKind,
+    MembershipView,
+    WorkerTimeline,
+    crash_at_frontier,
+)
+
+K = MembershipEventKind
+
+
+class TestMembershipEvent:
+    def test_requires_exactly_one_placement(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            MembershipEvent(0, K.CRASH)
+        with pytest.raises(ValueError, match="exactly one"):
+            MembershipEvent(0, K.CRASH, time=1.0, frontier=2)
+
+    def test_rejects_negative_placements(self):
+        with pytest.raises(ValueError):
+            MembershipEvent(0, K.CRASH, time=-1.0)
+        with pytest.raises(ValueError):
+            MembershipEvent(0, K.CRASH, frontier=-1)
+        with pytest.raises(ValueError):
+            MembershipEvent(-1, K.CRASH, time=1.0)
+
+    def test_slowdown_needs_factor_at_least_one(self):
+        with pytest.raises(ValueError, match="factor"):
+            MembershipEvent(0, K.SLOWDOWN, time=1.0, factor=0.5)
+
+    def test_crash_at_frontier_helper(self):
+        e = crash_at_frontier(2, 5)
+        assert (e.worker, e.kind, e.frontier) == (2, K.CRASH, 5)
+
+
+class TestChurnConfig:
+    def test_draws_are_a_pure_function_of_the_config(self):
+        cfg = ChurnConfig(seed=7, crash_probability=0.6,
+                          slowdown_probability=0.5, rejoin_probability=0.5)
+        assert cfg.draw_events(6) == cfg.draw_events(6)
+
+    def test_different_seeds_usually_differ(self):
+        a = ChurnConfig(seed=1, crash_probability=0.5).draw_events(8)
+        b = ChurnConfig(seed=2, crash_probability=0.5).draw_events(8)
+        assert a != b
+
+    def test_rejoin_never_precedes_its_crash(self):
+        cfg = ChurnConfig(seed=3, crash_probability=1.0,
+                          rejoin_probability=1.0)
+        events = cfg.draw_events(10)
+        crash_at = {e.worker: e.time for e in events if e.kind is K.CRASH}
+        for e in events:
+            if e.kind is K.REJOIN:
+                assert e.time >= crash_at[e.worker]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(crash_probability=1.5)
+        with pytest.raises(ValueError):
+            ChurnConfig(slowdown_factor=0.5)
+        with pytest.raises(ValueError):
+            ChurnConfig(horizon_seconds=0.0)
+
+
+class TestWorkerTimeline:
+    def test_rejects_out_of_range_workers(self):
+        with pytest.raises(ValueError, match="worker 5"):
+            WorkerTimeline(3, [crash_at_frontier(5, 0)])
+
+    def test_timed_window_is_half_open(self):
+        tl = WorkerTimeline(2, [MembershipEvent(0, K.CRASH, time=5.0)])
+        assert tl.timed_between(0.0, 5.0) != ()
+        assert tl.timed_between(5.0, 10.0) == ()
+        assert tl.timed_between(0.0, 4.9) == ()
+
+    def test_frontier_query_is_exact(self):
+        tl = WorkerTimeline(2, [crash_at_frontier(1, 3)])
+        assert tl.at_frontier(3)[0].worker == 1
+        assert tl.at_frontier(2) == ()
+        assert tl.any_events
+
+
+class TestMembershipView:
+    def test_crash_rejoin_cycle(self):
+        view = MembershipView(3)
+        assert view.n_alive == 3
+        assert view.apply(MembershipEvent(1, K.CRASH, time=1.0))
+        assert view.alive == frozenset({0, 2})
+        # A second crash of a dead worker is a no-op.
+        assert not view.apply(MembershipEvent(1, K.CRASH, time=2.0))
+        assert view.apply(MembershipEvent(1, K.REJOIN, time=3.0))
+        assert view.n_alive == 3
+        assert len(view.history) == 2
+
+    def test_slowdown_tracked_and_cleared_on_rejoin(self):
+        view = MembershipView(2)
+        assert view.apply(MembershipEvent(0, K.SLOWDOWN, time=1.0,
+                                          factor=3.0))
+        assert view.slowdown(0) == 3.0
+        assert view.slow_workers == {0: 3.0}
+        view.apply(MembershipEvent(0, K.CRASH, time=2.0))
+        assert view.slowdown(0) == 1.0
+        view.apply(MembershipEvent(0, K.REJOIN, time=3.0))
+        assert view.slowdown(0) == 1.0
+
+    def test_slowdown_of_dead_worker_ignored(self):
+        view = MembershipView(2)
+        view.apply(MembershipEvent(0, K.CRASH, time=1.0))
+        assert not view.apply(MembershipEvent(0, K.SLOWDOWN, time=2.0,
+                                              factor=2.0))
+
+
+class TestHeartbeatDetector:
+    def test_detection_rounds_up_to_next_tick(self):
+        det = HeartbeatDetector(HeartbeatConfig(interval_seconds=5.0,
+                                                suspicion_timeout_seconds=15.0))
+        assert det.detection_time(0.0) == 15.0
+        assert det.detection_time(0.1) == 20.0
+        assert det.detection_time(5.0) == 20.0
+        assert det.detection_delay(7.0) == 10.0 + 15.0 - 7.0 + 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HeartbeatConfig(interval_seconds=0)
+        with pytest.raises(ValueError):
+            HeartbeatConfig(suspicion_timeout_seconds=-1)
+
+
+class TestWithWorkers:
+    """Satellite: validated cluster-resize helper."""
+
+    def test_resize(self):
+        c = ClusterConfig(num_workers=4)
+        assert c.with_workers(2).num_workers == 2
+        assert c.with_workers(2).ram_bytes == c.ram_bytes
+
+    def test_rejects_zero_and_negative(self):
+        c = ClusterConfig(num_workers=4)
+        with pytest.raises(ValueError, match="cluster failure"):
+            c.with_workers(0)
+        with pytest.raises(ValueError):
+            c.with_workers(-3)
+
+    def test_rejects_non_integers(self):
+        c = ClusterConfig(num_workers=4)
+        with pytest.raises(TypeError):
+            c.with_workers(2.5)
+        with pytest.raises(TypeError):
+            c.with_workers(True)

@@ -1,0 +1,159 @@
+"""Speculative straggler mitigation: backup attempts with first-finisher-wins.
+
+A stage whose charged time blows past its deadline (predicted seconds x a
+quantile multiplier estimated from a prior run's cost-drift report) gets
+one speculative backup; the loser's time moves to the ``"straggler"``
+ledger category.  The decision depends only on the stage's own
+sub-ledger, so sequential and thread-pool schedulers decide — and
+charge — identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import ADD, MATMUL, RELU
+from repro.core.formats import row_strips, tiles
+from repro.cost.features import CostFeatures
+from repro.engine import execute_plan
+from repro.engine.faults import FaultPlan
+from repro.engine.ledger import STRAGGLER
+from repro.engine.recovery import RecoveryPolicy, SpeculationPolicy
+from repro.engine.scheduler import SequentialScheduler, ThreadPoolScheduler
+from repro.obs.drift import DriftReport, DriftRow
+from repro.obs.metrics import MetricsRegistry
+
+#: Wait out the full slowdown instead of capping the straggler wait —
+#: the fair baseline speculation must beat.
+NO_MITIGATION = RecoveryPolicy(speculative_backups=False)
+
+#: A stage's charged seconds legitimately exceed its single predicted
+#: number (a matmul runs several substages), so test policies pin the
+#: deadline above the worst healthy drift ratio — exactly what a real
+#: caller gets by passing ``drift_hint`` from a prior clean run.
+CALIBRATED = SpeculationPolicy(min_multiplier=5.0)
+
+
+def _case(seed=0):
+    rng = np.random.default_rng(seed)
+    g = ComputeGraph()
+    a = g.add_source("A", matrix(32, 32), tiles(16))
+    b = g.add_source("B", matrix(32, 32), row_strips(8))
+    h = g.add_op("h", MATMUL, (a, b))
+    r = g.add_op("r", RELU, (h,))
+    g.add_op("out", ADD, (r, a))
+    inputs = {"A": rng.standard_normal((32, 32)),
+              "B": rng.standard_normal((32, 32))}
+    return g, inputs
+
+
+#: Scheduled straggler on the matmul vertex's stage (substring match).
+STRAGGLE_H = FaultPlan.straggler("h:", slowdown=12.0)
+
+
+class TestDeadlineMultiplier:
+    def test_defaults_to_min_without_drift(self):
+        pol = SpeculationPolicy(min_multiplier=1.5)
+        assert pol.deadline_multiplier(None) == 1.5
+
+    def test_quantile_of_drift_ratios_clamped(self):
+        rows = [DriftRow(i, f"s{i}", "op", 1.0, m, CostFeatures(), 1, 0)
+                for i, m in enumerate([1.0, 1.0, 2.0, 3.0, 20.0])]
+        pol = SpeculationPolicy(quantile=0.5, min_multiplier=1.5,
+                                max_multiplier=8.0)
+        assert pol.deadline_multiplier(DriftReport(rows)) == 2.0
+        high = SpeculationPolicy(quantile=1.0, max_multiplier=8.0)
+        assert high.deadline_multiplier(DriftReport(rows)) == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeculationPolicy(quantile=1.5)
+        with pytest.raises(ValueError):
+            SpeculationPolicy(min_multiplier=0.5)
+        with pytest.raises(ValueError):
+            SpeculationPolicy(min_multiplier=3.0, max_multiplier=2.0)
+
+
+class TestSpeculativeExecution:
+    def test_speculation_beats_waiting_out_the_straggler(self):
+        g, inputs = _case()
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        clean = execute_plan(plan, inputs, ctx, recovery=NO_MITIGATION)
+
+        slow = execute_plan(plan, inputs, ctx, faults=STRAGGLE_H,
+                            recovery=NO_MITIGATION)
+        spec = execute_plan(plan, inputs, ctx, faults=STRAGGLE_H,
+                            recovery=NO_MITIGATION, speculation=CALIBRATED)
+        assert clean.ok and slow.ok and spec.ok
+        # Strictly shorter effective critical path than waiting it out.
+        assert spec.critical_path_seconds < slow.critical_path_seconds
+        # The loser's straggling attempt is attributed, not hidden.
+        assert spec.ledger.straggler_seconds > 0.0
+        assert any(r.category == STRAGGLER for r in spec.ledger.stages)
+        # Productive work equals the fault-free clock: the winner's work
+        # is exactly a clean run of every stage.
+        assert spec.ledger.work_seconds == clean.ledger.total_seconds
+        # Numerics unaffected by which attempt won.
+        for name, expected in clean.outputs.items():
+            assert np.array_equal(spec.outputs[name], expected)
+
+    def test_bit_identical_across_schedulers(self):
+        g, inputs = _case(seed=1)
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        runs = [execute_plan(plan, inputs, ctx, faults=STRAGGLE_H,
+                             recovery=NO_MITIGATION, speculation=CALIBRATED,
+                             scheduler=sched())
+                for sched in (SequentialScheduler, ThreadPoolScheduler)]
+        a, b = runs
+        assert [(r.name, r.seconds, r.category) for r in a.ledger.stages] \
+            == [(r.name, r.seconds, r.category) for r in b.ledger.stages]
+        assert a.ledger.total_seconds == b.ledger.total_seconds
+        assert a.critical_path_seconds == b.critical_path_seconds
+
+    def test_no_speculation_on_healthy_stages(self):
+        g, inputs = _case(seed=2)
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        base = execute_plan(plan, inputs, ctx, recovery=NO_MITIGATION)
+        metrics = MetricsRegistry()
+        spec = execute_plan(plan, inputs, ctx, recovery=NO_MITIGATION,
+                            speculation=CALIBRATED, metrics=metrics)
+        assert spec.ledger.total_seconds == base.ledger.total_seconds
+        assert spec.ledger.straggler_seconds == 0.0
+        assert "execute.speculations" not in metrics.counters
+
+    def test_speculation_outcome_counted(self):
+        g, inputs = _case(seed=3)
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        metrics = MetricsRegistry()
+        spec = execute_plan(plan, inputs, ctx, faults=STRAGGLE_H,
+                            recovery=NO_MITIGATION, speculation=CALIBRATED,
+                            metrics=metrics)
+        assert spec.ok
+        assert metrics.counters.get("execute.speculations", 0) >= 1
+        assert metrics.counters.get("execute.speculation_wins", 0) >= 1
+
+    def test_drift_hint_raises_the_deadline(self):
+        """A drift report full of overruns widens the multiplier, so a
+        borderline straggler no longer triggers a backup."""
+        g, inputs = _case(seed=4)
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, max_states=200)
+        mild = FaultPlan.straggler("h:", slowdown=6.0)
+        rows = [DriftRow(0, "s", "op", 1.0, 12.0, CostFeatures(), 1, 0)]
+        eager_metrics = MetricsRegistry()
+        lenient_metrics = MetricsRegistry()
+        execute_plan(plan, inputs, ctx, faults=mild,
+                     recovery=NO_MITIGATION, speculation=CALIBRATED,
+                     metrics=eager_metrics)
+        execute_plan(plan, inputs, ctx, faults=mild,
+                     recovery=NO_MITIGATION,
+                     speculation=SpeculationPolicy(min_multiplier=5.0,
+                                                   max_multiplier=20.0),
+                     drift_hint=DriftReport(rows),
+                     metrics=lenient_metrics)
+        assert eager_metrics.counters.get("execute.speculations", 0) >= 1
+        assert "execute.speculations" not in lenient_metrics.counters
