@@ -49,6 +49,7 @@ from .engine import (
     simulate,
     simulate_robust,
 )
+from .service import PlanCache, PlannerService
 from .lang import (
     Expr,
     add_bias,
@@ -75,6 +76,7 @@ __all__ = [
     "RecoveryPolicy", "SpeculationPolicy", "WorkerTimeline",
     "execute_plan", "execute_robust", "execute_with_dynamics",
     "resume", "run_to_frontier", "simulate", "simulate_robust",
+    "PlanCache", "PlannerService",
     "Expr", "add_bias", "build", "col_sums", "exp", "input_matrix",
     "inverse", "relu", "relu_grad", "row_sums", "sigmoid", "softmax",
     "__version__",

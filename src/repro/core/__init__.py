@@ -30,8 +30,20 @@ from .implementations import (
     OpImplementation,
     implementations_for,
 )
-from .explain import explain, explain_stages
-from .optimizer import optimize
+from .explain import explain, explain_graph, explain_stages
+from .fingerprint import (
+    CATALOG_VERSION,
+    Fingerprint,
+    catalog_signature,
+    graph_signature,
+    request_fingerprint,
+)
+from .optimizer import (
+    optimize,
+    physical_plan,
+    record_optimize_metrics,
+    rewrite_stage,
+)
 from .registry import OptimizerContext
 from .rewrites import (
     DEFAULT_PASS_ORDER,
@@ -68,10 +80,13 @@ __all__ = [
     "DEFAULT_IMPLEMENTATIONS", "JoinStrategy", "OpImplementation",
     "implementations_for",
     "optimize", "OptimizerContext",
+    "physical_plan", "record_optimize_metrics", "rewrite_stage",
+    "CATALOG_VERSION", "Fingerprint", "catalog_signature",
+    "graph_signature", "request_fingerprint",
     "DEFAULT_TRANSFORMS", "FormatTransform", "find_transform",
     "OptimizationError", "optimize_tree",
     "MatrixType", "matrix", "vector",
-    "explain", "explain_stages",
+    "explain", "explain_graph", "explain_stages",
     "SerializationError", "plan_from_dict", "plan_from_json",
     "plan_to_dict", "plan_to_json",
     "graph_to_dot", "plan_to_dot",

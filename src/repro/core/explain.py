@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 
 from .annotation import Plan
+from .graph import ComputeGraph
 from .registry import OptimizerContext
 
 
@@ -99,6 +100,26 @@ def explain(plan: Plan, ctx: OptimizerContext, top: int = 5,
         lines.append("")
         lines.append(drift.render(top=top))
     return "\n".join(lines)
+
+
+def explain_graph(graph: ComputeGraph, ctx: OptimizerContext | None = None,
+                  *, planner=None, algorithm: str = "auto",
+                  max_states: int | None = None,
+                  rewrites="none", top: int = 5, measured=None) -> str:
+    """Optimize ``graph`` and render its EXPLAIN report in one step.
+
+    Planning goes through a :class:`repro.service.PlannerService` — pass
+    ``planner`` to reuse a shared service (and its plan cache); otherwise
+    a throwaway service is created.  The report notes when the plan was
+    served from the cache rather than searched afresh.
+    """
+    from ..service.planner import PlannerService
+    if planner is None:
+        planner = PlannerService(ctx)
+    resolved = planner.resolve_context(graph, ctx)
+    plan = planner.optimize(graph, resolved, algorithm=algorithm,
+                            max_states=max_states, rewrites=rewrites)
+    return explain(plan, resolved, top=top, measured=measured)
 
 
 def _drift_of(measured):

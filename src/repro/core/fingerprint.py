@@ -1,0 +1,178 @@
+"""Canonical fingerprints for planning requests.
+
+A plan cache is only safe if its key captures *everything* the optimizer's
+answer depends on — and nothing it does not.  This module computes that key
+canonically: the digest is built from an explicit JSON payload (never from
+Python ``hash()``), so it is identical across processes, platforms and
+``PYTHONHASHSEED`` values.
+
+The key has two parts:
+
+* the **structural key** — a sha256 over the *shapes* of the problem: the
+  rewritten logical graph's topology (ops and source layouts, not names or
+  sizes), the unrewritten graph's topology when the rewrite pipeline
+  changed it (the never-worse fallback can return a plan for the original
+  graph, so it is part of the answer), the :class:`ClusterConfig`, the
+  catalog/cost-model version signature, and the search knobs;
+* the **parameter slots** — per-vertex names, dimensions, sparsities,
+  estimated ``nnz`` and scalar op parameters.
+
+Structurally identical requests share one cache entry; the parameter tuple
+selects the concrete plan inside it.  That split is what later multi-query
+work (cross-tenant CSE, parametric plan reuse) keys on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..cluster import ClusterConfig
+from .graph import ComputeGraph
+from .registry import OptimizerContext
+from .rewrites import RewriteSpec, resolve_passes
+
+__all__ = [
+    "CATALOG_VERSION",
+    "Fingerprint",
+    "catalog_signature",
+    "graph_signature",
+    "request_fingerprint",
+]
+
+#: Version of the planning substrate baked into every structural key.
+#: Bump whenever the catalogs, the cost model or the rewrite passes change
+#: behaviour: stale cache entries (and future warm-start files) must not
+#: survive an upgrade that would plan differently.
+CATALOG_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """Canonical identity of one planning request."""
+
+    #: sha256 hex digest over the structural payload.
+    structural: str
+    #: Parameter slots: names, dims, sparsity, nnz, scalar params — JSON
+    #: encoded so the tuple is hashable and trivially serializable.
+    params: str
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The full cache key: (structural key, parameter binding)."""
+        return (self.structural, self.params)
+
+    def short(self) -> str:
+        """Abbreviated digest for logs and span attributes."""
+        return self.structural[:12]
+
+
+# ----------------------------------------------------------------------
+# Payload builders
+# ----------------------------------------------------------------------
+def _canonical(payload: Any) -> str:
+    """Canonical JSON: sorted keys, no whitespace, repr-stable floats."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload: Any) -> str:
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def graph_signature(graph: ComputeGraph) -> tuple[list, list]:
+    """Split a compute graph into ``(structure, parameters)`` payloads.
+
+    Structure is topology only: per-vertex op names (or source layouts)
+    and input wiring, plus declared outputs.  Vertex ids are construction
+    ordered, so the payload is deterministic without any hashing.
+    Parameters are the per-vertex slots a structurally identical graph may
+    vary in: names, dimensions, sparsity, estimated non-zeros, and scalar
+    op parameters.  Names are parameters (not structure) because the
+    executor binds inputs and outputs by name — two graphs differing only
+    in names share a structural key but not a plan.
+    """
+    structure: list = []
+    params: list = []
+    for v in graph.vertices:
+        if v.is_source:
+            fmt = v.format
+            structure.append(["src", fmt.layout.value, fmt.block_rows,
+                              fmt.block_cols])
+            nnz = round(v.mtype.sparsity * v.mtype.rows * v.mtype.cols)
+            params.append([v.name, list(v.mtype.dims), v.mtype.sparsity,
+                           nnz])
+        else:
+            structure.append(["op", v.op.name, list(v.inputs)])
+            params.append([v.name, v.param])
+    structure.append(["out", [v.vid for v in graph.outputs]])
+    return structure, params
+
+
+def catalog_signature(ctx: OptimizerContext) -> dict:
+    """Version signature of everything the context plans against.
+
+    Two contexts with the same signature produce identical plans for
+    identical graphs; any divergence (an added implementation, retrained
+    weights, a bumped :data:`CATALOG_VERSION`) changes the signature and
+    therefore every structural key derived from it.
+    """
+    return {
+        "version": CATALOG_VERSION,
+        "formats": [[f.layout.value, f.block_rows, f.block_cols]
+                    for f in ctx.formats],
+        "implementations": [i.name for i in ctx.implementations],
+        "transforms": [t.name for t in ctx.transforms],
+        "weights": list(ctx.weights.as_vector()),
+        "charge_transforms": ctx.charge_transforms,
+        "rewrite_passes": sorted(_pass_names("all")),
+    }
+
+
+def _cluster_payload(cluster: ClusterConfig) -> dict:
+    return {k: v for k, v in sorted(dataclasses.asdict(cluster).items())}
+
+
+def _pass_names(rewrites: RewriteSpec) -> tuple[str, ...]:
+    return tuple(p.name for p in resolve_passes(rewrites))
+
+
+def request_fingerprint(graph: ComputeGraph, rewritten: ComputeGraph,
+                        ctx: OptimizerContext, *,
+                        algorithm: str = "auto",
+                        timeout_seconds: float | None = None,
+                        max_states: int | None = None,
+                        rewrites: RewriteSpec = "none",
+                        prune: bool | None = None,
+                        order: str = "class-size") -> Fingerprint:
+    """Fingerprint one planning request.
+
+    ``rewritten`` is the output of
+    :func:`repro.core.optimizer.rewrite_stage` on ``graph`` (pass ``graph``
+    twice when no rewrites ran).  The unrewritten graph participates in the
+    key exactly when the pipeline changed its structure, because the
+    never-worse fallback may answer with a plan for it.
+    """
+    structure, params = graph_signature(rewritten)
+    base_structure, base_params = graph_signature(graph)
+    if base_structure == structure:
+        base_structure = None
+        base_params = []
+    payload = {
+        "graph": structure,
+        "base_graph": base_structure,
+        "cluster": _cluster_payload(ctx.cluster),
+        "catalog": catalog_signature(ctx),
+        "knobs": {
+            "algorithm": algorithm,
+            "timeout_seconds": timeout_seconds,
+            "max_states": max_states,
+            "rewrites": list(_pass_names(rewrites)),
+            "prune": prune,
+            "order": order,
+        },
+    }
+    return Fingerprint(_digest(payload),
+                       _canonical([params, base_params]))

@@ -36,8 +36,8 @@ from .tree_dp import optimize_tree
 ALGORITHMS = ("auto", "tree", "frontier", "brute")
 
 
-def _context_for(graph: ComputeGraph, ctx: OptimizerContext
-                 ) -> OptimizerContext:
+def context_for_graph(graph: ComputeGraph, ctx: OptimizerContext
+                      ) -> OptimizerContext:
     """Extend the context's format catalog with the graph's load formats.
 
     Input matrices may arrive in formats outside the search catalog (e.g.
@@ -50,6 +50,10 @@ def _context_for(graph: ComputeGraph, ctx: OptimizerContext
         return ctx
     seen = dict.fromkeys(tuple(ctx.formats) + tuple(extra))
     return dataclasses.replace(ctx, formats=tuple(seen))
+
+
+#: Backwards-compatible alias for the pre-service private name.
+_context_for = context_for_graph
 
 
 def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
@@ -90,42 +94,90 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
                          f"expected one of {ALGORITHMS}")
     if ctx is None:
         ctx = OptimizerContext()
-    ctx = _context_for(graph, ctx)
+    ctx = context_for_graph(graph, ctx)
     tracer = as_tracer(tracer)
 
     with tracer.span("optimize", kind="optimize", algorithm=algorithm,
                      vertices=len(graph)) as span:
-        pipeline = PlanPipeline.from_spec(rewrites)
-        report: PipelineReport | None = None
-        rewritten = graph
-        if pipeline.passes:
-            rewritten, report = pipeline.run(graph, ctx, tracer=tracer)
-
-        plan = _optimize_physical(rewritten, ctx, algorithm,
-                                  timeout_seconds, stats, max_states,
-                                  prune, order, tracer)
-        if report is not None and report.total_rewrites > 0:
-            # Safety net: the logical passes are guided by per-op estimates;
-            # fall back to the unrewritten graph when its *plan* is cheaper.
-            plain = _optimize_physical(graph, ctx, algorithm,
-                                       timeout_seconds, stats, max_states,
-                                       prune, order, tracer)
-            if plain.total_seconds < plan.total_seconds:
-                plan = plain
-                report = dataclasses.replace(report, adopted=False)
-        if report is not None:
-            plan = dataclasses.replace(plan, pipeline=report)
+        rewritten, report = rewrite_stage(graph, ctx, rewrites, tracer)
+        plan = physical_plan(graph, rewritten, report, ctx,
+                             algorithm=algorithm,
+                             timeout_seconds=timeout_seconds, stats=stats,
+                             max_states=max_states, prune=prune, order=order,
+                             tracer=tracer)
         span.set(optimizer=plan.optimizer, seconds=plan.total_seconds)
 
-    if metrics is not None:
-        metrics.count("optimizer.runs")
-        if plan.profile is not None:
-            plan.profile.record(metrics)
-        if report is not None:
-            metrics.count("optimizer.rewrite_passes_run", len(report.passes))
-            metrics.count("optimizer.rewrites_applied",
-                          report.total_rewrites if report.adopted else 0)
+    record_optimize_metrics(plan, metrics)
     return plan
+
+
+def rewrite_stage(graph: ComputeGraph, ctx: OptimizerContext,
+                  rewrites: RewriteSpec = "none",
+                  tracer: Tracer = NULL_TRACER
+                  ) -> tuple[ComputeGraph, PipelineReport | None]:
+    """Stage 1: run the logical rewrite pipeline selected by ``rewrites``.
+
+    Returns the (possibly) rewritten graph and the per-pass report, or
+    ``(graph, None)`` when no passes are configured.  Exposed separately
+    from :func:`optimize` so the planner service can fingerprint the
+    rewritten graph before deciding whether a physical search is needed.
+    """
+    pipeline = PlanPipeline.from_spec(rewrites)
+    if not pipeline.passes:
+        return graph, None
+    return pipeline.run(graph, ctx, tracer=tracer)
+
+
+def physical_plan(graph: ComputeGraph, rewritten: ComputeGraph,
+                  report: PipelineReport | None, ctx: OptimizerContext,
+                  algorithm: str = "auto",
+                  timeout_seconds: float | None = None,
+                  stats: FrontierStats | None = None,
+                  max_states: int | None = None,
+                  prune: bool | None = None,
+                  order: str = "class-size",
+                  tracer: Tracer = NULL_TRACER) -> Plan:
+    """Stage 2 + never-worse fallback over one rewritten graph.
+
+    Optimizes ``rewritten``; when the rewrite pipeline actually changed the
+    graph, also optimizes the unrewritten ``graph`` and keeps the cheaper
+    plan (the logical passes are guided by per-op estimates, so a rewrite
+    can occasionally lose once transformations are priced in).  The chosen
+    plan carries ``report`` (with ``adopted`` downgraded on fallback).
+    """
+    plan = _optimize_physical(rewritten, ctx, algorithm,
+                              timeout_seconds, stats, max_states,
+                              prune, order, tracer)
+    if report is not None and report.total_rewrites > 0:
+        plain = _optimize_physical(graph, ctx, algorithm,
+                                   timeout_seconds, stats, max_states,
+                                   prune, order, tracer)
+        if plain.total_seconds < plan.total_seconds:
+            plan = plain
+            report = dataclasses.replace(report, adopted=False)
+    if report is not None:
+        plan = dataclasses.replace(plan, pipeline=report)
+    return plan
+
+
+def record_optimize_metrics(plan: Plan,
+                            metrics: MetricsRegistry | None) -> None:
+    """Charge one *cold* optimization run's effort to ``metrics``.
+
+    No-op without a registry.  Plan-cache hits must not be recorded here —
+    they did not run the optimizer; the planner service counts them under
+    ``planner.cache.*`` instead.
+    """
+    if metrics is None:
+        return
+    metrics.count("optimizer.runs")
+    if plan.profile is not None:
+        plan.profile.record(metrics)
+    report = plan.pipeline
+    if report is not None:
+        metrics.count("optimizer.rewrite_passes_run", len(report.passes))
+        metrics.count("optimizer.rewrites_applied",
+                      report.total_rewrites if report.adopted else 0)
 
 
 def _optimize_physical(graph: ComputeGraph, ctx: OptimizerContext,

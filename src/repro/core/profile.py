@@ -33,6 +33,38 @@ class OptimizerProfile:
     sweep_order: tuple[int, ...] = ()
     #: Wall-clock seconds per search phase ("order", "project", "prune", ...).
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: True when the plan carrying this profile was served from the
+    #: :class:`repro.service.PlanCache` rather than searched afresh.  The
+    #: counters above then describe the original cold run.
+    cache_hit: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-compatible payload; inverse of :meth:`from_dict`."""
+        return {
+            "algorithm": self.algorithm,
+            "states_explored": self.states_explored,
+            "states_pruned": self.states_pruned,
+            "states_beamed": self.states_beamed,
+            "peak_table_size": self.peak_table_size,
+            "max_class_size": self.max_class_size,
+            "sweep_order": list(self.sweep_order),
+            "phase_seconds": dict(self.phase_seconds),
+            "cache_hit": self.cache_hit,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "OptimizerProfile":
+        return cls(
+            algorithm=payload["algorithm"],
+            states_explored=payload.get("states_explored", 0),
+            states_pruned=payload.get("states_pruned", 0),
+            states_beamed=payload.get("states_beamed", 0),
+            peak_table_size=payload.get("peak_table_size", 0),
+            max_class_size=payload.get("max_class_size", 0),
+            sweep_order=tuple(payload.get("sweep_order", ())),
+            phase_seconds=dict(payload.get("phase_seconds", {})),
+            cache_hit=payload.get("cache_hit", False),
+        )
 
     def record(self, metrics) -> None:
         """Charge this profile's effort counters to a metrics registry.
@@ -48,8 +80,9 @@ class OptimizerProfile:
 
     def describe(self) -> str:
         """Multi-line human-readable rendering."""
+        served = " [served from plan cache]" if self.cache_hit else ""
         lines = [
-            f"optimizer profile ({self.algorithm}): "
+            f"optimizer profile ({self.algorithm}){served}: "
             f"{self.states_explored} states explored, "
             f"{self.states_pruned} dominance-pruned, "
             f"{self.states_beamed} beam-dropped",

@@ -20,6 +20,7 @@ from .atoms import atom_by_name
 from .formats import Layout, PhysicalFormat
 from .graph import ComputeGraph, Edge
 from .implementations import DEFAULT_IMPLEMENTATIONS, fused_impl_by_name
+from .profile import OptimizerProfile
 from .registry import OptimizerContext
 from .rewrites import PipelineReport
 from .transforms import DEFAULT_TRANSFORMS
@@ -117,6 +118,8 @@ def plan_to_dict(plan: Plan) -> dict[str, Any]:
     }
     if plan.pipeline is not None:
         payload["pipeline"] = plan.pipeline.to_dict()
+    if plan.profile is not None:
+        payload["profile"] = plan.profile.to_dict()
     return payload
 
 
@@ -150,6 +153,9 @@ def plan_from_dict(payload: dict[str, Any],
     if "pipeline" in payload:
         plan = dataclasses.replace(
             plan, pipeline=PipelineReport.from_dict(payload["pipeline"]))
+    if "profile" in payload:
+        plan = dataclasses.replace(
+            plan, profile=OptimizerProfile.from_dict(payload["profile"]))
     return plan
 
 

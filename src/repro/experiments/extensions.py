@@ -22,11 +22,10 @@ from ..core.accelerators import gpu_implementations
 from ..core.annotation import make_plan
 from ..core.graph import ComputeGraph
 from ..core.implementations import DEFAULT_IMPLEMENTATIONS
-from ..core.optimizer import optimize
 from ..core.registry import OptimizerContext
 from ..cost.refine import refine_graph, sketches_from_inputs
 from ..lang import build, input_matrix, relu
-from .harness import ExperimentTable
+from .harness import ExperimentTable, plan_with_service
 
 
 # ----------------------------------------------------------------------
@@ -62,10 +61,10 @@ def ext_sketch_refinement() -> ExperimentTable:
     graph = _sparse_chain(n, declared)
     refined = refine_graph(graph, sketches_from_inputs(data))
 
-    scalar_plan = optimize(graph, OptimizerContext(cluster=_FAST_CLUSTER),
-                           max_states=500)
-    refined_plan = optimize(refined, OptimizerContext(cluster=_FAST_CLUSTER),
-                            max_states=500)
+    scalar_plan = plan_with_service(
+        graph, OptimizerContext(cluster=_FAST_CLUSTER), max_states=500)
+    refined_plan = plan_with_service(
+        refined, OptimizerContext(cluster=_FAST_CLUSTER), max_states=500)
 
     # Judge both *annotations* under the refined (closer-to-truth) types.
     scalar_on_truth = make_plan(refined, scalar_plan.annotation,
@@ -111,7 +110,7 @@ def ext_adaptive_reopt() -> ExperimentTable:
     }
 
     ctx = OptimizerContext(cluster=_FAST_CLUSTER)
-    static_plan = optimize(graph, ctx, max_states=500)
+    static_plan = plan_with_service(graph, ctx, max_states=500)
     static = Executor(static_plan, ctx).run(data)
     adaptive = execute_adaptive(graph, data, ctx)
 
@@ -150,8 +149,8 @@ def ext_gpu_catalog() -> ExperimentTable:
     gpu_cluster = ClusterConfig(
         **{**cpu_cluster.__dict__, "gpus_per_worker": 1})
 
-    cpu_plan = optimize(g, OptimizerContext(cluster=cpu_cluster))
-    gpu_plan = optimize(g, OptimizerContext(
+    cpu_plan = plan_with_service(g, OptimizerContext(cluster=cpu_cluster))
+    gpu_plan = plan_with_service(g, OptimizerContext(
         cluster=gpu_cluster,
         implementations=DEFAULT_IMPLEMENTATIONS + gpu_implementations()))
 

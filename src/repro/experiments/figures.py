@@ -56,6 +56,7 @@ from .harness import (
     manual_plan,
     opt_time_cell,
     plan_cell,
+    plan_with_service,
 )
 
 #: Beam width for the frontier algorithm on the large FFNN graphs.  Exact
@@ -92,7 +93,7 @@ def fig01() -> ExperimentTable:
         ab_name: ("mm_strip_cross", (row_strips(10), col_strips(10))),
         abc_name: ("mm_bcast_left", (single(), col_strips(10_000))),
     }, name="implementation-2")
-    auto = optimize(graph, ctx)
+    auto = plan_with_service(graph, ctx)
 
     table = ExperimentTable(
         "fig01", "Motivating matmul comparison (ours [paper])",
@@ -136,7 +137,7 @@ def fig05() -> ExperimentTable:
     """Experiment 1: FFNN forward + full backprop + forward, hidden 80K."""
     ctx = fresh_context(simsql_cluster(10))
     graph = ffnn_full_step(FFNNConfig(hidden=80_000))
-    auto = optimize(graph, ctx, max_states=FFNN_BEAM)
+    auto = plan_with_service(graph, ctx, max_states=FFNN_BEAM)
     hand = plan_hand_written(graph, ctx)
     tile = plan_all_tile(graph, ctx)
     p = paper_values.FIG05
@@ -162,7 +163,7 @@ def fig06() -> ExperimentTable:
     for hidden, paper in paper_values.FIG06.items():
         ctx = fresh_context(simsql_cluster(10))
         graph = ffnn_backprop_to_w2(FFNNConfig(hidden=hidden))
-        auto = optimize(graph, ctx, max_states=FFNN_BEAM)
+        auto = plan_with_service(graph, ctx, max_states=FFNN_BEAM)
         hand = plan_hand_written(graph, ctx)
         tile = plan_all_tile(graph, ctx)
         table.add_row(
@@ -182,7 +183,7 @@ def fig07() -> ExperimentTable:
     graph = ffnn_backprop_to_w2(FFNNConfig(hidden=160_000))
     for workers, paper in paper_values.FIG07.items():
         ctx = fresh_context(simsql_cluster(workers))
-        auto = optimize(graph, ctx, max_states=FFNN_BEAM)
+        auto = plan_with_service(graph, ctx, max_states=FFNN_BEAM)
         hand = plan_hand_written(graph, ctx)
         tile = plan_all_tile(graph, ctx)
         table.add_row(
@@ -197,7 +198,7 @@ def fig08() -> ExperimentTable:
     """Experiment 4: auto-generated vs three recruited programmers."""
     ctx = fresh_context(simsql_cluster(10))
     graph = ffnn_backprop_to_w2(FFNNConfig(hidden=80_000))
-    auto = optimize(graph, ctx, max_states=FFNN_BEAM)
+    auto = plan_with_service(graph, ctx, max_states=FFNN_BEAM)
     p = paper_values.FIG08
     table = ExperimentTable(
         "fig08", "FFNN hidden 80K: auto vs simulated programmers "
@@ -219,7 +220,7 @@ def fig09() -> ExperimentTable:
     """Two-level block-wise matrix inverse, 10 workers."""
     ctx = fresh_context(simsql_cluster(10))
     graph = two_level_inverse_graph()
-    auto = optimize(graph, ctx, max_states=FFNN_BEAM)
+    auto = plan_with_service(graph, ctx, max_states=FFNN_BEAM)
     hand = plan_hand_written(graph, ctx)
     tile = plan_all_tile(graph, ctx)
     p = paper_values.FIG09
@@ -245,7 +246,7 @@ def fig10() -> ExperimentTable:
     for size_set, paper in paper_values.FIG10.items():
         ctx = fresh_context(simsql_cluster(10))
         graph = mm_chain_graph(size_set)
-        auto = optimize(graph, ctx, max_states=FFNN_BEAM)
+        auto = plan_with_service(graph, ctx, max_states=FFNN_BEAM)
         hand = plan_hand_written(graph, ctx)
         tile = plan_all_tile(graph, ctx)
         table.add_row(
@@ -278,7 +279,7 @@ def _pc_plan(workers: int, hidden: int, batch: int, *,
     graph = ffnn_backprop_to_w2(cfg)
     formats = DEFAULT_FORMATS if allow_sparse_formats else DENSE_FORMATS
     ctx = fresh_context(pliny_cluster(workers), formats=formats)
-    return optimize(graph, ctx, max_states=FFNN_BEAM), ctx
+    return plan_with_service(graph, ctx, max_states=FFNN_BEAM), ctx
 
 
 def fig11() -> ExperimentTable:
@@ -362,6 +363,9 @@ def fig13(scales: tuple[int, ...] = (1, 2, 3, 4),
                     paper_values.FIG13[subset_name][family][scale]
                 graph = SCALING_FAMILIES[family](scale)
                 ctx = fresh_context(simsql_cluster(10), formats=formats)
+                # Deliberately bypasses the shared planner service: this
+                # figure measures optimizer wall-clock, which a cached
+                # plan would fake.
                 plan = optimize(graph, ctx)
                 cells.append(_with_paper(
                     display_time(plan.optimize_seconds), paper_dp))
@@ -407,10 +411,11 @@ def ablation_transform_costs() -> ExperimentTable:
     for label, build_graph in workloads:
         graph = build_graph()
         full_ctx = fresh_context(simsql_cluster(10))
-        full = optimize(graph, full_ctx, max_states=FFNN_BEAM)
+        full = plan_with_service(graph, full_ctx, max_states=FFNN_BEAM)
         ablated_ctx = fresh_context(simsql_cluster(10),
                                     charge_transforms=False)
-        ablated_plan = optimize(graph, ablated_ctx, max_states=FFNN_BEAM)
+        ablated_plan = plan_with_service(graph, ablated_ctx,
+                                         max_states=FFNN_BEAM)
         # Evaluate the ablated choice under the true cost model.
         from ..core.annotation import make_plan
         true_cost = make_plan(graph, ablated_plan.annotation, full_ctx,
@@ -439,7 +444,7 @@ def ablation_sharing() -> ExperimentTable:
                            ("dag2 scale 2", lambda: dag2_graph(2))):
         graph = builder()
         ctx = fresh_context(simsql_cluster(10))
-        shared = optimize(graph, ctx)
+        shared = plan_with_service(graph, ctx)
         duplicated = _tree_expanded_cost(graph, ctx)
         table.add_row(label, plan_cell(shared), display_time(duplicated),
                       f"{duplicated / shared.total_seconds:.2f}x")
@@ -493,6 +498,7 @@ from .extensions import EXTENSION_EXPERIMENTS  # noqa: E402 (registry tail)
 from .observability import (  # noqa: E402 (registry tail)
     OBSERVABILITY_EXPERIMENTS,
 )
+from .plan_cache import PLAN_CACHE_EXPERIMENTS  # noqa: E402 (registry tail)
 from .rewrites import REWRITE_EXPERIMENTS  # noqa: E402 (registry tail)
 from .robustness import ROBUSTNESS_EXPERIMENTS  # noqa: E402 (registry tail)
 from .scheduling import SCHEDULING_EXPERIMENTS  # noqa: E402 (registry tail)
@@ -513,6 +519,7 @@ EXPERIMENTS = {
     **CHAOS_EXPERIMENTS,
     **EXTENSION_EXPERIMENTS,
     **OBSERVABILITY_EXPERIMENTS,
+    **PLAN_CACHE_EXPERIMENTS,
     **REWRITE_EXPERIMENTS,
     **ROBUSTNESS_EXPERIMENTS,
     **SCHEDULING_EXPERIMENTS,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from ..core.annotation import Plan
 from ..core.registry import OptimizerContext
 from ..engine.executor import format_hms
+from ..service.planner import PlannerService
 
 
 @dataclass
@@ -87,6 +88,41 @@ def auto_cell(plan: Plan) -> str:
 def fresh_context(cluster, **kwargs) -> OptimizerContext:
     """A new optimizer context for one experiment configuration."""
     return OptimizerContext(cluster=cluster, **kwargs)
+
+
+_SERVICE: PlannerService | None = None
+
+
+def planner_service() -> PlannerService:
+    """The process-wide planner service shared by the experiment suite.
+
+    Experiments plan through one service so repeated configurations —
+    re-running a figure, the plan-cache benchmark replaying fig05/09/10
+    workloads, overlapping ablation sweeps — hit the plan cache instead of
+    re-searching.  Fig 13 bypasses it on purpose: it *measures* optimizer
+    runtimes, which a cache would fake.
+    """
+    global _SERVICE
+    if _SERVICE is None:
+        _SERVICE = PlannerService(cache_capacity=512)
+    return _SERVICE
+
+
+def reset_planner_service() -> PlannerService:
+    """Fresh shared service (cold cache); returns the new instance."""
+    global _SERVICE
+    _SERVICE = None
+    return planner_service()
+
+
+def plan_with_service(graph, ctx: OptimizerContext, *,
+                      algorithm: str = "auto",
+                      max_states: int | None = None,
+                      rewrites="none") -> Plan:
+    """Optimize one experiment configuration through the shared service."""
+    return planner_service().optimize(graph, ctx, algorithm=algorithm,
+                                      max_states=max_states,
+                                      rewrites=rewrites)
 
 
 def manual_plan(graph, ctx: OptimizerContext,

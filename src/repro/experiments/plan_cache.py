@@ -1,0 +1,135 @@
+"""Plan-cache experiment: what the planner service buys on repeat traffic.
+
+``ext_plan_cache`` replays the planning workloads of fig05 (FFNN full
+step), fig09 (two-level block inverse) and fig10 (matmul chain) against a
+fresh :class:`~repro.service.PlannerService`: one cold optimization per
+workload, then repeated warm requests served from the plan cache.  It
+reports the cold and warm latencies, the speedup, and the service's
+hit/miss counters as accumulated in a :class:`repro.obs` metrics registry —
+the same ``planner.cache.*`` counters a deployment would scrape.
+
+:func:`write_benchmark` condenses the sweep into the repo-root
+``BENCH_service.json`` so cache effectiveness has a tracked trajectory
+across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..cluster import simsql_cluster
+from ..core.graph import ComputeGraph
+from ..core.registry import OptimizerContext
+from ..obs.metrics import MetricsRegistry
+from ..service.planner import PlannerService
+from ..workloads.chains import mm_chain_graph
+from ..workloads.ffnn import FFNNConfig, ffnn_full_step
+from ..workloads.inverse import two_level_inverse_graph
+from .harness import ExperimentTable
+
+#: Warm repetitions per workload (every one must be a cache hit).
+WARM_REPEATS = 3
+
+#: Frontier beam width, matching the figures the workloads come from.
+BEAM = 1500
+
+
+def cache_workloads() -> dict[str, ComputeGraph]:
+    """The three planning workloads replayed against the cache."""
+    return {
+        "fig05_ffnn": ffnn_full_step(FFNNConfig(hidden=80_000)),
+        "fig09_inverse": two_level_inverse_graph(),
+        "fig10_mm_chain": mm_chain_graph(1),
+    }
+
+
+def _time_optimize(service: PlannerService, graph: ComputeGraph,
+                   ctx: OptimizerContext) -> tuple[float, bool]:
+    """One planning request: (wall seconds, served from cache?)."""
+    started = time.perf_counter()
+    plan = service.optimize(graph, ctx, max_states=BEAM)
+    elapsed = time.perf_counter() - started
+    return elapsed, plan.profile is not None and plan.profile.cache_hit
+
+
+def plan_cache_benchmark() -> dict:
+    """The numbers tracked in the repo-root ``BENCH_service.json``."""
+    metrics = MetricsRegistry()
+    service = PlannerService(metrics=metrics)
+    ctx = OptimizerContext(cluster=simsql_cluster(10))
+    workloads = {}
+    for name, graph in cache_workloads().items():
+        cold_seconds, cold_hit = _time_optimize(service, graph, ctx)
+        if cold_hit:
+            raise RuntimeError(f"{name}: first request reported a cache hit")
+        warm = []
+        for _ in range(WARM_REPEATS):
+            warm_seconds, warm_hit = _time_optimize(service, graph, ctx)
+            if not warm_hit:
+                raise RuntimeError(f"{name}: warm request missed the cache")
+            warm.append(warm_seconds)
+        warm_mean = sum(warm) / len(warm)
+        workloads[name] = {
+            "vertices": len(graph),
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds_mean": round(warm_mean, 6),
+            "speedup": round(cold_seconds / warm_mean, 1),
+        }
+    stats = service.stats()
+    counters = metrics.counters
+    return {
+        "benchmark": "plan_cache",
+        "warm_repeats": WARM_REPEATS,
+        "beam": BEAM,
+        "workloads": workloads,
+        "service": {
+            "requests": stats["requests"],
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "hit_rate": round(stats["hits"] / stats["requests"], 4),
+            "metrics": {
+                "planner.requests": int(counters["planner.requests"]),
+                "planner.cache.hits": int(counters["planner.cache.hits"]),
+                "planner.cache.misses":
+                    int(counters["planner.cache.misses"]),
+                "optimizer.runs": int(counters["optimizer.runs"]),
+            },
+        },
+    }
+
+
+def ext_plan_cache() -> ExperimentTable:
+    """Warm-vs-cold planning latency through the planner service."""
+    data = plan_cache_benchmark()
+    table = ExperimentTable(
+        "ext_plan_cache",
+        "Plan-cache effectiveness: cold search vs cached replan "
+        f"({WARM_REPEATS} warm repeats per workload)",
+        ["workload", "vertices", "cold", "warm (mean)", "speedup"])
+    for name, row in data["workloads"].items():
+        table.add_row(name, str(row["vertices"]),
+                      f"{row['cold_seconds']:.3f}s",
+                      f"{row['warm_seconds_mean'] * 1000:.2f}ms",
+                      f"x{row['speedup']:.0f}")
+    svc = data["service"]
+    table.add_note(
+        f"service counters: {svc['requests']} requests, {svc['hits']} hits, "
+        f"{svc['misses']} misses (hit rate {svc['hit_rate']:.0%}); "
+        f"optimizer.runs={svc['metrics']['optimizer.runs']} — "
+        "cache hits never run the physical search")
+    return table
+
+
+def write_benchmark(path: str) -> dict:
+    """Write :func:`plan_cache_benchmark` to ``path`` as stable JSON."""
+    data = plan_cache_benchmark()
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return data
+
+
+PLAN_CACHE_EXPERIMENTS = {
+    "ext_plan_cache": ext_plan_cache,
+}

@@ -1,0 +1,147 @@
+"""Parameterized plan cache with LRU + cost-aware eviction.
+
+Entries are keyed by the request's **structural key** (see
+:mod:`repro.core.fingerprint`); each entry holds one plan per concrete
+**parameter binding**.  Structurally identical requests therefore share an
+entry — the recency and cost bookkeeping that drives eviction operates on
+the structure, which is what repeats across parameter sweeps and tenants.
+
+Eviction is LRU *tempered by replacement cost*: among the least recently
+used entries, the victim is the one that is cheapest to recompute and has
+paid for itself least (``optimize_seconds * (1 + hits)``).  A plan that
+took a ten-second frontier search to produce survives a crowd of cheap
+tree-DP plans even when it was touched slightly longer ago.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Iterator
+
+from ..core.annotation import Plan
+from ..core.fingerprint import Fingerprint
+
+__all__ = ["PlanCache"]
+
+
+class _Entry:
+    """All cached plans sharing one structural key."""
+
+    __slots__ = ("plans", "hits", "optimize_seconds")
+
+    def __init__(self) -> None:
+        self.plans: dict[str, Plan] = {}
+        self.hits = 0
+        #: Wall-clock seconds of the most expensive cold optimization that
+        #: produced a plan in this entry — the replacement cost a wrong
+        #: eviction would re-pay.
+        self.optimize_seconds = 0.0
+
+
+class PlanCache:
+    """Bounded plan cache keyed by ``(structural, params)`` fingerprints.
+
+    ``capacity`` bounds the total number of cached *plans* (parameter
+    bindings), not structural entries.  ``eviction_sample`` is how many
+    least-recently-used entries compete on replacement cost when a victim
+    is needed; 1 degenerates to plain LRU.  Thread safe.
+    """
+
+    def __init__(self, capacity: int = 256, eviction_sample: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if eviction_sample < 1:
+            raise ValueError("eviction_sample must be >= 1, "
+                             f"got {eviction_sample}")
+        self.capacity = capacity
+        self.eviction_sample = eviction_sample
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._plans = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        """Number of cached plans across all structural entries."""
+        with self._lock:
+            return self._plans
+
+    def get(self, fp: Fingerprint) -> Plan | None:
+        """Look up the plan for ``fp``, refreshing recency on hit."""
+        with self._lock:
+            entry = self._entries.get(fp.structural)
+            plan = entry.plans.get(fp.params) if entry is not None else None
+            if plan is None:
+                self.misses += 1
+                return None
+            entry.hits += 1
+            self.hits += 1
+            self._entries.move_to_end(fp.structural)
+            return plan
+
+    def put(self, fp: Fingerprint, plan: Plan,
+            optimize_seconds: float = 0.0) -> int:
+        """Insert ``plan`` under ``fp``; returns how many plans it evicted.
+
+        ``optimize_seconds`` is the wall-clock cost of the cold
+        optimization that produced ``plan``; it feeds the cost-aware
+        eviction score.
+        """
+        with self._lock:
+            entry = self._entries.get(fp.structural)
+            if entry is None:
+                entry = self._entries[fp.structural] = _Entry()
+            if fp.params not in entry.plans:
+                self._plans += 1
+            entry.plans[fp.params] = plan
+            entry.optimize_seconds = max(entry.optimize_seconds,
+                                         optimize_seconds)
+            self._entries.move_to_end(fp.structural)
+            return self._evict()
+
+    def _evict(self) -> int:
+        evicted = 0
+        while self._plans > self.capacity and len(self._entries) > 1:
+            candidates = []
+            for key in self._entries:          # iterates LRU-first
+                if key == next(reversed(self._entries)):
+                    break                      # never evict the newest
+                candidates.append(key)
+                if len(candidates) >= self.eviction_sample:
+                    break
+            victim = min(candidates,
+                         key=lambda k: self._score(self._entries[k]))
+            entry = self._entries.pop(victim)
+            self._plans -= len(entry.plans)
+            evicted += len(entry.plans)
+            self.evictions += len(entry.plans)
+        return evicted
+
+    @staticmethod
+    def _score(entry: _Entry) -> float:
+        """Cost-aware eviction score: lower evicts first."""
+        return entry.optimize_seconds * (1 + entry.hits)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._plans = 0
+
+    def keys(self) -> Iterator[str]:
+        """Structural keys, least recently used first (snapshot)."""
+        with self._lock:
+            return iter(list(self._entries))
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters plus current occupancy."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "plans": self._plans,
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+            }

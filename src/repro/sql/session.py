@@ -42,9 +42,9 @@ from ..core.formats import (
     tiles,
 )
 from ..core.graph import ComputeGraph
-from ..core.optimizer import optimize
 from ..core.registry import OptimizerContext
 from ..engine.executor import ExecutionResult, execute_plan
+from ..service.planner import PlannerService
 from ..lang import expr as lang
 from .parser import (
     ColumnRef,
@@ -128,16 +128,47 @@ class SqlSession:
     span tree per planning call and one ``execute`` span tree per
     execution, all in the same stream, exportable with
     :func:`repro.obs.export.export_trace`.
+
+    Planning goes through a :class:`repro.service.PlannerService`: repeated
+    :meth:`optimize` calls for the same views are served from its plan
+    cache instead of re-running the physical search.  By default each
+    session owns a private service (wired to the session's tracer and
+    metrics); pass ``planner`` — or use :meth:`for_tenant` — to share one
+    service (and its cache) across many sessions, in which case planning
+    spans and counters flow to the *service's* sinks while executions stay
+    on the session's.  ``ctx`` is the session's default
+    :class:`~repro.core.registry.OptimizerContext` (e.g. a per-tenant
+    cluster); the context is part of the plan-cache key, so tenants with
+    different clusters never share plans.
     """
 
     def __init__(self, tracer: "Tracer | None" = None,
-                 metrics: "MetricsRegistry | None" = None) -> None:
+                 metrics: "MetricsRegistry | None" = None, *,
+                 planner: PlannerService | None = None,
+                 ctx: OptimizerContext | None = None) -> None:
         self._tables: dict[str, CreateTable] = {}
         self._loads: dict[str, Load] = {}
         self._views: dict[str, CreateView] = {}
         self._exprs: dict[str, lang.Expr] = {}
         self.tracer = tracer
         self.metrics = metrics
+        self.ctx = ctx if ctx is not None else OptimizerContext()
+        self.planner = planner if planner is not None else PlannerService(
+            self.ctx, tracer=tracer, metrics=metrics)
+
+    @classmethod
+    def for_tenant(cls, planner: PlannerService,
+                   ctx: OptimizerContext | None = None, *,
+                   tracer: "Tracer | None" = None,
+                   metrics: "MetricsRegistry | None" = None) -> "SqlSession":
+        """A session for one tenant of a shared planner service.
+
+        All tenants pool the service's plan cache; ``ctx`` carries the
+        tenant's cluster and catalogs and is fingerprinted into every
+        cache key, so structurally identical queries share plans exactly
+        when their contexts match.
+        """
+        return cls(tracer=tracer, metrics=metrics, planner=planner, ctx=ctx)
 
     # ------------------------------------------------------------------
     # DDL
@@ -261,11 +292,17 @@ class SqlSession:
                  ctx: OptimizerContext | None = None,
                  max_states: int | None = None,
                  rewrites: str | tuple[str, ...] = "none") -> Plan:
-        """Optimize the physical plan for the named views."""
-        return optimize(self.graph(*view_names),
-                        ctx if ctx is not None else OptimizerContext(),
-                        max_states=max_states, rewrites=rewrites,
-                        tracer=self.tracer, metrics=self.metrics)
+        """Optimize the physical plan for the named views.
+
+        Served through the session's planner service: a repeated call
+        with the same views, context and knobs returns the cached plan
+        (its profile marked ``cache_hit=True``) without re-running the
+        physical search.
+        """
+        return self.planner.optimize(self.graph(*view_names),
+                                     ctx if ctx is not None else self.ctx,
+                                     max_states=max_states,
+                                     rewrites=rewrites)
 
     def run(self, *view_names: str, inputs: dict[str, np.ndarray],
             ctx: OptimizerContext | None = None,
@@ -273,7 +310,7 @@ class SqlSession:
             rewrites: str | tuple[str, ...] = "none") -> ExecutionResult:
         """Optimize and execute; ``inputs`` maps table names to matrices."""
         if ctx is None:
-            ctx = OptimizerContext()
+            ctx = self.ctx
         plan = self.optimize(*view_names, ctx=ctx, max_states=max_states,
                              rewrites=rewrites)
         result = execute_plan(plan, inputs, ctx, tracer=self.tracer,

@@ -17,8 +17,8 @@ from ..cluster import ClusterConfig
 from ..core.annotation import Plan
 from ..core.formats import DEFAULT_FORMATS, Layout, PhysicalFormat
 from ..core.graph import ComputeGraph
-from ..core.optimizer import optimize
 from ..core.registry import OptimizerContext
+from ..service.planner import PlannerService
 
 ProfileFn = Callable[[int], ClusterConfig]
 
@@ -43,26 +43,31 @@ def sweep_workers(
     max_states: int | None = 1000,
     rewrites: str | Sequence[str] = "none",
     tracer=None,
+    planner: PlannerService | None = None,
 ) -> list[SweepPoint]:
     """Optimize ``graph`` for each cluster size and report predicted times.
 
-    Each point re-optimizes from scratch: bigger clusters change the best
-    plan, not just its cost.  ``rewrites`` is forwarded to
-    :func:`repro.core.optimizer.optimize`.  With a ``tracer``, each point
-    records a ``sweep-point`` span with the nested ``optimize`` span tree
-    inside it.
+    Each point re-optimizes: bigger clusters change the best plan, not
+    just its cost.  Planning goes through a
+    :class:`~repro.service.PlannerService` — pass ``planner`` to share
+    one across sweeps (each (workload, cluster size) point is cached, so
+    overlapping sweeps and previews re-use plans); otherwise a throwaway
+    service is created.  With a ``tracer``, each point records a
+    ``sweep-point`` span with the nested ``optimize`` span tree inside it.
     """
     from ..obs.tracer import as_tracer
 
-    tracer = as_tracer(tracer)
+    if planner is None:
+        planner = PlannerService(tracer=tracer)
+    tracer = as_tracer(tracer) if tracer is not None else planner.tracer
     points = []
     for count in workers:
         ctx = OptimizerContext(cluster=profile(count))
         with tracer.span(f"sweep-point:{count}", kind="sweep-point",
                          workers=count) as span:
             try:
-                plan = optimize(graph, ctx, max_states=max_states,
-                                rewrites=rewrites, tracer=tracer)
+                plan = planner.optimize(graph, ctx, max_states=max_states,
+                                        rewrites=rewrites)
                 seconds = plan.total_seconds
             except Exception:
                 plan = None
@@ -79,13 +84,16 @@ def recommend_workers(
     candidates: Sequence[int] = (2, 5, 10, 20, 40, 80),
     max_states: int | None = 1000,
     rewrites: str | Sequence[str] = "none",
+    planner: PlannerService | None = None,
 ) -> SweepPoint | None:
     """Smallest candidate cluster whose optimized plan meets the target.
 
-    Returns None when no candidate meets it.
+    Returns None when no candidate meets it.  With a shared ``planner``,
+    candidates already swept elsewhere are served from its plan cache.
     """
     for point in sweep_workers(graph, profile, sorted(candidates),
-                               max_states=max_states, rewrites=rewrites):
+                               max_states=max_states, rewrites=rewrites,
+                               planner=planner):
         if point.feasible and point.seconds <= target_seconds:
             return point
     return None
@@ -107,16 +115,21 @@ def format_family_contributions(
     catalog: tuple[PhysicalFormat, ...] = DEFAULT_FORMATS,
     max_states: int | None = 1000,
     rewrites: str | Sequence[str] = "none",
+    planner: PlannerService | None = None,
 ) -> tuple[float, list[FormatContribution]]:
     """How much each format family matters for this computation.
 
     Optimizes once with the full catalog, then once per family with that
     family removed; reports the slowdown each removal causes.  Families a
     graph's sources load in are never removed (the data arrives in them).
+    The reduced catalogs are part of each request's fingerprint, so a
+    shared ``planner`` caches every variant separately and correctly.
     """
+    if planner is None:
+        planner = PlannerService()
     base_ctx = OptimizerContext(cluster=cluster, formats=catalog)
-    base = optimize(graph, base_ctx, max_states=max_states,
-                    rewrites=rewrites)
+    base = planner.optimize(graph, base_ctx, max_states=max_states,
+                            rewrites=rewrites)
     protected = {s.format.layout for s in graph.sources}
 
     contributions = []
@@ -126,8 +139,8 @@ def format_family_contributions(
             continue
         ctx = OptimizerContext(cluster=cluster, formats=subset)
         try:
-            plan = optimize(graph, ctx, max_states=max_states,
-                            rewrites=rewrites)
+            plan = planner.optimize(graph, ctx, max_states=max_states,
+                                    rewrites=rewrites)
             seconds = plan.total_seconds
             slowdown = seconds / base.total_seconds
         except Exception:
@@ -161,6 +174,7 @@ def chaos_preview(
     workers: Sequence[int],
     max_states: int | None = 1000,
     rewrites: str | Sequence[str] = "none",
+    planner: PlannerService | None = None,
 ) -> list[ChaosPreviewPoint]:
     """What losing one worker costs, before it happens.
 
@@ -168,8 +182,12 @@ def chaos_preview(
     survivors — the same degraded-mode re-planning the dynamics driver
     performs when the heartbeat detector declares a worker dead — and
     reports the predicted slowdown.  Sizes of 1 are skipped: losing the
-    last worker is a cluster failure, not a degraded mode.
+    last worker is a cluster failure, not a degraded mode.  With a shared
+    ``planner``, sizes the main sweep already optimized come straight
+    from its plan cache.
     """
+    if planner is None:
+        planner = PlannerService()
     points = []
     for count in workers:
         if count <= 1:
@@ -178,8 +196,9 @@ def chaos_preview(
         for n in (count, count - 1):
             ctx = OptimizerContext(cluster=profile(n))
             try:
-                seconds.append(optimize(graph, ctx, max_states=max_states,
-                                        rewrites=rewrites).total_seconds)
+                seconds.append(planner.optimize(
+                    graph, ctx, max_states=max_states,
+                    rewrites=rewrites).total_seconds)
             except Exception:
                 seconds.append(math.inf)
         points.append(ChaosPreviewPoint(count, seconds[0], seconds[1]))
@@ -305,9 +324,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     counts = [int(w) for w in args.workers.split(",") if w.strip()]
     rewrites = "none" if args.no_rewrites else "all"
     max_states = args.max_states or None
+    # One planner service for the whole invocation: the chaos preview and
+    # the --target recommendation revisit cluster sizes the main sweep
+    # already optimized, and the plan cache serves those for free.
+    service = PlannerService(tracer=tracer)
     points = sweep_workers(graph, DEFAULT_CLUSTER.with_workers, counts,
                            max_states=max_states, rewrites=rewrites,
-                           tracer=tracer)
+                           tracer=tracer, planner=service)
     print(f"workload {args.workload}: {len(graph)} vertices, "
           f"rewrites={rewrites}")
     print(render_sweep(points))
@@ -337,7 +360,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(schedule(shown.plan, ctx).gantt())
     if args.chaos:
         preview = chaos_preview(graph, DEFAULT_CLUSTER.with_workers, counts,
-                                max_states=max_states, rewrites=rewrites)
+                                max_states=max_states, rewrites=rewrites,
+                                planner=service)
         if preview:
             print("chaos preview (one worker lost, plan re-optimized):")
             print(render_chaos_preview(preview))
@@ -347,7 +371,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.target is not None:
         best = recommend_workers(graph, DEFAULT_CLUSTER.with_workers,
                                  args.target, counts,
-                                 max_states=max_states, rewrites=rewrites)
+                                 max_states=max_states, rewrites=rewrites,
+                                 planner=service)
         if best is None:
             print(f"no swept cluster meets {args.target:.1f}s")
         else:

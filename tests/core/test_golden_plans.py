@@ -54,6 +54,9 @@ def _optimize_case(name: str) -> dict:
     payload = plan_to_dict(plan)
     payload["optimize_seconds"] = 0.0  # wall time is not part of the plan
     payload["total_seconds"] = plan.total_seconds
+    # The search-effort profile carries wall-clock phase times; goldens pin
+    # plan *choices* only.
+    payload.pop("profile", None)
     # The lang layer names vertices with a process-global expression
     # counter ("matmul_29"), so names vary with what was built earlier in
     # the process.  Canonicalize inner-vertex names to op + vertex id,

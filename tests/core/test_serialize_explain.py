@@ -84,6 +84,35 @@ class TestPlanRoundTrip:
         result = execute_plan(rebuilt, {"A": a, "B": b}, ctx)
         assert np.allclose(result.output(), np.maximum(2 * (a @ b), 0))
 
+    def test_profile_round_trips(self):
+        plan, ctx = _plan_and_ctx()
+        assert plan.profile is not None
+        rebuilt = plan_from_json(plan_to_json(plan), ctx)
+        assert rebuilt.profile == plan.profile
+
+    def test_cache_hit_flag_round_trips(self):
+        import dataclasses
+
+        plan, ctx = _plan_and_ctx()
+        marked = dataclasses.replace(
+            plan, profile=dataclasses.replace(plan.profile, cache_hit=True))
+        rebuilt = plan_from_json(plan_to_json(marked), ctx)
+        assert rebuilt.profile.cache_hit
+        assert "served from plan cache" in rebuilt.profile.describe()
+
+    def test_pipeline_report_round_trips(self):
+        g = ComputeGraph()
+        a = g.add_source("A", matrix(300, 400), row_strips(100))
+        b = g.add_source("B", matrix(400, 300), single())
+        ab = g.add_op("AB", MATMUL, (a, b))
+        g.add_op("R", RELU, (ab,))
+        ctx = OptimizerContext()
+        plan = optimize(g, ctx, rewrites="all")
+        assert plan.pipeline is not None
+        rebuilt = plan_from_json(plan_to_json(plan), ctx)
+        assert rebuilt.pipeline == plan.pipeline
+        assert rebuilt.profile == plan.profile
+
     def test_unknown_impl_rejected(self):
         plan, ctx = _plan_and_ctx()
         payload = json.loads(plan_to_json(plan))
