@@ -1,0 +1,46 @@
+"""Equality-saturation rewrite engine (SPORES-style) over compute graphs.
+
+The e-graph engine is the alternative to the ordered pass pipeline in
+:mod:`repro.core.rewrites`: instead of applying rewrites destructively in a
+fixed order, it grows an e-graph of equivalent terms from one shared rule
+table and extracts the catalog-cheapest represented graph.  Select it with
+``optimize(..., rewrites="egraph")``.
+
+Import order matters: ``egraph`` and ``rules`` must load before
+``saturate``/``extract`` so the cycle with :mod:`repro.core.rewrites`
+(which derives its pass order from the rule table) resolves from either
+entry point.
+"""
+
+from .egraph import EClass, EGraph, EGraphError, ENode
+from .rules import (
+    PIPELINE_PASS_ORDER,
+    RULE_TABLE,
+    RULESET_VERSION,
+    SATURATION_ONLY_RULES,
+    RewriteRule,
+)
+from .extract import extract
+from .saturate import (
+    DEFAULT_BUDGET,
+    SaturationBudget,
+    saturate,
+    saturate_graph,
+)
+
+__all__ = [
+    "EClass",
+    "EGraph",
+    "EGraphError",
+    "ENode",
+    "PIPELINE_PASS_ORDER",
+    "RULE_TABLE",
+    "RULESET_VERSION",
+    "SATURATION_ONLY_RULES",
+    "RewriteRule",
+    "extract",
+    "DEFAULT_BUDGET",
+    "SaturationBudget",
+    "saturate",
+    "saturate_graph",
+]

@@ -1,0 +1,428 @@
+"""The shared rewrite-rule table.
+
+One table (:data:`RULE_TABLE`) declares every algebraic identity the
+optimizer knows.  Each entry names the ordered pipeline pass that
+implements the same identity family (``pipeline_pass``), or ``None`` for
+the sum-product/distributivity identities only equality saturation can
+exploit — a fixed pass order cannot apply them speculatively because they
+temporarily *increase* cost until a later identity pays off.
+
+:data:`PIPELINE_PASS_ORDER` — the pass order used by
+``repro.core.rewrites.pipeline`` — is *derived* from this table, so the two
+engines cannot drift: adding a rule family here either maps onto an
+existing pass or is explicitly marked saturation-only.
+
+Unlike the pipeline passes, e-graph rules are **not** cost-guided: they add
+every equivalent form non-destructively, and the catalog cost model enters
+once, at extraction (see :mod:`repro.core.egraph.extract`).  Bump
+:data:`RULESET_VERSION` whenever a rule (or a default saturation budget)
+changes behaviour — the version is folded into plan-cache fingerprints so
+stale plans are never served across rule-set revisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..atoms import (
+    BINARY_ELEMENTWISE,
+    FUSABLE_BASES,
+    FUSED_PREFIX,
+    UNARY_MAPS,
+    FusedStep,
+    fused_atom,
+    fused_steps,
+)
+from .egraph import EGraph, ENode
+
+#: Fold into plan-cache fingerprints; bump on any rule/budget change.
+RULESET_VERSION = 1
+
+_UNARY_NAMES = tuple(op.name for op in UNARY_MAPS)
+_ELEMENTWISE_NAMES = tuple(op.name for op in BINARY_ELEMENTWISE)
+_FUSABLE_BASE_NAMES = tuple(op.name for op in FUSABLE_BASES)
+#: add/sub distribute over matmul; elem_mul/elem_div do not.
+_DISTRIBUTIVE_NAMES = ("add", "sub")
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """One saturation rule: a matcher that grows the e-graph in place.
+
+    ``apply`` scans a snapshot of the e-graph and returns the number of
+    *effective* merges it performed (0 once the rule is saturated).
+    """
+
+    name: str
+    #: The ordered-pipeline pass covering the same identity family, or
+    #: ``None`` for saturation-only identities.
+    pipeline_pass: str | None
+    description: str
+    apply: Callable[[EGraph], int]
+
+
+def _snapshot(eg: EGraph) -> list[tuple[int, ENode]]:
+    """A stable (class id, e-node) worklist: sorted class ids, insertion-
+    ordered nodes.  Rules iterate this snapshot so additions made while
+    matching are picked up next iteration, deterministically."""
+    return [(cid, node) for cid in eg.class_ids()
+            for node in eg.nodes_of(cid)]
+
+
+def _merged(eg: EGraph, cid: int, new_cid: int | None) -> int:
+    if new_cid is None:
+        return 0
+    return 1 if eg.merge(cid, new_cid) else 0
+
+
+# ----------------------------------------------------------------------
+# cse — structural sharing (free via hash-consing)
+# ----------------------------------------------------------------------
+def _r_hashcons_cse(eg: EGraph) -> int:
+    """No-op: hash-consing already merges structurally identical e-nodes
+    at insertion and during ``rebuild``.  The entry exists so the table
+    covers every pipeline pass."""
+    return 0
+
+
+# ----------------------------------------------------------------------
+# transpose — pushdown / elimination
+# ----------------------------------------------------------------------
+def _r_double_transpose(eg: EGraph) -> int:
+    n = 0
+    for cid, node in _snapshot(eg):
+        if node.op != "transpose":
+            continue
+        for inner in eg.nodes_of(node.children[0]):
+            if inner.op == "transpose":
+                n += _merged(eg, cid, eg.find(inner.children[0]))
+    return n
+
+
+def _r_transpose_matmul(eg: EGraph) -> int:
+    """(A @ B)^T = B^T @ A^T, in both directions."""
+    n = 0
+    for cid, node in _snapshot(eg):
+        if node.op == "transpose":
+            for mm in eg.nodes_of(node.children[0]):
+                if mm.op != "matmul":
+                    continue
+                a, b = mm.children
+                bt = eg.add_op("transpose", (b,))
+                at = eg.add_op("transpose", (a,))
+                if bt is None or at is None:
+                    continue
+                n += _merged(eg, cid, eg.add_op("matmul", (bt, at)))
+        elif node.op == "matmul":
+            p, q = node.children
+            for tp in eg.nodes_of(p):
+                if tp.op != "transpose":
+                    continue
+                for tq in eg.nodes_of(q):
+                    if tq.op != "transpose":
+                        continue
+                    inner = eg.add_op(
+                        "matmul", (tq.children[0], tp.children[0]))
+                    if inner is None:
+                        continue
+                    n += _merged(eg, cid, eg.add_op("transpose", (inner,)))
+    return n
+
+
+def _r_transpose_elementwise(eg: EGraph) -> int:
+    """(A ∘ B)^T = A^T ∘ B^T for elementwise binaries, both directions."""
+    n = 0
+    for cid, node in _snapshot(eg):
+        if node.op == "transpose":
+            for ew in eg.nodes_of(node.children[0]):
+                if ew.op not in _ELEMENTWISE_NAMES:
+                    continue
+                at = eg.add_op("transpose", (ew.children[0],))
+                bt = eg.add_op("transpose", (ew.children[1],))
+                if at is None or bt is None:
+                    continue
+                n += _merged(eg, cid, eg.add_op(ew.op, (at, bt)))
+        elif node.op in _ELEMENTWISE_NAMES:
+            p, q = node.children
+            for tp in eg.nodes_of(p):
+                if tp.op != "transpose":
+                    continue
+                for tq in eg.nodes_of(q):
+                    if tq.op != "transpose":
+                        continue
+                    inner = eg.add_op(
+                        node.op, (tp.children[0], tq.children[0]))
+                    if inner is None:
+                        continue
+                    n += _merged(eg, cid, eg.add_op("transpose", (inner,)))
+    return n
+
+
+# ----------------------------------------------------------------------
+# reassociate — matmul chain reassociation
+# ----------------------------------------------------------------------
+def _r_matmul_assoc(eg: EGraph) -> int:
+    """(A B) C = A (B C), explored from both sides."""
+    n = 0
+    for cid, node in _snapshot(eg):
+        if node.op != "matmul":
+            continue
+        a, b = node.children
+        for left in eg.nodes_of(a):
+            if left.op != "matmul":
+                continue
+            x, y = left.children
+            inner = eg.add_op("matmul", (y, b))
+            if inner is not None:
+                n += _merged(eg, cid, eg.add_op("matmul", (x, inner)))
+        for right in eg.nodes_of(b):
+            if right.op != "matmul":
+                continue
+            x, y = right.children
+            inner = eg.add_op("matmul", (a, x))
+            if inner is not None:
+                n += _merged(eg, cid, eg.add_op("matmul", (inner, y)))
+    return n
+
+
+# ----------------------------------------------------------------------
+# scalars — scalar-multiplication placement
+# ----------------------------------------------------------------------
+def _r_scalar_collapse(eg: EGraph) -> int:
+    """b * (a * X) = (a·b) * X."""
+    n = 0
+    for cid, node in _snapshot(eg):
+        if node.op != "scalar_mul" or node.param is None:
+            continue
+        for inner in eg.nodes_of(node.children[0]):
+            if inner.op != "scalar_mul" or inner.param is None:
+                continue
+            n += _merged(eg, cid, eg.add_op(
+                "scalar_mul", (inner.children[0],),
+                node.param * inner.param))
+    return n
+
+
+def _r_scalar_matmul(eg: EGraph) -> int:
+    """c * (A @ B) = (c·A) @ B = A @ (c·B), all three forms equated."""
+    n = 0
+    for cid, node in _snapshot(eg):
+        if node.op == "scalar_mul" and node.param is not None:
+            for mm in eg.nodes_of(node.children[0]):
+                if mm.op != "matmul":
+                    continue
+                a, b = mm.children
+                sa = eg.add_op("scalar_mul", (a,), node.param)
+                if sa is not None:
+                    n += _merged(eg, cid, eg.add_op("matmul", (sa, b)))
+                sb = eg.add_op("scalar_mul", (b,), node.param)
+                if sb is not None:
+                    n += _merged(eg, cid, eg.add_op("matmul", (a, sb)))
+        elif node.op == "matmul":
+            a, b = node.children
+            for pos, operand in ((0, a), (1, b)):
+                for sm in eg.nodes_of(operand):
+                    if sm.op != "scalar_mul" or sm.param is None:
+                        continue
+                    plain = (sm.children[0], b) if pos == 0 \
+                        else (a, sm.children[0])
+                    inner = eg.add_op("matmul", plain)
+                    if inner is None:
+                        continue
+                    n += _merged(eg, cid, eg.add_op(
+                        "scalar_mul", (inner,), sm.param))
+    return n
+
+
+def _r_scalar_transpose(eg: EGraph) -> int:
+    """c * A^T = (c * A)^T, both directions."""
+    n = 0
+    for cid, node in _snapshot(eg):
+        if node.op == "scalar_mul" and node.param is not None:
+            for t in eg.nodes_of(node.children[0]):
+                if t.op != "transpose":
+                    continue
+                sa = eg.add_op("scalar_mul", (t.children[0],), node.param)
+                if sa is not None:
+                    n += _merged(eg, cid, eg.add_op("transpose", (sa,)))
+        elif node.op == "transpose":
+            for sm in eg.nodes_of(node.children[0]):
+                if sm.op != "scalar_mul" or sm.param is None:
+                    continue
+                t = eg.add_op("transpose", (sm.children[0],))
+                if t is not None:
+                    n += _merged(eg, cid, eg.add_op(
+                        "scalar_mul", (t,), sm.param))
+    return n
+
+
+# ----------------------------------------------------------------------
+# sum-product / distributivity (saturation-only)
+# ----------------------------------------------------------------------
+def _r_matmul_factor(eg: EGraph) -> int:
+    """A@B ± A@C = A@(B ± C) and B@A ± C@A = (B ± C)@A.
+
+    The pay-off identity: it replaces two matrix multiplies by one, but an
+    ordered pipeline cannot reach it when the two products are built
+    separately — only the e-graph sees both factorings at once.
+    """
+    n = 0
+    for cid, node in _snapshot(eg):
+        if node.op not in _DISTRIBUTIVE_NAMES:
+            continue
+        p, q = node.children
+        for m1 in eg.nodes_of(p):
+            if m1.op != "matmul":
+                continue
+            for m2 in eg.nodes_of(q):
+                if m2.op != "matmul":
+                    continue
+                if eg.find(m1.children[0]) == eg.find(m2.children[0]):
+                    inner = eg.add_op(
+                        node.op, (m1.children[1], m2.children[1]))
+                    if inner is not None:
+                        n += _merged(eg, cid, eg.add_op(
+                            "matmul", (m1.children[0], inner)))
+                if eg.find(m1.children[1]) == eg.find(m2.children[1]):
+                    inner = eg.add_op(
+                        node.op, (m1.children[0], m2.children[0]))
+                    if inner is not None:
+                        n += _merged(eg, cid, eg.add_op(
+                            "matmul", (inner, m1.children[1])))
+    return n
+
+
+def _r_matmul_distribute(eg: EGraph) -> int:
+    """A@(B ± C) = A@B ± A@C and (B ± C)@A = B@A ± C@A (expansion
+    direction; occasionally cheaper when one product collapses)."""
+    n = 0
+    for cid, node in _snapshot(eg):
+        if node.op != "matmul":
+            continue
+        a, b = node.children
+        for ew in eg.nodes_of(b):
+            if ew.op not in _DISTRIBUTIVE_NAMES:
+                continue
+            m1 = eg.add_op("matmul", (a, ew.children[0]))
+            m2 = eg.add_op("matmul", (a, ew.children[1]))
+            if m1 is not None and m2 is not None:
+                n += _merged(eg, cid, eg.add_op(ew.op, (m1, m2)))
+        for ew in eg.nodes_of(a):
+            if ew.op not in _DISTRIBUTIVE_NAMES:
+                continue
+            m1 = eg.add_op("matmul", (ew.children[0], b))
+            m2 = eg.add_op("matmul", (ew.children[1], b))
+            if m1 is not None and m2 is not None:
+                n += _merged(eg, cid, eg.add_op(ew.op, (m1, m2)))
+    return n
+
+
+def _r_scalar_add_distribute(eg: EGraph) -> int:
+    """c·A ± c·B = c·(A ± B) (factoring direction only: it strictly
+    reduces work, and the expansion direction adds nothing extraction
+    could ever prefer)."""
+    n = 0
+    for cid, node in _snapshot(eg):
+        if node.op not in _DISTRIBUTIVE_NAMES:
+            continue
+        p, q = node.children
+        for s1 in eg.nodes_of(p):
+            if s1.op != "scalar_mul" or s1.param is None:
+                continue
+            for s2 in eg.nodes_of(q):
+                if s2.op != "scalar_mul" or s2.param != s1.param:
+                    continue
+                inner = eg.add_op(
+                    node.op, (s1.children[0], s2.children[0]))
+                if inner is not None:
+                    n += _merged(eg, cid, eg.add_op(
+                        "scalar_mul", (inner,), s1.param))
+    return n
+
+
+# ----------------------------------------------------------------------
+# fuse — elementwise fusion into fused atoms
+# ----------------------------------------------------------------------
+def _steps_of(node: ENode) -> tuple[FusedStep, ...] | None:
+    """The fused-chain steps a node contributes, or None if unfusable."""
+    if node.op.startswith(FUSED_PREFIX):
+        return fused_steps(node.op)
+    if node.op in _FUSABLE_BASE_NAMES or node.op in _UNARY_NAMES:
+        param = node.param if node.op == "scalar_mul" else None
+        return (FusedStep(node.op, param),)
+    return None
+
+
+def _r_fuse_unary(eg: EGraph) -> int:
+    """u(base(...)) = fused(base|u)(...), extending existing fused chains.
+
+    Mirrors the pipeline's fusion pass, but non-destructively: the fused
+    and unfused forms coexist and extraction picks whichever the catalog
+    prices cheaper."""
+    n = 0
+    for cid, node in _snapshot(eg):
+        if node.op not in _UNARY_NAMES:
+            continue
+        step = FusedStep(
+            node.op, node.param if node.op == "scalar_mul" else None)
+        for base in eg.nodes_of(node.children[0]):
+            steps = _steps_of(base)
+            if steps is None:
+                continue
+            try:
+                atom = fused_atom(steps + (step,))
+            except (ValueError, KeyError):
+                continue
+            fused = eg.add_op(atom.name, base.children)
+            if fused is not None:
+                n += _merged(eg, cid, fused)
+    return n
+
+
+# ----------------------------------------------------------------------
+# The table
+# ----------------------------------------------------------------------
+#: Every identity the optimizer knows, in application order.  The ordered
+#: pipeline's pass order is derived from the ``pipeline_pass`` column.
+RULE_TABLE: tuple[RewriteRule, ...] = (
+    RewriteRule("cse", "cse",
+                "structural sharing (free via hash-consing)",
+                _r_hashcons_cse),
+    RewriteRule("double-transpose", "transpose",
+                "(X^T)^T = X", _r_double_transpose),
+    RewriteRule("transpose-matmul", "transpose",
+                "(A@B)^T = B^T @ A^T (both directions)",
+                _r_transpose_matmul),
+    RewriteRule("matmul-assoc", "reassociate",
+                "(A@B)@C = A@(B@C) (both directions)", _r_matmul_assoc),
+    RewriteRule("scalar-collapse", "scalars",
+                "b*(a*X) = (a*b)*X", _r_scalar_collapse),
+    RewriteRule("scalar-matmul", "scalars",
+                "c*(A@B) = (c*A)@B = A@(c*B)", _r_scalar_matmul),
+    RewriteRule("fuse-unary", "fuse",
+                "u(base(...)) = fused(base|u)(...)", _r_fuse_unary),
+    # Saturation-only identities: no ordered pass can apply these
+    # speculatively, because they only pay off combined with later rules.
+    RewriteRule("transpose-elementwise", None,
+                "(A∘B)^T = A^T ∘ B^T (both directions)",
+                _r_transpose_elementwise),
+    RewriteRule("scalar-transpose", None,
+                "c*(A^T) = (c*A)^T (both directions)", _r_scalar_transpose),
+    RewriteRule("matmul-factor", None,
+                "A@B ± A@C = A@(B±C) (sum-product factoring)",
+                _r_matmul_factor),
+    RewriteRule("matmul-distribute", None,
+                "A@(B±C) = A@B ± A@C (expansion)", _r_matmul_distribute),
+    RewriteRule("scalar-add-distribute", None,
+                "c*A ± c*B = c*(A±B)", _r_scalar_add_distribute),
+)
+
+#: Pipeline pass order, derived from the shared table (first appearance
+#: wins) so the two rewrite engines cannot drift.
+PIPELINE_PASS_ORDER: tuple[str, ...] = tuple(dict.fromkeys(
+    r.pipeline_pass for r in RULE_TABLE if r.pipeline_pass is not None))
+
+#: Rules only equality saturation applies.
+SATURATION_ONLY_RULES: tuple[str, ...] = tuple(
+    r.name for r in RULE_TABLE if r.pipeline_pass is None)

@@ -1,0 +1,140 @@
+"""Budgeted equality saturation over a compute graph.
+
+:func:`saturate_graph` seeds an :class:`~repro.core.egraph.EGraph` from a
+:class:`~repro.core.graph.ComputeGraph`, applies every rule in the shared
+:data:`~repro.core.egraph.rules.RULE_TABLE` until a fixpoint (no rule
+produces a new merge) or a :class:`SaturationBudget` runs out, then hands
+the e-graph to the catalog-cost-guided extractor and returns the cheapest
+represented graph plus a
+:class:`~repro.core.rewrites.base.SaturationReport`.
+
+Budgets make saturation total: associativity and distributivity are
+productive rules that can grow the e-graph combinatorially on long matmul
+chains, so the loop is bounded by iterations, e-nodes, e-classes and wall
+clock.  Stopping early is always safe — the seed term is never removed, so
+extraction can at worst return the original graph.
+
+The default budget is part of the engine's observable behaviour: bump
+:data:`~repro.core.egraph.rules.RULESET_VERSION` when changing it, so plan
+caches never serve plans across budget revisions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ...obs.tracer import NULL_TRACER, Tracer, as_tracer
+from ..graph import ComputeGraph
+from ..registry import OptimizerContext
+from ..rewrites.base import SaturationReport
+from .egraph import EGraph
+from .extract import extract
+from .rules import RULE_TABLE
+
+
+@dataclass(frozen=True)
+class SaturationBudget:
+    """Stop conditions for the saturation loop (checked between rules)."""
+
+    max_iterations: int = 8
+    max_e_nodes: int = 5_000
+    max_e_classes: int = 2_500
+    max_seconds: float = 2.5
+
+    def exceeded(self, eg: EGraph, started: float) -> str | None:
+        """The first budget the e-graph has outgrown, or None."""
+        if eg.n_nodes >= self.max_e_nodes:
+            return "e_nodes"
+        if eg.n_classes >= self.max_e_classes:
+            return "e_classes"
+        if time.perf_counter() - started >= self.max_seconds:
+            return "seconds"
+        return None
+
+
+#: Budget used by ``optimize(rewrites="egraph")``.
+DEFAULT_BUDGET = SaturationBudget()
+
+
+def saturate(eg: EGraph, budget: SaturationBudget = DEFAULT_BUDGET,
+             tracer: Tracer = NULL_TRACER
+             ) -> tuple[int, dict[str, int], bool, str | None]:
+    """Run the rule loop on ``eg`` in place.
+
+    Returns ``(iterations, per-rule merge counts, saturated,
+    budget_exhausted)``.  Rules run in table order within an iteration and
+    the e-graph is rebuilt (congruence closure restored) after each rule,
+    so the merge sequence is deterministic.
+    """
+    started = time.perf_counter()
+    applied: dict[str, int] = {}
+    saturated = False
+    exhausted: str | None = None
+    iterations = 0
+    # Growth caps enforced inside add_op: between-rule budget checks alone
+    # cannot stop one explosive rule sweep (associativity on a deep matmul
+    # DAG can otherwise add hundreds of thousands of nodes in one scan).
+    eg.growth_limit = budget.max_e_nodes
+    eg.deadline = started + budget.max_seconds
+    with tracer.span("egraph:saturate", kind="egraph") as span:
+        while iterations < budget.max_iterations:
+            exhausted = budget.exceeded(eg, started)
+            if exhausted:
+                break
+            iterations += 1
+            round_total = 0
+            for rule in RULE_TABLE:
+                count = rule.apply(eg)
+                eg.rebuild()
+                if count:
+                    applied[rule.name] = applied.get(rule.name, 0) + count
+                    round_total += count
+                exhausted = budget.exceeded(eg, started)
+                if exhausted:
+                    break
+            if exhausted:
+                break
+            if round_total == 0:
+                saturated = True
+                break
+        else:
+            exhausted = "iterations"
+        span.set(iterations=iterations, e_nodes=eg.n_nodes,
+                 e_classes=eg.n_classes, saturated=saturated,
+                 budget_exhausted=exhausted or "")
+    eg.growth_limit = None
+    eg.deadline = None
+    return iterations, applied, saturated, exhausted
+
+
+def saturate_graph(graph: ComputeGraph, ctx: OptimizerContext,
+                   budget: SaturationBudget = DEFAULT_BUDGET,
+                   tracer: Tracer | None = None
+                   ) -> tuple[ComputeGraph, SaturationReport]:
+    """Saturate ``graph`` and extract the catalog-cheapest equivalent.
+
+    The returned report records e-graph size, per-rule merge counts (with
+    hash-consing CSE charged to the ``cse`` table entry), whether a
+    fixpoint or a budget ended saturation, and the extracted term's
+    estimated operator cost.
+    """
+    tracer = as_tracer(tracer)
+    started = time.perf_counter()
+    eg = EGraph.from_graph(graph)
+    iterations, applied, saturated, exhausted = saturate(
+        eg, budget, tracer)
+    if eg.cse_merges:
+        applied["cse"] = applied.get("cse", 0) + eg.cse_merges
+    with tracer.span("egraph:extract", kind="egraph") as span:
+        extracted, cost = extract(eg, ctx)
+        span.set(cost=cost, vertices=len(extracted))
+    rules_applied = tuple(
+        (rule.name, applied[rule.name])
+        for rule in RULE_TABLE if rule.name in applied)
+    report = SaturationReport(
+        iterations=iterations, e_nodes=eg.n_nodes, e_classes=eg.n_classes,
+        rules_applied=rules_applied, saturated=saturated,
+        budget_exhausted=exhausted, extraction_cost=cost,
+        seconds=time.perf_counter() - started)
+    return extracted, report

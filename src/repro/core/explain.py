@@ -137,19 +137,32 @@ def _drift_of(measured):
 
 
 def _pipeline_lines(plan: Plan) -> list[str]:
-    """Rewrite-pipeline section of the EXPLAIN report (empty when the plan
-    was optimized without rewrites)."""
+    """Rewrite-engine section of the EXPLAIN report (empty when the plan
+    was optimized without rewrites).  For egraph plans this renders the
+    saturation statistics; for pipeline plans, the per-pass details."""
     report = plan.pipeline
     if report is None:
         return []
-    lines = [f"rewrites: {report.summary()}"]
+    lines = [f"rewrites: {report.summary()} [engine: {report.engine}]"]
+    if report.saturation is not None:
+        lines.extend(_saturation_lines(report))
     if not report.adopted:
-        lines.append("  (rewritten plan not adopted: unrewritten plan "
+        fallback = report.fallback or "unrewritten"
+        lines.append(f"  (rewritten plan not adopted: {fallback} plan "
                      "was cheaper)")
         return lines
     for p in report.fired:
         for detail in p.details:
             lines.append(f"  [{p.name}] {detail}")
+    return lines
+
+
+def _saturation_lines(report) -> list[str]:
+    """Saturation-stats subsection for egraph-engine plans."""
+    sat = report.saturation
+    lines = [f"  saturation: {sat.describe()}"]
+    for name, count in sat.rules_applied:
+        lines.append(f"    [{name}] {count} merge(s)")
     return lines
 
 

@@ -31,9 +31,10 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..cluster import ClusterConfig
+from .egraph.rules import RULESET_VERSION
 from .graph import ComputeGraph
 from .registry import OptimizerContext
-from .rewrites import RewriteSpec, resolve_passes
+from .rewrites import RewriteSpec, resolve_engine, resolve_passes
 
 __all__ = [
     "CATALOG_VERSION",
@@ -139,6 +140,22 @@ def _pass_names(rewrites: RewriteSpec) -> tuple[str, ...]:
     return tuple(p.name for p in resolve_passes(rewrites))
 
 
+def _rewrites_payload(rewrites: RewriteSpec) -> dict:
+    """Canonical identity of the rewrite-engine choice.
+
+    The engine name keeps a cached pipeline plan from ever being served
+    for an egraph request (and vice versa); the rule-set version
+    invalidates every entry when a saturation rule or budget changes; the
+    pass list distinguishes pipeline subsets.
+    """
+    engine, spec = resolve_engine(rewrites)
+    return {
+        "engine": engine,
+        "ruleset_version": RULESET_VERSION,
+        "passes": [] if engine == "egraph" else list(_pass_names(spec)),
+    }
+
+
 def request_fingerprint(graph: ComputeGraph, rewritten: ComputeGraph,
                         ctx: OptimizerContext, *,
                         algorithm: str = "auto",
@@ -169,7 +186,7 @@ def request_fingerprint(graph: ComputeGraph, rewritten: ComputeGraph,
             "algorithm": algorithm,
             "timeout_seconds": timeout_seconds,
             "max_states": max_states,
-            "rewrites": list(_pass_names(rewrites)),
+            "rewrites": _rewrites_payload(rewrites),
             "prune": prune,
             "order": order,
         },

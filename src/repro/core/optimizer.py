@@ -11,12 +11,17 @@ Optimization is a pipeline of explicit stages:
    Algorithm 4) for general DAGs, or brute force (paper Algorithm 2) on
    request.
 
-When rewrites run, the unrewritten graph is also optimized and the cheaper
-of the two plans wins — the logical passes use per-op cost estimates, so a
-rewrite can occasionally lose once transformations are priced in, and the
-fallback guarantees ``rewrites="all"`` never costs more than
-``rewrites="none"``.  The returned :class:`Plan` carries a
-:class:`~repro.core.rewrites.PipelineReport` describing what each pass did.
+Stage 1 has two interchangeable engines behind the ``rewrites=`` knob:
+the ordered pass pipeline (``"pipeline"``/``"all"``) and the
+equality-saturation e-graph of :mod:`repro.core.egraph` (``"egraph"``),
+which explores all rule orders at once and extracts the catalog-cheapest
+term.  When rewrites run, fallback candidates are also optimized and the
+cheapest plan wins — the unrewritten graph for the pipeline engine, plus
+the pipeline-rewritten graph for the egraph engine — so ``"pipeline"``
+never costs more than ``"off"`` and ``"egraph"`` never costs more than
+either.  The returned :class:`Plan` carries a
+:class:`~repro.core.rewrites.PipelineReport` describing what the engine
+did (per-pass reports, or saturation statistics).
 """
 
 from __future__ import annotations
@@ -27,10 +32,13 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer, as_tracer
 from .annotation import Plan
 from .brute import optimize_brute
+from .egraph import saturate_graph
+from .fingerprint import graph_signature
 from .frontier import FrontierStats, optimize_dag
 from .graph import ComputeGraph
 from .registry import OptimizerContext
-from .rewrites import PipelineReport, PlanPipeline, RewriteSpec
+from .rewrites import PipelineReport, PlanPipeline, RewriteSpec, \
+    resolve_engine
 from .tree_dp import optimize_tree
 
 ALGORITHMS = ("auto", "tree", "frontier", "brute")
@@ -78,9 +86,10 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
     returned plan.  ``prune=None`` (the default) prunes exactly when no
     beam is active.
 
-    ``rewrites`` selects the logical rewrite pipeline that runs before the
-    physical search: ``"all"`` (the default pass order), ``"none"``, or a
-    tuple of pass names from
+    ``rewrites`` selects the logical rewrite engine that runs before the
+    physical search: ``"pipeline"`` (alias ``"all"``, the default pass
+    order), ``"egraph"`` (equality saturation + cheapest-term extraction),
+    ``"off"`` (alias ``"none"``), or a tuple of pass names from
     :data:`repro.core.rewrites.PASS_REGISTRY` in the order they should run.
 
     ``tracer`` records the optimization as nested spans (``optimize`` →
@@ -115,14 +124,22 @@ def rewrite_stage(graph: ComputeGraph, ctx: OptimizerContext,
                   rewrites: RewriteSpec = "none",
                   tracer: Tracer = NULL_TRACER
                   ) -> tuple[ComputeGraph, PipelineReport | None]:
-    """Stage 1: run the logical rewrite pipeline selected by ``rewrites``.
+    """Stage 1: run the logical rewrite engine selected by ``rewrites``.
 
-    Returns the (possibly) rewritten graph and the per-pass report, or
-    ``(graph, None)`` when no passes are configured.  Exposed separately
-    from :func:`optimize` so the planner service can fingerprint the
-    rewritten graph before deciding whether a physical search is needed.
+    ``"pipeline"``/``"all"`` (or a pass-name tuple) runs the ordered pass
+    pipeline; ``"egraph"`` saturates an e-graph under the default budget
+    and extracts the catalog-cheapest term; ``"off"``/``"none"`` returns
+    ``(graph, None)``.  Exposed separately from :func:`optimize` so the
+    planner service can fingerprint the rewritten graph before deciding
+    whether a physical search is needed.
     """
-    pipeline = PlanPipeline.from_spec(rewrites)
+    engine, spec = resolve_engine(rewrites)
+    if engine == "egraph":
+        rewritten, sat = saturate_graph(graph, ctx, tracer=tracer)
+        report = PipelineReport((), adopted=True, engine="egraph",
+                                saturation=sat)
+        return rewritten, report
+    pipeline = PlanPipeline.from_spec(spec)
     if not pipeline.passes:
         return graph, None
     return pipeline.run(graph, ctx, tracer=tracer)
@@ -139,22 +156,45 @@ def physical_plan(graph: ComputeGraph, rewritten: ComputeGraph,
                   tracer: Tracer = NULL_TRACER) -> Plan:
     """Stage 2 + never-worse fallback over one rewritten graph.
 
-    Optimizes ``rewritten``; when the rewrite pipeline actually changed the
-    graph, also optimizes the unrewritten ``graph`` and keeps the cheaper
-    plan (the logical passes are guided by per-op estimates, so a rewrite
-    can occasionally lose once transformations are priced in).  The chosen
-    plan carries ``report`` (with ``adopted`` downgraded on fallback).
+    Optimizes ``rewritten``; when the rewrite engine actually changed the
+    graph, also optimizes fallback candidates and keeps the cheapest plan
+    (the logical layer is guided by per-op estimates, so a rewrite can
+    occasionally lose once transformations are priced in):
+
+    * pipeline engine — the unrewritten ``graph``;
+    * egraph engine — the pipeline-rewritten graph *and* the unrewritten
+      ``graph``, so ``rewrites="egraph"`` is never costlier than either
+      ``"pipeline"`` or ``"off"``.
+
+    The chosen plan carries ``report`` (``adopted``/``fallback`` downgraded
+    when a fallback candidate won).  Structurally identical candidates are
+    skipped — the search is deterministic, so they cannot differ.
     """
     plan = _optimize_physical(rewritten, ctx, algorithm,
                               timeout_seconds, stats, max_states,
                               prune, order, tracer)
     if report is not None and report.total_rewrites > 0:
-        plain = _optimize_physical(graph, ctx, algorithm,
-                                   timeout_seconds, stats, max_states,
-                                   prune, order, tracer)
-        if plain.total_seconds < plan.total_seconds:
-            plan = plain
-            report = dataclasses.replace(report, adopted=False)
+        signature = graph_signature(rewritten)[0]
+        if report.engine == "egraph":
+            pipe_graph, _ = PlanPipeline.from_spec("all").run(
+                graph, ctx, tracer=tracer)
+            if graph_signature(pipe_graph)[0] != signature:
+                pipe_plan = _optimize_physical(
+                    pipe_graph, ctx, algorithm, timeout_seconds, stats,
+                    max_states, prune, order, tracer)
+                if pipe_plan.total_seconds < plan.total_seconds:
+                    plan = pipe_plan
+                    report = dataclasses.replace(
+                        report, adopted=False, fallback="pipeline")
+                    signature = graph_signature(pipe_graph)[0]
+        if graph_signature(graph)[0] != signature:
+            plain = _optimize_physical(graph, ctx, algorithm,
+                                       timeout_seconds, stats, max_states,
+                                       prune, order, tracer)
+            if plain.total_seconds < plan.total_seconds:
+                plan = plain
+                report = dataclasses.replace(report, adopted=False,
+                                             fallback="unrewritten")
     if report is not None:
         plan = dataclasses.replace(plan, pipeline=report)
     return plan
@@ -178,6 +218,18 @@ def record_optimize_metrics(plan: Plan,
         metrics.count("optimizer.rewrite_passes_run", len(report.passes))
         metrics.count("optimizer.rewrites_applied",
                       report.total_rewrites if report.adopted else 0)
+        sat = report.saturation
+        if sat is not None:
+            metrics.count("egraph.saturations")
+            metrics.count("egraph.iterations", sat.iterations)
+            metrics.count("egraph.rewrites", sat.total_rewrites)
+            metrics.gauge("egraph.e_nodes", sat.e_nodes)
+            metrics.gauge("egraph.e_classes", sat.e_classes)
+            metrics.gauge("egraph.seconds", sat.seconds)
+            if sat.budget_exhausted is not None:
+                metrics.count("egraph.budget_exhausted")
+            if not report.adopted:
+                metrics.count("egraph.fallbacks")
 
 
 def _optimize_physical(graph: ComputeGraph, ctx: OptimizerContext,

@@ -54,13 +54,79 @@ class PassReport:
 
 
 @dataclass(frozen=True)
+class SaturationReport:
+    """What one equality-saturation run did (the e-graph engine's analogue
+    of the per-pass :class:`PassReport` sequence)."""
+
+    #: Saturation iterations actually run (one = every rule once).
+    iterations: int
+    #: E-graph size when saturation stopped.
+    e_nodes: int
+    e_classes: int
+    #: ``(rule name, effective merges)`` for every rule that fired,
+    #: in rule-table order.
+    rules_applied: tuple[tuple[str, int], ...] = ()
+    #: True when a fixpoint was reached (no rule produced a new merge).
+    saturated: bool = False
+    #: Which budget stopped saturation early (``"iterations"``,
+    #: ``"e_nodes"``, ``"e_classes"``, ``"seconds"``), or None.
+    budget_exhausted: str | None = None
+    #: Catalog-estimated operator cost of the extracted term.
+    extraction_cost: float = 0.0
+    #: Wall-clock spent saturating + extracting.
+    seconds: float = 0.0
+
+    @property
+    def total_rewrites(self) -> int:
+        return sum(count for _, count in self.rules_applied)
+
+    def to_dict(self) -> dict:
+        return {"iterations": self.iterations, "e_nodes": self.e_nodes,
+                "e_classes": self.e_classes,
+                "rules_applied": [list(r) for r in self.rules_applied],
+                "saturated": self.saturated,
+                "budget_exhausted": self.budget_exhausted,
+                "extraction_cost": self.extraction_cost,
+                "seconds": self.seconds}
+
+    @staticmethod
+    def from_dict(payload: dict) -> "SaturationReport":
+        return SaturationReport(
+            payload["iterations"], payload["e_nodes"], payload["e_classes"],
+            tuple((name, count)
+                  for name, count in payload.get("rules_applied", ())),
+            payload.get("saturated", False),
+            payload.get("budget_exhausted"),
+            payload.get("extraction_cost", 0.0),
+            payload.get("seconds", 0.0))
+
+    def describe(self) -> str:
+        state = "saturated" if self.saturated else (
+            f"budget: {self.budget_exhausted}"
+            if self.budget_exhausted else "stopped")
+        return (f"{self.iterations} iterations, {self.e_nodes} e-nodes in "
+                f"{self.e_classes} e-classes ({state}), "
+                f"extraction cost {self.extraction_cost:.3f}s")
+
+
+@dataclass(frozen=True)
 class PipelineReport:
-    """Per-pass record of one :class:`PlanPipeline` run."""
+    """Record of one logical-rewrite run — the ordered pass pipeline
+    (``engine="pipeline"``, per-pass reports in ``passes``) or equality
+    saturation (``engine="egraph"``, stats in ``saturation``)."""
 
     passes: tuple[PassReport, ...] = ()
-    #: False when the physical optimizer found the unrewritten graph's best
-    #: plan at least as cheap and the pipeline fell back to it.
+    #: False when the physical optimizer found a fallback graph's best
+    #: plan at least as cheap and the rewritten graph lost (see
+    #: ``fallback`` for which candidate won).
     adopted: bool = True
+    #: Which rewrite engine produced the graph this report describes.
+    engine: str = "pipeline"
+    #: Saturation statistics (``engine="egraph"`` only).
+    saturation: SaturationReport | None = None
+    #: When not adopted: the candidate that beat the rewritten graph
+    #: (``"unrewritten"``, or ``"pipeline"`` for the egraph engine).
+    fallback: str | None = None
 
     @property
     def fired(self) -> tuple[PassReport, ...]:
@@ -68,24 +134,44 @@ class PipelineReport:
 
     @property
     def total_rewrites(self) -> int:
+        if self.saturation is not None:
+            return self.saturation.total_rewrites
         return sum(p.rewrites for p in self.passes)
 
     def summary(self) -> str:
-        """One-line rendering, e.g. ``cse(2), fuse(1)``."""
+        """One-line rendering, e.g. ``cse(2), fuse(1)`` or
+        ``egraph(14 rewrites, 3 iterations)``."""
+        if not self.adopted:
+            return "none"
+        if self.saturation is not None:
+            sat = self.saturation
+            return (f"egraph({sat.total_rewrites} rewrites, "
+                    f"{sat.iterations} iterations)")
         fired = self.fired
-        if not fired or not self.adopted:
+        if not fired:
             return "none"
         return ", ".join(f"{p.name}({p.rewrites})" for p in fired)
 
     def to_dict(self) -> dict:
-        return {"passes": [p.to_dict() for p in self.passes],
-                "adopted": self.adopted}
+        payload = {"passes": [p.to_dict() for p in self.passes],
+                   "adopted": self.adopted,
+                   "engine": self.engine}
+        if self.saturation is not None:
+            payload["saturation"] = self.saturation.to_dict()
+        if self.fallback is not None:
+            payload["fallback"] = self.fallback
+        return payload
 
     @staticmethod
     def from_dict(payload: dict) -> "PipelineReport":
+        saturation = payload.get("saturation")
         return PipelineReport(
             tuple(PassReport.from_dict(p) for p in payload.get("passes", ())),
-            payload.get("adopted", True))
+            payload.get("adopted", True),
+            payload.get("engine", "pipeline"),
+            SaturationReport.from_dict(saturation)
+            if saturation is not None else None,
+            payload.get("fallback"))
 
 
 class RewritePass(ABC):

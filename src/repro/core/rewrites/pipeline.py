@@ -3,8 +3,14 @@
 ``PlanPipeline`` runs an ordered, configurable sequence of semantics-
 preserving passes over a compute graph before physical optimization.  The
 ``rewrites=`` knob of :func:`repro.core.optimizer.optimize` resolves here:
-``"all"`` is the default order, ``"none"`` is the empty pipeline, and a
-tuple of pass names selects (and orders) a subset.
+``"pipeline"`` (alias ``"all"``) is the default pass order, ``"off"``
+(alias ``"none"``) is the empty pipeline, a tuple of pass names selects
+(and orders) a subset, and ``"egraph"`` selects the equality-saturation
+engine of :mod:`repro.core.egraph` instead of this pipeline.
+
+The pass order is *derived* from the shared rule table
+(:data:`repro.core.egraph.rules.RULE_TABLE`): every pass named there runs
+here, in first-appearance order, so the two engines cannot drift.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..egraph.rules import PIPELINE_PASS_ORDER
 from ..graph import ComputeGraph
 from ..registry import OptimizerContext
 from .base import PipelineReport, RewritePass
@@ -27,22 +34,53 @@ PASS_REGISTRY: dict[str, type[RewritePass]] = {
 
 #: CSE first (it exposes sharing the other passes must respect), structure
 #: rewrites in the middle, fusion last (fused atoms are opaque to the
-#: structural passes).
-DEFAULT_PASS_ORDER: tuple[str, ...] = (
-    "cse", "transpose", "reassociate", "scalars", "fuse")
+#: structural passes).  Derived from the shared rule table.
+DEFAULT_PASS_ORDER: tuple[str, ...] = PIPELINE_PASS_ORDER
+
+if set(DEFAULT_PASS_ORDER) != set(PASS_REGISTRY):  # pragma: no cover
+    raise ImportError(
+        f"rule table names passes {sorted(DEFAULT_PASS_ORDER)} but the "
+        f"registry implements {sorted(PASS_REGISTRY)}: the shared rule "
+        "table and the pass registry drifted apart")
 
 RewriteSpec = str | Iterable[str]
 
+#: Engine spellings of the ``rewrites=`` knob.
+ENGINES = ("pipeline", "egraph", "off")
+
+
+def resolve_engine(spec: RewriteSpec) -> tuple[str, RewriteSpec]:
+    """Classify a ``rewrites=`` knob value as ``(engine, pipeline spec)``.
+
+    ``engine`` is ``"egraph"``, ``"pipeline"`` or ``"off"``; for the
+    pipeline engine the second element is the spec ``resolve_passes``
+    should run (``"egraph"`` has no pass spec and returns ``"none"``).
+    """
+    if spec == "egraph":
+        return "egraph", "none"
+    if spec in ("pipeline", "all"):
+        return "pipeline", "all"
+    if spec in ("off", "none"):
+        return "off", "none"
+    if isinstance(spec, str):
+        raise ValueError(
+            f"rewrites must be 'pipeline'/'all', 'egraph', 'off'/'none' "
+            f"or pass names, got {spec!r}")
+    names = tuple(spec)
+    return ("off" if not names else "pipeline"), names
+
 
 def resolve_passes(spec: RewriteSpec) -> tuple[RewritePass, ...]:
-    """Turn a ``rewrites=`` knob value into pass instances."""
+    """Turn a ``rewrites=`` knob value into pipeline pass instances."""
+    engine, spec = resolve_engine(spec)
+    if engine == "egraph":
+        raise ValueError(
+            "rewrites='egraph' selects the saturation engine and has no "
+            "pass sequence; use resolve_engine() to dispatch")
     if spec == "all":
         names: tuple[str, ...] = DEFAULT_PASS_ORDER
     elif spec == "none":
         names = ()
-    elif isinstance(spec, str):
-        raise ValueError(
-            f"rewrites must be 'all', 'none' or pass names, got {spec!r}")
     else:
         names = tuple(spec)
     unknown = [n for n in names if n not in PASS_REGISTRY]

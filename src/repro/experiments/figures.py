@@ -494,6 +494,7 @@ def _tree_expanded_cost(graph, ctx) -> float:
 
 #: Registry used by the CLI and EXPERIMENTS.md generation.
 from .chaos import CHAOS_EXPERIMENTS  # noqa: E402 (registry tail)
+from .egraph import EGRAPH_EXPERIMENTS  # noqa: E402 (registry tail)
 from .extensions import EXTENSION_EXPERIMENTS  # noqa: E402 (registry tail)
 from .observability import (  # noqa: E402 (registry tail)
     OBSERVABILITY_EXPERIMENTS,
@@ -517,6 +518,7 @@ EXPERIMENTS = {
     "ablation_transform_costs": ablation_transform_costs,
     "ablation_sharing": ablation_sharing,
     **CHAOS_EXPERIMENTS,
+    **EGRAPH_EXPERIMENTS,
     **EXTENSION_EXPERIMENTS,
     **OBSERVABILITY_EXPERIMENTS,
     **PLAN_CACHE_EXPERIMENTS,

@@ -294,10 +294,14 @@ class SqlSession:
                  rewrites: str | tuple[str, ...] = "none") -> Plan:
         """Optimize the physical plan for the named views.
 
-        Served through the session's planner service: a repeated call
-        with the same views, context and knobs returns the cached plan
-        (its profile marked ``cache_hit=True``) without re-running the
-        physical search.
+        ``rewrites`` selects the logical rewrite engine (``"pipeline"``,
+        ``"egraph"``, ``"off"``, or a pass-name tuple — see
+        :func:`repro.core.optimizer.optimize`); the engine choice is part
+        of the plan-cache fingerprint, so switching engines never reuses
+        the other engine's plan.  Served through the session's planner
+        service: a repeated call with the same views, context and knobs
+        returns the cached plan (its profile marked ``cache_hit=True``)
+        without re-running the physical search.
         """
         return self.planner.optimize(self.graph(*view_names),
                                      ctx if ctx is not None else self.ctx,

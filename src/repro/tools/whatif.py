@@ -269,9 +269,10 @@ def _cli_workloads() -> dict[str, Callable[[], ComputeGraph]]:
 def main(argv: Sequence[str] | None = None) -> int:
     """``python -m repro.tools.whatif``: worker sweep for a workload.
 
-    Rewrites run by default (``rewrites="all"``); ``--no-rewrites``
-    disables the logical rewrite pipeline so its impact shows up directly
-    in the sweep.
+    Rewrites run by default (``--rewrites pipeline``); ``--rewrites
+    egraph`` plans through the equality-saturation engine instead, and
+    ``--rewrites off`` (or the legacy ``--no-rewrites``) disables the
+    logical rewrite stage so its impact shows up directly in the sweep.
     """
     import argparse
 
@@ -291,8 +292,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "smallest cluster that meets it")
     parser.add_argument("--max-states", type=int, default=1000,
                         help="frontier beam width (0 = exact)")
+    parser.add_argument("--rewrites", choices=("pipeline", "egraph", "off"),
+                        default=None,
+                        help="logical rewrite engine: the ordered pass "
+                             "pipeline (default), equality saturation over "
+                             "the shared rule table, or off")
     parser.add_argument("--no-rewrites", action="store_true",
-                        help="disable the logical rewrite pipeline")
+                        help="legacy alias for --rewrites off")
     parser.add_argument("--profile", action="store_true",
                         help="print the optimizer search-effort profile "
                              "(states explored/pruned, table sizes, phase "
@@ -322,7 +328,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     graph = workloads[args.workload]()
     counts = [int(w) for w in args.workers.split(",") if w.strip()]
-    rewrites = "none" if args.no_rewrites else "all"
+    if args.rewrites is not None and args.no_rewrites and \
+            args.rewrites != "off":
+        parser.error("--no-rewrites contradicts --rewrites "
+                     f"{args.rewrites}")
+    rewrites = args.rewrites or ("off" if args.no_rewrites else "pipeline")
     max_states = args.max_states or None
     # One planner service for the whole invocation: the chaos preview and
     # the --target recommendation revisit cluster sizes the main sweep
@@ -338,6 +348,13 @@ def main(argv: Sequence[str] | None = None) -> int:
              if p.plan is not None and p.plan.pipeline is not None}
     if fired:
         print("rewrite passes fired: " + "; ".join(sorted(fired)))
+    if rewrites == "egraph":
+        sats = [p.plan.pipeline.saturation for p in points
+                if p.plan is not None and p.plan.pipeline is not None
+                and p.plan.pipeline.saturation is not None]
+        if sats:
+            print("saturation: " + "; ".join(sorted(
+                {s.describe() for s in sats})))
     if args.profile:
         shown = next((p for p in points if p.feasible and p.plan is not None),
                      None)

@@ -193,6 +193,7 @@ def test_source_format_is_structural():
     {"algorithm": "frontier"},
     {"max_states": 100},
     {"rewrites": "all"},
+    {"rewrites": "egraph"},
     {"prune": False},
     {"order": "table-size"},
     {"timeout_seconds": 5.0},
@@ -200,6 +201,39 @@ def test_source_format_is_structural():
 def test_search_knobs_change_key(knobs):
     g = wide_shared_dag(3, 3)
     assert _fp(g, **knobs).structural != _fp(g).structural
+
+
+# ----------------------------------------------------------------------
+# Rewrite-engine identity (satellite of the equality-saturation PR)
+# ----------------------------------------------------------------------
+def test_engine_choice_changes_key():
+    """off / pipeline / egraph are three distinct planning requests: a
+    cached plan from one engine must never be served for another."""
+    g = WORKLOADS["attention"]()
+    keys = {spec: _fp(g, rewrites=spec).structural
+            for spec in ("off", "pipeline", "egraph")}
+    assert len(set(keys.values())) == 3
+
+
+def test_engine_aliases_share_keys():
+    """Alias spellings resolve to the same canonical engine payload, so
+    they share cache entries instead of fragmenting the cache."""
+    g = WORKLOADS["attention"]()
+    assert _fp(g, rewrites="all").key == _fp(g, rewrites="pipeline").key
+    assert _fp(g, rewrites="none").key == _fp(g, rewrites="off").key
+
+
+def test_ruleset_version_bump_changes_key(monkeypatch):
+    """Bumping RULESET_VERSION must invalidate egraph (and pipeline) keys:
+    a rule or budget change means saturation may answer differently."""
+    from repro.core import fingerprint as fpmod
+
+    g = _relu_mm()
+    before = _fp(g, rewrites="egraph")
+    monkeypatch.setattr(fpmod, "RULESET_VERSION", fpmod.RULESET_VERSION + 1)
+    after = _fp(g, rewrites="egraph")
+    assert before.structural != after.structural
+    assert before.params == after.params
 
 
 def test_catalog_contents_change_key():

@@ -82,6 +82,30 @@ def test_session_run_reuses_cached_plan(monkeypatch):
     assert np.allclose(r1.output(), r2.output())
 
 
+def test_engines_never_share_cache_entries(monkeypatch):
+    """A plan cached under one rewrite engine is never served for another:
+    pipeline, egraph and off requests for the same view each miss cold,
+    and only a repeated same-engine request hits."""
+    searches = _count_searches(monkeypatch)
+    metrics = MetricsRegistry()
+    session = SqlSession(metrics=metrics)
+    session.execute(SCRIPT)
+
+    session.optimize("matAB", rewrites="pipeline")
+    session.optimize("matAB", rewrites="egraph")
+    session.optimize("matAB", rewrites="off")
+    assert metrics.counters["planner.cache.misses"] == 3
+    assert metrics.counters.get("planner.cache.hits", 0) == 0
+    cold_searches = len(searches)
+
+    repeat = session.optimize("matAB", rewrites="egraph")
+    assert metrics.counters["planner.cache.hits"] == 1
+    assert len(searches) == cold_searches
+    assert repeat.profile.cache_hit
+    assert repeat.pipeline is not None
+    assert repeat.pipeline.engine == "egraph"
+
+
 def test_different_views_are_different_requests():
     metrics = MetricsRegistry()
     session = SqlSession(metrics=metrics)

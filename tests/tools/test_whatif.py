@@ -116,7 +116,7 @@ class TestCli:
                      "--target", "1e9"]) == 0
         out = capsys.readouterr().out
         assert "workload attention" in out
-        assert "rewrites=all" in out
+        assert "rewrites=pipeline" in out
         assert "rewrite passes fired:" in out
         assert "smallest cluster meeting" in out
 
@@ -126,8 +126,25 @@ class TestCli:
         assert main(["--workload", "attention", "--workers", "2",
                      "--no-rewrites"]) == 0
         out = capsys.readouterr().out
-        assert "rewrites=none" in out
+        assert "rewrites=off" in out
         assert "rewrite passes fired:" not in out
+
+    def test_rewrites_engine_flag(self, capsys):
+        from repro.tools.whatif import main
+
+        assert main(["--workload", "attention", "--workers", "2",
+                     "--rewrites", "egraph"]) == 0
+        out = capsys.readouterr().out
+        assert "rewrites=egraph" in out
+        assert "saturation:" in out
+        assert "iterations" in out
+
+    def test_rewrites_flag_conflict(self, capsys):
+        from repro.tools.whatif import main
+
+        with pytest.raises(SystemExit):
+            main(["--workload", "attention", "--workers", "2",
+                  "--rewrites", "egraph", "--no-rewrites"])
 
     def test_timeline_flag_renders_gantt(self, capsys):
         from repro.tools.whatif import main
