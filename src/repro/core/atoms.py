@@ -40,6 +40,12 @@ class AtomicOp:
             return None
         return self._type_fn(*in_types)
 
+    def __reduce__(self):
+        # Fused atoms close over locally-built type functions, which do not
+        # pickle; reducing to the name re-interns the atom on the receiving
+        # side (catalog atoms resolve to the same module-level instances).
+        return (atom_by_name, (self.name,))
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
 

@@ -163,7 +163,8 @@ def request_fingerprint(graph: ComputeGraph, rewritten: ComputeGraph,
                         max_states: int | None = None,
                         rewrites: RewriteSpec = "none",
                         prune: bool | None = None,
-                        order: str = "class-size") -> Fingerprint:
+                        order: str = "class-size",
+                        frontier: str = "array") -> Fingerprint:
     """Fingerprint one planning request.
 
     ``rewritten`` is the output of
@@ -189,6 +190,10 @@ def request_fingerprint(graph: ComputeGraph, rewritten: ComputeGraph,
             "rewrites": _rewrites_payload(rewrites),
             "prune": prune,
             "order": order,
+            # The two frontier implementations produce bit-identical plans,
+            # but each request's profile must name the path that ran — so
+            # they cache separately.
+            "frontier": frontier,
         },
     }
     return Fingerprint(_digest(payload),

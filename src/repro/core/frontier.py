@@ -59,6 +59,9 @@ State = tuple[PhysicalFormat, ...]
 #: Accepted values of ``optimize_dag``'s ``order`` parameter.
 ORDERS = ("class-size", "table-size")
 
+#: Accepted values of ``optimize_dag``'s ``frontier`` parameter.
+FRONTIERS = ("array", "object")
+
 #: How many kept (cheaper) states each candidate state is compared against
 #: during dominance pruning.  A cap keeps the prune ``O(table)`` instead of
 #: ``O(table^2)``; it only bounds how *much* is pruned, never correctness.
@@ -110,7 +113,8 @@ class FrontierStats:
         self.phase_seconds[phase] = \
             self.phase_seconds.get(phase, 0.0) + seconds
 
-    def profile(self, algorithm: str = "frontier") -> OptimizerProfile:
+    def profile(self, algorithm: str = "frontier",
+                frontier: str | None = None) -> OptimizerProfile:
         return OptimizerProfile(
             algorithm=algorithm,
             states_explored=self.states_examined,
@@ -119,7 +123,8 @@ class FrontierStats:
             peak_table_size=self.max_table_size,
             max_class_size=self.max_class_size,
             sweep_order=tuple(self.sweep_order),
-            phase_seconds=dict(self.phase_seconds))
+            phase_seconds=dict(self.phase_seconds),
+            frontier=frontier)
 
 
 # ----------------------------------------------------------------------
@@ -253,7 +258,8 @@ def optimize_dag(graph: ComputeGraph, ctx: OptimizerContext,
                  max_states: int | None = None,
                  prune: bool | None = None,
                  order: str = "class-size",
-                 tracer=None) -> Plan:
+                 tracer=None,
+                 frontier: str = "array") -> Plan:
     """Compute the optimal annotation of an arbitrary compute DAG.
 
     ``prune`` enables the lossless dominance prune.  Turning it on or off
@@ -277,11 +283,45 @@ def optimize_dag(graph: ComputeGraph, ctx: OptimizerContext,
     planning time on graphs whose sharing produces large equivalence classes
     (e.g. the 57-vertex FFNN training step).
 
+    ``frontier`` selects the table representation: ``"array"`` (default)
+    runs the vectorized sweep of :mod:`repro.core.frontier_array`;
+    ``"object"`` runs the per-state python implementation in this module.
+    The two are bit-identical — same plans, same costs, same profile
+    counters — which the differential harness asserts; ``"object"`` is kept
+    as the oracle (and for pinpointing miscompares when the array path is
+    ever touched).
+
     ``tracer`` records the search's ``sweep`` and ``reconstruct`` phases as
     nested spans carrying the effort counters (see :mod:`repro.obs.tracer`).
     """
     if order not in ORDERS:
         raise ValueError(f"unknown order {order!r}; expected one of {ORDERS}")
+    if frontier not in FRONTIERS:
+        raise ValueError(f"unknown frontier {frontier!r}; "
+                         f"expected one of {FRONTIERS}")
+    if frontier == "array":
+        from .frontier_array import optimize_dag_array
+        return optimize_dag_array(graph, ctx, stats=stats,
+                                  max_states=max_states, prune=prune,
+                                  order=order, tracer=tracer)
+    return optimize_dag_object(graph, ctx, stats=stats, max_states=max_states,
+                               prune=prune, order=order, tracer=tracer)
+
+
+def optimize_dag_object(graph: ComputeGraph, ctx: OptimizerContext,
+                        stats: FrontierStats | None = None,
+                        max_states: int | None = None,
+                        prune: bool | None = None,
+                        order: str = "class-size",
+                        tracer=None) -> Plan:
+    """The per-state-python-objects implementation (``frontier="object"``).
+
+    The differential oracle: one dict entry per joint state, pairwise
+    dominance comparisons, per-state transformation costing.  Kept
+    deliberately simple — the vectorized path must reproduce its results
+    bit for bit.  Call :func:`optimize_dag`, which validates knobs, rather
+    than this directly.
+    """
     if prune is None:
         prune = max_states is None
     started = time.perf_counter()
@@ -542,7 +582,7 @@ def optimize_dag(graph: ComputeGraph, ctx: OptimizerContext,
     stats.charge_phase("reconstruct", time.perf_counter() - mark)
     elapsed = time.perf_counter() - started
     return make_plan(graph, annotation, ctx, "frontier", elapsed,
-                     profile=stats.profile())
+                     profile=stats.profile(frontier="object"))
 
 
 _MISSING = object()

@@ -34,7 +34,7 @@ from .annotation import Plan
 from .brute import optimize_brute
 from .egraph import saturate_graph
 from .fingerprint import graph_signature
-from .frontier import FrontierStats, optimize_dag
+from .frontier import FRONTIERS, FrontierStats, optimize_dag
 from .graph import ComputeGraph
 from .registry import OptimizerContext
 from .rewrites import PipelineReport, PlanPipeline, RewriteSpec, \
@@ -72,6 +72,7 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
              rewrites: RewriteSpec = "none",
              prune: bool | None = None,
              order: str = "class-size",
+             frontier: str = "array",
              tracer: Tracer | None = None,
              metrics: MetricsRegistry | None = None) -> Plan:
     """Produce the cost-optimal, type-correct annotated plan for ``graph``.
@@ -84,7 +85,11 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
     dominance prune and sweep-order heuristic (see
     :func:`repro.core.frontier.optimize_dag`); neither changes the
     returned plan.  ``prune=None`` (the default) prunes exactly when no
-    beam is active.
+    beam is active.  ``frontier`` selects the frontier algorithm's table
+    representation: ``"array"`` (vectorized, the default) or ``"object"``
+    (the per-state differential oracle) — bit-identical results, different
+    speed.  Unknown values raise ``ValueError`` up front, even when the
+    frontier algorithm would not run for this graph.
 
     ``rewrites`` selects the logical rewrite engine that runs before the
     physical search: ``"pipeline"`` (alias ``"all"``, the default pass
@@ -101,6 +106,9 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; "
                          f"expected one of {ALGORITHMS}")
+    if frontier not in FRONTIERS:
+        raise ValueError(f"unknown frontier {frontier!r}; "
+                         f"expected one of {FRONTIERS}")
     if ctx is None:
         ctx = OptimizerContext()
     ctx = context_for_graph(graph, ctx)
@@ -113,7 +121,7 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
                              algorithm=algorithm,
                              timeout_seconds=timeout_seconds, stats=stats,
                              max_states=max_states, prune=prune, order=order,
-                             tracer=tracer)
+                             frontier=frontier, tracer=tracer)
         span.set(optimizer=plan.optimizer, seconds=plan.total_seconds)
 
     record_optimize_metrics(plan, metrics)
@@ -153,6 +161,7 @@ def physical_plan(graph: ComputeGraph, rewritten: ComputeGraph,
                   max_states: int | None = None,
                   prune: bool | None = None,
                   order: str = "class-size",
+                  frontier: str = "array",
                   tracer: Tracer = NULL_TRACER) -> Plan:
     """Stage 2 + never-worse fallback over one rewritten graph.
 
@@ -172,7 +181,7 @@ def physical_plan(graph: ComputeGraph, rewritten: ComputeGraph,
     """
     plan = _optimize_physical(rewritten, ctx, algorithm,
                               timeout_seconds, stats, max_states,
-                              prune, order, tracer)
+                              prune, order, frontier, tracer)
     if report is not None and report.total_rewrites > 0:
         signature = graph_signature(rewritten)[0]
         if report.engine == "egraph":
@@ -181,7 +190,7 @@ def physical_plan(graph: ComputeGraph, rewritten: ComputeGraph,
             if graph_signature(pipe_graph)[0] != signature:
                 pipe_plan = _optimize_physical(
                     pipe_graph, ctx, algorithm, timeout_seconds, stats,
-                    max_states, prune, order, tracer)
+                    max_states, prune, order, frontier, tracer)
                 if pipe_plan.total_seconds < plan.total_seconds:
                     plan = pipe_plan
                     report = dataclasses.replace(
@@ -190,7 +199,7 @@ def physical_plan(graph: ComputeGraph, rewritten: ComputeGraph,
         if graph_signature(graph)[0] != signature:
             plain = _optimize_physical(graph, ctx, algorithm,
                                        timeout_seconds, stats, max_states,
-                                       prune, order, tracer)
+                                       prune, order, frontier, tracer)
             if plain.total_seconds < plan.total_seconds:
                 plan = plain
                 report = dataclasses.replace(report, adopted=False,
@@ -239,6 +248,7 @@ def _optimize_physical(graph: ComputeGraph, ctx: OptimizerContext,
                        max_states: int | None,
                        prune: bool | None = None,
                        order: str = "class-size",
+                       frontier: str = "array",
                        tracer: Tracer = NULL_TRACER) -> Plan:
     """Stage 2: physical search over one (possibly rewritten) graph."""
     if algorithm == "auto":
@@ -250,7 +260,8 @@ def _optimize_physical(graph: ComputeGraph, ctx: OptimizerContext,
         elif algorithm == "frontier":
             plan = optimize_dag(graph, ctx, stats=stats,
                                 max_states=max_states, prune=prune,
-                                order=order, tracer=tracer)
+                                order=order, tracer=tracer,
+                                frontier=frontier)
         else:
             plan = optimize_brute(graph, ctx,
                                   timeout_seconds=timeout_seconds)

@@ -37,6 +37,11 @@ class OptimizerProfile:
     #: :class:`repro.service.PlanCache` rather than searched afresh.  The
     #: counters above then describe the original cold run.
     cache_hit: bool = False
+    #: Which frontier-table implementation ran (``"array"`` / ``"object"``),
+    #: or None for non-frontier searches.  The two implementations report
+    #: identical state counters; only this tag and the wall-clock phase
+    #: timings tell them apart.
+    frontier: str | None = None
 
     def to_dict(self) -> dict:
         """JSON-compatible payload; inverse of :meth:`from_dict`."""
@@ -50,6 +55,7 @@ class OptimizerProfile:
             "sweep_order": list(self.sweep_order),
             "phase_seconds": dict(self.phase_seconds),
             "cache_hit": self.cache_hit,
+            "frontier": self.frontier,
         }
 
     @classmethod
@@ -64,6 +70,7 @@ class OptimizerProfile:
             sweep_order=tuple(payload.get("sweep_order", ())),
             phase_seconds=dict(payload.get("phase_seconds", {})),
             cache_hit=payload.get("cache_hit", False),
+            frontier=payload.get("frontier"),
         )
 
     def record(self, metrics) -> None:
@@ -77,12 +84,16 @@ class OptimizerProfile:
         metrics.count("optimizer.states_beamed", self.states_beamed)
         metrics.gauge("optimizer.peak_table_size", self.peak_table_size)
         metrics.gauge("optimizer.max_class_size", self.max_class_size)
+        if self.frontier is not None:
+            metrics.count(f"optimizer.frontier.{self.frontier}_runs")
 
     def describe(self) -> str:
         """Multi-line human-readable rendering."""
         served = " [served from plan cache]" if self.cache_hit else ""
+        algo = self.algorithm if self.frontier is None \
+            else f"{self.algorithm}/{self.frontier}"
         lines = [
-            f"optimizer profile ({self.algorithm}){served}: "
+            f"optimizer profile ({algo}){served}: "
             f"{self.states_explored} states explored, "
             f"{self.states_pruned} dominance-pruned, "
             f"{self.states_beamed} beam-dropped",

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..cost.features import CostFeatures
 from ..cost.model import CostModel, CostWeights, DEFAULT_WEIGHTS
 from ..cluster import DEFAULT_CLUSTER, ClusterConfig
@@ -26,7 +28,12 @@ from .implementations import (
     OpImplementation,
     fused_implementations,
 )
-from .transforms import DEFAULT_TRANSFORMS, FormatTransform, find_transform
+from .transforms import (
+    DEFAULT_TRANSFORMS,
+    FormatTransform,
+    find_transform,
+    transform_cost_table,
+)
 from .types import MatrixType
 
 #: (implementation, output format, features, cost-in-seconds)
@@ -53,6 +60,7 @@ class OptimizerContext:
         self.cost_model = CostModel(self.cluster, self.weights)
         self._impl_cache: dict = {}
         self._transform_cache: dict = {}
+        self._transform_vec_cache: dict = {}
         self._impls_by_op: dict[AtomicOp, tuple[OpImplementation, ...]] = {}
 
     # ------------------------------------------------------------------
@@ -124,6 +132,36 @@ class OptimizerContext:
         if choice is None:
             return None
         return choice[2] if self.charge_transforms else 0.0
+
+    def transform_cost_vector(
+        self,
+        mtype: MatrixType,
+        srcs: tuple[PhysicalFormat, ...],
+        dst: PhysicalFormat,
+    ) -> np.ndarray:
+        """Batched :meth:`search_transform_cost` over many source formats.
+
+        Returns a read-only float64 array: entry ``i`` equals
+        ``search_transform_cost(mtype, srcs[i], dst)`` with ``None`` encoded
+        as ``inf`` (so infeasible states fall out of a vectorized
+        ``isfinite`` mask).  Costs come from one batched cost-model
+        evaluation (:func:`repro.core.transforms.transform_cost_table`) and
+        are bit-identical to the scalar path's.  Memoized per
+        ``(mtype, srcs, dst)`` — the vectorized frontier asks once per
+        (class slot, needed format) pair per sweep.
+        """
+        key = (mtype, srcs, dst)
+        cached = self._transform_vec_cache.get(key)
+        if cached is None:
+            costs = transform_cost_table(
+                mtype, srcs, dst, self.cluster, self.transforms,
+                batch_cost=self.cost_model.batch_seconds)
+            cached = np.array(costs, dtype=np.float64)
+            if not self.charge_transforms:
+                cached[np.isfinite(cached)] = 0.0
+            cached.setflags(write=False)
+            self._transform_vec_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def output_candidates(

@@ -18,6 +18,7 @@ mirroring the paper's problem definition.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from typing import Sequence
 
@@ -351,3 +352,53 @@ def find_transform(
         if cost < best_cost:
             best, best_cost = (transform, feats), cost
     return best
+
+
+def transform_cost_table(
+    mtype: MatrixType,
+    srcs: Sequence[PhysicalFormat],
+    dst: PhysicalFormat,
+    cluster: ClusterConfig,
+    catalog: Sequence[FormatTransform] = DEFAULT_TRANSFORMS,
+    batch_cost: "callable | None" = None,
+) -> "list[float]":
+    """Cheapest-transformation cost from each of ``srcs`` to ``dst``.
+
+    The array-oriented counterpart of :func:`find_transform`, used by the
+    vectorized frontier: instead of costing one ``(src, dst)`` pair at a
+    time, every applicable ``(catalog entry, src)`` pair is costed in one
+    batched cost-model evaluation (``batch_cost`` maps a list of
+    :class:`CostFeatures` to an array of seconds — pass
+    :meth:`repro.cost.CostModel.batch_seconds`).
+
+    Returns one cost per source format, ``math.inf`` where no catalog entry
+    applies or every applicable entry is infeasible — exactly the cases
+    where :func:`find_transform` (with the same cost function) returns
+    ``None`` or an infeasible winner.  Selection uses the same strict-``<``
+    first-wins rule over the same catalog order, so the returned minima are
+    bit-identical to the scalar path's.
+    """
+    n = len(srcs)
+    costs = [math.inf] * n
+    if not dst.admits(mtype):
+        return costs
+    feats: list[CostFeatures] = []
+    owner: list[int] = []
+    for i, src in enumerate(srcs):
+        if not src.admits(mtype):
+            continue
+        for transform in catalog:
+            if transform.can_convert(mtype, src, dst):
+                feats.append(transform.features(mtype, src, dst, cluster))
+                owner.append(i)
+    if not feats:
+        return costs
+    if batch_cost is not None:
+        seconds = batch_cost(feats)
+    else:
+        seconds = [f.network_bytes + f.intermediate_bytes + f.flops
+                   for f in feats]
+    for i, cost in zip(owner, seconds):
+        if cost < costs[i]:
+            costs[i] = float(cost)
+    return costs

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..cluster import ClusterConfig
 from .features import CostFeatures
@@ -85,3 +88,42 @@ class CostModel:
         parts = self.normalized(features)
         w = self.weights.as_vector()
         return sum(p * wi for p, wi in zip(parts, w))
+
+    # ------------------------------------------------------------------
+    def batch_seconds(self, features: Sequence[CostFeatures]) -> np.ndarray:
+        """Vectorized :meth:`seconds` over many feature rows.
+
+        Returns a ``float64`` array with ``out[i] == seconds(features[i])``
+        **bit for bit**: the per-feature normalizations and the weighted sum
+        are evaluated with the same IEEE-754 operations in the same order as
+        the scalar path (one division per feature, then products accumulated
+        left to right starting from ``+0.0``), so the vectorized frontier can
+        use these costs interchangeably with memoized scalar ones.
+        """
+        n = len(features)
+        out = np.zeros(n, dtype=np.float64)
+        if n == 0:
+            return out
+        c = self.cluster
+        cols = np.empty((7, n), dtype=np.float64)
+        for i, f in enumerate(features):
+            cols[0, i] = f.flops
+            cols[1, i] = f.network_bytes
+            cols[2, i] = f.intermediate_bytes
+            cols[3, i] = f.tuples
+            cols[4, i] = c.stage_latency_seconds \
+                if self._is_nonempty(f) else 0.0
+            cols[5, i] = f.max_worker_bytes
+            cols[6, i] = f.spill_bytes
+        parts = (
+            cols[0] / c.total_flops_per_sec,
+            cols[1] / c.aggregate_network_bytes_per_sec,
+            cols[2] / (c.num_workers * c.memory_bytes_per_sec),
+            cols[3] * c.per_tuple_seconds / c.num_workers,
+            cols[4],
+        )
+        for p, wi in zip(parts, self.weights.as_vector()):
+            out += p * wi
+        infeasible = (cols[5] > c.ram_bytes) | (cols[6] > c.disk_bytes)
+        out[infeasible] = INFEASIBLE
+        return out

@@ -72,12 +72,16 @@ from .recovery import (
 from .relation import Relation, RelationalEngine, payload_bytes
 from .reopt import AdaptiveResult, execute_adaptive
 from .scheduler import (
+    SCHEDULERS,
     ExecutionState,
+    ProcessPoolScheduler,
     Scheduler,
     SequentialScheduler,
     ThreadPoolScheduler,
+    resolve_scheduler,
 )
-from .stages import OpStage, StageGraph, StageNode, TransformStage, lower
+from .stages import BoundKernel, OpStage, StageGraph, StageNode, \
+    TransformStage, lower
 from .storage import StoredMatrix, assemble, convert, infer_format, split, \
     store_as
 from .trace import ScheduledStage, Timeline, schedule, timeline_of
@@ -103,9 +107,10 @@ __all__ = [
     "execute_robust", "plan_context", "simulate_robust",
     "Relation", "RelationalEngine", "payload_bytes",
     "AdaptiveResult", "execute_adaptive",
-    "ExecutionState", "Scheduler", "SequentialScheduler",
-    "ThreadPoolScheduler",
-    "OpStage", "StageGraph", "StageNode", "TransformStage", "lower",
+    "SCHEDULERS", "ExecutionState", "ProcessPoolScheduler", "Scheduler",
+    "SequentialScheduler", "ThreadPoolScheduler", "resolve_scheduler",
+    "BoundKernel", "OpStage", "StageGraph", "StageNode", "TransformStage",
+    "lower",
     "StoredMatrix", "assemble", "convert", "infer_format", "split",
     "store_as",
     "ScheduledStage", "Timeline", "schedule", "timeline_of",

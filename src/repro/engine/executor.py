@@ -40,7 +40,7 @@ from .recovery import (
     RecoveryStats,
     SpeculationPolicy,
 )
-from .scheduler import ExecutionState, Scheduler, SequentialScheduler
+from .scheduler import ExecutionState, Scheduler, resolve_scheduler
 from .stages import lower
 from .storage import assemble
 
@@ -168,9 +168,13 @@ class Executor:
     """Executes one annotated plan on real numpy inputs.
 
     The plan is lowered to a :class:`~repro.engine.stages.StageGraph` and
-    handed to ``scheduler`` (sequential by default; pass a
-    :class:`~repro.engine.scheduler.ThreadPoolScheduler` to overlap
-    independent stages — ledger totals are bit-identical either way).
+    handed to ``scheduler`` — sequential by default; pass a
+    :class:`~repro.engine.scheduler.ThreadPoolScheduler` /
+    :class:`~repro.engine.scheduler.ProcessPoolScheduler` instance or one
+    of the knob strings ``"sequential"``, ``"thread-pool"``,
+    ``"process-pool"`` to overlap independent stages — results and ledger
+    totals are bit-identical either way.  Unknown knob values raise
+    ``ValueError`` at construction time.
 
     ``faults`` attaches a fault source (a :class:`FaultConfig`,
     :class:`FaultPlan` or prebuilt :class:`FaultInjector`); injected faults
@@ -182,7 +186,7 @@ class Executor:
     def __init__(self, plan: Plan, ctx: OptimizerContext,
                  faults: FaultSource = None,
                  recovery: RecoveryPolicy | None = None,
-                 scheduler: Scheduler | None = None,
+                 scheduler: Scheduler | str | None = None,
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
                  speculation: SpeculationPolicy | None = None,
@@ -193,8 +197,7 @@ class Executor:
         self.ledger = TrafficLedger(ctx.cluster, ctx.weights)
         self.recovery = recovery if recovery is not None else DEFAULT_RECOVERY
         self.injector = as_injector(faults, ctx.cluster.num_workers)
-        self.scheduler = scheduler if scheduler is not None \
-            else SequentialScheduler()
+        self.scheduler = resolve_scheduler(scheduler)
         self.tracer = as_tracer(tracer)
         self.metrics = metrics
         #: Stage-level speculative straggler mitigation; ``drift_hint`` is
@@ -267,7 +270,7 @@ def execute_plan(plan: Plan, inputs: dict[str, np.ndarray],
                  ctx: OptimizerContext,
                  faults: FaultSource = None,
                  recovery: RecoveryPolicy | None = None,
-                 scheduler: Scheduler | None = None,
+                 scheduler: Scheduler | str | None = None,
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
                  speculation: SpeculationPolicy | None = None,

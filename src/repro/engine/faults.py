@@ -63,6 +63,9 @@ class WorkerCrash(InjectedFault):
         super().__init__(stage, f"worker {worker} crashed")
         self.worker = worker
 
+    def __reduce__(self):
+        return (WorkerCrash, (self.stage, self.worker))
+
 
 class TransientShuffleError(InjectedFault):
     """A shuffle/network fetch failed (lost block, dropped connection)."""
@@ -71,6 +74,9 @@ class TransientShuffleError(InjectedFault):
 
     def __init__(self, stage: str) -> None:
         super().__init__(stage, "shuffle fetch failed")
+
+    def __reduce__(self):
+        return (TransientShuffleError, (self.stage,))
 
 
 @dataclass(frozen=True)
@@ -195,6 +201,45 @@ class FaultInjector:
         self._faults_at: dict[str, int] = {}
         self._fired: set[int] = set()
         self.events: list[FaultEvent] = []
+
+    def __getstate__(self) -> dict:
+        """Pickle support (process-pool scheduling): everything but the
+        lock travels — the counts *are* the RNG state, so a child process
+        restoring this state sees exactly the draws the parent would."""
+        with self._lock:
+            state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def absorb(self, cursor: dict, base_events: int = 0) -> None:
+        """Fold a child process's injector advance back into this one.
+
+        ``cursor`` is the child's :meth:`cursor` snapshot after running one
+        stage.  Per-stage-name counters take the maximum — each stage's
+        injector names are touched only by that stage (kernel entry names
+        are prefixed with the vertex name), so counts only ever grow and
+        concurrent children advance disjoint keys.  Fired scheduled-fault
+        indexes union, and events past ``base_events`` (the parent's event
+        count when the child was dispatched) are appended; callers absorb
+        outcomes in stage-id order so the merged event log matches the
+        sequential scheduler's.
+        """
+        with self._lock:
+            for name, count in cursor["invocations"].items():
+                if count > self._invocations.get(name, 0):
+                    self._invocations[name] = count
+            for name, count in cursor["faults_at"].items():
+                if count > self._faults_at.get(name, 0):
+                    self._faults_at[name] = count
+            self._fired.update(cursor["fired"])
+            for e in cursor["events"][base_events:]:
+                self.events.append(FaultEvent(
+                    e["stage"], FaultKind(e["kind"]), e["occurrence"],
+                    e["worker"], e["slowdown"]))
 
     def _derived_rng(self, purpose: str, stage: str,
                      occurrence: int) -> random.Random:

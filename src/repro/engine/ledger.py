@@ -24,6 +24,12 @@ class EngineFailure(RuntimeError):
         self.stage = stage
         self.reason = reason
 
+    def __reduce__(self):
+        # Exceptions default to pickling by ``args``, which here is the
+        # formatted message — reconstruct from the real fields instead so
+        # failures cross process boundaries intact.
+        return (EngineFailure, (self.stage, self.reason))
+
 
 #: Stage categories: productive work vs. fault-tolerance overheads.
 WORK = "work"

@@ -144,6 +144,10 @@ class FaultRetriesExhausted(EngineFailure):
         self.retries = retries
         self.last_fault = last
 
+    def __reduce__(self):
+        return (FaultRetriesExhausted,
+                (self.stage, self.retries, self.last_fault))
+
 
 @dataclass
 class RecoveryStats:

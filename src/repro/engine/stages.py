@@ -197,16 +197,26 @@ class StageGraph:
                             makespan)
 
 
-def _bind_thunk(v, impl: OpImplementation, out_fmt: PhysicalFormat) -> OpThunk:
-    """Close over the vertex's choices; the kernel dispatch lives in
-    :mod:`repro.engine.opkernels`."""
-    from .opkernels import execute_op
+@dataclass(frozen=True)
+class BoundKernel:
+    """A picklable bound kernel: one vertex's chosen implementation.
 
-    def thunk(engine: "RelationalEngine",
-              args: list["StoredMatrix"]) -> "StoredMatrix":
-        return execute_op(engine, v, impl, args, out_fmt)
+    Replaces the old ``_bind_thunk`` closure so stage graphs can cross
+    process boundaries (the
+    :class:`~repro.engine.scheduler.ProcessPoolScheduler` ships stages to
+    worker processes by pickle).  The kernel dispatch itself lives in
+    :mod:`repro.engine.opkernels`.
+    """
 
-    return thunk
+    vertex: Any
+    impl: OpImplementation
+    out_fmt: PhysicalFormat
+
+    def __call__(self, engine: "RelationalEngine",
+                 args: list["StoredMatrix"]) -> "StoredMatrix":
+        from .opkernels import execute_op
+
+        return execute_op(engine, self.vertex, self.impl, args, self.out_fmt)
 
 
 def lower(plan: Plan, ctx: OptimizerContext,
@@ -283,7 +293,7 @@ def _lower(plan: Plan, ctx: OptimizerContext) -> StageGraph:
             deps=tuple(op_deps), features=feats,
             seconds=ctx.cost_model.seconds(feats),
             impl=impl, out_fmt=out_fmt, args=tuple(arg_refs),
-            thunk=_bind_thunk(v, impl, out_fmt)))
+            thunk=BoundKernel(v, impl, out_fmt)))
         op_stage_of[vid] = sid
 
     return StageGraph(plan=plan, stages=tuple(stages),

@@ -503,6 +503,7 @@ from .plan_cache import PLAN_CACHE_EXPERIMENTS  # noqa: E402 (registry tail)
 from .rewrites import REWRITE_EXPERIMENTS  # noqa: E402 (registry tail)
 from .robustness import ROBUSTNESS_EXPERIMENTS  # noqa: E402 (registry tail)
 from .scheduling import SCHEDULING_EXPERIMENTS  # noqa: E402 (registry tail)
+from .vectorized import VECTORIZED_EXPERIMENTS  # noqa: E402 (registry tail)
 
 EXPERIMENTS = {
     "fig01": fig01,
@@ -525,4 +526,5 @@ EXPERIMENTS = {
     **REWRITE_EXPERIMENTS,
     **ROBUSTNESS_EXPERIMENTS,
     **SCHEDULING_EXPERIMENTS,
+    **VECTORIZED_EXPERIMENTS,
 }

@@ -1,0 +1,116 @@
+"""Vectorized-frontier ablation: numpy cost tables vs per-state objects.
+
+``ext_vectorized_frontier`` re-runs the ``ext_optimizer_scaling`` sweep —
+exact pruned frontier search over the ``wide_shared_dag`` family, same
+four-format catalog — once per frontier-table implementation
+(``frontier="array"`` vs ``frontier="object"``) and reports wall time,
+state counts and the speedup.  The two implementations are bit-identical
+by construction (the differential suite proves it); this experiment
+quantifies what the vectorization buys.
+
+:func:`write_benchmark` condenses the sweep into the repo-root
+``BENCH_vectorized.json`` so the speedup is tracked across PRs; the
+perf-marked CI gate fails if the array path drops below 2x the object
+path at width 5.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..core.formats import row_strips, single, tiles
+from ..core.frontier import FrontierStats, optimize_dag
+from ..core.registry import OptimizerContext
+from ..workloads import wide_shared_dag
+from .harness import ExperimentTable
+
+#: The PR-4 scaling sweep's catalog, unchanged so speedups are comparable.
+CATALOG = (single(), tiles(1000), tiles(2000), row_strips(1000))
+
+WIDTHS = (2, 3, 4, 5)
+
+
+def _timed(graph, frontier: str):
+    stats = FrontierStats()
+    ctx = OptimizerContext(formats=CATALOG)
+    t0 = time.perf_counter()
+    plan = optimize_dag(graph, ctx, stats=stats, prune=True,
+                        frontier=frontier)
+    return plan, stats, time.perf_counter() - t0
+
+
+def vectorized_benchmark(widths=WIDTHS) -> dict:
+    """The numbers tracked in the repo-root ``BENCH_vectorized.json``."""
+    rows = {}
+    for width in widths:
+        graph = wide_shared_dag(width, width)
+        a_plan, a_stats, a_wall = _timed(graph, "array")
+        o_plan, o_stats, o_wall = _timed(graph, "object")
+        if a_plan.total_seconds != o_plan.total_seconds:
+            raise RuntimeError(
+                f"width {width}: array plan cost ({a_plan.total_seconds}) "
+                f"!= object plan cost ({o_plan.total_seconds}) — the "
+                "vectorized frontier is no longer bit-identical")
+        if (a_stats.states_examined, a_stats.states_pruned,
+                a_stats.max_table_size) != \
+                (o_stats.states_examined, o_stats.states_pruned,
+                 o_stats.max_table_size):
+            raise RuntimeError(
+                f"width {width}: array/object search-effort counters "
+                "diverged — the vectorized frontier walks a different "
+                "search")
+        rows[f"width{width}"] = {
+            "vertices": len(graph),
+            "plan_cost_seconds": round(a_plan.total_seconds, 4),
+            "states_examined": a_stats.states_examined,
+            "states_pruned": a_stats.states_pruned,
+            "peak_table_size": a_stats.max_table_size,
+            "array_wall_seconds": round(a_wall, 3),
+            "object_wall_seconds": round(o_wall, 3),
+            "speedup": round(o_wall / a_wall, 2) if a_wall else None,
+        }
+    return {
+        "catalog_formats": len(CATALOG),
+        "workload": "wide_shared_dag(width, width)",
+        "widths": rows,
+    }
+
+
+def ext_vectorized_frontier() -> ExperimentTable:
+    """Array vs object frontier tables on the scaling sweep."""
+    data = vectorized_benchmark()
+    table = ExperimentTable(
+        "ext_vectorized_frontier",
+        "Exact pruned frontier search with numpy cost tables vs per-state "
+        "objects (identical plans and state counts; wall clock only)",
+        ["width", "vertices", "array", "object", "speedup",
+         "peak table", "plan cost"])
+    for width in WIDTHS:
+        row = data["widths"][f"width{width}"]
+        table.add_row(
+            str(width), str(row["vertices"]),
+            f"{row['array_wall_seconds']:.2f}s",
+            f"{row['object_wall_seconds']:.2f}s",
+            f"{row['speedup']:.1f}x",
+            str(row["peak_table_size"]),
+            f"{row['plan_cost_seconds']:.2f}s")
+        table.add_note(
+            f"width {width}: both paths examined "
+            f"{row['states_examined']} states "
+            f"({row['states_pruned']} dominance-pruned)")
+    return table
+
+
+def write_benchmark(path: str) -> dict:
+    """Write :func:`vectorized_benchmark` to ``path`` as stable JSON."""
+    data = vectorized_benchmark()
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return data
+
+
+VECTORIZED_EXPERIMENTS = {
+    "ext_vectorized_frontier": ext_vectorized_frontier,
+}

@@ -32,6 +32,7 @@ import time
 from ..core.annotation import Plan
 from ..core.fingerprint import Fingerprint, request_fingerprint
 from ..core.graph import ComputeGraph
+from ..core.frontier import FRONTIERS
 from ..core.optimizer import (ALGORITHMS, context_for_graph, physical_plan,
                               record_optimize_metrics, rewrite_stage)
 from ..core.profile import OptimizerProfile
@@ -82,7 +83,8 @@ class PlannerService:
                  max_states: int | None = None,
                  rewrites: RewriteSpec = "none",
                  prune: bool | None = None,
-                 order: str = "class-size") -> Plan:
+                 order: str = "class-size",
+                 frontier: str = "array") -> Plan:
         """Plan ``graph``, serving from the cache when possible.
 
         Accepts the same knobs as :func:`repro.core.optimizer.optimize`
@@ -95,6 +97,9 @@ class PlannerService:
         if algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {algorithm!r}; "
                              f"expected one of {ALGORITHMS}")
+        if frontier not in FRONTIERS:
+            raise ValueError(f"unknown frontier {frontier!r}; "
+                             f"expected one of {FRONTIERS}")
         ctx = self.resolve_context(graph, ctx)
         with self.tracer.span("optimize", kind="optimize",
                               algorithm=algorithm,
@@ -104,7 +109,8 @@ class PlannerService:
             fp = request_fingerprint(
                 graph, rewritten, ctx, algorithm=algorithm,
                 timeout_seconds=timeout_seconds, max_states=max_states,
-                rewrites=rewrites, prune=prune, order=order)
+                rewrites=rewrites, prune=prune, order=order,
+                frontier=frontier)
             span.set(fingerprint=fp.short())
             self._count("planner.requests")
             self.requests += 1
@@ -126,7 +132,8 @@ class PlannerService:
                                      algorithm=algorithm,
                                      timeout_seconds=timeout_seconds,
                                      max_states=max_states, prune=prune,
-                                     order=order, tracer=self.tracer)
+                                     order=order, frontier=frontier,
+                                     tracer=self.tracer)
                 elapsed = time.perf_counter() - started
                 evicted = self.cache.put(fp, plan, optimize_seconds=elapsed)
                 with self._metrics_lock:

@@ -42,6 +42,7 @@ def sweep_workers(
     workers: Sequence[int],
     max_states: int | None = 1000,
     rewrites: str | Sequence[str] = "none",
+    frontier: str = "array",
     tracer=None,
     planner: PlannerService | None = None,
 ) -> list[SweepPoint]:
@@ -52,7 +53,9 @@ def sweep_workers(
     :class:`~repro.service.PlannerService` — pass ``planner`` to share
     one across sweeps (each (workload, cluster size) point is cached, so
     overlapping sweeps and previews re-use plans); otherwise a throwaway
-    service is created.  With a ``tracer``, each point records a
+    service is created.  ``frontier`` picks the frontier-table
+    implementation (``"array"``/``"object"`` — identical plans, different
+    planning speed).  With a ``tracer``, each point records a
     ``sweep-point`` span with the nested ``optimize`` span tree inside it.
     """
     from ..obs.tracer import as_tracer
@@ -67,7 +70,8 @@ def sweep_workers(
                          workers=count) as span:
             try:
                 plan = planner.optimize(graph, ctx, max_states=max_states,
-                                        rewrites=rewrites)
+                                        rewrites=rewrites,
+                                        frontier=frontier)
                 seconds = plan.total_seconds
             except Exception:
                 plan = None
@@ -84,6 +88,7 @@ def recommend_workers(
     candidates: Sequence[int] = (2, 5, 10, 20, 40, 80),
     max_states: int | None = 1000,
     rewrites: str | Sequence[str] = "none",
+    frontier: str = "array",
     planner: PlannerService | None = None,
 ) -> SweepPoint | None:
     """Smallest candidate cluster whose optimized plan meets the target.
@@ -93,7 +98,7 @@ def recommend_workers(
     """
     for point in sweep_workers(graph, profile, sorted(candidates),
                                max_states=max_states, rewrites=rewrites,
-                               planner=planner):
+                               frontier=frontier, planner=planner):
         if point.feasible and point.seconds <= target_seconds:
             return point
     return None
@@ -115,6 +120,7 @@ def format_family_contributions(
     catalog: tuple[PhysicalFormat, ...] = DEFAULT_FORMATS,
     max_states: int | None = 1000,
     rewrites: str | Sequence[str] = "none",
+    frontier: str = "array",
     planner: PlannerService | None = None,
 ) -> tuple[float, list[FormatContribution]]:
     """How much each format family matters for this computation.
@@ -129,7 +135,7 @@ def format_family_contributions(
         planner = PlannerService()
     base_ctx = OptimizerContext(cluster=cluster, formats=catalog)
     base = planner.optimize(graph, base_ctx, max_states=max_states,
-                            rewrites=rewrites)
+                            rewrites=rewrites, frontier=frontier)
     protected = {s.format.layout for s in graph.sources}
 
     contributions = []
@@ -140,7 +146,7 @@ def format_family_contributions(
         ctx = OptimizerContext(cluster=cluster, formats=subset)
         try:
             plan = planner.optimize(graph, ctx, max_states=max_states,
-                                    rewrites=rewrites)
+                                    rewrites=rewrites, frontier=frontier)
             seconds = plan.total_seconds
             slowdown = seconds / base.total_seconds
         except Exception:
@@ -174,6 +180,7 @@ def chaos_preview(
     workers: Sequence[int],
     max_states: int | None = 1000,
     rewrites: str | Sequence[str] = "none",
+    frontier: str = "array",
     planner: PlannerService | None = None,
 ) -> list[ChaosPreviewPoint]:
     """What losing one worker costs, before it happens.
@@ -197,8 +204,8 @@ def chaos_preview(
             ctx = OptimizerContext(cluster=profile(n))
             try:
                 seconds.append(planner.optimize(
-                    graph, ctx, max_states=max_states,
-                    rewrites=rewrites).total_seconds)
+                    graph, ctx, max_states=max_states, rewrites=rewrites,
+                    frontier=frontier).total_seconds)
             except Exception:
                 seconds.append(math.inf)
         points.append(ChaosPreviewPoint(count, seconds[0], seconds[1]))
@@ -299,6 +306,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "the shared rule table, or off")
     parser.add_argument("--no-rewrites", action="store_true",
                         help="legacy alias for --rewrites off")
+    parser.add_argument("--frontier", choices=("array", "object"),
+                        default="array",
+                        help="frontier-table implementation: vectorized "
+                             "numpy tables (default) or the per-state "
+                             "object oracle — identical plans, different "
+                             "planning speed")
     parser.add_argument("--profile", action="store_true",
                         help="print the optimizer search-effort profile "
                              "(states explored/pruned, table sizes, phase "
@@ -340,7 +353,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     service = PlannerService(tracer=tracer)
     points = sweep_workers(graph, DEFAULT_CLUSTER.with_workers, counts,
                            max_states=max_states, rewrites=rewrites,
-                           tracer=tracer, planner=service)
+                           frontier=args.frontier, tracer=tracer,
+                           planner=service)
     print(f"workload {args.workload}: {len(graph)} vertices, "
           f"rewrites={rewrites}")
     print(render_sweep(points))
@@ -378,7 +392,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.chaos:
         preview = chaos_preview(graph, DEFAULT_CLUSTER.with_workers, counts,
                                 max_states=max_states, rewrites=rewrites,
-                                planner=service)
+                                frontier=args.frontier, planner=service)
         if preview:
             print("chaos preview (one worker lost, plan re-optimized):")
             print(render_chaos_preview(preview))
@@ -389,7 +403,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         best = recommend_workers(graph, DEFAULT_CLUSTER.with_workers,
                                  args.target, counts,
                                  max_states=max_states, rewrites=rewrites,
-                                 planner=service)
+                                 frontier=args.frontier, planner=service)
         if best is None:
             print(f"no swept cluster meets {args.target:.1f}s")
         else:

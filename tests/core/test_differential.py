@@ -24,10 +24,28 @@ from repro.core.atoms import (
     TRANSPOSE,
 )
 from repro.core.brute import optimize_brute
-from repro.core.formats import row_strips, single, tiles
-from repro.core.frontier import FrontierStats, optimize_dag
+from repro.core.formats import col_strips, row_strips, single, tiles
+from repro.core.frontier import ORDERS, FrontierStats, optimize_dag
 from repro.core.tree_dp import optimize_tree
-from repro.workloads import wide_shared_dag
+from repro.workloads import (
+    AttentionConfig,
+    FFNNConfig,
+    attention_graph,
+    dag1_graph,
+    dag2_graph,
+    ffnn_backprop_to_w2,
+    ffnn_forward,
+    ffnn_full_step,
+    linear_regression,
+    logistic_regression_step,
+    mm_chain_graph,
+    motivating_graph,
+    power_iteration,
+    ridge_gradient_descent,
+    tree_graph,
+    two_level_inverse_graph,
+    wide_shared_dag,
+)
 
 #: Three formats keep the brute-force oracle fast enough to run hundreds of
 #: differential cases while still exercising transformation choices.
@@ -146,6 +164,104 @@ class TestPruneIsLossless:
                     plain_stats.states_examined
                 return  # found and verified an un-pruned run
         pytest.skip("every seed triggered at least one prune")
+
+
+#: Reduced catalog that keeps the object-table oracle tractable on the
+#: 45-vertex inverse graph (mirrors the pruning-invariant suite).
+FAMILY_CATALOG = (single(), tiles(1000), row_strips(1000), col_strips(1000))
+
+#: The 14 workload families shipped in ``src/repro/workloads``.
+FAMILIES = {
+    "ffnn_forward": lambda: ffnn_forward(FFNNConfig(hidden=8000)),
+    "ffnn_backprop": lambda: ffnn_backprop_to_w2(FFNNConfig(hidden=8000)),
+    "attention": lambda: attention_graph(AttentionConfig()),
+    "inverse": two_level_inverse_graph,
+    "motivating": motivating_graph,
+    "mm_chain_set1": lambda: mm_chain_graph(1),
+    "dag1_scale2": lambda: dag1_graph(2),
+    "dag2_scale2": lambda: dag2_graph(2),
+    "tree_scale2": lambda: tree_graph(2),
+    "wide_shared": lambda: wide_shared_dag(3, 3),
+    "ml_linear_regression": lambda: linear_regression(4000, 500).graph,
+    "ml_logistic_regression":
+        lambda: logistic_regression_step(4000, 500).graph,
+    "ml_ridge_gd": lambda: ridge_gradient_descent(4000, 500).graph,
+    "ml_power_iteration": lambda: power_iteration(3000).graph,
+}
+
+#: The paper-figure golden workloads (the plan-cache experiment's trio).
+GOLDENS = {
+    "fig05_ffnn": lambda: ffnn_full_step(FFNNConfig(hidden=80_000)),
+    "fig09_inverse": two_level_inverse_graph,
+    "fig10_mm_chain": lambda: mm_chain_graph(1),
+}
+
+
+def _assert_array_matches_object(graph, ctx, **kwargs):
+    """Run both frontier-table implementations; everything must be
+    bit-identical: the plan (exact ``==`` on cost, no tolerance), the
+    search-effort counters, and the attached profile."""
+    runs = {}
+    for frontier in ("array", "object"):
+        stats = FrontierStats()
+        plan = optimize_dag(graph, ctx, stats=stats, frontier=frontier,
+                            **kwargs)
+        runs[frontier] = (plan, stats)
+    (a_plan, a_stats), (o_plan, o_stats) = runs["array"], runs["object"]
+    assert a_plan.total_seconds == o_plan.total_seconds  # exact, not approx
+    assert a_plan.cost.vertex_formats == o_plan.cost.vertex_formats
+    assert a_plan.annotation.impls == o_plan.annotation.impls
+    assert a_plan.annotation.transforms == o_plan.annotation.transforms
+    for field in ("states_examined", "states_pruned", "states_beamed",
+                  "max_table_size", "max_class_size", "sweep_order"):
+        assert getattr(a_stats, field) == getattr(o_stats, field), field
+    pa, po = a_plan.profile, o_plan.profile
+    assert (pa.frontier, po.frontier) == ("array", "object")
+    assert (pa.states_explored, pa.states_pruned, pa.states_beamed,
+            pa.peak_table_size, pa.max_class_size, pa.sweep_order) == \
+           (po.states_explored, po.states_pruned, po.states_beamed,
+            po.peak_table_size, po.max_class_size, po.sweep_order)
+
+
+class TestArrayMatchesObject:
+    """``frontier="array"`` vs the per-state object oracle: bit-identical
+    plans and profile state counts, never merely close ones."""
+
+    @pytest.mark.parametrize("batch,inner,fanin,sharing", DAG_CASES)
+    def test_random_dags(self, batch, inner, fanin, sharing):
+        for sub in range(5):  # the same 200 graphs the brute oracle sees
+            seed = batch * 1000 + sub + inner * 37 + int(sharing * 100)
+            g = random_dag(seed, inner=inner, max_fanin=fanin,
+                           sharing=sharing)
+            for prune in (True, False):
+                _assert_array_matches_object(g, oracle_ctx(), prune=prune)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_beamed_random_dags(self, seed):
+        """The beam truncates tables mid-sweep: both implementations must
+        keep (and count) exactly the same states."""
+        g = random_dag(seed + 1200, inner=5, sharing=0.8)
+        for max_states in (4, 16):
+            _assert_array_matches_object(g, oracle_ctx(),
+                                         max_states=max_states)
+
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_workload_families(self, name):
+        graph = FAMILIES[name]()
+        ctx = OptimizerContext(formats=FAMILY_CATALOG)
+        for prune in (True, False):
+            for order in ORDERS:
+                _assert_array_matches_object(graph, ctx, prune=prune,
+                                             order=order)
+
+    @pytest.mark.parametrize("name", sorted(GOLDENS))
+    def test_figure_goldens(self, name):
+        graph = GOLDENS[name]()
+        ctx = OptimizerContext(formats=FAMILY_CATALOG)
+        for prune in (True, False):
+            for order in ORDERS:
+                _assert_array_matches_object(graph, ctx, prune=prune,
+                                             order=order)
 
 
 @pytest.mark.perf

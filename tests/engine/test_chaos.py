@@ -28,7 +28,11 @@ from repro.engine.dynamics import DynamicsConfig, execute_with_dynamics
 from repro.engine.executor import execute_plan
 from repro.engine.ledger import CATEGORIES, WORK
 from repro.engine.membership import WorkerTimeline, crash_at_frontier
-from repro.engine.scheduler import SequentialScheduler, ThreadPoolScheduler
+from repro.engine.scheduler import (
+    ProcessPoolScheduler,
+    SequentialScheduler,
+    ThreadPoolScheduler,
+)
 from repro.engine.stages import lower
 from repro.workloads.chains import wide_shared_dag
 from repro.workloads.datagen import dense_normal, spd_matrix
@@ -126,15 +130,16 @@ def test_chaos_sampled_frontiers(name):
 
 
 @pytest.mark.parametrize("name", WORKLOADS)
-def test_chaos_schedulers_bit_identical(name):
-    """Same kill scenario, both schedulers: bit-identical ledgers."""
+@pytest.mark.parametrize("pool_cls", [ThreadPoolScheduler,
+                                      ProcessPoolScheduler])
+def test_chaos_schedulers_bit_identical(name, pool_cls):
+    """Same kill scenario, concurrent vs sequential: bit-identical ledgers."""
     *_, n_frontiers = _planned(name)
     for frontier in (1, n_frontiers // 2):
         for worker in (0, NUM_WORKERS - 1):
             a = _check_scenario(name, frontier, worker,
                                 SequentialScheduler())
-            b = _check_scenario(name, frontier, worker,
-                                ThreadPoolScheduler())
+            b = _check_scenario(name, frontier, worker, pool_cls())
             assert [(r.name, r.seconds, r.category)
                     for r in a.ledger.stages] == \
                    [(r.name, r.seconds, r.category)
@@ -145,9 +150,10 @@ def test_chaos_schedulers_bit_identical(name):
 @pytest.mark.chaos
 @pytest.mark.parametrize("name", WORKLOADS)
 @pytest.mark.parametrize("scheduler_cls", [SequentialScheduler,
-                                           ThreadPoolScheduler])
+                                           ThreadPoolScheduler,
+                                           ProcessPoolScheduler])
 def test_chaos_exhaustive(name, scheduler_cls):
-    """Kill every worker at every frontier, on both schedulers."""
+    """Kill every worker at every frontier, on all three schedulers."""
     *_, n_frontiers = _planned(name)
     for frontier in range(n_frontiers):
         for worker in range(NUM_WORKERS):

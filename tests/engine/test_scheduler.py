@@ -1,6 +1,12 @@
-"""Scheduler equivalence: the thread-pool scheduler must be observably
-identical to the sequential one — outputs, ledgers, and recovery stats —
-because sub-ledgers merge in stage-id order regardless of completion order."""
+"""Scheduler equivalence: the thread-pool and process-pool schedulers must
+be observably identical to the sequential one — outputs, ledgers, and
+recovery stats — because sub-ledgers merge in stage-id order regardless of
+completion order (and, for processes, fault draws are pure functions of
+``(seed, stage name, occurrence)``, never of process-local state)."""
+
+import pickle
+import subprocess
+import sys
 
 import numpy as np
 import pytest
@@ -17,15 +23,38 @@ from repro.core.atoms import (
     SCALAR_MUL,
     SUB,
     TRANSPOSE,
+    FusedStep,
+    fused_atom,
 )
 from repro.core.formats import row_strips, single, sparse_single, tiles
 from repro.engine import execute_plan
-from repro.engine.faults import FaultConfig, FaultPlan
-from repro.engine.recovery import RecoveryPolicy
-from repro.engine.scheduler import SequentialScheduler, ThreadPoolScheduler
+from repro.engine.faults import (
+    FaultConfig,
+    FaultPlan,
+    TransientShuffleError,
+    WorkerCrash,
+    as_injector,
+)
+from repro.engine.ledger import EngineFailure
+from repro.engine.recovery import (
+    FaultRetriesExhausted,
+    RecoveryPolicy,
+    SpeculationPolicy,
+)
+from repro.engine.scheduler import (
+    SCHEDULERS,
+    ProcessPoolScheduler,
+    SequentialScheduler,
+    ThreadPoolScheduler,
+    resolve_scheduler,
+)
+from repro.engine.stages import lower
 
 OPS = (MATMUL, ADD, SUB, ELEM_MUL, RELU, TRANSPOSE, SCALAR_MUL)
 RNG = np.random.default_rng(23)
+
+#: Both concurrent schedulers, equivalence-tested against sequential.
+POOLS = (ThreadPoolScheduler, ProcessPoolScheduler)
 
 
 def _diamond():
@@ -41,11 +70,11 @@ def _diamond():
     return g, inputs
 
 
-def _both(plan, inputs, ctx, **kwargs):
+def _both(plan, inputs, ctx, pool_cls=ThreadPoolScheduler, **kwargs):
     seq = execute_plan(plan, inputs, ctx,
                        scheduler=SequentialScheduler(), **kwargs)
     pool = execute_plan(plan, inputs, ctx,
-                        scheduler=ThreadPoolScheduler(), **kwargs)
+                        scheduler=pool_cls(), **kwargs)
     return seq, pool
 
 
@@ -63,16 +92,18 @@ def _assert_equivalent(seq, pool):
 
 
 class TestCleanEquivalence:
-    def test_diamond_is_bit_identical(self):
+    @pytest.mark.parametrize("pool_cls", POOLS)
+    def test_diamond_is_bit_identical(self, pool_cls):
         graph, inputs = _diamond()
         ctx = OptimizerContext()
         plan = optimize(graph, ctx, max_states=200)
-        seq, pool = _both(plan, inputs, ctx)
+        seq, pool = _both(plan, inputs, ctx, pool_cls=pool_cls)
         assert seq.ok
         _assert_equivalent(seq, pool)
         assert seq.executed_stages == pool.executed_stages
 
-    def test_pool_respects_dependencies(self):
+    @pytest.mark.parametrize("pool_cls", POOLS)
+    def test_pool_respects_dependencies(self, pool_cls):
         """Many workers, deep graph: values must still be correct."""
         g = ComputeGraph()
         prev = g.add_source("A", matrix(32, 32), tiles(16))
@@ -83,7 +114,7 @@ class TestCleanEquivalence:
         inputs = {"A": RNG.standard_normal((32, 32))}
         ctx = OptimizerContext()
         plan = optimize(g, ctx, max_states=200)
-        seq, pool = _both(plan, inputs, ctx)
+        seq, pool = _both(plan, inputs, ctx, pool_cls=pool_cls)
         assert seq.ok
         _assert_equivalent(seq, pool)
 
@@ -119,11 +150,13 @@ class TestCleanEquivalence:
 
 
 class TestFaultEquivalence:
-    def test_scheduled_crash_recovers_identically(self):
+    @pytest.mark.parametrize("pool_cls", POOLS)
+    def test_scheduled_crash_recovers_identically(self, pool_cls):
         graph, inputs = _diamond()
         ctx = OptimizerContext()
         plan = optimize(graph, ctx, max_states=200)
-        seq, pool = _both(plan, inputs, ctx, faults=FaultPlan.crash("L"))
+        seq, pool = _both(plan, inputs, ctx, pool_cls=pool_cls,
+                          faults=FaultPlan.crash("L"))
         assert seq.ok
         assert seq.recovery.worker_crashes == 1
         _assert_equivalent(seq, pool)
@@ -131,14 +164,15 @@ class TestFaultEquivalence:
         assert seq.recovery.backoff_seconds == pool.recovery.backoff_seconds
         assert seq.recovery.recovered_faults == pool.recovery.recovered_faults
 
-    def test_probabilistic_faults_recover_identically(self):
+    @pytest.mark.parametrize("pool_cls", POOLS)
+    def test_probabilistic_faults_recover_identically(self, pool_cls):
         graph, inputs = _diamond()
         ctx = OptimizerContext()
         plan = optimize(graph, ctx, max_states=200)
         cfg = FaultConfig(seed=6, crash_probability=0.2,
                           shuffle_error_probability=0.1,
                           straggler_probability=0.2)
-        seq, pool = _both(plan, inputs, ctx, faults=cfg)
+        seq, pool = _both(plan, inputs, ctx, pool_cls=pool_cls, faults=cfg)
         assert seq.ok
         assert seq.recovery.recovered_faults > 0
         _assert_equivalent(seq, pool)
@@ -146,20 +180,22 @@ class TestFaultEquivalence:
         assert seq.recovery.worker_crashes == pool.recovery.worker_crashes
         assert seq.recovery.transient_errors == pool.recovery.transient_errors
 
-    def test_retries_exhausted_fails_identically(self):
+    @pytest.mark.parametrize("pool_cls", POOLS)
+    def test_retries_exhausted_fails_identically(self, pool_cls):
         graph, inputs = _diamond()
         ctx = OptimizerContext()
         plan = optimize(graph, ctx, max_states=200)
         persistent = FaultPlan(tuple(
             FaultPlan.crash("L", occurrence=i).faults[0] for i in range(3)))
         policy = RecoveryPolicy(max_retries=2, backoff_base_seconds=0.1)
-        seq, pool = _both(plan, inputs, ctx, faults=persistent,
-                          recovery=policy)
+        seq, pool = _both(plan, inputs, ctx, pool_cls=pool_cls,
+                          faults=persistent, recovery=policy)
         assert not seq.ok and not pool.ok
         assert seq.failure == pool.failure
         assert seq.recovery.worker_crashes == pool.recovery.worker_crashes
 
-    def test_memory_failure_fails_identically(self):
+    @pytest.mark.parametrize("pool_cls", POOLS)
+    def test_memory_failure_fails_identically(self, pool_cls):
         """Declared sparsity lies and the spill overflows worker disk: both
         schedulers must surface the same engine failure."""
         rng = np.random.default_rng(0)
@@ -173,9 +209,26 @@ class TestFaultEquivalence:
         inputs = {"A": rng.standard_normal((n, n)),
                   "B": rng.standard_normal((n, n))}
         plan = optimize(g, ctx, max_states=200)
-        seq, pool = _both(plan, inputs, ctx)
+        seq, pool = _both(plan, inputs, ctx, pool_cls=pool_cls)
         assert not seq.ok and not pool.ok
         assert seq.failure == pool.failure
+
+    @pytest.mark.parametrize("pool_cls", POOLS)
+    def test_speculation_decides_identically(self, pool_cls):
+        """The speculation win/lose decision depends only on the stage's
+        own sub-ledger, so it survives the trip through a worker process."""
+        graph, inputs = _diamond()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        straggle = FaultPlan.straggler("L:", slowdown=12.0)
+        policy = RecoveryPolicy(speculative_backups=False)
+        seq, pool = _both(plan, inputs, ctx, pool_cls=pool_cls,
+                          faults=straggle, recovery=policy,
+                          speculation=SpeculationPolicy(min_multiplier=5.0))
+        assert seq.ok
+        assert seq.ledger.straggler_seconds > 0.0
+        _assert_equivalent(seq, pool)
+        assert seq.critical_path_seconds == pool.critical_path_seconds
 
 
 class TestMetricsEquivalence:
@@ -183,7 +236,8 @@ class TestMetricsEquivalence:
     float total and the canonical JSON rendering, with and without faults
     (see docs/observability.md)."""
 
-    def _both_metrics(self, plan, inputs, ctx, **kwargs):
+    def _both_metrics(self, plan, inputs, ctx,
+                      pool_cls=ThreadPoolScheduler, **kwargs):
         from repro.obs.metrics import MetricsRegistry
 
         seq_m, pool_m = MetricsRegistry(), MetricsRegistry()
@@ -191,22 +245,25 @@ class TestMetricsEquivalence:
                            scheduler=SequentialScheduler(),
                            metrics=seq_m, **kwargs)
         pool = execute_plan(plan, inputs, ctx,
-                            scheduler=ThreadPoolScheduler(),
+                            scheduler=pool_cls(),
                             metrics=pool_m, **kwargs)
         return (seq, seq_m), (pool, pool_m)
 
-    def test_clean_run_metrics_bit_identical(self):
+    @pytest.mark.parametrize("pool_cls", POOLS)
+    def test_clean_run_metrics_bit_identical(self, pool_cls):
         graph, inputs = _diamond()
         ctx = OptimizerContext()
         plan = optimize(graph, ctx, max_states=200)
-        (seq, seq_m), (pool, pool_m) = self._both_metrics(plan, inputs, ctx)
+        (seq, seq_m), (pool, pool_m) = self._both_metrics(
+            plan, inputs, ctx, pool_cls=pool_cls)
         assert seq.ok and pool.ok
         assert seq_m.to_json() == pool_m.to_json()
         assert seq_m.counters["execute.stages"] == len(seq.executed_stages)
         assert seq_m.counters["execute.kernel_seconds"] == \
             pool_m.counters["execute.kernel_seconds"]  # exact, not approx
 
-    def test_faulty_run_metrics_bit_identical(self):
+    @pytest.mark.parametrize("pool_cls", POOLS)
+    def test_faulty_run_metrics_bit_identical(self, pool_cls):
         graph, inputs = _diamond()
         ctx = OptimizerContext()
         plan = optimize(graph, ctx, max_states=200)
@@ -214,13 +271,14 @@ class TestMetricsEquivalence:
                           shuffle_error_probability=0.1,
                           straggler_probability=0.2)
         (seq, seq_m), (pool, pool_m) = self._both_metrics(
-            plan, inputs, ctx, faults=cfg)
+            plan, inputs, ctx, pool_cls=pool_cls, faults=cfg)
         assert seq.ok and pool.ok
         assert seq_m.to_json() == pool_m.to_json()
         assert seq_m.counters["execute.retries"] >= 1
         assert "execute.recovery_seconds" in seq_m.counters
 
-    def test_traced_runs_have_identical_span_ids(self):
+    @pytest.mark.parametrize("pool_cls", POOLS)
+    def test_traced_runs_have_identical_span_ids(self, pool_cls):
         """Span ids derive from the tree shape, not completion order: both
         schedulers produce the same id set (wall-clock times differ)."""
         from repro.obs.tracer import Tracer
@@ -231,9 +289,164 @@ class TestMetricsEquivalence:
         seq_t, pool_t = Tracer(), Tracer()
         execute_plan(plan, inputs, ctx, scheduler=SequentialScheduler(),
                      tracer=seq_t)
-        execute_plan(plan, inputs, ctx, scheduler=ThreadPoolScheduler(),
+        execute_plan(plan, inputs, ctx, scheduler=pool_cls(),
                      tracer=pool_t)
         seq_ids = {s.sid for s in seq_t.spans()}
         pool_ids = {s.sid for s in pool_t.spans()}
         assert seq_ids == pool_ids
         assert any(s.kind == "stage" for s in seq_t.spans())
+
+
+class TestSchedulerKnob:
+    """``resolve_scheduler`` mirrors the ``rewrites=`` / ``frontier=`` knob
+    contract: strings resolve through an alias table, instances pass
+    through, anything else raises a clear ``ValueError``."""
+
+    def test_default_is_sequential(self):
+        assert isinstance(resolve_scheduler(None), SequentialScheduler)
+
+    @pytest.mark.parametrize("alias,cls", [
+        ("sequential", SequentialScheduler),
+        ("seq", SequentialScheduler),
+        ("thread-pool", ThreadPoolScheduler),
+        ("threads", ThreadPoolScheduler),
+        ("thread", ThreadPoolScheduler),
+        ("process-pool", ProcessPoolScheduler),
+        ("processes", ProcessPoolScheduler),
+        ("process", ProcessPoolScheduler),
+    ])
+    def test_aliases_resolve(self, alias, cls):
+        assert isinstance(resolve_scheduler(alias), cls)
+
+    def test_instances_pass_through(self):
+        sched = ThreadPoolScheduler(max_workers=2)
+        assert resolve_scheduler(sched) is sched
+
+    def test_canonical_names_cover_all_schedulers(self):
+        for name in SCHEDULERS:
+            assert resolve_scheduler(name).name == name
+
+    def test_unknown_string_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduler 'bogus'"):
+            resolve_scheduler("bogus")
+
+    def test_non_scheduler_object_raises(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            resolve_scheduler(42)
+
+    def test_execute_plan_rejects_unknown_scheduler(self):
+        graph, inputs = _diamond()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            execute_plan(plan, inputs, ctx, scheduler="quantum")
+
+
+class TestProcessPoolPickling:
+    """Everything a :class:`_StageJob` ships to a worker process must
+    survive pickling — including fused atoms (which close over local type
+    functions) and exceptions with non-default constructors."""
+
+    def test_fused_atom_round_trips_to_same_instance(self):
+        atom = fused_atom((FusedStep("add"), FusedStep("relu")))
+        clone = pickle.loads(pickle.dumps(atom))
+        assert clone is atom  # interned by name
+
+    def test_catalog_atom_round_trips_to_same_instance(self):
+        assert pickle.loads(pickle.dumps(MATMUL)) is MATMUL
+
+    def test_lowered_stage_graph_round_trips(self):
+        graph, inputs = _diamond()
+        ctx = OptimizerContext()
+        plan = optimize(graph, ctx, max_states=200)
+        sgraph = lower(plan, ctx)
+        clone = pickle.loads(pickle.dumps(sgraph))
+        assert [s.name for s in clone.stages] == \
+            [s.name for s in sgraph.stages]
+        assert [s.seconds for s in clone.stages] == \
+            [s.seconds for s in sgraph.stages]
+
+    def test_fault_injector_round_trips(self):
+        injector = as_injector(FaultConfig(seed=6, crash_probability=0.5), 4)
+        with pytest.raises(WorkerCrash):  # seed 6 crashes this stage first
+            for _ in range(20):
+                injector.before_stage("L:mm_broadcast")
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone.cursor() == injector.cursor()
+        # The clone keeps drawing the same deterministic fault sequence.
+        for _ in range(10):
+            a = b = None
+            try:
+                injector.before_stage("R:mm_broadcast")
+            except Exception as exc:  # noqa: BLE001 - comparing draw types
+                a = exc
+            try:
+                clone.before_stage("R:mm_broadcast")
+            except Exception as exc:  # noqa: BLE001
+                b = exc
+            assert type(a) is type(b)
+
+    @pytest.mark.parametrize("exc", [
+        EngineFailure("L:mm", "worker RAM exceeded"),
+        WorkerCrash("L:mm", 3),
+        TransientShuffleError("L:mm"),
+        FaultRetriesExhausted("L:mm", 4, WorkerCrash("L:mm", 1)),
+    ])
+    def test_engine_exceptions_round_trip(self, exc):
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is type(exc)
+        assert str(clone) == str(exc)
+
+
+HASHSEED_PROBE = """
+import numpy as np
+from repro.core import ComputeGraph, OptimizerContext, matrix, optimize
+from repro.core.atoms import ADD, MATMUL
+from repro.core.formats import tiles
+from repro.engine import execute_plan
+from repro.engine.faults import FaultConfig
+
+g = ComputeGraph()
+x = g.add_source("X", matrix(48, 48), tiles(16))
+wl = g.add_source("WL", matrix(48, 48), tiles(16))
+wr = g.add_source("WR", matrix(48, 48), tiles(16))
+left = g.add_op("L", MATMUL, (x, wl))
+right = g.add_op("R", MATMUL, (x, wr))
+g.add_op("OUT", ADD, (left, right))
+rng = np.random.default_rng(23)
+inputs = {n: rng.standard_normal((48, 48)) for n in ("X", "WL", "WR")}
+ctx = OptimizerContext()
+plan = optimize(g, ctx, max_states=200)
+res = execute_plan(plan, inputs, ctx, scheduler="process-pool",
+                   faults=FaultConfig(seed=6, crash_probability=0.2,
+                                      shuffle_error_probability=0.1,
+                                      straggler_probability=0.2))
+assert res.ok, res.failure
+for rec in res.ledger.stages:
+    print(rec.name, repr(rec.seconds), rec.category)
+print("total", repr(res.ledger.total_seconds))
+print("retries", res.recovery.retries)
+"""
+
+
+def test_process_pool_is_hashseed_independent(tmp_path):
+    """Fault draws hash stage names with SHA-512, not ``hash()``: a faulty
+    process-pool run prints the same ledger under any PYTHONHASHSEED."""
+    import os
+
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    script = tmp_path / "probe.py"
+    script.write_text(HASHSEED_PROBE)
+    outputs = []
+    for seed in ("0", "42"):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        proc = subprocess.run([sys.executable, str(script)], env=env,
+                              capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        outputs.append(proc.stdout)
+    assert "retries" in outputs[0]
+    assert outputs[0] == outputs[1]
