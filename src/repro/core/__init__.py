@@ -31,12 +31,15 @@ from .implementations import (
     implementations_for,
 )
 from .explain import explain, explain_graph, explain_stages
+from .batch import BatchPlan, BatchQuery, merge_graphs, optimize_batch
 from .fingerprint import (
     CATALOG_VERSION,
     Fingerprint,
+    batch_fingerprint,
     catalog_signature,
     graph_signature,
     request_fingerprint,
+    subplan_fingerprint,
 )
 from .optimizer import (
     optimize,
@@ -81,8 +84,10 @@ __all__ = [
     "implementations_for",
     "optimize", "OptimizerContext",
     "physical_plan", "record_optimize_metrics", "rewrite_stage",
-    "CATALOG_VERSION", "Fingerprint", "catalog_signature",
-    "graph_signature", "request_fingerprint",
+    "CATALOG_VERSION", "Fingerprint", "batch_fingerprint",
+    "catalog_signature", "graph_signature", "request_fingerprint",
+    "subplan_fingerprint",
+    "BatchPlan", "BatchQuery", "merge_graphs", "optimize_batch",
     "DEFAULT_TRANSFORMS", "FormatTransform", "find_transform",
     "OptimizationError", "optimize_tree",
     "MatrixType", "matrix", "vector",

@@ -39,9 +39,11 @@ from .rewrites import RewriteSpec, resolve_engine, resolve_passes
 __all__ = [
     "CATALOG_VERSION",
     "Fingerprint",
+    "batch_fingerprint",
     "catalog_signature",
     "graph_signature",
     "request_fingerprint",
+    "subplan_fingerprint",
 ]
 
 #: Version of the planning substrate baked into every structural key.
@@ -198,3 +200,68 @@ def request_fingerprint(graph: ComputeGraph, rewritten: ComputeGraph,
     }
     return Fingerprint(_digest(payload),
                        _canonical([params, base_params]))
+
+
+def subplan_fingerprint(graph: ComputeGraph, vid: int,
+                        fmt=None) -> str:
+    """Canonical identity of one vertex's ancestor cone and stored format.
+
+    This is the key the engine's :class:`~repro.engine.intermediate.
+    IntermediateStore` caches materialized results under: two vertices —
+    in the same graph or in different queries — share a key exactly when
+    they compute the same value *and* store it the same way.  Source
+    names are part of the key (the executor binds input data by name, so
+    ``A @ B`` and ``A @ C`` must never collide); op vertex names are not
+    (they are labels, not semantics).  The digest is sha256 over
+    canonical JSON, so it is identical across processes and
+    ``PYTHONHASHSEED`` values.
+
+    ``fmt`` is the physical format the result is stored in (an op
+    stage's ``out_fmt``); pass ``None`` to key on the value alone.
+    """
+    cone: dict[int, int] = {}
+    payload: list = []
+    stack = [(vid, False)]
+    while stack:
+        v, expanded = stack.pop()
+        if v in cone:
+            continue
+        vertex = graph.vertex(v)
+        if expanded or vertex.is_source:
+            cone[v] = len(cone)
+            if vertex.is_source:
+                sf = vertex.format
+                nnz = round(vertex.mtype.sparsity * vertex.mtype.rows
+                            * vertex.mtype.cols)
+                payload.append(["src", vertex.name, sf.layout.value,
+                                sf.block_rows, sf.block_cols,
+                                list(vertex.mtype.dims),
+                                vertex.mtype.sparsity, nnz])
+            else:
+                payload.append(["op", vertex.op.name,
+                                [cone[p] for p in vertex.inputs],
+                                vertex.param])
+        else:
+            stack.append((v, True))
+            for p in reversed(vertex.inputs):
+                stack.append((p, False))
+    fmt_payload = (None if fmt is None
+                   else [fmt.layout.value, fmt.block_rows, fmt.block_cols])
+    return _digest({"cone": payload, "root": cone[vid],
+                    "fmt": fmt_payload})
+
+
+def batch_fingerprint(fingerprints) -> Fingerprint:
+    """Compose per-query request fingerprints into one batch identity.
+
+    The structural key digests the *ordered* list of member structural
+    keys under a distinct ``"batch"`` payload domain, so a one-query
+    batch never collides with the equivalent solo request and the same
+    queries in a different order cache separately (per-query plans are
+    returned positionally).  The parameter slot is the ordered list of
+    member parameter bindings.
+    """
+    fingerprints = list(fingerprints)
+    payload = {"batch": [fp.structural for fp in fingerprints]}
+    return Fingerprint(_digest(payload),
+                       _canonical([fp.params for fp in fingerprints]))

@@ -38,7 +38,7 @@ from .frontier import FRONTIERS, FrontierStats, optimize_dag
 from .graph import ComputeGraph
 from .registry import OptimizerContext
 from .rewrites import PipelineReport, PlanPipeline, RewriteSpec, \
-    resolve_engine
+    resolve_engine, validate_rewrites
 from .tree_dp import optimize_tree
 
 ALGORITHMS = ("auto", "tree", "frontier", "brute")
@@ -109,6 +109,9 @@ def optimize(graph: ComputeGraph, ctx: OptimizerContext | None = None,
     if frontier not in FRONTIERS:
         raise ValueError(f"unknown frontier {frontier!r}; "
                          f"expected one of {FRONTIERS}")
+    # Like the algorithm/frontier knobs above: a typo must fail here, not
+    # silently plan without rewrites.
+    validate_rewrites(rewrites)
     if ctx is None:
         ctx = OptimizerContext()
     ctx = context_for_graph(graph, ctx)

@@ -42,6 +42,15 @@ class OptimizerProfile:
     #: identical state counters; only this tag and the wall-clock phase
     #: timings tell them apart.
     frontier: str | None = None
+    #: Number of queries co-planned with this one by
+    #: :func:`repro.core.batch.optimize_batch` (0 for solo requests).
+    #: The search counters above then describe the one merged-DAG search
+    #: that produced every plan in the batch.
+    batch_queries: int = 0
+    #: Names of this query's vertices whose results the batch plan
+    #: computes once and shares with at least one other query
+    #: (cross-query CSE provenance; empty for solo requests).
+    shared_subplans: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-compatible payload; inverse of :meth:`from_dict`."""
@@ -56,6 +65,8 @@ class OptimizerProfile:
             "phase_seconds": dict(self.phase_seconds),
             "cache_hit": self.cache_hit,
             "frontier": self.frontier,
+            "batch_queries": self.batch_queries,
+            "shared_subplans": list(self.shared_subplans),
         }
 
     @classmethod
@@ -71,6 +82,8 @@ class OptimizerProfile:
             phase_seconds=dict(payload.get("phase_seconds", {})),
             cache_hit=payload.get("cache_hit", False),
             frontier=payload.get("frontier"),
+            batch_queries=payload.get("batch_queries", 0),
+            shared_subplans=tuple(payload.get("shared_subplans", ())),
         )
 
     def record(self, metrics) -> None:
@@ -104,6 +117,13 @@ class OptimizerProfile:
             parts = ", ".join(f"{name} {secs:.3f}s"
                               for name, secs in self.phase_seconds.items())
             lines.append(f"  phases: {parts}")
+        if self.batch_queries:
+            shared = ", ".join(self.shared_subplans[:8]) or "none"
+            if len(self.shared_subplans) > 8:
+                shared += f", ... ({len(self.shared_subplans)} vertices)"
+            lines.append(
+                f"  batch: co-planned with {self.batch_queries} queries; "
+                f"shared subplans: {shared}")
         if self.sweep_order:
             shown = self.sweep_order[:16]
             order = ", ".join(str(v) for v in shown)

@@ -14,7 +14,7 @@ from .chain import ReassociatePass
 from .cse import CSEPass, structural_cse
 from .fusion import FusionPass
 from .pipeline import DEFAULT_PASS_ORDER, ENGINES, PASS_REGISTRY, \
-    PlanPipeline, RewriteSpec, resolve_engine, resolve_passes
+    PlanPipeline, RewriteSpec, resolve_engine, resolve_passes, validate_rewrites
 from .pushdown import ScalarPushdownPass, TransposePushdownPass
 
 __all__ = [
@@ -36,5 +36,6 @@ __all__ = [
     "op_cost",
     "resolve_engine",
     "resolve_passes",
+    "validate_rewrites",
     "structural_cse",
 ]

@@ -66,8 +66,28 @@ def resolve_engine(spec: RewriteSpec) -> tuple[str, RewriteSpec]:
         raise ValueError(
             f"rewrites must be 'pipeline'/'all', 'egraph', 'off'/'none' "
             f"or pass names, got {spec!r}")
-    names = tuple(spec)
+    try:
+        names = tuple(spec)
+    except TypeError:
+        raise ValueError(
+            f"rewrites must be 'pipeline'/'all', 'egraph', 'off'/'none' "
+            f"or an iterable of pass names, got {spec!r}") from None
     return ("off" if not names else "pipeline"), names
+
+
+def validate_rewrites(spec: RewriteSpec) -> str:
+    """Eagerly validate a ``rewrites=`` knob value; returns the engine.
+
+    ``resolve_scheduler`` and the ``frontier=`` knob reject unknown names
+    at call time; this gives ``rewrites=`` the same contract.  Raises
+    :class:`ValueError` for unrecognized engine strings, non-iterable
+    values, and unknown pass names — *before* any search runs, so a typo
+    cannot silently plan without rewrites.
+    """
+    engine, pipeline_spec = resolve_engine(spec)
+    if engine == "pipeline":
+        resolve_passes(pipeline_spec)
+    return engine
 
 
 def resolve_passes(spec: RewriteSpec) -> tuple[RewritePass, ...]:

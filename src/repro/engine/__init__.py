@@ -35,8 +35,17 @@ from .dynamics import (
     ReplanReport,
     execute_with_dynamics,
 )
+from .intermediate import (
+    CacheEntry,
+    IntermediateStore,
+    PreloadReport,
+    harvest_state,
+    preload_state,
+    stage_cache_keys,
+)
 from .ledger import (
     CATEGORIES,
+    INTERMEDIATE_CACHE,
     RECOVERY,
     REPLAN,
     STRAGGLER,
@@ -96,8 +105,10 @@ __all__ = [
     "resume", "run_to_frontier",
     "DynamicsConfig", "DynamicsEventReport", "DynamicsResult",
     "ReplanReport", "execute_with_dynamics",
-    "CATEGORIES", "RECOVERY", "REPLAN", "STRAGGLER", "WORK",
-    "EngineFailure", "StageRecord", "TrafficLedger",
+    "CacheEntry", "IntermediateStore", "PreloadReport", "harvest_state",
+    "preload_state", "stage_cache_keys",
+    "CATEGORIES", "INTERMEDIATE_CACHE", "RECOVERY", "REPLAN", "STRAGGLER",
+    "WORK", "EngineFailure", "StageRecord", "TrafficLedger",
     "ChurnConfig", "HeartbeatConfig", "HeartbeatDetector",
     "MembershipEvent", "MembershipEventKind", "MembershipView",
     "WorkerTimeline", "crash_at_frontier",

@@ -54,6 +54,7 @@ from ..obs.drift import DriftReport
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer, as_tracer
 from .faults import FaultSource, as_injector
+from .intermediate import IntermediateStore, harvest_state, preload_state
 from .ledger import (
     RECOVERY,
     REPLAN,
@@ -296,6 +297,7 @@ def execute_with_dynamics(
     metrics: MetricsRegistry | None = None,
     speculation: SpeculationPolicy | None = None,
     drift_hint: DriftReport | None = None,
+    store: IntermediateStore | None = None,
 ) -> DynamicsResult:
     """Execute ``plan`` while ``timeline``'s membership events play out.
 
@@ -304,6 +306,13 @@ def execute_with_dynamics(
     same as in :func:`~repro.engine.executor.execute_plan` — task-level
     fault injection and straggler speculation compose freely with
     cluster-level churn.
+
+    ``store`` attaches a shared
+    :class:`~repro.engine.intermediate.IntermediateStore`: every epoch
+    first serves cached subplans (so a re-plan after a crash accounts
+    for already-materialized intermediates), a dead worker's cached
+    blocks are invalidated when the detector fires, and each epoch's
+    fresh results are offered back to the store.
     """
     if timeline.num_workers != ctx.cluster.num_workers:
         raise ValueError(
@@ -360,13 +369,20 @@ def execute_with_dynamics(
                       if mapping.get(ov) is not None
                       and current_plan.graph.vertex(mapping[ov]).is_source}
             state.seed_sources(values)
+            if store is not None:
+                preload_state(state, store)
 
             interrupted = False
             crashed: list[MembershipEvent] = []
             frontiers = sgraph.frontiers()
             for fi, sids in enumerate(frontiers):
+                # Preload (and checkpoint resume) may have completed part
+                # of the frontier already; run only what remains.
+                pending_sids = [sid for sid in sids
+                                if sid not in state.completed]
                 try:
-                    sched.run_stages(state, list(sids))
+                    if pending_sids:
+                        sched.run_stages(state, pending_sids)
                 except EngineFailure as failure:
                     state.merge_into(ledger)
                     return fail(str(failure))
@@ -444,13 +460,19 @@ def execute_with_dynamics(
                     break
 
             state.merge_into(ledger)
+            if store is not None:
+                harvest_state(state, store, ledger)
             # Bank everything this epoch finished, in stage-id order.
+            # Preload marks cache-covered dead code completed without a
+            # lineage value; there is nothing to bank for those.
             for stage in sgraph.stages:
                 if stage.sid not in state.completed:
                     continue
                 if isinstance(stage, OpStage):
-                    progress.register(inverse[stage.vertex],
-                                      state.lineage.matrices[stage.vertex],
+                    stored = state.lineage.matrices.get(stage.vertex)
+                    if stored is None:
+                        continue
+                    progress.register(inverse[stage.vertex], stored,
                                       state.records.get(stage.sid, []))
 
             if not interrupted:
@@ -459,6 +481,10 @@ def execute_with_dynamics(
             # ---- take stock of the damage -------------------------------
             dead_slots = {slot_of[e.worker] for e in crashed
                           if e.worker in slot_of}
+            if store is not None and dead_slots:
+                # The dead workers' partitions of cached results are
+                # gone; recovery must fall back to recompute.
+                store.invalidate_workers(dead_slots)
             lost_seconds = 0.0
             if dead_slots:
                 for orig in sorted(progress.computed):

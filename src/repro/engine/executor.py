@@ -32,6 +32,7 @@ from ..obs.drift import DriftReport, drift_report
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer, as_tracer
 from .faults import FaultSource, as_injector
+from .intermediate import IntermediateStore, harvest_state, preload_state
 from .ledger import EngineFailure, TrafficLedger
 from .recovery import (
     DEFAULT_RECOVERY,
@@ -190,7 +191,8 @@ class Executor:
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
                  speculation: SpeculationPolicy | None = None,
-                 drift_hint: DriftReport | None = None) -> None:
+                 drift_hint: DriftReport | None = None,
+                 store: "IntermediateStore | None" = None) -> None:
         self.plan = plan
         self.ctx = ctx
         self.cluster = ctx.cluster
@@ -205,6 +207,11 @@ class Executor:
         #: estimated from (see :class:`SpeculationPolicy`).
         self.speculation = speculation
         self.drift_hint = drift_hint
+        #: Shared :class:`~repro.engine.intermediate.IntermediateStore`:
+        #: cached subplan results are fetched instead of recomputed
+        #: (charged to the ``intermediate_cache`` ledger category) and
+        #: fresh results are offered back after the run.
+        self.store = store
         self.lineage = LineageCheckpoint()
         self.stats = RecoveryStats()
         #: Cost-drift report of the most recent :meth:`run` (set even when
@@ -244,6 +251,10 @@ class Executor:
 
                 restore_into(resume_from, state)
                 span.set(resumed_stages=len(state.completed))
+            if self.store is not None:
+                report = preload_state(state, self.store)
+                span.set(cache_fetched=len(report.fetched),
+                         cache_skipped=len(report.skipped))
             try:
                 self.scheduler.run(state)
             finally:
@@ -254,6 +265,8 @@ class Executor:
                 span.set(executed_stages=len(executed),
                          measured_seconds=self.ledger.total_seconds)
 
+        if self.store is not None:
+            harvest_state(state, self.store, self.ledger)
         stored = self.lineage.matrices
         vertex_values = {vid: assemble(s) for vid, s in stored.items()}
         outputs = {graph.vertex(v.vid).name: vertex_values[v.vid]
@@ -274,7 +287,8 @@ def execute_plan(plan: Plan, inputs: dict[str, np.ndarray],
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
                  speculation: SpeculationPolicy | None = None,
-                 drift_hint: DriftReport | None = None) -> ExecutionResult:
+                 drift_hint: DriftReport | None = None,
+                 store: "IntermediateStore | None" = None) -> ExecutionResult:
     """Build an :class:`Executor` and run it; failures come back structured.
 
     An :class:`EngineFailure` (memory overflow, exhausted fault retries) is
@@ -288,7 +302,8 @@ def execute_plan(plan: Plan, inputs: dict[str, np.ndarray],
     """
     executor = Executor(plan, ctx, faults=faults, recovery=recovery,
                         scheduler=scheduler, tracer=tracer, metrics=metrics,
-                        speculation=speculation, drift_hint=drift_hint)
+                        speculation=speculation, drift_hint=drift_hint,
+                        store=store)
     try:
         return executor.run(inputs)
     except EngineFailure as failure:

@@ -1,0 +1,320 @@
+"""A shared intermediate-result store with budgeted, cost-aware eviction.
+
+Batch planning (:func:`repro.core.batch.optimize_batch`) makes shared
+subexpressions visible; this module makes them *pay off across runs*: an
+:class:`IntermediateStore` keeps materialized op-stage results keyed by
+the canonical cone fingerprint of
+:func:`repro.core.fingerprint.subplan_fingerprint`, so any later
+execution — same query, a sibling tenant's query, or a re-plan after a
+crash — that computes the same value in the same stored format can fetch
+it instead of recomputing.
+
+The executor consults the store between lowering and scheduling
+(:func:`preload_state`): a mark-sweep from the plan's outputs decides
+which stages a cached result makes unnecessary, fetches the satisfying
+entries (charged to the ledger's ``intermediate_cache`` category), and
+marks both the fetched and the newly dead stages completed so every
+scheduler skips them.  After a run, :func:`harvest_state` offers the
+freshly computed results back to the store (store writes are charged
+too).  Both walks proceed in stage-id order, which keeps ledgers and
+metrics bit-identical across the sequential, thread-pool and
+process-pool schedulers.
+
+Eviction is deterministic and cost-aware: when the byte budget would be
+exceeded, entries are dropped in increasing order of
+``seconds_saved * (1 + hits) / bytes`` (cheapest-to-recompute, least
+reused, largest first), with insertion order breaking ties — no
+``hash()`` anywhere, so behaviour is identical under every
+``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.fingerprint import subplan_fingerprint
+from ..cost.features import CostFeatures
+from .ledger import INTERMEDIATE_CACHE, StageRecord, TrafficLedger
+from .stages import OpStage, StageGraph
+from .storage import StoredMatrix
+
+__all__ = ["CacheEntry", "IntermediateStore", "PreloadReport",
+           "harvest_state", "preload_state", "stage_cache_keys"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached intermediate: the stored matrix plus eviction inputs."""
+
+    key: str
+    stored: StoredMatrix
+    nbytes: float
+    #: Predicted seconds recomputing this result would cost (the
+    #: producing stage's modelled seconds) — the value of keeping it.
+    seconds_saved: float
+    #: Fetches served since insertion.
+    hits: int = 0
+    #: Insertion sequence number; the deterministic eviction tie-break.
+    seq: int = 0
+
+    @property
+    def score(self) -> float:
+        """Retention value: seconds saved per byte, boosted by reuse."""
+        return self.seconds_saved * (1 + self.hits) / max(self.nbytes, 1.0)
+
+    @property
+    def workers(self) -> frozenset[int]:
+        """Worker slots holding this entry's blocks."""
+        return frozenset(self.stored.relation.home.values())
+
+
+class IntermediateStore:
+    """Budgeted shared cache of materialized subplan results.
+
+    ``budget_bytes`` bounds the total payload bytes held (an insertion
+    larger than the whole budget is rejected outright).  Fetches and
+    store writes are charged at ``bytes / transfer_bytes_per_sec`` —
+    the store lives cluster-side, so traffic moves at network speed.
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) receives
+    ``cache.intermediate.*`` counters when provided.
+    """
+
+    def __init__(self, budget_bytes: float = 256e6, *,
+                 transfer_bytes_per_sec: float = 1.0e9,
+                 metrics=None) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        self.budget_bytes = float(budget_bytes)
+        self.transfer_bytes_per_sec = float(transfer_bytes_per_sec)
+        self.metrics = metrics
+        self.entries: dict[str, CacheEntry] = {}
+        self._seq = 0
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.rejected = 0
+        self.evictions = 0
+        self.invalidated = 0
+        #: Cumulative seconds charged for fetches / store writes; the
+        #: property suite reconciles these against the ledger's
+        #: ``intermediate_cache`` category.
+        self.fetch_seconds = 0.0
+        self.store_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> float:
+        return sum(e.nbytes for e in self.entries.values())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    def fetch(self, key: str) -> tuple[StoredMatrix, float]:
+        """Serve a cached result; returns ``(stored, transfer seconds)``.
+
+        Raises :class:`KeyError` on a miss — probe with ``key in store``
+        first (:func:`preload_state` does).
+        """
+        entry = self.entries[key]
+        entry.hits += 1
+        self.hits += 1
+        seconds = entry.nbytes / self.transfer_bytes_per_sec
+        self.fetch_seconds += seconds
+        self._count("cache.intermediate.hits")
+        return entry.stored, seconds
+
+    def put(self, key: str, stored: StoredMatrix,
+            seconds_saved: float) -> tuple[bool, float]:
+        """Offer a result; returns ``(admitted, transfer seconds)``.
+
+        Re-offering an existing key refreshes its stored value without
+        resetting its hit count.  Entries are evicted lowest
+        retention-score first until the newcomer fits; a result larger
+        than the whole budget is rejected (and counted).
+        """
+        nbytes = float(stored.relation.total_bytes)
+        if nbytes > self.budget_bytes:
+            self.rejected += 1
+            self._count("cache.intermediate.rejected")
+            return False, 0.0
+        prior = self.entries.pop(key, None)
+        while self.used_bytes + nbytes > self.budget_bytes:
+            victim = min(self.entries.values(),
+                         key=lambda e: (e.score, e.seq))
+            del self.entries[victim.key]
+            self.evictions += 1
+            self._count("cache.intermediate.evictions")
+        self._seq += 1
+        self.entries[key] = CacheEntry(
+            key, stored, nbytes, float(seconds_saved),
+            hits=prior.hits if prior is not None else 0, seq=self._seq)
+        self.stores += 1
+        seconds = nbytes / self.transfer_bytes_per_sec
+        self.store_seconds += seconds
+        self._count("cache.intermediate.stores")
+        return True, seconds
+
+    def invalidate_workers(self, workers) -> int:
+        """Drop every entry with a block on any of ``workers``.
+
+        The dynamics layer calls this when the failure detector declares
+        workers dead: their partitions are gone, so a fetch could no
+        longer assemble the full result.  Returns the entry count
+        dropped.
+        """
+        workers = set(workers)
+        doomed = [key for key, e in self.entries.items()
+                  if e.workers & workers]
+        for key in doomed:
+            del self.entries[key]
+        self.invalidated += len(doomed)
+        if doomed:
+            self._count("cache.intermediate.invalidated", len(doomed))
+        return len(doomed)
+
+    def stats(self) -> dict:
+        """Counter snapshot (all derived deterministically)."""
+        return {
+            "entries": len(self.entries),
+            "used_bytes": self.used_bytes,
+            "budget_bytes": self.budget_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "rejected": self.rejected,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+            "fetch_seconds": self.fetch_seconds,
+            "store_seconds": self.store_seconds,
+        }
+
+    def _count(self, name: str, n: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.count(name, n)
+
+
+# ======================================================================
+# Executor integration
+# ======================================================================
+@dataclass
+class PreloadReport:
+    """What :func:`preload_state` did to one execution state."""
+
+    #: Stage ids whose results were served from the store, in stage-id
+    #: order, with the seconds charged for each fetch.
+    fetched: dict[int, float] = field(default_factory=dict)
+    #: Stage ids a fetch made unnecessary (their whole cone is covered
+    #: by cached results) — marked completed without running or
+    #: charging.
+    skipped: tuple[int, ...] = ()
+
+    @property
+    def fetch_seconds(self) -> float:
+        return sum(self.fetched.values())
+
+
+def stage_cache_keys(sgraph: StageGraph) -> dict[int, str]:
+    """Cache key of every op stage: the cone fingerprint of its vertex
+    in its chosen output format."""
+    graph = sgraph.plan.graph
+    return {stage.sid: subplan_fingerprint(graph, stage.vertex,
+                                           stage.out_fmt)
+            for stage in sgraph.stages if isinstance(stage, OpStage)}
+
+
+def preload_state(state, store: IntermediateStore) -> PreloadReport:
+    """Serve cached intermediates into an execution state before it runs.
+
+    Mark-sweep from the plan's outputs: a stage must run only if its
+    result is needed and not cached; everything upstream of a fetch is
+    dead code this run.  Fetched stages get a sid-keyed
+    ``intermediate_cache`` ledger record (so
+    :meth:`~repro.engine.scheduler.ExecutionState.merge_into` splices the
+    charges identically under every scheduler) and their value is
+    recorded in the lineage; dead stages complete chargeless.  Stages
+    already completed (checkpoint resume, earlier dynamics epochs) are
+    left untouched.
+    """
+    sgraph = state.sgraph
+    keys = stage_cache_keys(sgraph)
+    graph = sgraph.plan.graph
+    roots = [sgraph.op_stage_of[v.vid] for v in graph.outputs
+             if v.vid in sgraph.op_stage_of]
+    must_run: set[int] = set()
+    fetchable: set[int] = set()
+    stack = list(roots)
+    while stack:
+        sid = stack.pop()
+        if sid in must_run or sid in fetchable or sid in state.completed:
+            continue
+        key = keys.get(sid)
+        if key is not None and key in store:
+            fetchable.add(sid)
+            continue
+        must_run.add(sid)
+        stack.extend(sgraph.stages[sid].deps)
+
+    report = PreloadReport()
+    skipped = []
+    for stage in sgraph.stages:
+        sid = stage.sid
+        if sid in must_run or sid in state.completed:
+            continue
+        if sid in fetchable:
+            stored, seconds = store.fetch(keys[sid])
+            state.lineage.record(stage.vertex, stored)
+            state.records[sid] = [StageRecord(
+                f"cache:fetch:{stage.name}", CostFeatures(), seconds,
+                INTERMEDIATE_CACHE)]
+            state.effective_seconds[sid] = seconds
+            state.completed.add(sid)
+            report.fetched[sid] = seconds
+        else:
+            # Dead code this run: some downstream fetch covers it.
+            state.completed.add(sid)
+            skipped.append(sid)
+    store.misses += sum(1 for sid in must_run if sid in keys)
+    report.skipped = tuple(skipped)
+    return report
+
+
+def harvest_state(state, store: IntermediateStore,
+                  ledger: TrafficLedger) -> int:
+    """Offer a finished execution's op-stage results to the store.
+
+    Walks completed op stages in stage-id order, skips results that were
+    themselves served from the store (or never materialized — dead code,
+    lost workers), and charges each admitted store write to the ledger's
+    ``intermediate_cache`` category.  Returns the number of entries
+    written.  Call after :meth:`ExecutionState.merge_into` so the write
+    charges land after the run's spliced records.
+    """
+    sgraph = state.sgraph
+    keys = stage_cache_keys(sgraph)
+    written = 0
+    for stage in sgraph.stages:
+        sid = stage.sid
+        if sid not in state.completed or not isinstance(stage, OpStage):
+            continue
+        records = state.records.get(sid)
+        if not records:
+            continue  # dead code: completed without running
+        if all(r.category == INTERMEDIATE_CACHE for r in records):
+            continue  # served *from* the store this run
+        stored = state.lineage.matrices.get(stage.vertex)
+        if stored is None:
+            continue
+        key = keys[sid]
+        if key in store:
+            continue  # already cached; don't re-charge the write
+        admitted, seconds = store.put(key, stored,
+                                      seconds_saved=stage.seconds)
+        if admitted:
+            ledger.charge_overhead(f"cache:store:{stage.name}", seconds,
+                                   INTERMEDIATE_CACHE)
+            written += 1
+    return written

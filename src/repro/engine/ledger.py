@@ -39,11 +39,16 @@ STRAGGLER = "straggler"
 #: declares a worker dead (degraded-mode re-planning — see
 #: :mod:`repro.engine.dynamics`).
 REPLAN = "replan"
+#: Time spent moving results in and out of the shared
+#: :class:`~repro.engine.intermediate.IntermediateStore`: fetches of
+#: already-materialized subplans and store writes of fresh ones.  Not a
+#: fault overhead — it is the (usually winning) price of reuse.
+INTERMEDIATE_CACHE = "intermediate_cache"
 
 #: Every category a ledger record may carry, in reporting order.  The
 #: chaos harness asserts that these partition the clock exactly: any
 #: second charged outside them would be unattributed fault time.
-CATEGORIES = (WORK, RECOVERY, STRAGGLER, REPLAN)
+CATEGORIES = (WORK, RECOVERY, STRAGGLER, REPLAN, INTERMEDIATE_CACHE)
 
 
 def _human_bytes(n: float) -> str:
@@ -168,8 +173,19 @@ class TrafficLedger:
 
     @property
     def recovery_seconds(self) -> float:
-        """Seconds lost to faults: wasted attempts, backoff, stragglers."""
-        return sum(s.seconds for s in self.stages if s.category != WORK)
+        """Seconds lost to faults: wasted attempts, backoff, stragglers.
+
+        Intermediate-cache traffic is excluded: fetching or persisting a
+        shared result is a deliberate reuse cost, not fault fallout.
+        """
+        return sum(s.seconds for s in self.stages
+                   if s.category not in (WORK, INTERMEDIATE_CACHE))
+
+    @property
+    def intermediate_cache_seconds(self) -> float:
+        """Seconds spent fetching from / writing to the shared store."""
+        return sum(s.seconds for s in self.stages
+                   if s.category == INTERMEDIATE_CACHE)
 
     @property
     def straggler_seconds(self) -> float:

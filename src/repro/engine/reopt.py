@@ -29,6 +29,7 @@ from ..cost.sparsity import (
     observed_sparsity,
     should_reoptimize,
 )
+from .intermediate import IntermediateStore, harvest_state, preload_state
 from .ledger import TrafficLedger
 from .recovery import DEFAULT_RECOVERY
 from .scheduler import ExecutionState
@@ -118,6 +119,7 @@ def execute_adaptive(
     threshold: float = DEFAULT_REOPT_THRESHOLD,
     max_reoptimizations: int = 5,
     max_states: int | None = None,
+    store: IntermediateStore | None = None,
 ) -> AdaptiveResult:
     """Optimize + execute with the paper's sparsity re-optimization loop.
 
@@ -126,6 +128,12 @@ def execute_adaptive(
     ExecutionState`; after the operator stage that completes a vertex, the
     intermediate's observed sparsity is compared against the estimate, and
     a divergence rebuilds + re-optimizes the residual graph.
+
+    ``store`` attaches a shared
+    :class:`~repro.engine.intermediate.IntermediateStore`: each attempt
+    (including post-restart residual plans) first serves whatever the
+    store already holds — so re-planning accounts for already-cached
+    intermediates — and offers its fresh results back when it finishes.
     """
     total_seconds = 0.0
     reopts = 0
@@ -147,9 +155,23 @@ def execute_adaptive(
             state.lineage.record(v.vid, split(values[v.name], v.mtype,
                                               v.format, ctx.cluster))
             sparsity_of[v.vid] = observed_sparsity(values[v.name])
+        if store is not None:
+            preload_state(state, store)
 
         restart = False
         for stage in sgraph.stages:
+            if stage.sid in state.completed:
+                # Served from the intermediate store (or dead code behind
+                # a fetch).  Record the observed sparsity so a later
+                # residual rebuild can source this vertex, but never
+                # trigger re-optimization on a fetched value.
+                if isinstance(stage, OpStage) and \
+                        stage.vertex in state.lineage.matrices:
+                    sparsity_of.setdefault(
+                        stage.vertex,
+                        observed_sparsity(
+                            assemble(state.lineage.matrices[stage.vertex])))
+                continue
             state.run_stage(stage)
             if not isinstance(stage, OpStage):
                 continue
@@ -166,7 +188,7 @@ def execute_adaptive(
                     and should_reoptimize(estimated, actual, threshold)):
                 triggers.append((v.name, estimated, actual))
                 reopts += 1
-                total_seconds += _merge_and_total(state, ledger)
+                total_seconds += _merge_and_total(state, ledger, store)
                 residual, mapping, _ = _rebuild_remaining(
                     current, dict(stored), sparsity_of)
                 # Residual sources are fed the observed values; their
@@ -179,14 +201,21 @@ def execute_adaptive(
         if restart:
             continue
 
-        total_seconds += _merge_and_total(state, ledger)
+        total_seconds += _merge_and_total(state, ledger, store)
         stored = state.lineage.matrices
         outputs = {v.name: assemble(stored[v.vid])
                    for v in current.outputs}
         return AdaptiveResult(outputs, reopts, total_seconds, triggers)
 
 
-def _merge_and_total(state: ExecutionState, ledger: TrafficLedger) -> float:
-    """Fold an attempt's per-stage sub-ledgers and report their seconds."""
+def _merge_and_total(state: ExecutionState, ledger: TrafficLedger,
+                     store: IntermediateStore | None = None) -> float:
+    """Fold an attempt's per-stage sub-ledgers and report their seconds.
+
+    With a ``store``, the attempt's fresh results are offered to it and
+    the store-write charges land after the spliced stage records.
+    """
     state.merge_into(ledger)
+    if store is not None:
+        harvest_state(state, store, ledger)
     return ledger.total_seconds

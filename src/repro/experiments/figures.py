@@ -499,6 +499,7 @@ from .extensions import EXTENSION_EXPERIMENTS  # noqa: E402 (registry tail)
 from .observability import (  # noqa: E402 (registry tail)
     OBSERVABILITY_EXPERIMENTS,
 )
+from .multi_query import MULTI_QUERY_EXPERIMENTS  # noqa: E402 (registry tail)
 from .plan_cache import PLAN_CACHE_EXPERIMENTS  # noqa: E402 (registry tail)
 from .rewrites import REWRITE_EXPERIMENTS  # noqa: E402 (registry tail)
 from .robustness import ROBUSTNESS_EXPERIMENTS  # noqa: E402 (registry tail)
@@ -522,6 +523,7 @@ EXPERIMENTS = {
     **EGRAPH_EXPERIMENTS,
     **EXTENSION_EXPERIMENTS,
     **OBSERVABILITY_EXPERIMENTS,
+    **MULTI_QUERY_EXPERIMENTS,
     **PLAN_CACHE_EXPERIMENTS,
     **REWRITE_EXPERIMENTS,
     **ROBUSTNESS_EXPERIMENTS,

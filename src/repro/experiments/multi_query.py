@@ -1,0 +1,154 @@
+"""Multi-query batch planning: what co-submission is worth per tenant mix.
+
+``ext_multi_query`` plans three tenant mixes drawn from the paper's
+workloads — the fig 5 FFNN pair (a forward pass co-submitted with the
+full training step that contains it), three identical fig 10
+matrix-chain tenants, and a mixed fig 9/10 bag — first each query alone,
+then all of them through :func:`repro.core.batch.optimize_batch`.  For
+every mix it reports planning wall clock (N solo searches vs one merged
+search), predicted execution cost and modelled FLOPs (shared
+subexpressions charged once in the batch), and the cross-query CSE hit
+counts.
+
+The benchmark enforces the never-worse contract inline: a batch that
+plans to more predicted seconds or more FLOPs than the sum of its solo
+plans raises ``RuntimeError`` (the differential suite proves the same
+invariant over 200 random batches; this is the committed-workload
+witness).  :func:`write_benchmark` condenses the run into the repo-root
+``BENCH_batch.json`` so the sharing ratios are tracked across PRs; the
+perf-marked CI gate re-measures the FFNN pair.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..core.batch import optimize_batch
+from ..core.optimizer import optimize
+from ..core.registry import OptimizerContext
+from ..workloads import (
+    amazoncat_config,
+    ffnn_forward,
+    ffnn_full_step,
+    mm_chain_graph,
+    motivating_graph,
+    two_level_inverse_graph,
+)
+from .harness import ExperimentTable
+
+#: Beam width for every search; small enough that the three mixes plan
+#: in seconds, wide enough that plans match the unbounded search on
+#: these workloads.
+MAX_STATES = 500
+
+#: Relative slack for the never-worse assertions: the batch and solo
+#: paths sum identical per-vertex costs in different orders.
+_SLACK = 1e-6
+
+
+def _mixes() -> dict:
+    """The tenant mixes, built fresh per call (graphs are mutable)."""
+    cfg = amazoncat_config(batch=2000, hidden=8000)
+    return {
+        # One tenant runs inference while another trains the same model:
+        # the full step contains the forward pass wholesale.
+        "fig05_pair": [ffnn_forward(cfg), ffnn_full_step(cfg)],
+        # Three tenants submit the same matrix-chain pipeline; CSE
+        # collapses the batch to one copy.
+        "fig10_tenants": [mm_chain_graph(1), mm_chain_graph(1),
+                          mm_chain_graph(1)],
+        # A mixed bag: two identical distributed-inverse queries plus the
+        # unrelated motivating example (it shares nothing, so its share
+        # of the batch must cost the same in and out).
+        "fig09_mixed": [two_level_inverse_graph(), two_level_inverse_graph(),
+                        motivating_graph()],
+    }
+
+
+def multi_query_benchmark(mixes=None) -> dict:
+    """The numbers tracked in the repo-root ``BENCH_batch.json``."""
+    if mixes is None:
+        mixes = _mixes()
+    ctx = OptimizerContext()
+    rows = {}
+    for name, graphs in mixes.items():
+        t0 = time.perf_counter()
+        solo = [optimize(g, ctx, max_states=MAX_STATES) for g in graphs]
+        solo_wall = time.perf_counter() - t0
+        batch = optimize_batch(graphs, ctx, max_states=MAX_STATES)
+
+        solo_cost = sum(p.total_seconds for p in solo)
+        solo_flops = sum(p.cost.features.flops for p in solo)
+        batch_cost = batch.merged.total_seconds
+        batch_flops = batch.merged.cost.features.flops
+        if batch_cost > solo_cost * (1 + _SLACK):
+            raise RuntimeError(
+                f"mix {name!r}: batch plan costs {batch_cost}s, more than "
+                f"the {solo_cost}s sum of solo plans — batching must "
+                "never be worse")
+        if batch_flops > solo_flops * (1 + _SLACK):
+            raise RuntimeError(
+                f"mix {name!r}: batch plan executes {batch_flops} FLOPs, "
+                f"more than the solo sum {solo_flops} — shared "
+                "subexpressions are being recomputed")
+        rows[name] = {
+            "queries": len(graphs),
+            "merged_vertices": len(batch.graph),
+            "cse_hits": batch.cse_hits,
+            "shared_subplans": len(batch.shared_vertices),
+            "solo_plan_wall_seconds": round(solo_wall, 3),
+            "batch_plan_wall_seconds": round(batch.optimize_seconds, 3),
+            "solo_cost_seconds": round(solo_cost, 4),
+            "batch_cost_seconds": round(batch_cost, 4),
+            "cost_saving_ratio": round(solo_cost / batch_cost, 3)
+            if batch_cost else None,
+            "solo_flops": solo_flops,
+            "batch_flops": batch_flops,
+            "flops_saving_ratio": round(solo_flops / batch_flops, 3)
+            if batch_flops else None,
+        }
+    return {
+        "max_states": MAX_STATES,
+        "mixes": rows,
+    }
+
+
+def ext_multi_query() -> ExperimentTable:
+    """Solo vs batched planning across the three tenant mixes."""
+    data = multi_query_benchmark()
+    table = ExperimentTable(
+        "ext_multi_query",
+        "Multi-query batch optimization: N solo searches vs one merged "
+        "search with cross-query CSE (predicted cost and FLOPs count "
+        "shared subexpressions once)",
+        ["mix", "queries", "solo cost", "batch cost", "saving",
+         "CSE hits", "plan solo", "plan batch"])
+    for name, row in data["mixes"].items():
+        table.add_row(
+            name, str(row["queries"]),
+            f"{row['solo_cost_seconds']:.1f}s",
+            f"{row['batch_cost_seconds']:.1f}s",
+            f"{row['cost_saving_ratio']:.2f}x",
+            str(row["cse_hits"]),
+            f"{row['solo_plan_wall_seconds']:.2f}s",
+            f"{row['batch_plan_wall_seconds']:.2f}s")
+        table.add_note(
+            f"{name}: {row['shared_subplans']} merged vertices shared "
+            f"between queries; FLOPs {row['flops_saving_ratio']:.2f}x "
+            "cheaper batched")
+    return table
+
+
+def write_benchmark(path: str) -> dict:
+    """Write :func:`multi_query_benchmark` to ``path`` as stable JSON."""
+    data = multi_query_benchmark()
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return data
+
+
+MULTI_QUERY_EXPERIMENTS = {
+    "ext_multi_query": ext_multi_query,
+}

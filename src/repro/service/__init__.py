@@ -7,16 +7,18 @@ and a :class:`SingleFlight` admission gate.
 """
 
 from ..core.fingerprint import (CATALOG_VERSION, Fingerprint,
-                                request_fingerprint)
+                                batch_fingerprint, request_fingerprint)
 from .cache import PlanCache
 from .planner import PlannerService
-from .singleflight import SingleFlight
+from .singleflight import AdmissionBatcher, SingleFlight
 
 __all__ = [
+    "AdmissionBatcher",
     "CATALOG_VERSION",
     "Fingerprint",
     "PlanCache",
     "PlannerService",
     "SingleFlight",
+    "batch_fingerprint",
     "request_fingerprint",
 ]

@@ -30,14 +30,17 @@ import threading
 import time
 
 from ..core.annotation import Plan
-from ..core.fingerprint import Fingerprint, request_fingerprint
+from ..core.batch import BatchPlan
+from ..core.batch import optimize_batch as _optimize_batch
+from ..core.fingerprint import (Fingerprint, batch_fingerprint,
+                                request_fingerprint)
 from ..core.graph import ComputeGraph
 from ..core.frontier import FRONTIERS
 from ..core.optimizer import (ALGORITHMS, context_for_graph, physical_plan,
                               record_optimize_metrics, rewrite_stage)
 from ..core.profile import OptimizerProfile
 from ..core.registry import OptimizerContext
-from ..core.rewrites import RewriteSpec
+from ..core.rewrites import RewriteSpec, validate_rewrites
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer, as_tracer
 from .cache import PlanCache
@@ -72,6 +75,9 @@ class PlannerService:
         self.requests = 0
         self.hits = 0
         self.misses = 0
+        self.batch_requests = 0
+        self.batch_hits = 0
+        self.batch_misses = 0
 
     # ------------------------------------------------------------------
     # Core entry point
@@ -151,6 +157,89 @@ class PlannerService:
             span.set(cache_hit=True)
             return self._record_hit(plan, shared=not leader)
 
+    def optimize_batch(self, graphs,
+                       ctx: OptimizerContext | None = None, *,
+                       algorithm: str = "auto",
+                       timeout_seconds: float | None = None,
+                       max_states: int | None = None,
+                       rewrites: RewriteSpec = "none",
+                       prune: bool | None = None,
+                       order: str = "class-size",
+                       frontier: str = "array") -> BatchPlan:
+        """Jointly plan ``graphs`` (see :func:`repro.core.batch.optimize_batch`),
+        serving repeated batches from the cache.
+
+        The batch is fingerprinted as the ordered composition of its
+        members' request fingerprints (:func:`batch_fingerprint` — a
+        distinct key domain, so a batch never collides with a solo
+        request for the same graph).  A cache hit returns the cached
+        :class:`~repro.core.batch.BatchPlan` with every profile marked
+        ``cache_hit=True``; concurrent identical cold batches collapse
+        into one merged search via single-flight.  Counters flow under
+        ``planner.batch.*``.
+        """
+        graphs = tuple(graphs)
+        if not graphs:
+            raise ValueError("optimize_batch needs at least one query graph")
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {algorithm!r}; "
+                             f"expected one of {ALGORITHMS}")
+        if frontier not in FRONTIERS:
+            raise ValueError(f"unknown frontier {frontier!r}; "
+                             f"expected one of {FRONTIERS}")
+        validate_rewrites(rewrites)
+        base_ctx = ctx if ctx is not None else self.ctx
+        with self.tracer.span("optimize-batch", kind="optimize",
+                              queries=len(graphs)) as span:
+            member_fps = []
+            for graph in graphs:
+                qctx = self.resolve_context(graph, ctx)
+                rewritten, _ = rewrite_stage(graph, qctx, rewrites,
+                                             self.tracer)
+                member_fps.append(request_fingerprint(
+                    graph, rewritten, qctx, algorithm=algorithm,
+                    timeout_seconds=timeout_seconds, max_states=max_states,
+                    rewrites=rewrites, prune=prune, order=order,
+                    frontier=frontier))
+            fp = batch_fingerprint(member_fps)
+            span.set(fingerprint=fp.short())
+            self._count("planner.batch.requests")
+            self._count("planner.batch.queries", len(graphs))
+            self.batch_requests += 1
+
+            cached = self.cache.get(fp)
+            if cached is not None:
+                span.set(cache_hit=True,
+                         seconds=cached.merged.total_seconds)
+                return self._record_batch_hit(cached, shared=False)
+
+            def cold() -> tuple[BatchPlan, bool]:
+                again = self.cache.get(fp)
+                if again is not None:
+                    return again, False
+                batch = _optimize_batch(
+                    graphs, base_ctx, algorithm=algorithm,
+                    timeout_seconds=timeout_seconds, max_states=max_states,
+                    rewrites=rewrites, prune=prune, order=order,
+                    frontier=frontier, tracer=self.tracer)
+                evicted = self.cache.put(
+                    fp, batch, optimize_seconds=batch.optimize_seconds)
+                with self._metrics_lock:
+                    record_optimize_metrics(batch.merged, self.metrics)
+                if evicted:
+                    self._count("planner.cache.evictions", evicted)
+                return batch, True
+
+            (batch, ran_cold), leader = self._flight.run(fp.key, cold)
+            span.set(seconds=batch.merged.total_seconds,
+                     cse_hits=batch.cse_hits)
+            if leader and ran_cold:
+                self._count("planner.batch.cache.misses")
+                self.batch_misses += 1
+                return batch
+            span.set(cache_hit=True)
+            return self._record_batch_hit(batch, shared=not leader)
+
     def resolve_context(self, graph: ComputeGraph,
                         ctx: OptimizerContext | None) -> OptimizerContext:
         """Per-request context: the override or the service default,
@@ -193,6 +282,14 @@ class PlannerService:
         self.hits += 1
         return _mark_cache_hit(plan)
 
+    def _record_batch_hit(self, batch: BatchPlan,
+                          shared: bool) -> BatchPlan:
+        self._count("planner.batch.cache.hits")
+        if shared:
+            self._count("planner.singleflight.shared")
+        self.batch_hits += 1
+        return batch.as_cache_hit()
+
     def _count(self, name: str, value: int = 1) -> None:
         if self.metrics is None:
             return
@@ -208,7 +305,11 @@ class PlannerService:
         the cold path's double-check probe.
         """
         return {"requests": self.requests, "hits": self.hits,
-                "misses": self.misses, "cache": self.cache.stats()}
+                "misses": self.misses,
+                "batch": {"requests": self.batch_requests,
+                          "hits": self.batch_hits,
+                          "misses": self.batch_misses},
+                "cache": self.cache.stats()}
 
 
 def _mark_cache_hit(plan: Plan) -> Plan:

@@ -235,6 +235,88 @@ def render_chaos_preview(points: list[ChaosPreviewPoint]) -> str:
     return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class BatchComparison:
+    """Solo-vs-batched planning for one set of co-submitted workloads."""
+
+    names: tuple[str, ...]
+    solo_seconds: tuple[float, ...]     #: predicted runtime, planned alone
+    batch_seconds: float                #: predicted runtime of the merged plan
+    solo_plan_seconds: float            #: wall clock spent planning solo (sum)
+    batch_plan_seconds: float           #: wall clock of the one batch search
+    shared_subplans: tuple[str, ...]    #: merged vertices used by >1 query
+    cse_hits: int
+
+    @property
+    def solo_total(self) -> float:
+        return sum(self.solo_seconds)
+
+    @property
+    def saving(self) -> float:
+        """Predicted seconds saved by executing the batch jointly."""
+        return self.solo_total - self.batch_seconds
+
+
+def compare_batch(
+    graphs: Sequence[ComputeGraph],
+    names: Sequence[str],
+    ctx: OptimizerContext | None = None,
+    max_states: int | None = 1000,
+    rewrites: str | Sequence[str] = "none",
+    frontier: str = "array",
+    planner: PlannerService | None = None,
+) -> BatchComparison:
+    """Plan each graph alone and all of them as one batch; compare.
+
+    Both paths go through the planner service, so repeated comparisons
+    (and the solo plans a sweep already produced) come from the cache.
+    The batch plan's cost counts shared subexpressions once — the
+    comparison quantifies what co-submission is worth for this mix.
+    """
+    if planner is None:
+        planner = PlannerService()
+    solo = [planner.optimize(g, ctx, max_states=max_states,
+                             rewrites=rewrites, frontier=frontier)
+            for g in graphs]
+    batch = planner.optimize_batch(graphs, ctx, max_states=max_states,
+                                   rewrites=rewrites, frontier=frontier)
+    return BatchComparison(
+        names=tuple(names),
+        solo_seconds=tuple(p.total_seconds for p in solo),
+        batch_seconds=batch.merged.total_seconds,
+        solo_plan_seconds=sum(p.optimize_seconds for p in solo),
+        batch_plan_seconds=batch.optimize_seconds,
+        shared_subplans=batch.merged.profile.shared_subplans
+        if batch.merged.profile is not None else (),
+        cse_hits=batch.cse_hits)
+
+
+def render_batch(cmp: BatchComparison) -> str:
+    """Text report for a solo-vs-batched comparison."""
+    from ..engine.executor import format_hms
+
+    lines = [f"{'query':24s} {'solo':>12s}"]
+    for name, seconds in zip(cmp.names, cmp.solo_seconds):
+        lines.append(f"{name:24s} {format_hms(seconds):>12s}")
+    lines.append(f"{'sum of solo plans':24s} "
+                 f"{format_hms(cmp.solo_total):>12s}")
+    ratio = (f"x{cmp.solo_total / cmp.batch_seconds:.2f}"
+             if cmp.batch_seconds > 0 else "-")
+    lines.append(f"{'batched (shared once)':24s} "
+                 f"{format_hms(cmp.batch_seconds):>12s} {ratio:>8s}")
+    lines.append(f"cross-query CSE: {cmp.cse_hits} subexpressions "
+                 f"deduplicated; {len(cmp.shared_subplans)} shared "
+                 "between queries")
+    if cmp.shared_subplans:
+        shown = ", ".join(cmp.shared_subplans[:6])
+        more = len(cmp.shared_subplans) - 6
+        lines.append(f"shared subplans: {shown}"
+                     + (f" (+{more} more)" if more > 0 else ""))
+    lines.append(f"planning: {cmp.solo_plan_seconds:.3f}s solo (sum) vs "
+                 f"{cmp.batch_plan_seconds:.3f}s batched (one search)")
+    return "\n".join(lines)
+
+
 def render_sweep(points: list[SweepPoint]) -> str:
     """Text table for a worker sweep."""
     from ..engine.executor import format_hms
@@ -321,6 +403,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="render the pipeline-aware stage timeline "
                              "(ASAP Gantt chart) of the best plan at the "
                              "first feasible cluster size")
+    parser.add_argument("--batch", metavar="W1,W2,...", default=None,
+                        help="comma-separated workloads to co-plan as one "
+                             "batch (repeats allowed, e.g. a multi-tenant "
+                             "mix); compares the batched plan against the "
+                             "sum of solo plans at the first swept cluster "
+                             "size")
     parser.add_argument("--chaos", action="store_true",
                         help="preview degraded-mode re-planning: predicted "
                              "runtime after losing one worker (re-optimized "
@@ -389,6 +477,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                 cluster=DEFAULT_CLUSTER.with_workers(shown.workers))
             print(f"timeline at {shown.workers} workers:")
             print(schedule(shown.plan, ctx).gantt())
+    if args.batch:
+        batch_names = [w.strip() for w in args.batch.split(",") if w.strip()]
+        unknown = sorted(set(batch_names) - set(workloads))
+        if unknown:
+            parser.error(f"--batch: unknown workloads {', '.join(unknown)} "
+                         f"(choose from {', '.join(sorted(workloads))})")
+        batch_graphs = [workloads[name]() for name in batch_names]
+        batch_ctx = OptimizerContext(
+            cluster=DEFAULT_CLUSTER.with_workers(counts[0]))
+        cmp = compare_batch(batch_graphs, batch_names, batch_ctx,
+                            max_states=max_states, rewrites=rewrites,
+                            frontier=args.frontier, planner=service)
+        print(f"batch of {len(batch_graphs)} queries at {counts[0]} "
+              "workers (solo vs co-planned):")
+        print(render_batch(cmp))
     if args.chaos:
         preview = chaos_preview(graph, DEFAULT_CLUSTER.with_workers, counts,
                                 max_states=max_states, rewrites=rewrites,

@@ -212,6 +212,20 @@ class TestFacade:
         with pytest.raises(ValueError, match="unknown frontier"):
             optimize(g, small_ctx(), frontier="quantum")
 
+    def test_rewrites_typos_rejected_eagerly(self):
+        """A mistyped ``rewrites=`` must fail like the other knobs — a
+        clean ValueError before any search — not silently plan without
+        rewrites or crash with a bare TypeError deep in the pipeline."""
+        g = _random_graph(2, depth=2)
+        for bad in ("pipelin", "egraf", "ALL"):
+            with pytest.raises(ValueError, match="rewrites"):
+                optimize(g, small_ctx(), rewrites=bad)
+        for bad in (5, True, 3.14):  # non-iterables: formerly a TypeError
+            with pytest.raises(ValueError, match="rewrites"):
+                optimize(g, small_ctx(), rewrites=bad)
+        with pytest.raises(ValueError):  # unknown pass name in an iterable
+            optimize(g, small_ctx(), rewrites=("no_such_pass",))
+
     def test_frontier_knob_selects_implementation(self):
         g = ComputeGraph()
         a = g.add_source("A", matrix(100, 100), single())

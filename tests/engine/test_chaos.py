@@ -26,7 +26,8 @@ from repro.core.optimizer import optimize
 from repro.core.registry import OptimizerContext
 from repro.engine.dynamics import DynamicsConfig, execute_with_dynamics
 from repro.engine.executor import execute_plan
-from repro.engine.ledger import CATEGORIES, WORK
+from repro.engine.intermediate import IntermediateStore
+from repro.engine.ledger import CATEGORIES, INTERMEDIATE_CACHE, WORK
 from repro.engine.membership import WorkerTimeline, crash_at_frontier
 from repro.engine.scheduler import (
     ProcessPoolScheduler,
@@ -158,3 +159,76 @@ def test_chaos_exhaustive(name, scheduler_cls):
     for frontier in range(n_frontiers):
         for worker in range(NUM_WORKERS):
             _check_scenario(name, frontier, worker, scheduler_cls())
+
+
+# ----------------------------------------------------------------------
+# Crash/rejoin with a warm intermediate store: a lost worker's cached
+# blocks are invalidated, recovery recomputes them, and the clock stays
+# fully attributed and scheduler-independent.
+# ----------------------------------------------------------------------
+def _warm_store_scenario(name, frontier, worker, scheduler):
+    """One crash scenario against a store warmed by a clean run."""
+    plan, inputs, ctx, clean_outputs, _ = _planned(name)
+    store = IntermediateStore(1e12)
+    clean_timeline = WorkerTimeline(NUM_WORKERS, [])
+    warmup = execute_with_dynamics(plan, inputs, ctx, clean_timeline,
+                                   config=CONFIG, scheduler=scheduler,
+                                   store=store)
+    assert warmup.ok
+    assert len(store) > 0, "warm-up run harvested nothing"
+
+    resident = set()
+    for entry in store.entries.values():
+        resident |= entry.workers
+
+    timeline = WorkerTimeline(NUM_WORKERS,
+                              [crash_at_frontier(worker, frontier)])
+    res = execute_with_dynamics(plan, inputs, ctx, timeline,
+                                config=CONFIG, scheduler=scheduler,
+                                store=store)
+    label = f"{name}: warm kill w{worker}@f{frontier} ({scheduler.name})"
+    assert res.ok, f"{label}: {res.failure}"
+    for out, expected in clean_outputs.items():
+        assert np.allclose(res.outputs[out], expected), f"{label}: {out}"
+    # The warm run actually reused cached results...
+    assert res.ledger.intermediate_cache_seconds > 0, label
+    # ...and a dead worker that held cached blocks loses its entries
+    # (a crash elsewhere leaves the store intact).
+    crash = [e for e in res.events if e.kind == "crash"]
+    if crash and crash[0].applied and worker in resident:
+        assert store.invalidated > 0, label
+    # Attribution: every second declared, cache charges tagged.
+    assert all(r.category in CATEGORIES for r in res.ledger.stages), label
+    by_cat = res.ledger.seconds_by_category()
+    assert res.ledger.total_seconds == pytest.approx(
+        sum(by_cat.values())), label
+    for rec in res.ledger.stages:
+        if rec.category == INTERMEDIATE_CACHE:
+            assert rec.name.startswith("cache:"), \
+                f"{label}: untagged cache charge {rec.name}"
+    return res
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_chaos_warm_store_invalidation_and_recompute(name):
+    """Crash against a warm store: invalidate, recompute, same answer."""
+    *_, n_frontiers = _planned(name)
+    for frontier in sorted({0, n_frontiers // 2}):
+        for worker in (0, NUM_WORKERS - 1):
+            _warm_store_scenario(name, frontier, worker,
+                                 SequentialScheduler())
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("pool_cls", [ThreadPoolScheduler,
+                                      ProcessPoolScheduler])
+def test_chaos_warm_store_no_ledger_drift(name, pool_cls):
+    """Warm-store crash scenarios merge bit-identical ledgers on the
+    sequential, thread-pool and process-pool schedulers."""
+    *_, n_frontiers = _planned(name)
+    frontier, worker = n_frontiers // 2, 0
+    a = _warm_store_scenario(name, frontier, worker, SequentialScheduler())
+    b = _warm_store_scenario(name, frontier, worker, pool_cls())
+    assert [(r.name, r.seconds, r.category) for r in a.ledger.stages] == \
+           [(r.name, r.seconds, r.category) for r in b.ledger.stages]
+    assert a.ledger.total_seconds == b.ledger.total_seconds

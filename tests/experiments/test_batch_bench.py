@@ -1,0 +1,83 @@
+"""The multi-query benchmark and its committed-number gate.
+
+The cheap tests run one small mix and check the benchmark's internal
+invariants (the never-worse guards are enforced by
+:func:`~repro.experiments.multi_query.multi_query_benchmark` itself — it
+raises if a batch plans worse than its solo sum).  The committed-number
+test checks the repo-root ``BENCH_batch.json`` still meets the
+acceptance floor: batched planning *and* execution strictly cheaper than
+solo on the 3-query mixes.  The perf-marked gate re-measures the
+three-tenant mix in CI's optimizer-perf job.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.figures import EXPERIMENTS
+from repro.experiments.multi_query import (
+    _mixes,
+    ext_multi_query,
+    multi_query_benchmark,
+)
+from repro.workloads import mm_chain_graph
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_batch.json")
+
+
+def test_registered():
+    assert EXPERIMENTS["ext_multi_query"] is ext_multi_query
+
+
+def test_benchmark_shape_on_one_mix():
+    data = multi_query_benchmark(
+        mixes={"tenants": [mm_chain_graph(1), mm_chain_graph(1)]})
+    row = data["mixes"]["tenants"]
+    assert row["queries"] == 2
+    assert row["cse_hits"] > 0
+    # Two identical tenants: the batch costs exactly one solo run.
+    assert row["cost_saving_ratio"] == pytest.approx(2.0, rel=1e-6)
+    assert row["flops_saving_ratio"] == pytest.approx(2.0, rel=1e-6)
+    assert row["batch_plan_wall_seconds"] >= 0.0
+
+
+def test_committed_benchmark_is_current_shape():
+    """The repo-root JSON exists, parses, and covers every tenant mix."""
+    with open(BENCH_PATH) as fh:
+        data = json.load(fh)
+    assert set(data["mixes"]) == set(_mixes())
+    for name, row in data["mixes"].items():
+        assert row["queries"] >= 2
+        assert row["cse_hits"] > 0, name
+        # Execution: a batch plan never costs more than its solo sum.
+        assert row["batch_cost_seconds"] <= row["solo_cost_seconds"], name
+        assert row["batch_flops"] <= row["solo_flops"], name
+    # The committed numbers meet the acceptance criterion: on the
+    # >= 3-query mixes sharing subexpressions, batched planning AND
+    # execution are strictly cheaper than solo.
+    for name in ("fig09_mixed", "fig10_tenants"):
+        row = data["mixes"][name]
+        assert row["queries"] >= 3
+        assert row["batch_cost_seconds"] < row["solo_cost_seconds"], name
+        assert row["batch_plan_wall_seconds"] < \
+            row["solo_plan_wall_seconds"], name
+    assert data["mixes"]["fig10_tenants"]["cost_saving_ratio"] >= 2.5
+
+
+@pytest.mark.perf
+def test_three_tenant_gate():
+    """Re-measure the three-tenant mix: one merged search must stay
+    cheaper than three solo searches (committed numbers show ~5x on
+    planning wall and 3.0x on predicted cost; the 2.5x/1.5x floors
+    leave headroom for noisy CI runners)."""
+    mixes = {"fig10_tenants": _mixes()["fig10_tenants"]}
+    row = multi_query_benchmark(mixes)["mixes"]["fig10_tenants"]
+    assert row["cost_saving_ratio"] >= 2.5, row
+    assert row["solo_plan_wall_seconds"] >= \
+        1.5 * row["batch_plan_wall_seconds"], (
+        f"batched planning regressed: one merged search took "
+        f"{row['batch_plan_wall_seconds']}s vs "
+        f"{row['solo_plan_wall_seconds']}s for three solo searches")

@@ -1,0 +1,166 @@
+"""Service-layer batch planning: cache, single-flight and admission.
+
+``PlannerService.optimize_batch`` must fingerprint a batch as the
+ordered composition of its members' request fingerprints, serve repeats
+from the plan cache with every profile marked ``cache_hit=True``, and
+count under ``planner.batch.*``.  ``AdmissionBatcher`` must coalesce
+concurrent solo submissions with identical knobs into one batch call
+and hand each caller its own per-query plan.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.batch import BatchPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.service import AdmissionBatcher, PlannerService, batch_fingerprint
+from repro.workloads import (
+    amazoncat_config,
+    ffnn_forward,
+    ffnn_full_step,
+    mm_chain_graph,
+)
+
+MAX_STATES = 300
+
+
+def _pair():
+    cfg = amazoncat_config(batch=2000, hidden=8000)
+    return [ffnn_forward(cfg), ffnn_full_step(cfg)]
+
+
+class TestServiceBatch:
+    def test_repeat_batch_served_from_cache(self):
+        metrics = MetricsRegistry()
+        svc = PlannerService(metrics=metrics)
+        graphs = _pair()
+        cold = svc.optimize_batch(graphs, max_states=MAX_STATES)
+        warm = svc.optimize_batch(graphs, max_states=MAX_STATES)
+
+        assert isinstance(cold, BatchPlan) and isinstance(warm, BatchPlan)
+        assert not cold.merged.profile.cache_hit
+        assert warm.merged.profile.cache_hit
+        assert all(q.plan.profile.cache_hit for q in warm.queries)
+        assert warm.merged.total_seconds == cold.merged.total_seconds
+
+        assert svc.stats()["batch"] == {"requests": 2, "hits": 1,
+                                        "misses": 1}
+        counters = metrics.counters
+        assert counters["planner.batch.requests"] == 2
+        assert counters["planner.batch.queries"] == 4
+        assert counters["planner.batch.cache.hits"] == 1
+        assert counters["planner.batch.cache.misses"] == 1
+
+    def test_batch_and_solo_keys_never_collide(self):
+        """A singleton batch and the equivalent solo request are distinct
+        cache entries (distinct fingerprint domains)."""
+        svc = PlannerService()
+        g = mm_chain_graph(1)
+        solo = svc.optimize(g, max_states=MAX_STATES)
+        batch = svc.optimize_batch([g], max_states=MAX_STATES)
+        assert batch.merged.total_seconds == solo.total_seconds
+        # Both were cold: the solo hit did not satisfy the batch lookup.
+        assert svc.stats()["misses"] == 1
+        assert svc.stats()["batch"]["misses"] == 1
+
+    def test_knob_changes_miss_the_cache(self):
+        svc = PlannerService()
+        graphs = _pair()
+        svc.optimize_batch(graphs, max_states=MAX_STATES)
+        svc.optimize_batch(graphs, max_states=MAX_STATES,
+                           frontier="object")
+        assert svc.stats()["batch"] == {"requests": 2, "hits": 0,
+                                        "misses": 2}
+
+    def test_bad_knobs_rejected_before_fingerprinting(self):
+        svc = PlannerService()
+        with pytest.raises(ValueError, match="at least one"):
+            svc.optimize_batch([])
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            svc.optimize_batch(_pair(), algorithm="warp")
+        with pytest.raises(ValueError, match="unknown frontier"):
+            svc.optimize_batch(_pair(), frontier="arry")
+        with pytest.raises(ValueError, match="rewrites"):
+            svc.optimize_batch(_pair(), rewrites="pipelin")
+        assert svc.stats()["batch"]["requests"] == 0
+
+    def test_batch_fingerprint_is_order_sensitive(self):
+        """Queries are positional (callers get plans back by index), so
+        a reordered batch is a different request."""
+        svc = PlannerService()
+        graphs = _pair()
+        fps = []
+        for g in graphs:
+            ctx = svc.resolve_context(g, None)
+            from repro.core.fingerprint import request_fingerprint
+            from repro.core.optimizer import rewrite_stage
+            rewritten, _ = rewrite_stage(g, ctx, "none", svc.tracer)
+            fps.append(request_fingerprint(
+                g, rewritten, ctx, algorithm="auto", timeout_seconds=None,
+                max_states=MAX_STATES, rewrites="none", prune=None,
+                order="class-size", frontier="array"))
+        assert batch_fingerprint(fps).key != \
+            batch_fingerprint(list(reversed(fps))).key
+        # And a batch never shares a key with its own sole member.
+        assert batch_fingerprint(fps[:1]).key != fps[0].key
+
+
+class TestAdmissionBatcher:
+    def test_concurrent_submissions_coalesce_into_one_batch(self):
+        metrics = MetricsRegistry()
+        svc = PlannerService(metrics=metrics)
+        # A full window closes early, so a long window stays deterministic.
+        batcher = AdmissionBatcher(svc, window_seconds=30.0, max_batch=2)
+        graphs = _pair()
+        plans = [None, None]
+        errors = []
+
+        def submit(i):
+            try:
+                plans[i] = batcher.submit(graphs[i],
+                                          max_states=MAX_STATES)
+            except BaseException as exc:  # pragma: no cover - debug aid
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert all(p is not None for p in plans)
+        assert batcher.stats() == {"batches": 1, "coalesced": 1}
+        assert svc.stats()["batch"]["requests"] == 1
+        for plan in plans:
+            assert plan.profile.batch_queries == 2
+            assert plan.profile.shared_subplans  # the shared forward pass
+
+    def test_solo_submission_degenerates_to_singleton_batch(self):
+        svc = PlannerService()
+        batcher = AdmissionBatcher(svc, window_seconds=0.0, max_batch=4)
+        plan = batcher.submit(mm_chain_graph(1), max_states=MAX_STATES)
+        assert plan.profile.batch_queries == 1
+        assert batcher.stats() == {"batches": 1, "coalesced": 0}
+
+    def test_different_knobs_never_batch_together(self):
+        svc = PlannerService()
+        batcher = AdmissionBatcher(svc, window_seconds=0.0, max_batch=4)
+        batcher.submit(mm_chain_graph(1), max_states=MAX_STATES)
+        batcher.submit(mm_chain_graph(1), max_states=MAX_STATES,
+                       frontier="object")
+        assert batcher.stats()["batches"] == 2
+
+    def test_planner_errors_reach_every_rider(self):
+        svc = PlannerService()
+        batcher = AdmissionBatcher(svc, window_seconds=0.0, max_batch=4)
+        with pytest.raises(ValueError, match="unknown frontier"):
+            batcher.submit(mm_chain_graph(1), frontier="bogus")
+
+    def test_bad_construction_rejected(self):
+        svc = PlannerService()
+        with pytest.raises(ValueError, match="max_batch"):
+            AdmissionBatcher(svc, max_batch=0)
+        with pytest.raises(ValueError, match="window_seconds"):
+            AdmissionBatcher(svc, window_seconds=-1.0)
